@@ -1,0 +1,293 @@
+//! FlashFQ-style start-time fair queueing with throttled dispatch.
+//!
+//! SFQ(D): every request receives a start tag `max(vtime, tenant's last
+//! finish tag)` and a finish tag `start + cost/weight`; the dispatcher keeps
+//! at most `D` requests outstanding at the device and always picks the
+//! pending request with the smallest start tag. Virtual time advances to the
+//! start tag of the last dispatched request.
+//!
+//! Costs come from a *linear* model (`base + slope × bytes` per op type)
+//! calibrated offline — the model the paper shows cannot capture modern SSD
+//! asymmetry: with near-equal linear read/write costs the scheduler
+//! equalizes read and write *model-bytes*, which is exactly the "read and
+//! write bandwidths are the same on both Clean-SSD and Fragment-SSD"
+//! behaviour of Fig 7e/7f. Being work-conserving with no flow control, it
+//! achieves high utilization (§5.2) but poor tail latency under
+//! consolidation (§5.4).
+//!
+//! FlashFQ's anticipation heuristic for deceptive idleness is approximated
+//! by the throttled dispatch depth alone; see DESIGN.md for the note.
+
+use gimbal_fabric::{IoType, TenantId};
+use gimbal_sim::SimTime;
+use gimbal_switch::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
+use std::collections::{HashMap, VecDeque};
+
+/// Linear cost model and dispatch parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashFqConfig {
+    /// Fixed cost per read, µs-equivalents.
+    pub read_base: f64,
+    /// Fixed cost per write.
+    pub write_base: f64,
+    /// Per-KiB cost slope for reads.
+    pub read_slope_per_kb: f64,
+    /// Per-KiB cost slope for writes.
+    pub write_slope_per_kb: f64,
+    /// Throttled dispatch depth `D`.
+    pub depth: usize,
+}
+
+impl Default for FlashFqConfig {
+    fn default() -> Self {
+        FlashFqConfig {
+            // Calibrated linear fit over a mixed profile: reads and writes
+            // come out near-identical (the write buffer hides write cost at
+            // calibration time).
+            read_base: 20.0,
+            write_base: 20.0,
+            read_slope_per_kb: 0.5,
+            write_slope_per_kb: 0.5,
+            depth: 96,
+        }
+    }
+}
+
+impl FlashFqConfig {
+    /// Model cost of a request.
+    pub fn cost(&self, op: IoType, bytes: u64) -> f64 {
+        let kb = bytes as f64 / 1024.0;
+        match op {
+            IoType::Read => self.read_base + self.read_slope_per_kb * kb,
+            IoType::Write => self.write_base + self.write_slope_per_kb * kb,
+        }
+    }
+}
+
+struct Tenant {
+    queue: VecDeque<(Request, f64)>, // (request, start tag)
+    last_finish: f64,
+    weight: f64,
+}
+
+/// The FlashFQ-style target policy.
+pub struct FlashFqPolicy {
+    cfg: FlashFqConfig,
+    tenants: HashMap<TenantId, Tenant>,
+    vtime: f64,
+    queued: usize,
+}
+
+impl FlashFqPolicy {
+    /// Create with the default calibration.
+    pub fn new(cfg: FlashFqConfig) -> Self {
+        FlashFqPolicy {
+            cfg,
+            tenants: HashMap::new(),
+            vtime: 0.0,
+            queued: 0,
+        }
+    }
+
+    /// Set a tenant's weight (default 1.0).
+    pub fn set_weight(&mut self, tenant: TenantId, weight: f64) {
+        assert!(weight > 0.0);
+        self.tenants
+            .entry(tenant)
+            .or_insert_with(|| Tenant {
+                queue: VecDeque::new(),
+                last_finish: 0.0,
+                weight: 1.0,
+            })
+            .weight = weight;
+    }
+}
+
+impl Default for FlashFqPolicy {
+    fn default() -> Self {
+        Self::new(FlashFqConfig::default())
+    }
+}
+
+impl SwitchPolicy for FlashFqPolicy {
+    fn on_arrival(&mut self, req: Request, _now: SimTime) {
+        let vtime = self.vtime;
+        let t = self.tenants.entry(req.cmd.tenant).or_insert_with(|| Tenant {
+            queue: VecDeque::new(),
+            last_finish: 0.0,
+            weight: 1.0,
+        });
+        // SFQ start tag: requests of a backlogged tenant chain off its last
+        // finish tag; an idle tenant re-enters at the current virtual time
+        // (no credit for idling — this is what causes deceptive idleness,
+        // which Gimbal's slots avoid, §3.5).
+        let start = vtime.max(t.last_finish);
+        let finish = start + self.cfg.cost(req.cmd.opcode, req.cmd.len_bytes()) / t.weight;
+        t.last_finish = finish;
+        t.queue.push_back((req, start));
+        self.queued += 1;
+    }
+
+    fn next_submission(&mut self, _now: SimTime, device_inflight: usize) -> PolicyPoll {
+        if device_inflight >= self.cfg.depth {
+            return PolicyPoll::Idle;
+        }
+        // Pick the pending request with the minimum start tag.
+        let best = self
+            .tenants
+            .iter()
+            .filter_map(|(id, t)| t.queue.front().map(|&(_, start)| (start, *id)))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let Some((start, tid)) = best else {
+            return PolicyPoll::Idle;
+        };
+        let (req, _) = self.tenants.get_mut(&tid).unwrap().queue.pop_front().unwrap();
+        self.queued -= 1;
+        self.vtime = self.vtime.max(start);
+        PolicyPoll::Submit(req)
+    }
+
+    fn on_completion(&mut self, _info: &CompletionInfo, _now: SimTime) {}
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+
+    fn name(&self) -> &'static str {
+        "flashfq"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gimbal_fabric::{CmdId, NvmeCmd, Priority, SsdId};
+
+    fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
+        Request {
+            cmd: NvmeCmd {
+                id: CmdId(id),
+                tenant: TenantId(tenant),
+                ssd: SsdId(0),
+                opcode: op,
+                lba: 0,
+                len,
+                priority: Priority::NORMAL,
+                issued_at: SimTime::ZERO,
+            },
+            ready_at: SimTime::ZERO,
+        }
+    }
+
+    fn drain(p: &mut FlashFqPolicy, inflight: usize, max: usize) -> Vec<Request> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            match p.next_submission(SimTime::ZERO, inflight) {
+                PolicyPoll::Submit(r) => out.push(r),
+                _ => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dispatch_depth_throttles() {
+        let mut p = FlashFqPolicy::default();
+        let depth = FlashFqConfig::default().depth;
+        for i in 0..4 {
+            p.on_arrival(req(i, 0, IoType::Read, 4096), SimTime::ZERO);
+        }
+        assert!(matches!(
+            p.next_submission(SimTime::ZERO, depth),
+            PolicyPoll::Idle
+        ));
+        assert_eq!(drain(&mut p, 0, 10).len(), 4);
+    }
+
+    #[test]
+    fn interleaves_equal_cost_tenants() {
+        let mut p = FlashFqPolicy::default();
+        let mut id = 0;
+        for _ in 0..6 {
+            p.on_arrival(req(id, 0, IoType::Read, 4096), SimTime::ZERO);
+            id += 1;
+        }
+        for _ in 0..6 {
+            p.on_arrival(req(id, 1, IoType::Read, 4096), SimTime::ZERO);
+            id += 1;
+        }
+        let subs = drain(&mut p, 0, 12);
+        // Start tags interleave the two backlogged tenants ~1:1.
+        let t0_in_first_half = subs[..6].iter().filter(|r| r.cmd.tenant.0 == 0).count();
+        assert!(
+            (2..=4).contains(&t0_in_first_half),
+            "interleaving: {t0_in_first_half}"
+        );
+    }
+
+    #[test]
+    fn cost_fairness_favors_small_ios_in_count() {
+        // 128 KB costs 20 + 64 = 84; 4 KB costs 22. Per unit of virtual
+        // time the small-IO tenant gets ~3.8× the requests but far fewer
+        // bytes — the linear model's idea of fairness.
+        let mut p = FlashFqPolicy::default();
+        let mut id = 0;
+        for _ in 0..100 {
+            p.on_arrival(req(id, 0, IoType::Read, 4096), SimTime::ZERO);
+            id += 1;
+        }
+        for _ in 0..100 {
+            p.on_arrival(req(id, 1, IoType::Read, 128 * 1024), SimTime::ZERO);
+            id += 1;
+        }
+        let subs = drain(&mut p, 0, 60);
+        let small = subs.iter().filter(|r| r.cmd.tenant.0 == 0).count() as f64;
+        let big = subs.iter().filter(|r| r.cmd.tenant.0 == 1).count() as f64;
+        let ratio = small / big.max(1.0);
+        assert!((2.5..5.5).contains(&ratio), "count ratio {ratio}");
+    }
+
+    #[test]
+    fn near_equal_read_write_model_costs() {
+        // The miscalibration the paper calls out: model treats reads and
+        // writes alike, so R/W streams get equal model throughput.
+        let cfg = FlashFqConfig::default();
+        let r = cfg.cost(IoType::Read, 4096);
+        let w = cfg.cost(IoType::Write, 4096);
+        assert!((r - w).abs() < 1e-9);
+        let mut p = FlashFqPolicy::default();
+        let mut id = 0;
+        for _ in 0..50 {
+            p.on_arrival(req(id, 0, IoType::Read, 4096), SimTime::ZERO);
+            id += 1;
+            p.on_arrival(req(id, 1, IoType::Write, 4096), SimTime::ZERO);
+            id += 1;
+        }
+        let subs = drain(&mut p, 0, 40);
+        let reads = subs.iter().filter(|r| r.cmd.opcode.is_read()).count();
+        let writes = subs.len() - reads;
+        assert!((reads as i64 - writes as i64).abs() <= 2, "{reads} vs {writes}");
+    }
+
+    #[test]
+    fn weights_shift_share() {
+        let mut p = FlashFqPolicy::default();
+        p.set_weight(TenantId(0), 2.0);
+        let mut id = 0;
+        for _ in 0..90 {
+            p.on_arrival(req(id, 0, IoType::Read, 4096), SimTime::ZERO);
+            id += 1;
+            p.on_arrival(req(id, 1, IoType::Read, 4096), SimTime::ZERO);
+            id += 1;
+        }
+        let subs = drain(&mut p, 0, 60);
+        let heavy = subs.iter().filter(|r| r.cmd.tenant.0 == 0).count() as f64;
+        let light = subs.iter().filter(|r| r.cmd.tenant.0 == 1).count() as f64;
+        let ratio = heavy / light.max(1.0);
+        assert!((1.5..2.6).contains(&ratio), "weighted ratio {ratio}");
+    }
+}

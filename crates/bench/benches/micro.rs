@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks for the per-IO-cost-critical components.
+//!
+//! The paper's whole premise is that a SmartNIC core gives Gimbal about a
+//! microsecond per IO (§2.4, Table 1); these benchmarks check that the
+//! *reimplemented* data structures stay well inside that envelope per
+//! operation on commodity hardware.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gimbal_core::{GimbalPolicy, LatencyMonitor, Params, VirtualSlotScheduler, WriteCostEstimator};
+use gimbal_fabric::{CmdId, IoType, NvmeCmd, Priority, SsdId, TenantId};
+use gimbal_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime, TokenBucket};
+use gimbal_ssd::{FlashSsd, SsdConfig, StorageDevice};
+use gimbal_switch::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
+use gimbal_workload::Zipfian;
+use std::hint::black_box;
+
+fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
+    Request {
+        cmd: NvmeCmd {
+            id: CmdId(id),
+            tenant: TenantId(tenant),
+            ssd: SsdId(0),
+            opcode: op,
+            lba: 0,
+            len,
+            priority: Priority::NORMAL,
+            issued_at: SimTime::ZERO,
+        },
+        ready_at: SimTime::ZERO,
+    }
+}
+
+fn bench_sim_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.bench_function("rng_next_u64", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            q.push(SimTime::from_nanos(t), t);
+            if q.len() > 64 {
+                black_box(q.pop());
+            }
+        });
+    });
+    g.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 40));
+        });
+    });
+    g.bench_function("histogram_p999", |b| {
+        let mut h = Histogram::new();
+        for i in 0..100_000u64 {
+            h.record(i % 10_000);
+        }
+        b.iter(|| black_box(h.quantile(0.999)));
+    });
+    g.bench_function("token_bucket_cycle", |b| {
+        let mut tb = TokenBucket::with_rate(1e9, 1 << 20);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            tb.refill(SimTime::from_nanos(t));
+            black_box(tb.try_consume(4096));
+        });
+    });
+    g.finish();
+}
+
+fn bench_gimbal_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gimbal");
+    g.bench_function("latency_monitor_update", |b| {
+        let mut m = LatencyMonitor::new(&Params::default());
+        let mut lat = 100u64;
+        b.iter(|| {
+            lat = (lat * 13) % 1500 + 50;
+            black_box(m.update(SimDuration::from_micros(lat)));
+        });
+    });
+    g.bench_function("write_cost_update", |b| {
+        let mut e = WriteCostEstimator::new(&Params::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 50_000;
+            e.on_write_completion(SimTime::from_nanos(t), t % 3 == 0);
+            black_box(e.cost());
+        });
+    });
+    g.bench_function("drr_dequeue_complete_16_tenants", |b| {
+        b.iter_batched(
+            || {
+                let mut s = VirtualSlotScheduler::new(Params::default());
+                for i in 0..256u64 {
+                    s.on_arrival(req(i, (i % 16) as u32, IoType::Read, 4096), SimTime::ZERO);
+                }
+                s
+            },
+            |mut s| {
+                for _ in 0..64 {
+                    if let gimbal_core::scheduler::SchedPoll::Submit(r) = s.dequeue(1.5, |_| true)
+                    {
+                        s.on_completion(r.cmd.id);
+                    }
+                }
+                black_box(s.queued())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("full_policy_submit_complete", |b| {
+        let mut p = GimbalPolicy::with_defaults(SsdId(0));
+        let mut id = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2_500;
+            let now = SimTime::from_nanos(t);
+            p.on_arrival(req(id, (id % 4) as u32, IoType::Read, 4096), now);
+            if let PolicyPoll::Submit(r) = p.next_submission(now, 0) {
+                let info = CompletionInfo {
+                    cmd: r.cmd,
+                    device_latency: SimDuration::from_micros(80),
+                    completed_at: now,
+                    failed: false,
+                };
+                p.on_completion(&info, now);
+            }
+            id += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.bench_function("zipfian_draw", |b| {
+        let z = Zipfian::new(1_000_000, 0.99);
+        let mut rng = SimRng::new(5);
+        b.iter(|| black_box(z.next(&mut rng)));
+    });
+    g.bench_function("flash_ssd_4k_read_cycle", |b| {
+        let cfg = SsdConfig {
+            logical_capacity: 256 * 1024 * 1024,
+            ..SsdConfig::default()
+        };
+        let mut ssd = FlashSsd::new(cfg, 1);
+        ssd.precondition_clean();
+        let cap = ssd.capacity_blocks();
+        let mut rng = SimRng::new(2);
+        let mut tag = 0u64;
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2_500;
+            ssd.submit(tag, IoType::Read, rng.gen_below(cap), 4096, SimTime::from_nanos(t));
+            tag += 1;
+            black_box(ssd.poll(SimTime::from_nanos(t)).len());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_primitives,
+    bench_gimbal_components,
+    bench_substrates
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the dual-bucket and write-cost ablations at full scale.
+//! Pass `--quick` for the shortened variant the bench harness uses.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    gimbal_bench::figs::abl_bucket_cost::run(quick);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §5.8 P3600 generalization study at full scale.
+//! Pass `--quick` for the shortened variant the bench harness uses.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    gimbal_bench::figs::gen_p3600::run(quick);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1 of the Gimbal paper at full scale.
+//! Pass `--quick` for the shortened variant the bench harness uses.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    gimbal_bench::figs::tab1_overheads::run(quick);
+}

@@ -1,0 +1,77 @@
+//! Figure 4: multi-tenant interference on a vanilla (no-isolation) target.
+//!
+//! The victim runs 4 KB random reads at QD 32; a neighbor of varying shape
+//! shares the SSD. Paper shape: higher-intensity neighbors grab bandwidth
+//! regardless of size/pattern, and write neighbors collapse the victim.
+
+use crate::common::{default_ssd, durations, println_header, Region, CAP_BLOCKS};
+use gimbal_fabric::IoType;
+use gimbal_testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
+use gimbal_workload::{AccessPattern, FioSpec};
+
+struct Neighbor {
+    label: &'static str,
+    io_kb: u64,
+    op: IoType,
+    qd: u32,
+}
+
+/// Run the experiment and print the figure's bars.
+pub fn run(quick: bool) {
+    println_header("Figure 4: victim (4KB-RD QD32) vs neighbor types (vanilla target)");
+    let neighbors = [
+        Neighbor { label: "4KB-RD QD32", io_kb: 4, op: IoType::Read, qd: 32 },
+        Neighbor { label: "4KB-RD QD128", io_kb: 4, op: IoType::Read, qd: 128 },
+        Neighbor { label: "128KB-RD QD1", io_kb: 128, op: IoType::Read, qd: 1 },
+        Neighbor { label: "128KB-RD QD8", io_kb: 128, op: IoType::Read, qd: 8 },
+        Neighbor { label: "4KB-WR QD32", io_kb: 4, op: IoType::Write, qd: 32 },
+        Neighbor { label: "4KB-WR QD128", io_kb: 4, op: IoType::Write, qd: 128 },
+    ];
+    println!("{:>14} {:>14} {:>14}", "Neighbor", "Victim MB/s", "Neighbor MB/s");
+    let (duration, warmup) = durations(quick);
+    for n in &neighbors {
+        let victim_region = Region::slice(0, 2, CAP_BLOCKS);
+        let victim = WorkerSpec::new(
+            "victim",
+            FioSpec {
+                read_ratio: 1.0,
+                io_bytes: 4096,
+                read_pattern: AccessPattern::Random,
+                write_pattern: AccessPattern::Random,
+                queue_depth: 32,
+                rate_limit: None,
+                region_start: victim_region.start,
+                region_blocks: victim_region.blocks,
+            },
+        );
+        let nr = Region::slice(1, 2, CAP_BLOCKS);
+        let neighbor = WorkerSpec::new(
+            "neighbor",
+            FioSpec {
+                read_ratio: if n.op == IoType::Read { 1.0 } else { 0.0 },
+                io_bytes: n.io_kb * 1024,
+                read_pattern: AccessPattern::Random,
+                write_pattern: AccessPattern::Random,
+                queue_depth: n.qd,
+                rate_limit: None,
+                region_start: nr.start,
+                region_blocks: nr.blocks,
+            },
+        );
+        let cfg = TestbedConfig {
+            scheme: Scheme::Vanilla,
+            ssd: default_ssd(),
+            precondition: Precondition::Clean,
+            duration,
+            warmup,
+            ..TestbedConfig::default()
+        };
+        let res = Testbed::new(cfg, vec![victim, neighbor]).run();
+        println!(
+            "{:>14} {:>14.0} {:>14.0}",
+            n.label,
+            res.workers[0].bandwidth_mbps(),
+            res.workers[1].bandwidth_mbps()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 9: dynamic workload — Gimbal adapting the write cost as writers
+//! join and readers leave.
+//!
+//! Eight rate-capped readers (200 MB/s each) start; one rate-capped writer
+//! (60 MB/s) joins per interval until 8 run; then readers drop one per
+//! interval. Paper shape: the first writer's IOs are absorbed by the SSD
+//! write buffer at ~70 µs (write cost decays to 1); once writers outrun the
+//! buffer, write latency jumps ~10×, Gimbal raises the write cost, and
+//! writer bandwidth converges to the fair share.
+
+use crate::common::{default_ssd, println_header, Region, CAP_BLOCKS};
+use gimbal_sim::{SimDuration, SimTime};
+use gimbal_testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
+use gimbal_workload::{AccessPattern, FioSpec};
+
+/// Run the experiment and print the timeline.
+pub fn run(quick: bool) {
+    println_header("Figure 9: dynamic workload (Gimbal), write-cost adaptation");
+    // Paper interval: 5 s. Quick mode compresses to 1 s.
+    let step = if quick {
+        SimDuration::from_secs(1)
+    } else {
+        SimDuration::from_secs(5)
+    };
+    let readers = 8u32;
+    let writers = 8u32;
+    let phases = readers + writers; // 8 writer joins + 7 reader drops + tail
+    let duration = step * u64::from(phases + 1);
+
+    let mut specs = Vec::new();
+    let total = readers + writers;
+    for i in 0..readers {
+        let r = Region::slice(i, total, CAP_BLOCKS);
+        let fio = FioSpec {
+            read_ratio: 1.0,
+            io_bytes: 128 * 1024,
+            read_pattern: AccessPattern::Random,
+            write_pattern: AccessPattern::Sequential,
+            queue_depth: 8,
+            rate_limit: Some(200e6),
+            region_start: r.start,
+            region_blocks: r.blocks,
+        };
+        // Reader i stops at step × (8 + i) (first-started drops first once
+        // the drop phase begins).
+        let stop = SimTime::ZERO + step * u64::from(writers + i);
+        specs.push(
+            WorkerSpec::new("reader", fio).active(SimTime::ZERO, Some(stop)),
+        );
+    }
+    for j in 0..writers {
+        let r = Region::slice(readers + j, total, CAP_BLOCKS);
+        let fio = FioSpec {
+            read_ratio: 0.0,
+            io_bytes: 128 * 1024,
+            read_pattern: AccessPattern::Random,
+            write_pattern: AccessPattern::Sequential,
+            queue_depth: 8,
+            rate_limit: Some(60e6),
+            region_start: r.start,
+            region_blocks: r.blocks,
+        };
+        let start = SimTime::ZERO + step * u64::from(j + 1);
+        specs.push(WorkerSpec::new("writer", fio).active(start, None));
+    }
+
+    let cfg = TestbedConfig {
+        scheme: Scheme::Gimbal,
+        ssd: default_ssd(),
+        precondition: Precondition::Fragmented,
+        duration,
+        warmup: SimDuration::from_millis(100),
+        sample_interval: Some(SimDuration::from_millis(100)),
+        ..TestbedConfig::default()
+    };
+    let res = Testbed::new(cfg, specs).run();
+
+    // Timeline: per-interval mean of reader/writer bandwidth, device
+    // latencies, and the dynamic write cost.
+    println!(
+        "{:>7} {:>12} {:>12} {:>11} {:>11} {:>10}",
+        "t (s)", "RD MB/s/wkr", "WR MB/s/wkr", "RD lat us", "WR lat us", "write cost"
+    );
+    let trace = &res.gimbal_traces[0];
+    let dev = &res.device_series[0];
+    let mut t = SimTime::ZERO + step;
+    while t <= SimTime::ZERO + duration {
+        let lo = t - step;
+        let mean = |which: &str| -> f64 {
+            let vals: Vec<f64> = res
+                .workers
+                .iter()
+                .filter(|w| w.label == which)
+                .filter_map(|w| w.series.mean_in(lo, t))
+                .filter(|&v| v > 1e3)
+                .collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        println!(
+            "{:>7.1} {:>12.0} {:>12.0} {:>11.0} {:>11.0} {:>10.1}",
+            t.as_secs_f64(),
+            mean("reader") / 1e6,
+            mean("writer") / 1e6,
+            dev.read_lat_us.mean_in(lo, t).unwrap_or(0.0),
+            dev.write_lat_us.mean_in(lo, t).unwrap_or(0.0),
+            trace.write_cost.mean_in(lo, t).unwrap_or(f64::NAN),
+        );
+        t += step;
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 21 (Appendix D): IO-pattern interference — a read stream's
+//! bandwidth standalone vs mixed with a same-shape write stream, across IO
+//! sizes.
+//!
+//! Paper shape: mixing with writes costs the read stream roughly 60–70 % of
+//! its standalone bandwidth (program operations occupy dies for hundreds of
+//! microseconds).
+
+use crate::common::{default_ssd, durations, println_header, Region, CAP_BLOCKS};
+use gimbal_testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
+use gimbal_workload::{AccessPattern, FioSpec};
+
+fn read_bw(io_kb: u64, seq: bool, with_writes: bool, quick: bool) -> f64 {
+    let pattern = if seq {
+        AccessPattern::Sequential
+    } else {
+        AccessPattern::Random
+    };
+    let mut workers = Vec::new();
+    let n = if with_writes { 2 } else { 1 };
+    let r = Region::slice(0, n, CAP_BLOCKS);
+    workers.push(WorkerSpec::new(
+        "reader",
+        FioSpec {
+            read_ratio: 1.0,
+            io_bytes: io_kb * 1024,
+            read_pattern: pattern,
+            write_pattern: pattern,
+            queue_depth: 32,
+            rate_limit: None,
+            region_start: r.start,
+            region_blocks: r.blocks,
+        },
+    ));
+    if with_writes {
+        let r = Region::slice(1, 2, CAP_BLOCKS);
+        workers.push(WorkerSpec::new(
+            "writer",
+            FioSpec {
+                read_ratio: 0.0,
+                io_bytes: io_kb * 1024,
+                read_pattern: pattern,
+                write_pattern: pattern,
+                queue_depth: 32,
+                rate_limit: None,
+                region_start: r.start,
+                region_blocks: r.blocks,
+            },
+        ));
+    }
+    let (duration, warmup) = durations(quick);
+    let cfg = TestbedConfig {
+        scheme: Scheme::Vanilla,
+        ssd: default_ssd(),
+        precondition: Precondition::Clean,
+        duration,
+        warmup,
+        ..TestbedConfig::default()
+    };
+    let res = Testbed::new(cfg, workers).run();
+    res.workers[0].bandwidth_mbps()
+}
+
+/// Run the experiment and print the four curves.
+pub fn run(quick: bool) {
+    println_header("Figure 21: read bandwidth, standalone vs mixed with writes (vanilla)");
+    println!(
+        "{:>8} {:>13} {:>16} {:>13} {:>16}",
+        "IO (KB)", "RND read", "RND read+write", "SEQ read", "SEQ read+write"
+    );
+    let sizes: &[u64] = if quick { &[4, 32, 128] } else { &[4, 8, 16, 32, 64, 128, 256] };
+    for &kb in sizes {
+        println!(
+            "{:>8} {:>11.0}MB {:>14.0}MB {:>11.0}MB {:>14.0}MB",
+            kb,
+            read_bw(kb, false, false, quick),
+            read_bw(kb, false, true, quick),
+            read_bw(kb, true, false, quick),
+            read_bw(kb, true, true, quick),
+        );
+    }
+}

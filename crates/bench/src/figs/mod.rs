@@ -1,0 +1,28 @@
+//! One module per table/figure of the paper's evaluation. Each exposes
+//! `run(quick: bool)`, printing the same rows/series the paper reports.
+
+pub mod abl_bucket_cost;
+pub mod abl_slots;
+pub mod abl_threshold;
+pub mod fig02_unloaded_latency;
+pub mod fig03_cores_throughput;
+pub mod fig04_interference;
+pub mod fig06_utilization;
+pub mod fig07_fairness;
+pub mod fig08_latency;
+pub mod fig09_dynamic;
+pub mod fig10_ycsb;
+pub mod fig11_12_scalability;
+pub mod fig13_virtual_view;
+pub mod fig14_bathtub;
+pub mod fig15_read_latency;
+pub mod fig16_percost;
+pub mod fig17_congestion;
+pub mod fig18_threshold;
+pub mod fig19_intensity;
+pub mod fig20_iosize;
+pub mod fig21_pattern;
+pub mod fig22_23_mixed_latency;
+pub mod gen_p3600;
+pub mod tab1_overheads;
+pub mod tab2_comparison;

@@ -1,0 +1,18 @@
+//! The benchmark harness: one module per table/figure of the paper's
+//! evaluation, regenerating the same rows/series.
+//!
+//! Each figure lives in [`figs`] as a `run(quick: bool)` function:
+//!
+//! * `quick = false` — full-scale parameters (the `src/bin/figNN_*` binaries);
+//! * `quick = true` — shortened durations / fewer points, used by the
+//!   `cargo bench` harness (`benches/figures.rs`) so the whole evaluation
+//!   regenerates in minutes.
+//!
+//! Absolute numbers come from the simulated substrate, not the authors'
+//! Stingray testbed; EXPERIMENTS.md records paper-vs-measured for each
+//! experiment and discusses where the shapes match.
+
+pub mod common;
+pub mod figs;
+
+pub use common::{println_header, standalone_bw, Region};

@@ -1,0 +1,169 @@
+//! The credit-based IO rate limiter and per-backend load view (§4.3).
+//!
+//! With Gimbal at the target, every completion carries a credit grant; the
+//! limiter tracks the latest grant and the outstanding count per backend.
+//! "A read/write request is issued when there are enough credits;
+//! otherwise, it is queued locally." The same credit numbers double as the
+//! load signal for the read load balancer and the allocator's load-aware
+//! backend choice ("we simply rely on the number of allocated credits to
+//! decide the loading status on the target").
+
+use crate::allocator::BackendId;
+
+#[derive(Clone, Copy, Debug)]
+struct BackendState {
+    credit: u32,
+    outstanding: u32,
+    dead: bool,
+}
+
+/// Per-backend credit tracking and submission gating.
+#[derive(Clone, Debug)]
+pub struct RateLimiter {
+    states: Vec<BackendState>,
+    /// When disabled (the "vanilla" client of Fig 13), every submission is
+    /// allowed, but credits are still tracked for reporting.
+    enabled: bool,
+}
+
+impl RateLimiter {
+    /// Create a limiter over `backends` backends with an initial grant.
+    pub fn new(backends: usize, initial_credit: u32, enabled: bool) -> Self {
+        RateLimiter {
+            states: vec![
+                BackendState {
+                    credit: initial_credit.max(1),
+                    outstanding: 0,
+                    dead: false,
+                };
+                backends
+            ],
+            enabled,
+        }
+    }
+
+    /// Whether flow control is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether one more IO may be issued to `b`.
+    pub fn can_submit(&self, b: BackendId) -> bool {
+        let s = &self.states[b.index()];
+        !self.enabled || s.outstanding < s.credit
+    }
+
+    /// Record a submission to `b`.
+    pub fn on_submit(&mut self, b: BackendId) {
+        self.states[b.index()].outstanding += 1;
+    }
+
+    /// Record a completion from `b`, with its piggybacked credit if any.
+    pub fn on_completion(&mut self, b: BackendId, credit: Option<u32>) {
+        let s = &mut self.states[b.index()];
+        debug_assert!(s.outstanding > 0);
+        s.outstanding = s.outstanding.saturating_sub(1);
+        if let Some(c) = credit {
+            s.credit = c.max(1);
+        }
+    }
+
+    /// The latest credit grant for `b` (the load-balancing score; higher =
+    /// more headroom).
+    pub fn credit(&self, b: BackendId) -> u32 {
+        self.states[b.index()].credit
+    }
+
+    /// Remaining submission headroom for `b` (credit − outstanding). A
+    /// backend observed failing reports zero headroom, steering the load
+    /// balancer and the allocator away from it.
+    pub fn headroom(&self, b: BackendId) -> u32 {
+        let s = &self.states[b.index()];
+        if s.dead {
+            0
+        } else {
+            s.credit.saturating_sub(s.outstanding)
+        }
+    }
+
+    /// Mark a backend as failed (observed via `DeviceError` completions).
+    /// Submissions to it remain allowed — they fail fast — but the replica
+    /// chooser and allocation scores avoid it.
+    pub fn mark_dead(&mut self, b: BackendId) {
+        self.states[b.index()].dead = true;
+    }
+
+    /// Whether the backend has been marked failed.
+    pub fn is_dead(&self, b: BackendId) -> bool {
+        self.states[b.index()].dead
+    }
+
+    /// Outstanding IOs to `b`.
+    pub fn outstanding(&self, b: BackendId) -> u32 {
+        self.states[b.index()].outstanding
+    }
+
+    /// Pick the replica with the most headroom (the §4.3 read load
+    /// balancer). Ties go to the first.
+    pub fn choose_replica(&self, replicas: &[BackendId]) -> usize {
+        assert!(!replicas.is_empty());
+        let mut best = 0;
+        for (i, &b) in replicas.iter().enumerate().skip(1) {
+            if self.headroom(b) > self.headroom(replicas[best]) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_by_credit() {
+        let mut l = RateLimiter::new(2, 2, true);
+        let b = BackendId(0);
+        assert!(l.can_submit(b));
+        l.on_submit(b);
+        l.on_submit(b);
+        assert!(!l.can_submit(b));
+        l.on_completion(b, None);
+        assert!(l.can_submit(b));
+    }
+
+    #[test]
+    fn credit_updates_from_completions() {
+        let mut l = RateLimiter::new(1, 2, true);
+        let b = BackendId(0);
+        l.on_submit(b);
+        l.on_completion(b, Some(16));
+        assert_eq!(l.credit(b), 16);
+        assert_eq!(l.headroom(b), 16);
+    }
+
+    #[test]
+    fn disabled_limiter_lets_everything_through() {
+        let mut l = RateLimiter::new(1, 1, false);
+        let b = BackendId(0);
+        for _ in 0..100 {
+            assert!(l.can_submit(b));
+            l.on_submit(b);
+        }
+        assert_eq!(l.outstanding(b), 100);
+    }
+
+    #[test]
+    fn replica_choice_prefers_headroom() {
+        let mut l = RateLimiter::new(2, 8, true);
+        // Backend 0 is busy; backend 1 idle.
+        for _ in 0..6 {
+            l.on_submit(BackendId(0));
+        }
+        assert_eq!(l.choose_replica(&[BackendId(0), BackendId(1)]), 1);
+        // Equal headroom → primary (index 0).
+        let l2 = RateLimiter::new(2, 8, true);
+        assert_eq!(l2.choose_replica(&[BackendId(0), BackendId(1)]), 0);
+    }
+}

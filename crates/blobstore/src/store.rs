@@ -1,0 +1,282 @@
+//! Files over replicated micro blobs, and IO planning.
+//!
+//! A file is a sequence of micro-blob *pairs*: a primary and a shadow copy
+//! on distinct backends (§4.3's replication for flash-failure tolerance).
+//! Writes fan out to both copies and are "completed only when the two
+//! writes finish"; reads go to one replica, chosen by the caller (the
+//! credit-based load balancer).
+
+use crate::allocator::{BackendId, BlobAddr, HierarchicalAllocator};
+use gimbal_fabric::IoType;
+use std::collections::HashMap;
+
+/// A blobstore file handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+/// One block IO the engine must execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoPlan {
+    /// Target backend.
+    pub backend: BackendId,
+    /// Starting LBA on that backend.
+    pub lba: u64,
+    /// Length in blocks.
+    pub blocks: u64,
+    /// Opcode.
+    pub op: IoType,
+}
+
+struct File {
+    /// `[primary, shadow]` micro pairs, in file order. With replication
+    /// disabled the shadow equals the primary.
+    micros: Vec<[BlobAddr; 2]>,
+    size_blocks: u64,
+}
+
+/// The blobstore: file namespace + allocation + IO planning.
+pub struct Blobstore {
+    alloc: HierarchicalAllocator,
+    files: HashMap<FileId, File>,
+    next_file: u64,
+    replicate: bool,
+}
+
+impl Blobstore {
+    /// Create a store over `alloc`. `replicate` enables primary+shadow
+    /// pairs (requires ≥ 2 backends).
+    pub fn new(alloc: HierarchicalAllocator, replicate: bool) -> Self {
+        assert!(!replicate || alloc.backend_count() >= 2, "replication needs 2+ backends");
+        Blobstore {
+            alloc,
+            files: HashMap::new(),
+            next_file: 0,
+            replicate,
+        }
+    }
+
+    /// Whether replication is on.
+    pub fn replicated(&self) -> bool {
+        self.replicate
+    }
+
+    /// Access the allocator (for capacity inspection).
+    pub fn allocator(&self) -> &HierarchicalAllocator {
+        &self.alloc
+    }
+
+    /// Create a file of `blocks` logical blocks. `score` is the load-aware
+    /// backend preference (credit view). Returns `None` when the pool is
+    /// out of space.
+    pub fn create_file<F: Fn(BackendId) -> f64>(&mut self, blocks: u64, score: F) -> Option<FileId> {
+        let micro = self.alloc.micro_blocks();
+        let n = blocks.div_ceil(micro).max(1);
+        let mut micros = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let primary = self.alloc.alloc_micro(&score, None)?;
+            let shadow = if self.replicate {
+                self.alloc.alloc_micro(&score, Some(primary.backend))?
+            } else {
+                primary
+            };
+            micros.push([primary, shadow]);
+        }
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(
+            id,
+            File {
+                micros,
+                size_blocks: blocks,
+            },
+        );
+        Some(id)
+    }
+
+    /// Delete a file, returning its blobs to the pool.
+    pub fn delete_file(&mut self, id: FileId) {
+        let f = self.files.remove(&id).expect("unknown file");
+        for [p, s] in f.micros {
+            self.alloc.free_micro(p);
+            if self.replicate {
+                self.alloc.free_micro(s);
+            }
+        }
+    }
+
+    /// File size in blocks.
+    pub fn file_blocks(&self, id: FileId) -> u64 {
+        self.files[&id].size_blocks
+    }
+
+    /// Number of live files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The replica backends holding the micro at `offset_blocks`.
+    pub fn replicas_at(&self, id: FileId, offset_blocks: u64) -> [BackendId; 2] {
+        let f = &self.files[&id];
+        let micro = self.alloc.micro_blocks();
+        let pair = f.micros[(offset_blocks / micro) as usize];
+        [pair[0].backend, pair[1].backend]
+    }
+
+    fn span_plans(
+        &self,
+        id: FileId,
+        offset: u64,
+        blocks: u64,
+        op: IoType,
+        pick: impl Fn(&[BlobAddr; 2]) -> Vec<BlobAddr>,
+    ) -> Vec<IoPlan> {
+        let f = &self.files[&id];
+        assert!(offset + blocks <= f.size_blocks, "IO beyond file size");
+        let micro = self.alloc.micro_blocks();
+        let mut plans = Vec::new();
+        let mut cur = offset;
+        let end = offset + blocks;
+        while cur < end {
+            let idx = (cur / micro) as usize;
+            let within = cur % micro;
+            let len = (micro - within).min(end - cur);
+            for addr in pick(&f.micros[idx]) {
+                plans.push(IoPlan {
+                    backend: addr.backend,
+                    lba: addr.lba + within,
+                    blocks: len,
+                    op,
+                });
+            }
+            cur += len;
+        }
+        plans
+    }
+
+    /// Plan a write: one IO per touched micro per replica. The caller must
+    /// treat the whole set as one logical write (complete when all
+    /// complete).
+    pub fn plan_write(&self, id: FileId, offset: u64, blocks: u64) -> Vec<IoPlan> {
+        let replicate = self.replicate;
+        self.span_plans(id, offset, blocks, IoType::Write, move |pair| {
+            if replicate {
+                vec![pair[0], pair[1]]
+            } else {
+                vec![pair[0]]
+            }
+        })
+    }
+
+    /// Plan a read; `choose` picks the replica index (0 = primary) per
+    /// micro, typically [`crate::RateLimiter::choose_replica`].
+    pub fn plan_read<C: Fn(&[BackendId; 2]) -> usize>(
+        &self,
+        id: FileId,
+        offset: u64,
+        blocks: u64,
+        choose: C,
+    ) -> Vec<IoPlan> {
+        self.span_plans(id, offset, blocks, IoType::Read, move |pair| {
+            let backends = [pair[0].backend, pair[1].backend];
+            let pick = choose(&backends).min(1);
+            vec![pair[pick]]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::HbaConfig;
+
+    fn store(replicate: bool, backends: usize) -> Blobstore {
+        let alloc = HierarchicalAllocator::new(HbaConfig::default(), &vec![16384; backends]);
+        Blobstore::new(alloc, replicate)
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut s = store(true, 3);
+        let f = s.create_file(128, |_| 1.0).unwrap();
+        assert_eq!(s.file_blocks(f), 128);
+        let writes = s.plan_write(f, 0, 128);
+        // 2 micros × 2 replicas.
+        assert_eq!(writes.len(), 4);
+        assert!(writes.iter().all(|p| p.op == IoType::Write));
+        let reads = s.plan_read(f, 0, 128, |_| 0);
+        assert_eq!(reads.len(), 2);
+        assert!(reads.iter().all(|p| p.op == IoType::Read));
+    }
+
+    #[test]
+    fn replicas_land_on_distinct_backends() {
+        let mut s = store(true, 3);
+        let f = s.create_file(64 * 10, |_| 1.0).unwrap();
+        for off in (0..640).step_by(64) {
+            let [p, sh] = s.replicas_at(f, off);
+            assert_ne!(p, sh, "replica collision at {off}");
+        }
+    }
+
+    #[test]
+    fn unreplicated_store_writes_once() {
+        let mut s = store(false, 1);
+        let f = s.create_file(64, |_| 1.0).unwrap();
+        assert_eq!(s.plan_write(f, 0, 64).len(), 1);
+    }
+
+    #[test]
+    fn sub_micro_reads_are_offset_correctly() {
+        let mut s = store(false, 1);
+        let f = s.create_file(64, |_| 1.0).unwrap();
+        let plans = s.plan_read(f, 10, 4, |_| 0);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].blocks, 4);
+        assert_eq!(plans[0].lba % 64, 10);
+    }
+
+    #[test]
+    fn spans_split_at_micro_boundaries() {
+        let mut s = store(false, 1);
+        let f = s.create_file(192, |_| 1.0).unwrap();
+        let plans = s.plan_read(f, 60, 10, |_| 0);
+        assert_eq!(plans.len(), 2);
+        assert_eq!(plans[0].blocks, 4);
+        assert_eq!(plans[1].blocks, 6);
+    }
+
+    #[test]
+    fn read_chooser_picks_replica() {
+        let mut s = store(true, 2);
+        let f = s.create_file(64, |_| 1.0).unwrap();
+        let primary = s.plan_read(f, 0, 64, |_| 0)[0].backend;
+        let shadow = s.plan_read(f, 0, 64, |_| 1)[0].backend;
+        assert_ne!(primary, shadow);
+    }
+
+    #[test]
+    fn delete_returns_space() {
+        let mut s = store(true, 2);
+        let before: u64 = (0..2).map(|i| s.allocator().free_blocks(BackendId(i))).sum();
+        let f = s.create_file(64 * 4, |_| 1.0).unwrap();
+        s.delete_file(f);
+        let after: u64 = (0..2).map(|i| s.allocator().free_blocks(BackendId(i))).sum();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn allocation_exhaustion_returns_none() {
+        let mut s = store(false, 1);
+        // 16384 blocks total = 256 micros.
+        assert!(s.create_file(16384, |_| 1.0).is_some());
+        assert!(s.create_file(64, |_| 1.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond file size")]
+    fn read_past_eof_panics() {
+        let mut s = store(false, 1);
+        let f = s.create_file(64, |_| 1.0).unwrap();
+        s.plan_read(f, 60, 10, |_| 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! NVMe-over-Fabrics protocol types and a message-level network fabric model.
+//!
+//! This crate is the vocabulary the rest of the workspace speaks:
+//!
+//! * [`types`] — identifiers (tenants, SSDs, nodes, commands), the IO opcode
+//!   and priority tags, and block-size constants;
+//! * [`capsule`] — NVMe-oF command/response capsules, including the
+//!   completion's reserved field that Gimbal repurposes to piggyback credit
+//!   grants (§3.6 of the paper);
+//! * [`network`] — an RDMA-flavoured link model reproducing the five-step
+//!   NVMe-over-RDMA request flow of §2.1 (command capsule via `RDMA_SEND`,
+//!   data fetch via `RDMA_READ` for writes, data push via `RDMA_WRITE` for
+//!   reads, completion capsule via `RDMA_SEND`) as serialization +
+//!   propagation delays on 100 Gbps ports.
+//!
+//! The real system runs SPDK's RDMA transport; we substitute a message-level
+//! model because Gimbal only observes the fabric as *delay plus per-message
+//! CPU cost* — both of which the model reproduces (see DESIGN.md §2).
+
+pub mod capsule;
+pub mod network;
+pub mod types;
+
+pub use capsule::{CmdStatus, NvmeCmd, NvmeCompletion};
+pub use network::{FabricConfig, Port, RdmaDelays};
+pub use types::{CmdId, IoType, NodeId, Priority, SsdId, TenantId, BLOCK_SIZE};

@@ -1,0 +1,23 @@
+//! A log-structured merge-tree key-value store over the blobstore — the
+//! RocksDB analog of §4.3 / Appendix E.
+//!
+//! Structure (Appendix E): a **memtable** absorbs recent updates and serves
+//! reads of recently updated values; when full it is persisted as an
+//! **SSTable** by sequential flush writes; low-level SSTables merge into
+//! high-level ones via **compaction**. `L0` holds the newest (overlapping)
+//! tables; `L1..Ln` hold sorted runs with disjoint key ranges. Reads start
+//! at the memtable and walk L0 (newest first) then one candidate per level,
+//! with per-table Bloom filters skipping most absent probes. Writes append
+//! to a group-committed WAL.
+//!
+//! The store is *IO-plan driven*: it never performs IO itself. Operations
+//! and background jobs (flush, compaction) emit [`TaggedIo`]s for the
+//! driving engine to execute against the simulated fabric/JBOF; the engine
+//! feeds completions back via [`LsmKv::io_done`]. This keeps the store's
+//! logic exhaustively unit-testable with an instant-completion stub.
+
+pub mod kv;
+pub mod sstable;
+
+pub use kv::{IoCtx, KvOutcome, LsmConfig, LsmKv, LsmStats, StepOutput, TaggedIo};
+pub use sstable::{SsTable, TableId};

@@ -1,0 +1,204 @@
+//! The event queue at the heart of the discrete-event simulator.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, E)` pairs ordered by time.
+//! Events scheduled for the same instant pop in **insertion order** (a
+//! monotonically increasing sequence number breaks ties), which makes the
+//! simulation fully deterministic even when many events collide on one
+//! timestamp — a common situation when components schedule "immediately".
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// ```
+/// use gimbal_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(5), "later");
+/// q.push(SimTime::from_micros(1), "first");
+/// q.push(SimTime::from_micros(5), "even later"); // same instant: FIFO
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(1), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(5), "later")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(5), "even later")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    /// Timestamp of the most recently popped event; pushes earlier than this
+    /// indicate a causality bug and panic in debug builds.
+    watermark: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at instant `at`.
+    ///
+    /// Scheduling in the past (before the last popped timestamp) is a
+    /// causality violation; it panics in debug builds and is clamped to the
+    /// watermark in release builds.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.watermark,
+            "event scheduled at {at} before current time {}",
+            self.watermark
+        );
+        let at = at.max(self.watermark);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Remove and return the earliest event, advancing the causality watermark.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.watermark = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current simulation watermark (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Drop all pending events without firing them.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn watermark_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    #[cfg(debug_assertions)]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), ());
+        q.pop();
+        q.push(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(3), 'a');
+        q.push(SimTime::from_micros(1), 'b');
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_deterministic() {
+        // Simulates a self-clocked workload: each pop schedules a successor.
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0u32);
+        let mut seen = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            seen.push(id);
+            if seen.len() >= 50 {
+                break;
+            }
+            q.push(t + SimDuration::from_nanos(u64::from(id % 3)), id + 1);
+        }
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+}

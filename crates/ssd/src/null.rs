@@ -1,0 +1,101 @@
+//! The NULL device: completes every command immediately without doing IO.
+//!
+//! Table 1b of the paper measures the maximum IOPS of the target software
+//! with "a NULL device (which does not perform actual IO and returns
+//! immediately)" so that CPU cost, not the SSD, is the bottleneck. This is
+//! that device.
+
+use crate::device::{SsdCompletion, StorageDevice};
+use gimbal_fabric::IoType;
+use gimbal_sim::{EventQueue, SimDuration, SimTime};
+
+/// A storage device that completes instantly (plus an optional fixed delay).
+pub struct NullDevice {
+    delay: SimDuration,
+    events: EventQueue<SsdCompletion>,
+    inflight: usize,
+}
+
+impl NullDevice {
+    /// A NULL device with zero service time.
+    pub fn new() -> Self {
+        Self::with_delay(SimDuration::ZERO)
+    }
+
+    /// A NULL device with a fixed service time (useful for isolating
+    /// queueing effects in tests).
+    pub fn with_delay(delay: SimDuration) -> Self {
+        NullDevice {
+            delay,
+            events: EventQueue::new(),
+            inflight: 0,
+        }
+    }
+}
+
+impl Default for NullDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StorageDevice for NullDevice {
+    fn submit(&mut self, tag: u64, op: IoType, _lba: u64, len: u64, now: SimTime) {
+        self.inflight += 1;
+        let done = now + self.delay;
+        self.events.push(
+            done,
+            SsdCompletion {
+                tag,
+                op,
+                len,
+                submitted_at: now,
+                completed_at: done,
+                failed: false,
+            },
+        );
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<SsdCompletion> {
+        let mut out = Vec::new();
+        while self.events.peek_time().map_or(false, |t| t <= now) {
+            out.push(self.events.pop().unwrap().1);
+            self.inflight -= 1;
+        }
+        out
+    }
+
+    fn next_event_at(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
+    fn inflight(&self) -> usize {
+        self.inflight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_immediately() {
+        let mut d = NullDevice::new();
+        d.submit(7, IoType::Read, 0, 4096, SimTime::from_micros(3));
+        assert_eq!(d.inflight(), 1);
+        let c = d.poll(SimTime::from_micros(3));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].tag, 7);
+        assert_eq!(c[0].latency(), SimDuration::ZERO);
+        assert_eq!(d.inflight(), 0);
+    }
+
+    #[test]
+    fn fixed_delay_applies() {
+        let mut d = NullDevice::with_delay(SimDuration::from_micros(10));
+        d.submit(1, IoType::Write, 0, 4096, SimTime::ZERO);
+        assert!(d.poll(SimTime::from_micros(9)).is_empty());
+        assert_eq!(d.next_event_at(), Some(SimTime::from_micros(10)));
+        assert_eq!(d.poll(SimTime::from_micros(10)).len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Device-level statistics exposed by the SSD model.
+
+use crate::ftl::FtlCounters;
+
+/// Counters accumulated by a [`crate::FlashSsd`] since creation (or since the
+/// last preconditioning, which resets them).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SsdStats {
+    /// Read commands completed.
+    pub reads: u64,
+    /// Write commands completed.
+    pub writes: u64,
+    /// Bytes of read payload returned.
+    pub read_bytes: u64,
+    /// Bytes of write payload accepted.
+    pub write_bytes: u64,
+    /// Read chunks served from the DRAM write buffer.
+    pub buffer_read_hits: u64,
+    /// Read chunks that required NAND access.
+    pub nand_read_chunks: u64,
+    /// Write IOs that had to wait for buffer space (buffer-full stalls).
+    pub buffer_stalls: u64,
+    /// FTL counters (host/GC slot writes, erases, collections).
+    pub ftl: FtlCounters,
+}
+
+impl SsdStats {
+    /// Write amplification factor.
+    pub fn write_amplification(&self) -> f64 {
+        self.ftl.write_amplification()
+    }
+
+    /// Fraction of read chunks served from the write buffer.
+    pub fn buffer_hit_ratio(&self) -> f64 {
+        let total = self.buffer_read_hits + self.nand_read_chunks;
+        if total == 0 {
+            0.0
+        } else {
+            self.buffer_read_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = SsdStats::default();
+        assert_eq!(s.buffer_hit_ratio(), 0.0);
+        s.buffer_read_hits = 1;
+        s.nand_read_chunks = 3;
+        assert_eq!(s.buffer_hit_ratio(), 0.25);
+        s.ftl.host_slot_writes = 10;
+        s.ftl.gc_slot_writes = 30;
+        assert_eq!(s.write_amplification(), 4.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The initiator-side submission gate.
+//!
+//! Workload generators keep a target number of IOs in flight; between the
+//! generator and the wire sits a [`ClientPolicy`] that may hold requests back
+//! — Gimbal's credit-based flow control (§3.6, Algorithm 3) and Parda's
+//! latency-driven window both live behind this trait. Schemes without
+//! client-side control ([`UnlimitedClient`]) let everything through, which is
+//! exactly why they suffer target-side queue buildup (§5.4).
+
+use gimbal_fabric::NvmeCompletion;
+use gimbal_sim::SimTime;
+
+/// Per-(tenant, SSD) client-side flow control.
+pub trait ClientPolicy {
+    /// Whether one more IO may be submitted right now, given the tenant's
+    /// current outstanding count toward this SSD.
+    fn can_submit(&mut self, outstanding: u32, now: SimTime) -> bool;
+
+    /// An IO was submitted.
+    fn on_submit(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// A completion arrived (carrying Gimbal's piggybacked credit and the
+    /// end-to-end latency Parda feeds its window control).
+    fn on_completion(&mut self, cpl: &NvmeCompletion, now: SimTime) {
+        let _ = (cpl, now);
+    }
+
+    /// The current submission allowance (window/credit), for reporting and
+    /// for the blobstore load balancer, which steers reads toward the
+    /// replica with the most headroom (§4.3).
+    fn allowance(&self) -> u32;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// No client-side control: submit as fast as the workload wants.
+#[derive(Debug, Default)]
+pub struct UnlimitedClient;
+
+impl ClientPolicy for UnlimitedClient {
+    fn can_submit(&mut self, _outstanding: u32, _now: SimTime) -> bool {
+        true
+    }
+
+    fn allowance(&self) -> u32 {
+        u32::MAX
+    }
+
+    fn name(&self) -> &'static str {
+        "unlimited"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_allows() {
+        let mut c = UnlimitedClient;
+        assert!(c.can_submit(0, SimTime::ZERO));
+        assert!(c.can_submit(10_000, SimTime::from_secs(1)));
+        assert_eq!(c.allowance(), u32::MAX);
+    }
+}

@@ -1,0 +1,160 @@
+//! Testbed and worker specifications.
+
+use crate::scheme::Scheme;
+use gimbal_core::Params;
+use gimbal_fabric::{FabricConfig, Priority};
+use gimbal_sim::{SimDuration, SimTime};
+use gimbal_ssd::SsdConfig;
+use gimbal_workload::FioSpec;
+
+/// SSD preconditioning state (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Precondition {
+    /// 128 KiB sequential writes: everything mapped, perfectly striped,
+    /// ample free blocks.
+    Clean,
+    /// Hours of 4 KiB random writes: random placement, dead space, free
+    /// blocks at the GC watermark.
+    Fragmented,
+    /// Fresh device, nothing mapped (unit tests only).
+    None,
+}
+
+/// One fio worker in an experiment.
+#[derive(Clone, Debug)]
+pub struct WorkerSpec {
+    /// Label for grouped reporting ("4KB-RD", "victim", ...).
+    pub label: String,
+    /// The stream shape.
+    pub fio: FioSpec,
+    /// Index of the SSD this worker targets.
+    pub ssd: u32,
+    /// Priority tag carried on its commands.
+    pub priority: Priority,
+    /// When the worker starts issuing.
+    pub start: SimTime,
+    /// When it stops issuing (`None` = runs to the end).
+    pub stop: Option<SimTime>,
+}
+
+impl WorkerSpec {
+    /// A worker running for the whole experiment on SSD 0.
+    pub fn new(label: impl Into<String>, fio: FioSpec) -> Self {
+        WorkerSpec {
+            label: label.into(),
+            fio,
+            ssd: 0,
+            priority: Priority::NORMAL,
+            start: SimTime::ZERO,
+            stop: None,
+        }
+    }
+
+    /// Builder: target SSD index.
+    pub fn on_ssd(mut self, ssd: u32) -> Self {
+        self.ssd = ssd;
+        self
+    }
+
+    /// Builder: priority tag.
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Builder: active interval.
+    pub fn active(mut self, start: SimTime, stop: Option<SimTime>) -> Self {
+        self.start = start;
+        self.stop = stop;
+        self
+    }
+}
+
+/// Full experiment configuration.
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// Multi-tenancy scheme at the JBOF.
+    pub scheme: Scheme,
+    /// Gimbal parameters (ignored by other schemes).
+    pub gimbal_params: Params,
+    /// SSD model configuration (same for every SSD in the node).
+    pub ssd: SsdConfig,
+    /// Number of SSDs in the JBOF.
+    pub num_ssds: u32,
+    /// Preconditioning applied to every SSD.
+    pub precondition: Precondition,
+    /// SmartNIC/host cores at the target; pipelines are assigned
+    /// round-robin (§4.1 uses one core per SSD).
+    pub cores: u32,
+    /// Model Xeon (server JBOF) instead of ARM cores.
+    pub xeon: bool,
+    /// Fabric parameters.
+    pub fabric: FabricConfig,
+    /// Virtual-time length of the run.
+    pub duration: SimDuration,
+    /// Stats ignored before this instant (device warm-up, rate ramp).
+    pub warmup: SimDuration,
+    /// Extra per-IO submit-path cost in µs (the Fig 16 sweep).
+    pub added_per_io_us: f64,
+    /// Record per-worker bandwidth / Gimbal-internals time series at this
+    /// interval.
+    pub sample_interval: Option<SimDuration>,
+    /// Experiment seed; every stochastic stream derives from it.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            scheme: Scheme::Gimbal,
+            gimbal_params: Params::default(),
+            ssd: SsdConfig {
+                logical_capacity: 512 * 1024 * 1024,
+                ..SsdConfig::default()
+            },
+            num_ssds: 1,
+            precondition: Precondition::Clean,
+            cores: 1,
+            xeon: false,
+            fabric: FabricConfig::default(),
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::from_millis(500),
+            added_per_io_us: 0.0,
+            sample_interval: None,
+            seed: 42,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// Validate basic consistency.
+    pub fn validate(&self) {
+        assert!(self.num_ssds >= 1);
+        assert!(self.cores >= 1);
+        assert!(self.warmup < self.duration);
+        self.ssd.validate();
+        self.gimbal_params.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gimbal_workload::FioSpec;
+
+    #[test]
+    fn worker_builder() {
+        let w = WorkerSpec::new("w", FioSpec::paper_default(1.0, 4096, 0, 1 << 16))
+            .on_ssd(2)
+            .with_priority(Priority::HIGH)
+            .active(SimTime::from_secs(1), Some(SimTime::from_secs(2)));
+        assert_eq!(w.ssd, 2);
+        assert_eq!(w.priority, Priority::HIGH);
+        assert_eq!(w.start, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        TestbedConfig::default().validate();
+    }
+}

@@ -1,0 +1,587 @@
+//! The deterministic event loop wiring workers, fabric, and pipelines.
+
+use crate::config::{Precondition, TestbedConfig, WorkerSpec};
+use crate::results::{DeviceSeries, GimbalTrace, RunResult, WorkerResult};
+use gimbal_core::GimbalPolicy;
+use gimbal_fabric::{
+    CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, SsdId, TenantId,
+};
+use gimbal_nic::Core;
+use gimbal_sim::stats::LatencySummary;
+use gimbal_sim::{EventQueue, Histogram, Meter, SimDuration, SimRng, SimTime, TimeSeries};
+use gimbal_ssd::FlashSsd;
+use gimbal_switch::{ClientPolicy, Pipeline, PipelineConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+enum Ev {
+    WorkerStart(usize),
+    TryIssue(usize),
+    DeliverCmd { ssd: usize, cmd: NvmeCmd },
+    PipelineWake(usize),
+    DeliverCpl { worker: usize, cpl: NvmeCompletion },
+    Sample,
+}
+
+struct Worker {
+    spec: WorkerSpec,
+    stream: gimbal_workload::FioStream,
+    client: Box<dyn ClientPolicy>,
+    tx_port: Port,
+    outstanding: u32,
+    started: bool,
+    retry_pending: bool,
+    read_hist: Histogram,
+    write_hist: Histogram,
+    ops: u64,
+    bytes: u64,
+    meter: Meter,
+    series: TimeSeries,
+}
+
+/// A configured experiment, ready to run.
+pub struct Testbed {
+    cfg: TestbedConfig,
+    specs: Vec<WorkerSpec>,
+}
+
+impl Testbed {
+    /// Create a testbed with the given workers.
+    pub fn new(cfg: TestbedConfig, workers: Vec<WorkerSpec>) -> Self {
+        cfg.validate();
+        assert!(!workers.is_empty(), "no workers");
+        for w in &workers {
+            assert!((w.ssd as usize) < cfg.num_ssds as usize, "worker on missing SSD");
+            w.fio.validate();
+            assert!(
+                w.fio.region_start + w.fio.region_blocks
+                    <= cfg.ssd.logical_capacity / cfg.ssd.logical_page_bytes,
+                "worker region exceeds SSD capacity"
+            );
+        }
+        Testbed { cfg, specs: workers }
+    }
+
+    /// Run the experiment to completion and collect results.
+    pub fn run(self) -> RunResult {
+        Engine::build(self.cfg, self.specs).run()
+    }
+}
+
+struct Engine {
+    cfg: TestbedConfig,
+    queue: EventQueue<Ev>,
+    workers: Vec<Worker>,
+    pipelines: Vec<Pipeline<FlashSsd>>,
+    target_ports: Vec<Port>,
+    delays: RdmaDelays,
+    /// Earliest scheduled wake per pipeline (avoids event storms).
+    wake_at: Vec<SimTime>,
+    next_cmd: u64,
+    device_hist: Vec<[Histogram; 2]>,
+    traces: Vec<GimbalTrace>,
+    /// Smoothed raw device latency per SSD and op type, fed in `pump`.
+    dev_lat_ewma: Vec<[gimbal_sim::Ewma; 2]>,
+    dev_meter: Vec<Meter>,
+    device_series: Vec<DeviceSeries>,
+}
+
+impl Engine {
+    fn build(cfg: TestbedConfig, specs: Vec<WorkerSpec>) -> Engine {
+        let mut root_rng = SimRng::new(cfg.seed);
+        let mut cpu_cost = cfg.scheme.cpu_cost(cfg.xeon);
+        cpu_cost.submit += cfg.added_per_io_us * gimbal_nic::CYCLES_PER_US;
+
+        // Cores shared round-robin across pipelines (§4.1: one per SSD when
+        // cores ≥ SSDs).
+        let cores: Vec<Rc<RefCell<Core>>> = (0..cfg.cores)
+            .map(|_| Rc::new(RefCell::new(Core::new())))
+            .collect();
+
+        let pipelines: Vec<Pipeline<FlashSsd>> = (0..cfg.num_ssds)
+            .map(|i| {
+                let mut ssd = FlashSsd::new(cfg.ssd.clone(), root_rng.next_u64());
+                match cfg.precondition {
+                    Precondition::Clean => ssd.precondition_clean(),
+                    Precondition::Fragmented => ssd.precondition_fragmented(),
+                    Precondition::None => {}
+                }
+                Pipeline::with_core(
+                    SsdId(i),
+                    ssd,
+                    cfg.scheme.make_policy(SsdId(i), cfg.gimbal_params),
+                    PipelineConfig {
+                        cpu_cost,
+                        null_device: false,
+                    },
+                    Rc::clone(&cores[(i % cfg.cores) as usize]),
+                )
+            })
+            .collect();
+
+        let workers: Vec<Worker> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Worker {
+                stream: gimbal_workload::FioStream::new(spec.fio, root_rng.fork(i as u64)),
+                client: cfg.scheme.make_client(),
+                tx_port: Port::new(cfg.fabric.port_bandwidth),
+                outstanding: 0,
+                started: false,
+                retry_pending: false,
+                read_hist: Histogram::new(),
+                write_hist: Histogram::new(),
+                ops: 0,
+                bytes: 0,
+                meter: Meter::new(SimDuration::from_millis(10), 10),
+                series: TimeSeries::new(),
+                spec,
+            })
+            .collect();
+
+        let target_ports = (0..cfg.num_ssds)
+            .map(|_| Port::new(cfg.fabric.port_bandwidth))
+            .collect();
+        let device_hist = (0..cfg.num_ssds)
+            .map(|_| [Histogram::new(), Histogram::new()])
+            .collect();
+        let traces = (0..cfg.num_ssds).map(|_| GimbalTrace::default()).collect();
+        let dev_lat_ewma = (0..cfg.num_ssds)
+            .map(|_| [gimbal_sim::Ewma::new(0.2), gimbal_sim::Ewma::new(0.2)])
+            .collect();
+        let dev_meter = (0..cfg.num_ssds)
+            .map(|_| Meter::new(SimDuration::from_millis(10), 10))
+            .collect();
+        let device_series = (0..cfg.num_ssds).map(|_| DeviceSeries::default()).collect();
+
+        Engine {
+            delays: RdmaDelays::new(cfg.fabric),
+            wake_at: vec![SimTime::MAX; cfg.num_ssds as usize],
+            queue: EventQueue::new(),
+            next_cmd: 0,
+            workers,
+            pipelines,
+            target_ports,
+            device_hist,
+            traces,
+            dev_lat_ewma,
+            dev_meter,
+            device_series,
+            cfg,
+        }
+    }
+
+    fn duration(&self) -> SimTime {
+        SimTime::ZERO + self.cfg.duration
+    }
+
+    /// Whether an instant falls inside a worker's measured window.
+    fn in_window(&self, w: usize, at: SimTime) -> bool {
+        let spec = &self.workers[w].spec;
+        let lo = spec.start.max(SimTime::ZERO + self.cfg.warmup);
+        let hi = spec.stop.unwrap_or(SimTime::MAX).min(self.duration());
+        at >= lo && at < hi
+    }
+
+    fn measured_window(&self, w: usize) -> SimDuration {
+        let spec = &self.workers[w].spec;
+        let lo = spec.start.max(SimTime::ZERO + self.cfg.warmup);
+        let hi = spec.stop.unwrap_or(self.duration()).min(self.duration());
+        if hi > lo {
+            hi.since(lo)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    fn try_issue(&mut self, wi: usize, now: SimTime) {
+        let stop = self.workers[wi].spec.stop.unwrap_or(SimTime::MAX);
+        if !self.workers[wi].started || now >= stop || now >= self.duration() {
+            return;
+        }
+        loop {
+            let w = &mut self.workers[wi];
+            if w.outstanding >= w.spec.fio.queue_depth {
+                break;
+            }
+            if !w.client.can_submit(w.outstanding, now) {
+                break; // resumed by the next completion
+            }
+            match w.stream.rate_gate(now) {
+                Ok(()) => {}
+                Err(at) => {
+                    if !w.retry_pending {
+                        w.retry_pending = true;
+                        self.queue.push(at, Ev::TryIssue(wi));
+                    }
+                    break;
+                }
+            }
+            let io = w.stream.next_io(now);
+            let cmd = NvmeCmd {
+                id: CmdId(self.next_cmd),
+                tenant: TenantId(wi as u32),
+                ssd: SsdId(w.spec.ssd),
+                opcode: io.op,
+                lba: io.lba,
+                len: io.len as u32,
+                priority: w.spec.priority,
+                issued_at: now,
+            };
+            self.next_cmd += 1;
+            w.outstanding += 1;
+            w.client.on_submit(now);
+            // Fabric: capsule, then payload fetch for non-inlined writes.
+            let mut arrive = self.delays.command_arrival(&mut w.tx_port, now, &cmd);
+            if cmd.opcode.is_write() {
+                arrive = self.delays.write_payload_fetched(&mut w.tx_port, arrive, &cmd);
+            }
+            self.queue.push(
+                arrive,
+                Ev::DeliverCmd {
+                    ssd: w.spec.ssd as usize,
+                    cmd,
+                },
+            );
+        }
+    }
+
+    /// Poll a pipeline, route its completion capsules, reschedule its wake.
+    fn pump(&mut self, ssd: usize, now: SimTime) {
+        self.pipelines[ssd].poll(now);
+        for out in self.pipelines[ssd].take_outputs() {
+            let lat_ns = out.device_latency.as_nanos();
+            self.device_hist[ssd][out.cmd.opcode.index()].record(lat_ns);
+            self.dev_lat_ewma[ssd][out.cmd.opcode.index()].update(lat_ns as f64 / 1e3);
+            self.dev_meter[ssd].record(now, out.cmd.len_bytes());
+            let cpl = NvmeCompletion {
+                id: out.cmd.id,
+                tenant: out.cmd.tenant,
+                ssd: out.cmd.ssd,
+                opcode: out.cmd.opcode,
+                len: out.cmd.len,
+                status: out.status,
+                credit: out.credit,
+                issued_at: out.cmd.issued_at,
+                completed_at: out.at,
+            };
+            let arrive =
+                self.delays
+                    .completion_arrival(&mut self.target_ports[ssd], out.at, &out.cmd);
+            self.queue.push(
+                arrive,
+                Ev::DeliverCpl {
+                    worker: out.cmd.tenant.index(),
+                    cpl,
+                },
+            );
+        }
+        if let Some(t) = self.pipelines[ssd].next_event_at() {
+            let t = t.max(now + SimDuration::from_nanos(1));
+            // Only schedule a wake if no earlier one is already pending;
+            // that wake's pump will reschedule as needed.
+            if t < self.wake_at[ssd] {
+                self.wake_at[ssd] = t;
+                self.queue.push(t, Ev::PipelineWake(ssd));
+            }
+        }
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        for w in &mut self.workers {
+            let bps = w.meter.rate_bytes_per_sec(now);
+            w.series.push(now, bps);
+        }
+        for i in 0..self.pipelines.len() {
+            let ds = &mut self.device_series[i];
+            if let Some(r) = self.dev_lat_ewma[i][0].get() {
+                ds.read_lat_us.push(now, r);
+            }
+            if let Some(w) = self.dev_lat_ewma[i][1].get() {
+                ds.write_lat_us.push(now, w);
+            }
+            ds.bandwidth_bps.push(now, self.dev_meter[i].rate_bytes_per_sec(now));
+        }
+        for (i, p) in self.pipelines.iter().enumerate() {
+            if let Some(g) = p.policy().as_any().downcast_ref::<GimbalPolicy>() {
+                let tr = &mut self.traces[i];
+                tr.target_rate.push(now, g.target_rate());
+                tr.write_cost.push(now, g.current_write_cost());
+                let rm = g.monitor(IoType::Read);
+                tr.read_ewma_us.push(now, rm.ewma_ns() / 1e3);
+                tr.read_thresh_us.push(now, rm.thresh_ns() / 1e3);
+                let wm = g.monitor(IoType::Write);
+                tr.write_ewma_us.push(now, wm.ewma_ns() / 1e3);
+                tr.write_thresh_us.push(now, wm.thresh_ns() / 1e3);
+            }
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        for i in 0..self.workers.len() {
+            let at = self.workers[i].spec.start;
+            self.queue.push(at, Ev::WorkerStart(i));
+        }
+        if let Some(step) = self.cfg.sample_interval {
+            self.queue.push(SimTime::ZERO + step, Ev::Sample);
+        }
+        let end = self.duration();
+        let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok();
+        let mut last_report = 0u64;
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > end {
+                break;
+            }
+            if debug && now.as_nanos() / 100_000_000 != last_report {
+                last_report = now.as_nanos() / 100_000_000;
+                eprintln!(
+                    "t={now} queue={} pipes={:?} outs={:?}",
+                    self.queue.len(),
+                    self.pipelines.iter().map(|p| p.in_progress()).collect::<Vec<_>>(),
+                    self.workers.iter().map(|w| w.outstanding).collect::<Vec<_>>(),
+                );
+            }
+            match ev {
+                Ev::WorkerStart(i) => {
+                    self.workers[i].started = true;
+                    self.try_issue(i, now);
+                }
+                Ev::TryIssue(i) => {
+                    self.workers[i].retry_pending = false;
+                    self.try_issue(i, now);
+                }
+                Ev::DeliverCmd { ssd, cmd } => {
+                    self.pipelines[ssd].on_command(cmd, now);
+                    self.pump(ssd, now);
+                }
+                Ev::PipelineWake(ssd) => {
+                    // Only the currently armed wake may pump; superseded
+                    // (stale) wakes die here, otherwise they would respawn
+                    // forever and flood the queue.
+                    if self.wake_at[ssd] == now {
+                        self.wake_at[ssd] = SimTime::MAX;
+                        self.pump(ssd, now);
+                    }
+                }
+                Ev::DeliverCpl { worker, cpl } => {
+                    {
+                        let in_window = self.in_window(worker, now);
+                        let w = &mut self.workers[worker];
+                        w.outstanding -= 1;
+                        w.client.on_completion(&cpl, now);
+                        w.meter.record(now, u64::from(cpl.len));
+                        if in_window {
+                            w.ops += 1;
+                            w.bytes += u64::from(cpl.len);
+                            let e2e = now.since(cpl.issued_at);
+                            match cpl.opcode {
+                                IoType::Read => w.read_hist.record_duration(e2e),
+                                IoType::Write => w.write_hist.record_duration(e2e),
+                            }
+                        }
+                    }
+                    self.try_issue(worker, now);
+                }
+                Ev::Sample => {
+                    self.sample(now);
+                    if let Some(step) = self.cfg.sample_interval {
+                        self.queue.push(now + step, Ev::Sample);
+                    }
+                }
+            }
+        }
+
+        let windows: Vec<SimDuration> =
+            (0..self.workers.len()).map(|i| self.measured_window(i)).collect();
+        let workers = self
+            .workers
+            .into_iter()
+            .zip(windows)
+            .map(|(w, window)| WorkerResult {
+                label: w.spec.label,
+                ops: w.ops,
+                bytes: w.bytes,
+                window,
+                read_latency: w.read_hist.summary(),
+                write_latency: w.write_hist.summary(),
+                series: w.series,
+            })
+            .collect();
+        let ssd_stats = self.pipelines.iter().map(|p| p.device().stats()).collect();
+        let device_latency: Vec<[LatencySummary; 2]> = self
+            .device_hist
+            .iter()
+            .map(|h| [h[0].summary(), h[1].summary()])
+            .collect();
+        RunResult {
+            workers,
+            ssd_stats,
+            device_latency,
+            gimbal_traces: self.traces,
+            device_series: self.device_series,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use gimbal_workload::FioSpec;
+
+    fn region(i: u32, n: u32, cap_blocks: u64) -> (u64, u64) {
+        let per = cap_blocks / u64::from(n);
+        (u64::from(i) * per, per)
+    }
+
+    fn base_cfg(scheme: Scheme, pre: Precondition) -> TestbedConfig {
+        TestbedConfig {
+            scheme,
+            precondition: pre,
+            duration: SimDuration::from_millis(800),
+            warmup: SimDuration::from_millis(300),
+            ..TestbedConfig::default()
+        }
+    }
+
+    fn workers(n: u32, read_ratio: f64, io: u64, cap_blocks: u64) -> Vec<WorkerSpec> {
+        (0..n)
+            .map(|i| {
+                let (start, blocks) = region(i, n, cap_blocks);
+                WorkerSpec::new(
+                    format!("w{i}"),
+                    FioSpec::paper_default(read_ratio, io, start, blocks),
+                )
+            })
+            .collect()
+    }
+
+    const CAP_BLOCKS: u64 = 512 * 1024 * 1024 / 4096;
+
+    #[test]
+    fn vanilla_single_reader_saturates_reads() {
+        let cfg = base_cfg(Scheme::Vanilla, Precondition::Clean);
+        let res = Testbed::new(cfg, workers(1, 1.0, 128 * 1024, CAP_BLOCKS)).run();
+        let w = &res.workers[0];
+        // One QD4 128 KB reader: decent but sub-peak bandwidth.
+        assert!(
+            w.bandwidth_mbps() > 1200.0,
+            "128K QD4 reader: {:.0} MB/s",
+            w.bandwidth_mbps()
+        );
+        assert!(w.read_latency.count > 1000);
+        assert!(w.write_latency.count == 0);
+    }
+
+    #[test]
+    fn gimbal_multi_tenant_read_fairness() {
+        let cfg = TestbedConfig {
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::from_millis(800),
+            ..base_cfg(Scheme::Gimbal, Precondition::Fragmented)
+        };
+        let res = Testbed::new(cfg, workers(4, 1.0, 4096, CAP_BLOCKS)).run();
+        let bws: Vec<f64> = res.workers.iter().map(|w| w.bandwidth_mbps()).collect();
+        let total: f64 = bws.iter().sum();
+        assert!(total > 800.0, "aggregate 4K read {total:.0} MB/s");
+        let min = bws.iter().cloned().fold(f64::MAX, f64::min);
+        let max = bws.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.35, "fair split: {bws:?}");
+    }
+
+    #[test]
+    fn parda_clients_window_down_under_contention() {
+        let cfg = base_cfg(Scheme::Parda, Precondition::Fragmented);
+        let res = Testbed::new(cfg, workers(8, 1.0, 4096, CAP_BLOCKS)).run();
+        let total: f64 = res.workers.iter().map(|w| w.bandwidth_mbps()).sum();
+        assert!(total > 100.0, "parda makes progress: {total:.0} MB/s");
+        // End-to-end p99 stays bounded (client-side backpressure).
+        for w in &res.workers {
+            assert!(
+                w.read_latency.p99_us() < 5_000.0,
+                "{}: p99 {:.0}us",
+                w.label,
+                w.read_latency.p99_us()
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_worker_windows_are_honored() {
+        let cfg = TestbedConfig {
+            sample_interval: Some(SimDuration::from_millis(50)),
+            ..base_cfg(Scheme::Gimbal, Precondition::Clean)
+        };
+        let cap = CAP_BLOCKS;
+        let late = WorkerSpec::new(
+            "late",
+            FioSpec::paper_default(1.0, 4096, 0, cap / 2),
+        )
+        .active(SimTime::from_millis(400), None);
+        let early = WorkerSpec::new(
+            "early",
+            FioSpec::paper_default(1.0, 4096, cap / 2, cap / 2),
+        )
+        .active(SimTime::ZERO, Some(SimTime::from_millis(400)));
+        let res = Testbed::new(cfg, vec![late, early]).run();
+        // Early worker only has 300→400 ms in window; late has 400→800 ms.
+        assert!(res.workers[0].ops > 0);
+        assert!(res.workers[1].ops > 0);
+        assert!(res.workers[0].window > res.workers[1].window);
+        assert!(!res.workers[0].series.is_empty());
+    }
+
+    #[test]
+    fn gimbal_traces_are_recorded_when_sampling() {
+        let cfg = TestbedConfig {
+            sample_interval: Some(SimDuration::from_millis(20)),
+            ..base_cfg(Scheme::Gimbal, Precondition::Clean)
+        };
+        let res = Testbed::new(cfg, workers(2, 1.0, 128 * 1024, CAP_BLOCKS)).run();
+        let tr = &res.gimbal_traces[0];
+        assert!(!tr.target_rate.is_empty());
+        assert!(!tr.read_thresh_us.is_empty());
+        // Threshold stays within [Thresh_min, Thresh_max].
+        for &(_, v) in tr.read_thresh_us.points() {
+            assert!((250.0..=1500.0).contains(&v), "thresh {v}us");
+        }
+        // Write cost is 9 throughout a read-only run.
+        for &(_, v) in tr.write_cost.points() {
+            assert_eq!(v, 9.0);
+        }
+    }
+
+    #[test]
+    fn non_gimbal_schemes_have_empty_traces() {
+        let cfg = TestbedConfig {
+            sample_interval: Some(SimDuration::from_millis(50)),
+            ..base_cfg(Scheme::FlashFq, Precondition::Clean)
+        };
+        let res = Testbed::new(cfg, workers(1, 1.0, 4096, CAP_BLOCKS)).run();
+        assert!(res.gimbal_traces[0].target_rate.is_empty());
+        assert!(!res.workers[0].series.is_empty());
+    }
+
+    #[test]
+    fn device_stats_reflect_write_amplification() {
+        let cfg = TestbedConfig {
+            duration: SimDuration::from_millis(600),
+            ..base_cfg(Scheme::Vanilla, Precondition::Fragmented)
+        };
+        let res = Testbed::new(cfg, workers(4, 0.0, 4096, CAP_BLOCKS)).run();
+        assert!(
+            res.ssd_stats[0].write_amplification() > 1.5,
+            "WA {:.2}",
+            res.ssd_stats[0].write_amplification()
+        );
+        assert!(res.device_latency[0][1].count > 0, "write latencies observed");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing SSD")]
+    fn rejects_worker_on_missing_ssd() {
+        let cfg = base_cfg(Scheme::Vanilla, Precondition::None);
+        let w = WorkerSpec::new("w", FioSpec::paper_default(1.0, 4096, 0, 1024)).on_ssd(3);
+        Testbed::new(cfg, vec![w]);
+    }
+}

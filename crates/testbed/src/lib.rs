@@ -1,0 +1,27 @@
+//! Experiment orchestration: a full client ↔ fabric ↔ JBOF testbed in
+//! virtual time.
+//!
+//! This crate reproduces the paper's evaluation rig (§5.1): client servers
+//! running fio-like workers, a 100 Gbps RDMA fabric, and a Stingray-style
+//! JBOF whose per-SSD pipelines run one of the five schemes (vanilla FIFO,
+//! ReFlex, Parda, FlashFQ, Gimbal). The engine is a deterministic
+//! discrete-event loop; every figure binary in `gimbal-bench` is a thin
+//! wrapper over [`Testbed::run`].
+//!
+//! * [`scheme`] — the scheme selector and its policy/client/CPU factories;
+//! * [`config`] — testbed and worker specifications;
+//! * [`engine`] — the event loop;
+//! * [`results`] — per-worker and per-SSD measurements, f-Util computation
+//!   (§5.1's fairness metric) and reporting helpers.
+
+pub mod config;
+pub mod kv;
+pub mod engine;
+pub mod results;
+pub mod scheme;
+
+pub use config::{Precondition, TestbedConfig, WorkerSpec};
+pub use engine::Testbed;
+pub use kv::{KvInstanceResult, KvRunResult, KvTestbed, KvTestbedConfig};
+pub use results::{f_util, utilization_deviation, GimbalTrace, RunResult, WorkerResult};
+pub use scheme::Scheme;

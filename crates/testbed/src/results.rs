@@ -1,0 +1,189 @@
+//! Experiment measurements and the paper's evaluation metrics.
+
+use gimbal_sim::stats::LatencySummary;
+use gimbal_sim::{SimDuration, TimeSeries};
+use gimbal_ssd::SsdStats;
+
+/// Measurements for one worker over its measured window.
+#[derive(Clone, Debug)]
+pub struct WorkerResult {
+    /// The worker's label from its spec.
+    pub label: String,
+    /// Completed operations in the measured window.
+    pub ops: u64,
+    /// Completed payload bytes in the measured window.
+    pub bytes: u64,
+    /// Length of the worker's measured window.
+    pub window: SimDuration,
+    /// End-to-end read latency distribution.
+    pub read_latency: LatencySummary,
+    /// End-to-end write latency distribution.
+    pub write_latency: LatencySummary,
+    /// Bandwidth time series (if sampling was enabled).
+    pub series: TimeSeries,
+}
+
+impl WorkerResult {
+    /// Mean bandwidth over the measured window, bytes/second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        if self.window == SimDuration::ZERO {
+            0.0
+        } else {
+            self.bytes as f64 / self.window.as_secs_f64()
+        }
+    }
+
+    /// Mean bandwidth in MB/s (the paper's reporting unit).
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.bandwidth_bps() / 1e6
+    }
+
+    /// Completed operations per second.
+    pub fn iops(&self) -> f64 {
+        if self.window == SimDuration::ZERO {
+            0.0
+        } else {
+            self.ops as f64 / self.window.as_secs_f64()
+        }
+    }
+}
+
+/// Time series of Gimbal's internal control state for one SSD (Figs 9, 18).
+#[derive(Clone, Debug, Default)]
+pub struct GimbalTrace {
+    /// Target submission rate, bytes/second.
+    pub target_rate: TimeSeries,
+    /// Dynamic write cost.
+    pub write_cost: TimeSeries,
+    /// Read EWMA latency, µs.
+    pub read_ewma_us: TimeSeries,
+    /// Read dynamic threshold, µs.
+    pub read_thresh_us: TimeSeries,
+    /// Write EWMA latency, µs.
+    pub write_ewma_us: TimeSeries,
+    /// Write dynamic threshold, µs.
+    pub write_thresh_us: TimeSeries,
+}
+
+/// Sampled per-SSD device-level series (Figs 9, 17): smoothed raw device
+/// latency per op type and aggregate completion bandwidth.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceSeries {
+    /// EWMA of device read latency, µs.
+    pub read_lat_us: TimeSeries,
+    /// EWMA of device write latency, µs.
+    pub write_lat_us: TimeSeries,
+    /// Completion bandwidth, bytes/second.
+    pub bandwidth_bps: TimeSeries,
+}
+
+/// The complete output of one testbed run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Per-worker measurements, in spec order.
+    pub workers: Vec<WorkerResult>,
+    /// Per-SSD device statistics.
+    pub ssd_stats: Vec<SsdStats>,
+    /// Per-SSD device-level latency summaries `[read, write]` (raw service
+    /// latency at the device, the signal Gimbal's CC observes).
+    pub device_latency: Vec<[LatencySummary; 2]>,
+    /// Gimbal control traces per SSD (empty for other schemes or when
+    /// sampling is off).
+    pub gimbal_traces: Vec<GimbalTrace>,
+    /// Per-SSD device-latency/bandwidth series (empty when sampling is off).
+    pub device_series: Vec<DeviceSeries>,
+}
+
+impl RunResult {
+    /// Aggregated bandwidth (bytes/s) of workers whose label satisfies the
+    /// predicate.
+    pub fn aggregate_bps<F: Fn(&str) -> bool>(&self, pred: F) -> f64 {
+        self.workers
+            .iter()
+            .filter(|w| pred(&w.label))
+            .map(|w| w.bandwidth_bps())
+            .sum()
+    }
+
+    /// Merge the latency summaries of workers matching the predicate into a
+    /// (reads, writes) pair of flat-weighted means over percentiles. For
+    /// identical workers this is a faithful view of the group.
+    pub fn group_latency<F: Fn(&str) -> bool>(&self, pred: F) -> [LatencySummary; 2] {
+        let mut out = [LatencySummary::default(); 2];
+        for (idx, pick) in [true, false].iter().enumerate() {
+            let sums: Vec<&LatencySummary> = self
+                .workers
+                .iter()
+                .filter(|w| pred(&w.label))
+                .map(|w| if *pick { &w.read_latency } else { &w.write_latency })
+                .filter(|s| s.count > 0)
+                .collect();
+            if sums.is_empty() {
+                continue;
+            }
+            let n = sums.len() as f64;
+            out[idx] = LatencySummary {
+                count: sums.iter().map(|s| s.count).sum(),
+                mean_ns: sums.iter().map(|s| s.mean_ns).sum::<f64>() / n,
+                p50_ns: (sums.iter().map(|s| s.p50_ns).sum::<u64>() as f64 / n) as u64,
+                p99_ns: (sums.iter().map(|s| s.p99_ns).sum::<u64>() as f64 / n) as u64,
+                p999_ns: (sums.iter().map(|s| s.p999_ns).sum::<u64>() as f64 / n) as u64,
+                max_ns: sums.iter().map(|s| s.max_ns).max().unwrap_or(0),
+            };
+        }
+        out
+    }
+}
+
+/// The paper's fairness metric (§5.1):
+///
+/// ```text
+/// f-Util(i) = per_worker_bw(i) / (standalone_max_bw(i) / total_workers)
+/// ```
+///
+/// 1.0 is the ideal (each worker gets exactly its fair share of its own
+/// standalone capability).
+pub fn f_util(worker_bps: f64, standalone_max_bps: f64, total_workers: u32) -> f64 {
+    assert!(standalone_max_bps > 0.0 && total_workers > 0);
+    worker_bps / (standalone_max_bps / f64::from(total_workers))
+}
+
+/// Utilization deviation (§5.3): `|actual − ideal| / ideal` with ideal = 1.
+pub fn utilization_deviation(f_util: f64) -> f64 {
+    (f_util - 1.0).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_util_ideal_is_one() {
+        // 16 workers, standalone 1600 MB/s, each achieving 100 MB/s.
+        let f = f_util(100e6, 1600e6, 16);
+        assert!((f - 1.0).abs() < 1e-9);
+        assert!(utilization_deviation(f) < 1e-9);
+    }
+
+    #[test]
+    fn f_util_scales_linearly() {
+        assert!((f_util(200e6, 1600e6, 16) - 2.0).abs() < 1e-9);
+        assert!((f_util(50e6, 1600e6, 16) - 0.5).abs() < 1e-9);
+        assert!((utilization_deviation(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_result_rates() {
+        let w = WorkerResult {
+            label: "x".into(),
+            ops: 1000,
+            bytes: 4_096_000,
+            window: SimDuration::from_secs(2),
+            read_latency: LatencySummary::default(),
+            write_latency: LatencySummary::default(),
+            series: TimeSeries::new(),
+        };
+        assert!((w.iops() - 500.0).abs() < 1e-9);
+        assert!((w.bandwidth_mbps() - 2.048).abs() < 1e-9);
+    }
+}

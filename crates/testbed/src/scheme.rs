@@ -1,0 +1,116 @@
+//! The multi-tenancy scheme under test and its component factories.
+
+use gimbal_baselines::{FlashFqPolicy, PardaClient, ReflexPolicy};
+use gimbal_core::{CreditClient, GimbalPolicy, Params};
+use gimbal_fabric::SsdId;
+use gimbal_nic::CpuCost;
+use gimbal_switch::{ClientPolicy, FifoPolicy, SwitchPolicy, UnlimitedClient};
+
+/// Which multi-tenancy mechanism the JBOF runs (§5.1's comparison set plus
+/// the plain vanilla target used for the characterization experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Plain SPDK NVMe-oF target: FIFO, no isolation (Figs 2–4, 19–23).
+    Vanilla,
+    /// ReFlex-style static token model + DRR at the target.
+    Reflex,
+    /// PARDA-style client-side latency-window control, FIFO target.
+    Parda,
+    /// FlashFQ-style SFQ(D) at the target.
+    FlashFq,
+    /// The Gimbal storage switch.
+    Gimbal,
+}
+
+impl Scheme {
+    /// The four schemes compared throughout §5.
+    pub const COMPARED: [Scheme; 4] = [Scheme::Reflex, Scheme::FlashFq, Scheme::Parda, Scheme::Gimbal];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Vanilla => "Vanilla",
+            Scheme::Reflex => "ReFlex",
+            Scheme::Parda => "Parda",
+            Scheme::FlashFq => "FlashFQ",
+            Scheme::Gimbal => "Gimbal",
+        }
+    }
+
+    /// Build the target-side policy for one SSD pipeline.
+    pub fn make_policy(self, ssd: SsdId, gimbal_params: Params) -> Box<dyn SwitchPolicy> {
+        match self {
+            Scheme::Vanilla | Scheme::Parda => Box::new(FifoPolicy::new()),
+            Scheme::Reflex => Box::new(ReflexPolicy::default()),
+            Scheme::FlashFq => Box::new(FlashFqPolicy::default()),
+            Scheme::Gimbal => Box::new(GimbalPolicy::new(ssd, gimbal_params)),
+        }
+    }
+
+    /// Build the client-side submission gate for one worker.
+    pub fn make_client(self) -> Box<dyn ClientPolicy> {
+        match self {
+            Scheme::Vanilla | Scheme::Reflex | Scheme::FlashFq => Box::new(UnlimitedClient),
+            Scheme::Parda => Box::new(PardaClient::default()),
+            Scheme::Gimbal => Box::new(CreditClient::default()),
+        }
+    }
+
+    /// The per-IO CPU cost of the target software for this scheme.
+    pub fn cpu_cost(self, xeon: bool) -> CpuCost {
+        match (self, xeon) {
+            (Scheme::Gimbal, false) => CpuCost::arm_gimbal(),
+            (Scheme::Gimbal, true) => CpuCost::xeon_gimbal(),
+            (_, false) => CpuCost::arm_vanilla(),
+            (_, true) => CpuCost::xeon_vanilla(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_produce_the_right_components() {
+        for s in [
+            Scheme::Vanilla,
+            Scheme::Reflex,
+            Scheme::Parda,
+            Scheme::FlashFq,
+            Scheme::Gimbal,
+        ] {
+            let p = s.make_policy(SsdId(0), Params::default());
+            let c = s.make_client();
+            match s {
+                Scheme::Vanilla => {
+                    assert_eq!(p.name(), "fifo");
+                    assert_eq!(c.name(), "unlimited");
+                }
+                Scheme::Reflex => {
+                    assert_eq!(p.name(), "reflex");
+                    assert_eq!(c.name(), "unlimited");
+                }
+                Scheme::Parda => {
+                    assert_eq!(p.name(), "fifo");
+                    assert_eq!(c.name(), "parda");
+                }
+                Scheme::FlashFq => {
+                    assert_eq!(p.name(), "flashfq");
+                    assert_eq!(c.name(), "unlimited");
+                }
+                Scheme::Gimbal => {
+                    assert_eq!(p.name(), "gimbal");
+                    assert_eq!(c.name(), "gimbal-credit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gimbal_costs_more_cpu_than_vanilla() {
+        let g = Scheme::Gimbal.cpu_cost(false);
+        let v = Scheme::Vanilla.cpu_cost(false);
+        assert!(g.total_cycles(4096, true) > v.total_cycles(4096, true));
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: share one simulated SSD between two tenants behind the
+//! Gimbal storage switch and print what each achieved.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gimbal_repro::sim::SimDuration;
+use gimbal_repro::testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
+use gimbal_repro::workload::FioSpec;
+
+fn main() {
+    // The default testbed SSD exports 512 MiB of 4 KiB blocks.
+    let cap_blocks = 512 * 1024 * 1024 / 4096;
+
+    // Tenant A: small random reads (a latency-sensitive service).
+    // Tenant B: large random reads (a bulk scanner).
+    let workers = vec![
+        WorkerSpec::new(
+            "small-reads",
+            FioSpec::paper_default(1.0, 4096, 0, cap_blocks / 2),
+        ),
+        WorkerSpec::new(
+            "big-reads",
+            FioSpec::paper_default(1.0, 128 * 1024, cap_blocks / 2, cap_blocks / 2),
+        ),
+    ];
+
+    let cfg = TestbedConfig {
+        scheme: Scheme::Gimbal,
+        precondition: Precondition::Clean,
+        duration: SimDuration::from_secs(2),
+        warmup: SimDuration::from_millis(800),
+        ..TestbedConfig::default()
+    };
+
+    println!("running 2 tenants over one SSD behind the Gimbal switch…");
+    let res = Testbed::new(cfg, workers).run();
+
+    for w in &res.workers {
+        println!(
+            "{:>12}: {:>8.1} MB/s  {:>8.0} IOPS   read avg {:>6.0}us  p99 {:>6.0}us",
+            w.label,
+            w.bandwidth_mbps(),
+            w.iops(),
+            w.read_latency.mean_us(),
+            w.read_latency.p99_us(),
+        );
+    }
+    let s = res.ssd_stats[0];
+    println!(
+        "device: {} reads, {} writes, write amplification {:.2}",
+        s.reads,
+        s.writes,
+        s.write_amplification()
+    );
+}

@@ -1,0 +1,242 @@
+//! `jbofsim` — compose multi-tenant JBOF experiments from the command line.
+//!
+//! ```sh
+//! cargo run --release --bin jbofsim -- \
+//!     --scheme gimbal --precondition fragmented --duration-ms 2000 \
+//!     --workers 8x4k-read,4x128k-write-qd8,2x4k-read-rate50
+//! ```
+//!
+//! Worker specs are `COUNTxSIZE-TYPE[-qdN][-rateM]` where SIZE is like `4k`
+//! or `128k`, TYPE is `read`, `write`, or a mixed ratio like `mix70` (70 %
+//! reads), and `rateM` caps each worker at M MB/s. Workers are spread over
+//! disjoint LBA regions and, when `--ssds` > 1, round-robin across SSDs.
+
+use gimbal_repro::sim::{SimDuration, SimTime};
+use gimbal_repro::testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
+use gimbal_repro::workload::FioSpec;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jbofsim [--scheme vanilla|reflex|parda|flashfq|gimbal]\n\
+         \x20              [--precondition clean|fragmented]\n\
+         \x20              [--duration-ms N] [--warmup-ms N] [--ssds N] [--cores N]\n\
+         \x20              [--seed N] --workers SPEC[,SPEC…]\n\
+         \n\
+         SPEC = COUNTxSIZE-TYPE[-qdN][-rateM]   e.g. 8x4k-read, 4x128k-write-qd8,\n\
+         \x20      2x4k-mix70-rate50 (70% reads, 50 MB/s cap per worker)"
+    );
+    exit(2);
+}
+
+fn parse_size(s: &str) -> Option<u64> {
+    let s = s.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = s.strip_suffix('k') {
+        (n, 1024)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 1024 * 1024)
+    } else {
+        (s.as_str(), 1)
+    };
+    num.parse::<u64>().ok().map(|v| v * mult)
+}
+
+struct ParsedWorker {
+    count: u32,
+    io_bytes: u64,
+    read_ratio: f64,
+    qd: Option<u32>,
+    rate: Option<f64>,
+    label: String,
+}
+
+fn parse_worker(spec: &str) -> Option<ParsedWorker> {
+    let (count, rest) = spec.split_once('x')?;
+    let count: u32 = count.parse().ok()?;
+    let mut parts = rest.split('-');
+    let io_bytes = parse_size(parts.next()?)?;
+    let ty = parts.next()?;
+    let read_ratio = match ty {
+        "read" => 1.0,
+        "write" => 0.0,
+        t if t.starts_with("mix") => t[3..].parse::<f64>().ok()? / 100.0,
+        _ => return None,
+    };
+    let mut qd = None;
+    let mut rate = None;
+    for p in parts {
+        if let Some(n) = p.strip_prefix("qd") {
+            qd = Some(n.parse().ok()?);
+        } else if let Some(n) = p.strip_prefix("rate") {
+            rate = Some(n.parse::<f64>().ok()? * 1e6);
+        } else {
+            return None;
+        }
+    }
+    Some(ParsedWorker {
+        count,
+        io_bytes,
+        read_ratio,
+        qd,
+        rate,
+        label: spec.to_string(),
+    })
+}
+
+fn main() {
+    let mut scheme = Scheme::Gimbal;
+    let mut pre = Precondition::Clean;
+    let mut duration_ms = 2000u64;
+    let mut warmup_ms = 500u64;
+    let mut ssds = 1u32;
+    let mut cores = 0u32; // 0 = one per SSD
+    let mut seed = 42u64;
+    let mut worker_specs: Vec<ParsedWorker> = Vec::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| args.get(i + 1).unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--scheme" => {
+                scheme = match need(i).as_str() {
+                    "vanilla" => Scheme::Vanilla,
+                    "reflex" => Scheme::Reflex,
+                    "parda" => Scheme::Parda,
+                    "flashfq" => Scheme::FlashFq,
+                    "gimbal" => Scheme::Gimbal,
+                    other => {
+                        eprintln!("unknown scheme {other}");
+                        usage()
+                    }
+                };
+                i += 2;
+            }
+            "--precondition" => {
+                pre = match need(i).as_str() {
+                    "clean" => Precondition::Clean,
+                    "fragmented" => Precondition::Fragmented,
+                    other => {
+                        eprintln!("unknown precondition {other}");
+                        usage()
+                    }
+                };
+                i += 2;
+            }
+            "--duration-ms" => {
+                duration_ms = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--warmup-ms" => {
+                warmup_ms = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--ssds" => {
+                ssds = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--cores" => {
+                cores = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--seed" => {
+                seed = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--workers" => {
+                for spec in need(i).split(',') {
+                    match parse_worker(spec) {
+                        Some(w) => worker_specs.push(w),
+                        None => {
+                            eprintln!("bad worker spec: {spec}");
+                            usage();
+                        }
+                    }
+                }
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if worker_specs.is_empty() {
+        eprintln!("no --workers given");
+        usage();
+    }
+
+    let cap_blocks = 512 * 1024 * 1024 / 4096u64;
+    let total: u32 = worker_specs.iter().map(|w| w.count).sum();
+    let per_region = cap_blocks / u64::from(total).max(1);
+    let mut workers = Vec::new();
+    let mut idx = 0u64;
+    for w in &worker_specs {
+        for _ in 0..w.count {
+            let mut fio =
+                FioSpec::paper_default(w.read_ratio, w.io_bytes, idx * per_region, per_region);
+            if let Some(qd) = w.qd {
+                fio.queue_depth = qd;
+            }
+            fio.rate_limit = w.rate;
+            workers.push(
+                WorkerSpec::new(w.label.clone(), fio)
+                    .on_ssd((idx % u64::from(ssds)) as u32)
+                    .active(SimTime::ZERO, None),
+            );
+            idx += 1;
+        }
+    }
+
+    let cfg = TestbedConfig {
+        scheme,
+        precondition: pre,
+        num_ssds: ssds,
+        cores: if cores == 0 { ssds } else { cores },
+        duration: SimDuration::from_millis(duration_ms),
+        warmup: SimDuration::from_millis(warmup_ms.min(duration_ms.saturating_sub(1))),
+        seed,
+        ..TestbedConfig::default()
+    };
+
+    eprintln!(
+        "jbofsim: {} workers, scheme {}, {:?} SSD ×{}, {} ms ({} ms warmup)",
+        workers.len(),
+        scheme.name(),
+        pre,
+        ssds,
+        duration_ms,
+        warmup_ms
+    );
+    let res = Testbed::new(cfg, workers).run();
+
+    // Group report by spec label.
+    println!(
+        "{:<28} {:>8} {:>12} {:>10} {:>10} {:>11}",
+        "group", "workers", "MB/s total", "avg us", "p99 us", "p99.9 us"
+    );
+    for w in &worker_specs {
+        let bw = res.aggregate_bps(|l| l == w.label) / 1e6;
+        let [rd, wr] = res.group_latency(|l| l == w.label);
+        let lat = if rd.count >= wr.count { rd } else { wr };
+        println!(
+            "{:<28} {:>8} {:>12.1} {:>10.0} {:>10.0} {:>11.0}",
+            w.label,
+            w.count,
+            bw,
+            lat.mean_us(),
+            lat.p99_us(),
+            lat.p999_us()
+        );
+    }
+    for (i, s) in res.ssd_stats.iter().enumerate() {
+        println!(
+            "ssd{i}: {} reads, {} writes, WA {:.2}, buffer stalls {}",
+            s.reads,
+            s.writes,
+            s.write_amplification(),
+            s.buffer_stalls
+        );
+    }
+}

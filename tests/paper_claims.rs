@@ -1,0 +1,215 @@
+//! Headline results of the paper, pinned as regression tests. Each test
+//! re-runs a (shortened) version of the corresponding experiment and
+//! asserts the paper's *shape* — orderings and rough ratios, not absolute
+//! microseconds.
+
+use gimbal_repro::fabric::IoType;
+use gimbal_repro::sim::{SimDuration, SimTime};
+use gimbal_repro::testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
+use gimbal_repro::workload::FioSpec;
+
+const CAP: u64 = 512 * 1024 * 1024 / 4096;
+
+fn region(i: u32, n: u32) -> (u64, u64) {
+    let per = CAP / u64::from(n);
+    (u64::from(i) * per, per)
+}
+
+fn cfg(scheme: Scheme, pre: Precondition) -> TestbedConfig {
+    TestbedConfig {
+        scheme,
+        precondition: pre,
+        duration: SimDuration::from_millis(1400),
+        warmup: SimDuration::from_millis(700),
+        ..TestbedConfig::default()
+    }
+}
+
+/// §2.3 / Fig 4: on an unmanaged target, a 4× more intense identical flow
+/// takes several times the victim's bandwidth.
+#[test]
+fn fig4_intensity_steals_bandwidth_without_isolation() {
+    let (s0, b0) = region(0, 2);
+    let (s1, b1) = region(1, 2);
+    let victim = WorkerSpec::new("victim", FioSpec::paper_default(1.0, 4096, s0, b0));
+    let neighbor = WorkerSpec::new(
+        "neighbor",
+        FioSpec {
+            queue_depth: 128,
+            ..FioSpec::paper_default(1.0, 4096, s1, b1)
+        },
+    );
+    let res = Testbed::new(cfg(Scheme::Vanilla, Precondition::Clean), vec![victim, neighbor]).run();
+    let v = res.workers[0].bandwidth_bps();
+    let n = res.workers[1].bandwidth_bps();
+    assert!(n > 2.5 * v, "intense neighbor {n:.0} vs victim {v:.0}");
+}
+
+/// §5.2 / Fig 6: ReFlex's static worst-case model leaves clean-SSD read
+/// bandwidth on the table by more than 2× relative to Gimbal.
+#[test]
+fn fig6_reflex_underutilizes_clean_reads() {
+    let run = |scheme| {
+        let workers: Vec<WorkerSpec> = (0..16)
+            .map(|i| {
+                let (s, b) = region(i, 16);
+                WorkerSpec::new("r", FioSpec::paper_default(1.0, 128 * 1024, s, b))
+            })
+            .collect();
+        Testbed::new(cfg(scheme, Precondition::Clean), workers)
+            .run()
+            .aggregate_bps(|_| true)
+    };
+    let gimbal = run(Scheme::Gimbal);
+    let reflex = run(Scheme::Reflex);
+    assert!(
+        gimbal > 2.0 * reflex,
+        "gimbal {gimbal:.0} vs reflex {reflex:.0} (paper: ×2.4)"
+    );
+}
+
+/// §5.5 / Fig 9: the write-cost estimator credits buffered writes. A single
+/// rate-capped writer joining a read-heavy mix should see ~buffer-level
+/// write latency while readers see device-level latency.
+#[test]
+fn fig9_first_writer_is_absorbed_by_the_buffer() {
+    let mut workers: Vec<WorkerSpec> = (0..8)
+        .map(|i| {
+            let (s, b) = region(i, 9);
+            WorkerSpec::new(
+                "reader",
+                FioSpec {
+                    queue_depth: 8,
+                    rate_limit: Some(200e6),
+                    ..FioSpec::paper_default(1.0, 128 * 1024, s, b)
+                },
+            )
+        })
+        .collect();
+    let (s, b) = region(8, 9);
+    workers.push(WorkerSpec::new(
+        "writer",
+        FioSpec {
+            queue_depth: 8,
+            rate_limit: Some(60e6),
+            ..FioSpec::paper_default(0.0, 128 * 1024, s, b)
+        },
+    ));
+    let mut c = cfg(Scheme::Gimbal, Precondition::Fragmented);
+    c.duration = SimDuration::from_millis(2000);
+    c.warmup = SimDuration::from_millis(1000);
+    let res = Testbed::new(c, workers).run();
+    let writer = res.workers.iter().find(|w| w.label == "writer").unwrap();
+    let reader = res.workers.iter().find(|w| w.label == "reader").unwrap();
+    assert!(
+        writer.write_latency.mean_us() < 150.0,
+        "buffered writes: {:.0}us",
+        writer.write_latency.mean_us()
+    );
+    assert!(
+        reader.read_latency.mean_us() > 3.0 * writer.write_latency.mean_us(),
+        "reads pay device time: {:.0}us vs {:.0}us",
+        reader.read_latency.mean_us(),
+        writer.write_latency.mean_us()
+    );
+    // The writer sustains its capped rate.
+    assert!(
+        writer.bandwidth_bps() > 45e6,
+        "writer {:.0} MB/s",
+        writer.bandwidth_bps() / 1e6
+    );
+}
+
+/// §3.5: the virtual-slot DRR favors device-efficient large IOs — the
+/// 128 KB tenant receives at least as much bandwidth per worker as the
+/// 4 KB tenants (the paper measures +22 %).
+#[test]
+fn fig7_gimbal_grants_large_ios_their_efficiency() {
+    let mut workers: Vec<WorkerSpec> = (0..16)
+        .map(|i| {
+            let (s, b) = region(i, 20);
+            WorkerSpec::new("small", FioSpec::paper_default(1.0, 4096, s, b))
+        })
+        .collect();
+    for i in 16..20 {
+        let (s, b) = region(i, 20);
+        workers.push(WorkerSpec::new(
+            "large",
+            FioSpec::paper_default(1.0, 128 * 1024, s, b),
+        ));
+    }
+    let res = Testbed::new(cfg(Scheme::Gimbal, Precondition::Clean), workers).run();
+    let small = res.aggregate_bps(|l| l == "small") / 16.0;
+    let large = res.aggregate_bps(|l| l == "large") / 4.0;
+    assert!(
+        large > small && large < 2.5 * small,
+        "per-worker large {large:.0} vs small {small:.0} (paper: +22%)"
+    );
+}
+
+/// §5.8: retuning only Thresh_max adapts Gimbal to a different device —
+/// the P3600 profile still reaches high fragmented-read utilization.
+#[test]
+fn s58_gimbal_generalizes_to_the_p3600_profile() {
+    use gimbal_repro::gimbal::Params;
+    use gimbal_repro::ssd::{SsdConfig, SsdProfile};
+    let workers: Vec<WorkerSpec> = (0..16)
+        .map(|i| {
+            let (s, b) = region(i, 16);
+            WorkerSpec::new("r", FioSpec::paper_default(1.0, 4096, s, b))
+        })
+        .collect();
+    let mut c = cfg(Scheme::Gimbal, Precondition::Fragmented);
+    c.ssd = SsdConfig {
+        logical_capacity: 512 * 1024 * 1024,
+        ..SsdConfig::profile(SsdProfile::P3600)
+    };
+    c.gimbal_params = Params::p3600();
+    let res = Testbed::new(c, workers).run();
+    let bw = res.aggregate_bps(|_| true);
+    // P3600 die-limited 4 KB read ceiling ≈ 32/88 µs ≈ 1.45 GB/s.
+    assert!(
+        bw > 0.8e9,
+        "P3600 fragmented reads: {:.0} MB/s",
+        bw / 1e6
+    );
+}
+
+/// §5.4: under high consolidation (8 readers + 8 writers on one fragmented
+/// SSD), Gimbal's flow control bounds the *write* tail that an unmanaged
+/// target lets grow unboundedly, while keeping read tails comparable.
+#[test]
+fn gimbal_bounds_tails_under_consolidation() {
+    let run = |scheme| {
+        let mut workers = Vec::new();
+        for i in 0..8 {
+            let (s, b) = region(i, 16);
+            workers.push(WorkerSpec::new(
+                "reader",
+                FioSpec::paper_default(1.0, 4096, s, b),
+            ));
+        }
+        for i in 8..16 {
+            let (s, b) = region(i, 16);
+            workers.push(WorkerSpec::new(
+                "writer",
+                FioSpec::paper_default(0.0, 4096, s, b),
+            ));
+        }
+        let res = Testbed::new(cfg(scheme, Precondition::Fragmented), workers).run();
+        let [rd, _] = res.group_latency(|l| l == "reader");
+        let [_, wr] = res.group_latency(|l| l == "writer");
+        (rd.p999_ns, wr.p999_ns)
+    };
+    let (g_rd, g_wr) = run(Scheme::Gimbal);
+    let (v_rd, v_wr) = run(Scheme::Vanilla);
+    assert!(
+        g_wr * 2 < v_wr,
+        "gimbal write p99.9 {g_wr} vs vanilla {v_wr}"
+    );
+    assert!(
+        g_rd < 2 * v_rd,
+        "read tails stay comparable: {g_rd} vs {v_rd}"
+    );
+    let _ = (IoType::Read, SimTime::ZERO); // imports used by other tests
+}

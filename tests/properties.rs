@@ -1,0 +1,208 @@
+//! Property-based tests (proptest) on the core data structures' invariants.
+
+use gimbal_repro::fabric::{CmdId, IoType, NvmeCmd, Priority, SsdId, TenantId};
+use gimbal_repro::gimbal::scheduler::SchedPoll;
+use gimbal_repro::gimbal::{Params, VirtualSlotScheduler};
+use gimbal_repro::sim::{Histogram, SimRng, SimTime, TokenBucket};
+use gimbal_repro::ssd::ftl::Ftl;
+use gimbal_repro::ssd::SsdConfig;
+use gimbal_repro::switch::Request;
+use gimbal_repro::workload::Zipfian;
+use proptest::prelude::*;
+
+fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
+    Request {
+        cmd: NvmeCmd {
+            id: CmdId(id),
+            tenant: TenantId(tenant),
+            ssd: SsdId(0),
+            opcode: op,
+            lba: 0,
+            len,
+            priority: Priority::NORMAL,
+            issued_at: SimTime::ZERO,
+        },
+        ready_at: SimTime::ZERO,
+    }
+}
+
+proptest! {
+    /// Histogram quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn histogram_quantiles_are_monotone(values in prop::collection::vec(0u64..1_000_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let mut last = 0;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) = {v} < previous {last}");
+            last = v;
+        }
+        prop_assert!(h.quantile(0.0) >= h.min());
+        prop_assert!(h.quantile(1.0) <= h.max());
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// A token bucket never goes negative and never exceeds its capacity,
+    /// under arbitrary interleavings of refills, deposits, and consumes.
+    #[test]
+    fn token_bucket_stays_in_bounds(ops in prop::collection::vec((0u8..3, 1u64..100_000), 1..200)) {
+        let mut tb = TokenBucket::with_rate(1e8, 1 << 20);
+        let mut t = 0u64;
+        for (kind, arg) in ops {
+            match kind {
+                0 => {
+                    t += arg;
+                    tb.refill(SimTime::from_nanos(t));
+                }
+                1 => {
+                    let _ = tb.try_consume(arg);
+                }
+                _ => {
+                    let overflow = tb.deposit(arg as f64);
+                    prop_assert!(overflow >= 0.0);
+                }
+            }
+            prop_assert!(tb.tokens() >= 0.0);
+            prop_assert!(tb.tokens() <= tb.capacity() + 1e-6);
+        }
+    }
+
+    /// The virtual-slot DRR conserves requests: everything enqueued is
+    /// either submitted or still queued, never duplicated or lost, under
+    /// random arrival/complete interleavings.
+    #[test]
+    fn drr_conserves_requests(script in prop::collection::vec((0u8..4, 0u32..4, 1u32..3), 1..300)) {
+        let mut s = VirtualSlotScheduler::new(Params::default());
+        let mut next = 0u64;
+        let mut enqueued = 0usize;
+        let mut submitted = Vec::new();
+        let mut completed = 0usize;
+        for (kind, tenant, sz) in script {
+            match kind {
+                0 | 1 => {
+                    let op = if kind == 0 { IoType::Read } else { IoType::Write };
+                    s.on_arrival(req(next, tenant, op, sz * 4096), SimTime::ZERO);
+                    next += 1;
+                    enqueued += 1;
+                }
+                2 => {
+                    if let SchedPoll::Submit(r) = s.dequeue(3.0, |_| true) {
+                        submitted.push(r.cmd.id);
+                    }
+                }
+                _ => {
+                    if let Some(id) = submitted.pop() {
+                        s.on_completion(id);
+                        completed += 1;
+                    }
+                }
+            }
+        }
+        // Drain: everything left must come out exactly once.
+        loop {
+            match s.dequeue(3.0, |_| true) {
+                SchedPoll::Submit(r) => {
+                    submitted.push(r.cmd.id);
+                    s.on_completion(*submitted.last().unwrap());
+                    completed += 1;
+                    submitted.pop();
+                }
+                _ => break,
+            }
+            if submitted.len() + completed > enqueued {
+                break;
+            }
+        }
+        // Complete all in-flight.
+        for id in submitted.drain(..) {
+            s.on_completion(id);
+            completed += 1;
+        }
+        // Second drain after completions freed slots.
+        loop {
+            match s.dequeue(3.0, |_| true) {
+                SchedPoll::Submit(r) => {
+                    s.on_completion(r.cmd.id);
+                    completed += 1;
+                }
+                _ => break,
+            }
+        }
+        prop_assert_eq!(completed, enqueued, "requests lost or duplicated");
+        prop_assert_eq!(s.queued(), 0);
+    }
+
+    /// FTL map/rmap stay mutually consistent under random writes and
+    /// invalidations, and free-block accounting never goes negative.
+    #[test]
+    fn ftl_mapping_consistency(ops in prop::collection::vec((0u8..2, 0u64..2048), 1..400)) {
+        let cfg = SsdConfig {
+            logical_capacity: 64 * 1024 * 1024,
+            ..SsdConfig::default()
+        };
+        let mut ftl = Ftl::new(&cfg);
+        let dies = cfg.dies();
+        let mut die = 0u32;
+        for (kind, lpn) in ops {
+            match kind {
+                0 => {
+                    // Keep a couple of free blocks via opportunistic GC.
+                    if ftl.free_blocks(die) <= cfg.gc_low_watermark {
+                        if let Some(victim) = ftl.pick_victim(die) {
+                            let work = ftl.gc_work(victim);
+                            for k in work.valid_lpns {
+                                ftl.write_to_die(u64::from(k), die, true);
+                            }
+                            ftl.erase(victim);
+                        }
+                    }
+                    let addr = ftl.write_to_die(lpn, die, false);
+                    prop_assert_eq!(ftl.translate(lpn), Some(addr));
+                    die = (die + 1) % dies;
+                }
+                _ => {
+                    ftl.invalidate(lpn);
+                    prop_assert!(ftl.translate(lpn).is_none());
+                }
+            }
+        }
+        for d in 0..dies {
+            prop_assert!(ftl.free_blocks(d) <= cfg.blocks_per_die());
+        }
+    }
+
+    /// Zipfian draws always land in range and the most popular rank really
+    /// is rank 0 for heavy skew.
+    #[test]
+    fn zipfian_bounds(items in 2u64..50_000, seed in 0u64..1000) {
+        let z = Zipfian::new(items, 0.99);
+        let mut rng = SimRng::new(seed);
+        let mut zero = 0u64;
+        let n = 2_000;
+        for _ in 0..n {
+            let k = z.next(&mut rng);
+            prop_assert!(k < items);
+            if k == 0 {
+                zero += 1;
+            }
+        }
+        // Rank 0 gets at least its uniform share for any skewed keyspace.
+        prop_assert!(zero as f64 >= n as f64 / items as f64);
+    }
+
+    /// PCG is deterministic per seed and uniform-ish over small ranges.
+    #[test]
+    fn rng_gen_below_is_in_range(seed in 0u64..10_000, bound in 1u64..1_000_000) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = a.gen_below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.gen_below(bound));
+        }
+    }
+}
