@@ -19,9 +19,10 @@
 //! by the throttled dispatch depth alone; see DESIGN.md for the note.
 
 use gimbal_fabric::{IoType, TenantId};
+use gimbal_sim::collections::DetMap;
 use gimbal_sim::SimTime;
 use gimbal_switch::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Linear cost model and dispatch parameters.
 #[derive(Clone, Copy, Debug)]
@@ -73,7 +74,7 @@ struct Tenant {
 /// The FlashFQ-style target policy.
 pub struct FlashFqPolicy {
     cfg: FlashFqConfig,
-    tenants: HashMap<TenantId, Tenant>,
+    tenants: DetMap<TenantId, Tenant>,
     vtime: f64,
     queued: usize,
 }
@@ -83,7 +84,7 @@ impl FlashFqPolicy {
     pub fn new(cfg: FlashFqConfig) -> Self {
         FlashFqPolicy {
             cfg,
-            tenants: HashMap::new(),
+            tenants: DetMap::new(),
             vtime: 0.0,
             queued: 0,
         }
@@ -93,8 +94,7 @@ impl FlashFqPolicy {
     pub fn set_weight(&mut self, tenant: TenantId, weight: f64) {
         assert!(weight > 0.0);
         self.tenants
-            .entry(tenant)
-            .or_insert_with(|| Tenant {
+            .get_or_insert_with(tenant, || Tenant {
                 queue: VecDeque::new(),
                 last_finish: 0.0,
                 weight: 1.0,
@@ -112,7 +112,7 @@ impl Default for FlashFqPolicy {
 impl SwitchPolicy for FlashFqPolicy {
     fn on_arrival(&mut self, req: Request, _now: SimTime) {
         let vtime = self.vtime;
-        let t = self.tenants.entry(req.cmd.tenant).or_insert_with(|| Tenant {
+        let t = self.tenants.get_or_insert_with(req.cmd.tenant, || Tenant {
             queue: VecDeque::new(),
             last_finish: 0.0,
             weight: 1.0,
@@ -141,7 +141,13 @@ impl SwitchPolicy for FlashFqPolicy {
         let Some((start, tid)) = best else {
             return PolicyPoll::Idle;
         };
-        let (req, _) = self.tenants.get_mut(&tid).unwrap().queue.pop_front().unwrap();
+        let (req, _) = self
+            .tenants
+            .get_mut(&tid)
+            .unwrap()
+            .queue
+            .pop_front()
+            .unwrap();
         self.queued -= 1;
         self.vtime = self.vtime.max(start);
         PolicyPoll::Submit(req)
@@ -270,7 +276,10 @@ mod tests {
         let subs = drain(&mut p, 0, 40);
         let reads = subs.iter().filter(|r| r.cmd.opcode.is_read()).count();
         let writes = subs.len() - reads;
-        assert!((reads as i64 - writes as i64).abs() <= 2, "{reads} vs {writes}");
+        assert!(
+            (reads as i64 - writes as i64).abs() <= 2,
+            "{reads} vs {writes}"
+        );
     }
 
     #[test]

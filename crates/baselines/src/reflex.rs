@@ -15,9 +15,10 @@
 //!   target and tail latency grows under consolidation (§5.4).
 
 use gimbal_fabric::{IoType, TenantId};
+use gimbal_sim::collections::DetMap;
 use gimbal_sim::{SimDuration, SimTime, TokenBucket};
 use gimbal_switch::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Offline-profiled device model and scheduler parameters.
 #[derive(Clone, Copy, Debug)]
@@ -72,7 +73,7 @@ struct Tenant {
 /// The ReFlex-style target policy.
 pub struct ReflexPolicy {
     cfg: ReflexConfig,
-    tenants: HashMap<TenantId, Tenant>,
+    tenants: DetMap<TenantId, Tenant>,
     active: VecDeque<TenantId>,
     bucket: TokenBucket,
     queued: usize,
@@ -86,9 +87,12 @@ impl ReflexPolicy {
         let scale = 1000u64;
         ReflexPolicy {
             cfg,
-            tenants: HashMap::new(),
+            tenants: DetMap::new(),
             active: VecDeque::new(),
-            bucket: TokenBucket::with_rate(cfg.token_rate * scale as f64, cfg.bucket_tokens * scale),
+            bucket: TokenBucket::with_rate(
+                cfg.token_rate * scale as f64,
+                cfg.bucket_tokens * scale,
+            ),
             queued: 0,
         }
     }
@@ -107,7 +111,7 @@ impl Default for ReflexPolicy {
 impl SwitchPolicy for ReflexPolicy {
     fn on_arrival(&mut self, req: Request, _now: SimTime) {
         let id = req.cmd.tenant;
-        let t = self.tenants.entry(id).or_insert_with(|| Tenant {
+        let t = self.tenants.get_or_insert_with(id, || Tenant {
             queue: VecDeque::new(),
             deficit: 0.0,
         });

@@ -7,6 +7,9 @@
 
 use std::time::Instant;
 
+/// A quick-mode figure harness: takes `quick` and prints the paper's rows.
+type FigRun = fn(bool);
+
 fn main() {
     // Respect `cargo bench -- <filter>`: run only figures whose name
     // contains the filter string. The `--bench` flag cargo passes is
@@ -17,26 +20,53 @@ fn main() {
         .collect();
     let want = |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
 
-    let figs: Vec<(&str, fn(bool))> = vec![
-        ("fig02_unloaded_latency", gimbal_bench::figs::fig02_unloaded_latency::run),
-        ("fig03_cores_throughput", gimbal_bench::figs::fig03_cores_throughput::run),
-        ("fig04_interference", gimbal_bench::figs::fig04_interference::run),
-        ("fig06_utilization", gimbal_bench::figs::fig06_utilization::run),
+    let figs: Vec<(&str, FigRun)> = vec![
+        (
+            "fig02_unloaded_latency",
+            gimbal_bench::figs::fig02_unloaded_latency::run,
+        ),
+        (
+            "fig03_cores_throughput",
+            gimbal_bench::figs::fig03_cores_throughput::run,
+        ),
+        (
+            "fig04_interference",
+            gimbal_bench::figs::fig04_interference::run,
+        ),
+        (
+            "fig06_utilization",
+            gimbal_bench::figs::fig06_utilization::run,
+        ),
         ("fig07_fairness", gimbal_bench::figs::fig07_fairness::run),
         ("fig08_latency", gimbal_bench::figs::fig08_latency::run),
         ("fig09_dynamic", gimbal_bench::figs::fig09_dynamic::run),
         ("fig10_ycsb", gimbal_bench::figs::fig10_ycsb::run),
-        ("fig11_12_scalability", gimbal_bench::figs::fig11_12_scalability::run),
-        ("fig13_virtual_view", gimbal_bench::figs::fig13_virtual_view::run),
+        (
+            "fig11_12_scalability",
+            gimbal_bench::figs::fig11_12_scalability::run,
+        ),
+        (
+            "fig13_virtual_view",
+            gimbal_bench::figs::fig13_virtual_view::run,
+        ),
         ("fig14_bathtub", gimbal_bench::figs::fig14_bathtub::run),
-        ("fig15_read_latency", gimbal_bench::figs::fig15_read_latency::run),
+        (
+            "fig15_read_latency",
+            gimbal_bench::figs::fig15_read_latency::run,
+        ),
         ("fig16_percost", gimbal_bench::figs::fig16_percost::run),
-        ("fig17_congestion", gimbal_bench::figs::fig17_congestion::run),
+        (
+            "fig17_congestion",
+            gimbal_bench::figs::fig17_congestion::run,
+        ),
         ("fig18_threshold", gimbal_bench::figs::fig18_threshold::run),
         ("fig19_intensity", gimbal_bench::figs::fig19_intensity::run),
         ("fig20_iosize", gimbal_bench::figs::fig20_iosize::run),
         ("fig21_pattern", gimbal_bench::figs::fig21_pattern::run),
-        ("fig22_23_mixed_latency", gimbal_bench::figs::fig22_23_mixed_latency::run),
+        (
+            "fig22_23_mixed_latency",
+            gimbal_bench::figs::fig22_23_mixed_latency::run,
+        ),
         ("tab1_overheads", gimbal_bench::figs::tab1_overheads::run),
         ("tab2_comparison", gimbal_bench::figs::tab2_comparison::run),
         ("gen_p3600", gimbal_bench::figs::gen_p3600::run),

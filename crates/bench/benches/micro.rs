@@ -1,11 +1,15 @@
-//! Criterion micro-benchmarks for the per-IO-cost-critical components.
+//! Micro-benchmarks for the per-IO-cost-critical components.
 //!
 //! The paper's whole premise is that a SmartNIC core gives Gimbal about a
 //! microsecond per IO (§2.4, Table 1); these benchmarks check that the
 //! *reimplemented* data structures stay well inside that envelope per
 //! operation on commodity hardware.
+//!
+//! This is a `harness = false` target with a small built-in timing loop
+//! (median of several repetitions of a fixed batch) so it needs no external
+//! benchmark framework. Run with `cargo bench --bench micro`; pass a filter
+//! string to run a subset: `cargo bench --bench micro -- drr`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gimbal_core::{GimbalPolicy, LatencyMonitor, Params, VirtualSlotScheduler, WriteCostEstimator};
 use gimbal_fabric::{CmdId, IoType, NvmeCmd, Priority, SsdId, TenantId};
 use gimbal_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime, TokenBucket};
@@ -13,6 +17,7 @@ use gimbal_ssd::{FlashSsd, SsdConfig, StorageDevice};
 use gimbal_switch::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
 use gimbal_workload::Zipfian;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
     Request {
@@ -30,95 +35,116 @@ fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
     }
 }
 
-fn bench_sim_primitives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim");
-    g.bench_function("rng_next_u64", |b| {
+/// Time `iters` calls of `f`, repeated `REPS` times; report the median
+/// nanoseconds per call. Coarse compared to a statistical harness, but
+/// plenty to confirm "well under a microsecond".
+fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) {
+    const REPS: usize = 7;
+    // Warm-up.
+    for _ in 0..iters / 4 {
+        f();
+    }
+    let mut samples = [0f64; REPS];
+    for s in samples.iter_mut() {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        *s = t.elapsed().as_nanos() as f64 / iters as f64;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    println!("{name:<40} {:>10.1} ns/op", samples[REPS / 2]);
+}
+
+fn bench_sim_primitives(want: &dyn Fn(&str) -> bool) {
+    if want("sim/rng_next_u64") {
         let mut rng = SimRng::new(1);
-        b.iter(|| black_box(rng.next_u64()));
-    });
-    g.bench_function("event_queue_push_pop", |b| {
+        bench("sim/rng_next_u64", 2_000_000, || {
+            black_box(rng.next_u64());
+        });
+    }
+    if want("sim/event_queue_push_pop") {
         let mut q: EventQueue<u64> = EventQueue::new();
         let mut t = 0u64;
-        b.iter(|| {
+        bench("sim/event_queue_push_pop", 1_000_000, || {
             t += 100;
             q.push(SimTime::from_nanos(t), t);
             if q.len() > 64 {
                 black_box(q.pop());
             }
         });
-    });
-    g.bench_function("histogram_record", |b| {
+    }
+    if want("sim/histogram_record") {
         let mut h = Histogram::new();
         let mut v = 1u64;
-        b.iter(|| {
+        bench("sim/histogram_record", 2_000_000, || {
             v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
             h.record(black_box(v >> 40));
         });
-    });
-    g.bench_function("histogram_p999", |b| {
+    }
+    if want("sim/histogram_p999") {
         let mut h = Histogram::new();
         for i in 0..100_000u64 {
             h.record(i % 10_000);
         }
-        b.iter(|| black_box(h.quantile(0.999)));
-    });
-    g.bench_function("token_bucket_cycle", |b| {
+        bench("sim/histogram_p999", 100_000, || {
+            black_box(h.quantile(0.999));
+        });
+    }
+    if want("sim/token_bucket_cycle") {
         let mut tb = TokenBucket::with_rate(1e9, 1 << 20);
         let mut t = 0u64;
-        b.iter(|| {
+        bench("sim/token_bucket_cycle", 1_000_000, || {
             t += 1_000;
             tb.refill(SimTime::from_nanos(t));
             black_box(tb.try_consume(4096));
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_gimbal_components(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gimbal");
-    g.bench_function("latency_monitor_update", |b| {
+fn bench_gimbal_components(want: &dyn Fn(&str) -> bool) {
+    if want("gimbal/latency_monitor_update") {
         let mut m = LatencyMonitor::new(&Params::default());
         let mut lat = 100u64;
-        b.iter(|| {
+        bench("gimbal/latency_monitor_update", 1_000_000, || {
             lat = (lat * 13) % 1500 + 50;
             black_box(m.update(SimDuration::from_micros(lat)));
         });
-    });
-    g.bench_function("write_cost_update", |b| {
+    }
+    if want("gimbal/write_cost_update") {
         let mut e = WriteCostEstimator::new(&Params::default());
         let mut t = 0u64;
-        b.iter(|| {
+        bench("gimbal/write_cost_update", 1_000_000, || {
             t += 50_000;
-            e.on_write_completion(SimTime::from_nanos(t), t % 3 == 0);
+            e.on_write_completion(SimTime::from_nanos(t), t.is_multiple_of(3));
             black_box(e.cost());
         });
-    });
-    g.bench_function("drr_dequeue_complete_16_tenants", |b| {
-        b.iter_batched(
-            || {
-                let mut s = VirtualSlotScheduler::new(Params::default());
-                for i in 0..256u64 {
-                    s.on_arrival(req(i, (i % 16) as u32, IoType::Read, 4096), SimTime::ZERO);
+    }
+    if want("gimbal/drr_dequeue_complete_16_tenants") {
+        // Keep the scheduler loaded: top it back up each batch.
+        let mut s = VirtualSlotScheduler::new(Params::default());
+        let mut next_id = 0u64;
+        bench("gimbal/drr_dequeue_complete_16_tenants", 20_000, || {
+            while s.queued() < 256 {
+                s.on_arrival(
+                    req(next_id, (next_id % 16) as u32, IoType::Read, 4096),
+                    SimTime::ZERO,
+                );
+                next_id += 1;
+            }
+            for _ in 0..64 {
+                if let gimbal_core::scheduler::SchedPoll::Submit(r) = s.dequeue(1.5, |_| true) {
+                    s.on_completion(r.cmd.id);
                 }
-                s
-            },
-            |mut s| {
-                for _ in 0..64 {
-                    if let gimbal_core::scheduler::SchedPoll::Submit(r) = s.dequeue(1.5, |_| true)
-                    {
-                        s.on_completion(r.cmd.id);
-                    }
-                }
-                black_box(s.queued())
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    g.bench_function("full_policy_submit_complete", |b| {
+            }
+            black_box(s.queued());
+        });
+    }
+    if want("gimbal/full_policy_submit_complete") {
         let mut p = GimbalPolicy::with_defaults(SsdId(0));
         let mut id = 0u64;
         let mut t = 0u64;
-        b.iter(|| {
+        bench("gimbal/full_policy_submit_complete", 500_000, || {
             t += 2_500;
             let now = SimTime::from_nanos(t);
             p.on_arrival(req(id, (id % 4) as u32, IoType::Read, 4096), now);
@@ -133,18 +159,18 @@ fn bench_gimbal_components(c: &mut Criterion) {
             }
             id += 1;
         });
-    });
-    g.finish();
+    }
 }
 
-fn bench_substrates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrates");
-    g.bench_function("zipfian_draw", |b| {
+fn bench_substrates(want: &dyn Fn(&str) -> bool) {
+    if want("substrates/zipfian_draw") {
         let z = Zipfian::new(1_000_000, 0.99);
         let mut rng = SimRng::new(5);
-        b.iter(|| black_box(z.next(&mut rng)));
-    });
-    g.bench_function("flash_ssd_4k_read_cycle", |b| {
+        bench("substrates/zipfian_draw", 1_000_000, || {
+            black_box(z.next(&mut rng));
+        });
+    }
+    if want("substrates/flash_ssd_4k_read_cycle") {
         let cfg = SsdConfig {
             logical_capacity: 256 * 1024 * 1024,
             ..SsdConfig::default()
@@ -155,20 +181,29 @@ fn bench_substrates(c: &mut Criterion) {
         let mut rng = SimRng::new(2);
         let mut tag = 0u64;
         let mut t = 0u64;
-        b.iter(|| {
+        bench("substrates/flash_ssd_4k_read_cycle", 200_000, || {
             t += 2_500;
-            ssd.submit(tag, IoType::Read, rng.gen_below(cap), 4096, SimTime::from_nanos(t));
+            ssd.submit(
+                tag,
+                IoType::Read,
+                rng.gen_below(cap),
+                4096,
+                SimTime::from_nanos(t),
+            );
             tag += 1;
             black_box(ssd.poll(SimTime::from_nanos(t)).len());
         });
-    });
-    g.finish();
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_sim_primitives,
-    bench_gimbal_components,
-    bench_substrates
-);
-criterion_main!(benches);
+fn main() {
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let want =
+        move |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
+    bench_sim_primitives(&want);
+    bench_gimbal_components(&want);
+    bench_substrates(&want);
+}

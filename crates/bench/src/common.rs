@@ -64,7 +64,10 @@ pub fn standalone_bw(mut fio: FioSpec, pre: Precondition, quick: bool) -> f64 {
 /// warmup long enough for Gimbal's rate ramp (~0.4 s).
 pub fn durations(quick: bool) -> (SimDuration, SimDuration) {
     if quick {
-        (SimDuration::from_millis(1400), SimDuration::from_millis(700))
+        (
+            SimDuration::from_millis(1400),
+            SimDuration::from_millis(700),
+        )
     } else {
         (SimDuration::from_secs(3), SimDuration::from_millis(1000))
     }

@@ -71,18 +71,18 @@ fn write_burst(params: Params, quick: bool) -> Row {
     for i in 0..8 {
         let r = Region::slice(i, n, CAP_BLOCKS);
         workers.push(
-            WorkerSpec::new(
-                "read",
-                FioSpec::paper_default(1.0, 4096, r.start, r.blocks),
-            )
-            .active(SimTime::ZERO, Some(burst_at)),
+            WorkerSpec::new("read", FioSpec::paper_default(1.0, 4096, r.start, r.blocks))
+                .active(SimTime::ZERO, Some(burst_at)),
         );
     }
     for i in 8..16 {
         let r = Region::slice(i, n, CAP_BLOCKS);
         workers.push(
-            WorkerSpec::new("write", FioSpec::paper_default(0.0, 4096, r.start, r.blocks))
-                .active(burst_at, None),
+            WorkerSpec::new(
+                "write",
+                FioSpec::paper_default(0.0, 4096, r.start, r.blocks),
+            )
+            .active(burst_at, None),
         );
     }
     let cfg = TestbedConfig {

@@ -43,6 +43,7 @@ fn run_with_slots(slots: u32, tenants: u32, quick: bool) -> (f64, f64) {
     let bws: Vec<f64> = res.workers.iter().map(|w| w.bandwidth_bps()).collect();
     let sum: f64 = bws.iter().sum();
     let sum_sq: f64 = bws.iter().map(|b| b * b).sum();
+    // lint: allow(float-eq) — exact-zero guard before division, not a tolerance check
     let jain = if sum_sq == 0.0 {
         1.0
     } else {
@@ -58,7 +59,11 @@ pub fn run(quick: bool) {
         "{:>7} {:>18} {:>18} {:>14}",
         "Slots", "1-tenant MB/s", "16-tenant MB/s", "Jain fairness"
     );
-    let sweep: &[u32] = if quick { &[2, 8, 32] } else { &[1, 2, 4, 8, 16, 32] };
+    let sweep: &[u32] = if quick {
+        &[2, 8, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
     for &slots in sweep {
         let (solo, _) = run_with_slots(slots, 1, quick);
         let (multi, jain) = run_with_slots(slots, 16, quick);

@@ -79,7 +79,11 @@ pub fn run(quick: bool) {
     ];
     for (case, io, pre) in [
         ("Fragmented 4KB read", 4096u64, Precondition::Fragmented),
-        ("Fragmented 4KB 70/30 R/W mix", 0u64, Precondition::Fragmented),
+        (
+            "Fragmented 4KB 70/30 R/W mix",
+            0u64,
+            Precondition::Fragmented,
+        ),
         ("Clean 128KB read", 128 * 1024, Precondition::Clean),
     ] {
         println!("\n-- {case} --");

@@ -54,7 +54,11 @@ pub fn run(quick: bool) {
         "{:>6} {:>14} {:>16} {:>14} {:>16}",
         "Cores", "Server-RND-RD", "SmartNIC-RND-RD", "Server-SEQ-WR", "SmartNIC-SEQ-WR"
     );
-    let cores: &[u32] = if quick { &[1, 2, 3, 4, 8] } else { &[1, 2, 3, 4, 5, 6, 7, 8] };
+    let cores: &[u32] = if quick {
+        &[1, 2, 3, 4, 8]
+    } else {
+        &[1, 2, 3, 4, 5, 6, 7, 8]
+    };
     for &c in cores {
         println!(
             "{:>6} {:>8.0} KIOPS {:>10.0} KIOPS {:>8.0} KIOPS {:>10.0} KIOPS",

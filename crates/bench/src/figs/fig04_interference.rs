@@ -20,14 +20,47 @@ struct Neighbor {
 pub fn run(quick: bool) {
     println_header("Figure 4: victim (4KB-RD QD32) vs neighbor types (vanilla target)");
     let neighbors = [
-        Neighbor { label: "4KB-RD QD32", io_kb: 4, op: IoType::Read, qd: 32 },
-        Neighbor { label: "4KB-RD QD128", io_kb: 4, op: IoType::Read, qd: 128 },
-        Neighbor { label: "128KB-RD QD1", io_kb: 128, op: IoType::Read, qd: 1 },
-        Neighbor { label: "128KB-RD QD8", io_kb: 128, op: IoType::Read, qd: 8 },
-        Neighbor { label: "4KB-WR QD32", io_kb: 4, op: IoType::Write, qd: 32 },
-        Neighbor { label: "4KB-WR QD128", io_kb: 4, op: IoType::Write, qd: 128 },
+        Neighbor {
+            label: "4KB-RD QD32",
+            io_kb: 4,
+            op: IoType::Read,
+            qd: 32,
+        },
+        Neighbor {
+            label: "4KB-RD QD128",
+            io_kb: 4,
+            op: IoType::Read,
+            qd: 128,
+        },
+        Neighbor {
+            label: "128KB-RD QD1",
+            io_kb: 128,
+            op: IoType::Read,
+            qd: 1,
+        },
+        Neighbor {
+            label: "128KB-RD QD8",
+            io_kb: 128,
+            op: IoType::Read,
+            qd: 8,
+        },
+        Neighbor {
+            label: "4KB-WR QD32",
+            io_kb: 4,
+            op: IoType::Write,
+            qd: 32,
+        },
+        Neighbor {
+            label: "4KB-WR QD128",
+            io_kb: 4,
+            op: IoType::Write,
+            qd: 128,
+        },
     ];
-    println!("{:>14} {:>14} {:>14}", "Neighbor", "Victim MB/s", "Neighbor MB/s");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "Neighbor", "Victim MB/s", "Neighbor MB/s"
+    );
     let (duration, warmup) = durations(quick);
     for n in &neighbors {
         let victim_region = Region::slice(0, 2, CAP_BLOCKS);

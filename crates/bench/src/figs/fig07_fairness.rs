@@ -53,28 +53,52 @@ pub fn mixes() -> [Mix; 3] {
             name: "(a/d) Clean: 4KB vs 128KB read",
             pre: Precondition::Clean,
             groups: [
-                Group { label: "4KB", count: 16, fio: spec(1.0, 4096, false) },
-                Group { label: "128KB", count: 4, fio: spec(1.0, 128 * 1024, false) },
+                Group {
+                    label: "4KB",
+                    count: 16,
+                    fio: spec(1.0, 4096, false),
+                },
+                Group {
+                    label: "128KB",
+                    count: 4,
+                    fio: spec(1.0, 128 * 1024, false),
+                },
             ],
         },
         Mix {
             name: "(b/e) Clean: 128KB read vs write",
             pre: Precondition::Clean,
             groups: [
-                Group { label: "Read", count: 16, fio: spec(1.0, 128 * 1024, true) },
-                Group { label: "Write", count: 16, fio: {
-                    let mut f = spec(0.0, 128 * 1024, false);
-                    f.write_pattern = AccessPattern::Random; // 128KB *random* write
-                    f
-                } },
+                Group {
+                    label: "Read",
+                    count: 16,
+                    fio: spec(1.0, 128 * 1024, true),
+                },
+                Group {
+                    label: "Write",
+                    count: 16,
+                    fio: {
+                        let mut f = spec(0.0, 128 * 1024, false);
+                        f.write_pattern = AccessPattern::Random; // 128KB *random* write
+                        f
+                    },
+                },
             ],
         },
         Mix {
             name: "(c/f) Fragmented: 4KB read vs write",
             pre: Precondition::Fragmented,
             groups: [
-                Group { label: "Read", count: 16, fio: spec(1.0, 4096, false) },
-                Group { label: "Write", count: 16, fio: spec(0.0, 4096, false) },
+                Group {
+                    label: "Read",
+                    count: 16,
+                    fio: spec(1.0, 4096, false),
+                },
+                Group {
+                    label: "Write",
+                    count: 16,
+                    fio: spec(0.0, 4096, false),
+                },
             ],
         },
     ]

@@ -44,9 +44,7 @@ pub fn run(quick: bool) {
         // Reader i stops at step × (8 + i) (first-started drops first once
         // the drop phase begins).
         let stop = SimTime::ZERO + step * u64::from(writers + i);
-        specs.push(
-            WorkerSpec::new("reader", fio).active(SimTime::ZERO, Some(stop)),
-        );
+        specs.push(WorkerSpec::new("reader", fio).active(SimTime::ZERO, Some(stop)));
     }
     for j in 0..writers {
         let r = Region::slice(readers + j, total, CAP_BLOCKS);

@@ -13,7 +13,11 @@ use gimbal_workload::YcsbMix;
 /// Run the experiment and print both figures' series.
 pub fn run(quick: bool) {
     println_header("Figures 11/12: scalability with DB instances (Gimbal)");
-    let counts: &[u32] = if quick { &[2, 6, 10] } else { &[4, 8, 12, 16, 20, 24] };
+    let counts: &[u32] = if quick {
+        &[2, 6, 10]
+    } else {
+        &[4, 8, 12, 16, 20, 24]
+    };
     println!(
         "{:>8} {:>10} {:>12} {:>14}",
         "Mix", "Instances", "KIOPS", "Avg RD (us)"

@@ -13,10 +13,7 @@ use gimbal_workload::YcsbMix;
 /// Run the experiment and print the three bars per mix.
 pub fn run(quick: bool) {
     println_header("Figure 13: virtual-view optimizations (Gimbal, 1 JBOF, 8 instances)");
-    println!(
-        "{:>8} {:>18} {:>16}",
-        "Mix", "Variant", "p99.9 RD (us)"
-    );
+    println!("{:>8} {:>18} {:>16}", "Mix", "Variant", "p99.9 RD (us)");
     for mix in YcsbMix::ALL {
         for (label, fc, lb) in [
             ("Vanilla", false, false),

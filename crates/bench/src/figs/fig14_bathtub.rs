@@ -33,12 +33,17 @@ fn split_bw(pre: Precondition, read_ratio: f64, quick: bool) -> (f64, f64) {
     // Split by op using per-worker op counts is not tracked per type; infer
     // from the ratio: measure via read/write latency counts × 4 KB.
     let window = res.workers[0].window.as_secs_f64();
-    let read_bytes: u64 = res.workers.iter().map(|w| w.read_latency.count * 4096).sum();
-    let write_bytes: u64 = res.workers.iter().map(|w| w.write_latency.count * 4096).sum();
-    (
-        read_bytes as f64 / window,
-        write_bytes as f64 / window,
-    )
+    let read_bytes: u64 = res
+        .workers
+        .iter()
+        .map(|w| w.read_latency.count * 4096)
+        .sum();
+    let write_bytes: u64 = res
+        .workers
+        .iter()
+        .map(|w| w.write_latency.count * 4096)
+        .sum();
+    (read_bytes as f64 / window, write_bytes as f64 / window)
 }
 
 /// Run the experiment and print both condition curves.

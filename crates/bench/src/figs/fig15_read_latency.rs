@@ -46,7 +46,11 @@ pub fn run(quick: bool) {
         "{:>8} {:>10} {:>12} {:>12} {:>10}",
         "IO (KB)", "Vanilla", "Fragmented", "70/30 R/W", "QD8"
     );
-    let sizes: &[u64] = if quick { &[4, 32, 128, 256] } else { &[4, 8, 16, 32, 64, 128, 256] };
+    let sizes: &[u64] = if quick {
+        &[4, 32, 128, 256]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256]
+    };
     for &kb in sizes {
         println!(
             "{:>8} {:>8.0}us {:>10.0}us {:>10.0}us {:>8.0}us",

@@ -55,7 +55,11 @@ pub fn run(quick: bool) {
         "{:>8} {:>12} {:>12} {:>12} {:>12}",
         "IO (KB)", "S1 RND-RD", "S2 RND-RD", "S1 SEQ-WR", "S2 SEQ-WR"
     );
-    let sizes: &[u64] = if quick { &[4, 32, 128] } else { &[4, 8, 16, 32, 64, 128, 256] };
+    let sizes: &[u64] = if quick {
+        &[4, 32, 128]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256]
+    };
     for &kb in sizes {
         let (r1, r2) = pair_bw(kb, IoType::Read, quick);
         let (w1, w2) = pair_bw(kb, IoType::Write, quick);

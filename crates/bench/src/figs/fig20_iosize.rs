@@ -53,7 +53,11 @@ pub fn run(quick: bool) {
         "{:>10} {:>10} {:>10} {:>10} {:>10}",
         "S2 (KB)", "rnd read", "seq read", "rnd write", "seq write"
     );
-    let sizes: &[u64] = if quick { &[4, 32, 128] } else { &[4, 8, 16, 32, 64, 128] };
+    let sizes: &[u64] = if quick {
+        &[4, 32, 128]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
     for &kb in sizes {
         println!(
             "{:>10} {:>8.0}MB {:>8.0}MB {:>8.0}MB {:>8.0}MB",

@@ -68,7 +68,11 @@ pub fn run(quick: bool) {
         "{:>8} {:>13} {:>16} {:>13} {:>16}",
         "IO (KB)", "RND read", "RND read+write", "SEQ read", "SEQ read+write"
     );
-    let sizes: &[u64] = if quick { &[4, 32, 128] } else { &[4, 8, 16, 32, 64, 128, 256] };
+    let sizes: &[u64] = if quick {
+        &[4, 32, 128]
+    } else {
+        &[4, 8, 16, 32, 64, 128, 256]
+    };
     for &kb in sizes {
         println!(
             "{:>8} {:>11.0}MB {:>14.0}MB {:>11.0}MB {:>14.0}MB",

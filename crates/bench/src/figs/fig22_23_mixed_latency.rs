@@ -76,7 +76,11 @@ fn foreground_lat(
 
 /// Run both figures.
 pub fn run(quick: bool) {
-    let sizes: &[u64] = if quick { &[0, 16, 128] } else { &[0, 4, 8, 16, 32, 64, 128, 256] };
+    let sizes: &[u64] = if quick {
+        &[0, 16, 128]
+    } else {
+        &[0, 4, 8, 16, 32, 64, 128, 256]
+    };
 
     println_header("Figure 22: 4KB random read vs background writes of growing size");
     println!(

@@ -34,7 +34,10 @@ fn rw_futils(pre: Precondition, io: u64, quick: bool) -> (f64, f64) {
             fio.write_pattern = AccessPattern::Random;
         }
         specs.push(fio);
-        workers.push(WorkerSpec::new(if i < n / 2 { "read" } else { "write" }, fio));
+        workers.push(WorkerSpec::new(
+            if i < n / 2 { "read" } else { "write" },
+            fio,
+        ));
     }
     let (duration, warmup) = durations(quick);
     let cfg = TestbedConfig {
@@ -65,7 +68,10 @@ fn standalone_bw_p3600(mut fio: FioSpec, pre: Precondition) -> f64 {
         warmup: gimbal_sim::SimDuration::from_millis(150),
         ..TestbedConfig::default()
     };
-    Testbed::new(cfg, vec![WorkerSpec::new("solo", fio)]).run().workers[0].bandwidth_bps()
+    Testbed::new(cfg, vec![WorkerSpec::new("solo", fio)])
+        .run()
+        .workers[0]
+        .bandwidth_bps()
 }
 
 /// Run the generalization study.
@@ -87,9 +93,18 @@ pub fn run(quick: bool) {
         p / 1e6,
         (p - d) / d * 100.0
     );
-    println!("\n{:>14} {:>12} {:>12}", "Condition", "read f-Util", "write f-Util");
+    println!(
+        "\n{:>14} {:>12} {:>12}",
+        "Condition", "read f-Util", "write f-Util"
+    );
     let (crd, cwr) = rw_futils(Precondition::Clean, 128 * 1024, quick);
-    println!("{:>14} {:>12.2} {:>12.2}  (paper: 0.63 / 0.72)", "Clean 128KB", crd, cwr);
+    println!(
+        "{:>14} {:>12.2} {:>12.2}  (paper: 0.63 / 0.72)",
+        "Clean 128KB", crd, cwr
+    );
     let (frd, fwr) = rw_futils(Precondition::Fragmented, 4096, quick);
-    println!("{:>14} {:>12.2} {:>12.2}  (paper: 0.58 / 0.90)", "Frag 4KB", frd, fwr);
+    println!(
+        "{:>14} {:>12.2} {:>12.2}  (paper: 0.58 / 0.90)",
+        "Frag 4KB", frd, fwr
+    );
 }

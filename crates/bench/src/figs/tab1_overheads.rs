@@ -38,7 +38,14 @@ fn null_kiops(cost: CpuCost, cores: u32, quick: bool) -> f64 {
         null_device: true,
     };
     let mut pipes: Vec<Pipeline<NullDevice>> = (0..cores)
-        .map(|i| Pipeline::new(SsdId(i), NullDevice::new(), Box::new(FifoPolicy::new()), cfg.clone()))
+        .map(|i| {
+            Pipeline::new(
+                SsdId(i),
+                NullDevice::new(),
+                Box::new(FifoPolicy::new()),
+                cfg.clone(),
+            )
+        })
         .collect();
     let mut id = 0u64;
     for p in &mut pipes {
@@ -74,10 +81,26 @@ pub fn run(quick: bool) {
     println_header("Table 1a: per-IO CPU cycles (125 cycles = 1us)");
     println!("{:<28} {:>10} {:>10}", "", "Vanilla", "Gimbal");
     let rows = [
-        ("1 worker (QD1)  submit", CpuCost::arm_vanilla_qd1().submit, CpuCost::arm_gimbal_qd1().submit),
-        ("1 worker (QD1)  complete", CpuCost::arm_vanilla_qd1().complete, CpuCost::arm_gimbal_qd1().complete),
-        ("16 workers (QD32) submit", CpuCost::arm_vanilla().submit, CpuCost::arm_gimbal().submit),
-        ("16 workers (QD32) complete", CpuCost::arm_vanilla().complete, CpuCost::arm_gimbal().complete),
+        (
+            "1 worker (QD1)  submit",
+            CpuCost::arm_vanilla_qd1().submit,
+            CpuCost::arm_gimbal_qd1().submit,
+        ),
+        (
+            "1 worker (QD1)  complete",
+            CpuCost::arm_vanilla_qd1().complete,
+            CpuCost::arm_gimbal_qd1().complete,
+        ),
+        (
+            "16 workers (QD32) submit",
+            CpuCost::arm_vanilla().submit,
+            CpuCost::arm_gimbal().submit,
+        ),
+        (
+            "16 workers (QD32) complete",
+            CpuCost::arm_vanilla().complete,
+            CpuCost::arm_gimbal().complete,
+        ),
     ];
     for (label, v, g) in rows {
         println!(

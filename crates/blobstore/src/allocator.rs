@@ -69,7 +69,7 @@ pub struct HierarchicalAllocator {
 impl HierarchicalAllocator {
     /// Create an allocator over backends of the given capacities (blocks).
     pub fn new(cfg: HbaConfig, capacities: &[u64]) -> Self {
-        assert!(cfg.micro_blocks > 0 && cfg.mega_blocks % cfg.micro_blocks == 0);
+        assert!(cfg.micro_blocks > 0 && cfg.mega_blocks.is_multiple_of(cfg.micro_blocks));
         assert!(!capacities.is_empty());
         let backends = capacities
             .iter()
@@ -164,7 +164,9 @@ impl HierarchicalAllocator {
     pub fn free_micro(&mut self, addr: BlobAddr) {
         assert_eq!(addr.blocks, self.cfg.micro_blocks);
         assert!(addr.lba + addr.blocks <= self.backends[addr.backend.index()].capacity_blocks);
-        self.backends[addr.backend.index()].local_free.push_back(addr);
+        self.backends[addr.backend.index()]
+            .local_free
+            .push_back(addr);
     }
 }
 
@@ -195,7 +197,10 @@ mod tests {
         for _ in 0..total_micros {
             assert!(a.alloc_micro_on(BackendId(0)).is_some());
         }
-        assert!(a.alloc_micro_on(BackendId(0)).is_none(), "capacity exhausted");
+        assert!(
+            a.alloc_micro_on(BackendId(0)).is_none(),
+            "capacity exhausted"
+        );
         assert!(!a.can_alloc(BackendId(0)));
     }
 
@@ -225,7 +230,9 @@ mod tests {
         let m = a.alloc_micro(|b| scores[b.index()], None).unwrap();
         assert_eq!(m.backend, BackendId(1));
         // Excluding the best falls back to the next.
-        let m2 = a.alloc_micro(|b| scores[b.index()], Some(BackendId(1))).unwrap();
+        let m2 = a
+            .alloc_micro(|b| scores[b.index()], Some(BackendId(1)))
+            .unwrap();
         assert_eq!(m2.backend, BackendId(2));
     }
 

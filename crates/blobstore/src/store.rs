@@ -8,7 +8,7 @@
 
 use crate::allocator::{BackendId, BlobAddr, HierarchicalAllocator};
 use gimbal_fabric::IoType;
-use std::collections::HashMap;
+use gimbal_sim::collections::DetMap;
 
 /// A blobstore file handle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -37,7 +37,7 @@ struct File {
 /// The blobstore: file namespace + allocation + IO planning.
 pub struct Blobstore {
     alloc: HierarchicalAllocator,
-    files: HashMap<FileId, File>,
+    files: DetMap<FileId, File>,
     next_file: u64,
     replicate: bool,
 }
@@ -46,10 +46,13 @@ impl Blobstore {
     /// Create a store over `alloc`. `replicate` enables primary+shadow
     /// pairs (requires ≥ 2 backends).
     pub fn new(alloc: HierarchicalAllocator, replicate: bool) -> Self {
-        assert!(!replicate || alloc.backend_count() >= 2, "replication needs 2+ backends");
+        assert!(
+            !replicate || alloc.backend_count() >= 2,
+            "replication needs 2+ backends"
+        );
         Blobstore {
             alloc,
-            files: HashMap::new(),
+            files: DetMap::new(),
             next_file: 0,
             replicate,
         }
@@ -68,7 +71,11 @@ impl Blobstore {
     /// Create a file of `blocks` logical blocks. `score` is the load-aware
     /// backend preference (credit view). Returns `None` when the pool is
     /// out of space.
-    pub fn create_file<F: Fn(BackendId) -> f64>(&mut self, blocks: u64, score: F) -> Option<FileId> {
+    pub fn create_file<F: Fn(BackendId) -> f64>(
+        &mut self,
+        blocks: u64,
+        score: F,
+    ) -> Option<FileId> {
         let micro = self.alloc.micro_blocks();
         let n = blocks.div_ceil(micro).max(1);
         let mut micros = Vec::with_capacity(n as usize);
@@ -106,7 +113,7 @@ impl Blobstore {
 
     /// File size in blocks.
     pub fn file_blocks(&self, id: FileId) -> u64 {
-        self.files[&id].size_blocks
+        self.files.get(&id).expect("live file").size_blocks
     }
 
     /// Number of live files.
@@ -116,7 +123,7 @@ impl Blobstore {
 
     /// The replica backends holding the micro at `offset_blocks`.
     pub fn replicas_at(&self, id: FileId, offset_blocks: u64) -> [BackendId; 2] {
-        let f = &self.files[&id];
+        let f = self.files.get(&id).expect("live file");
         let micro = self.alloc.micro_blocks();
         let pair = f.micros[(offset_blocks / micro) as usize];
         [pair[0].backend, pair[1].backend]
@@ -130,7 +137,7 @@ impl Blobstore {
         op: IoType,
         pick: impl Fn(&[BlobAddr; 2]) -> Vec<BlobAddr>,
     ) -> Vec<IoPlan> {
-        let f = &self.files[&id];
+        let f = self.files.get(&id).expect("live file");
         assert!(offset + blocks <= f.size_blocks, "IO beyond file size");
         let micro = self.alloc.micro_blocks();
         let mut plans = Vec::new();
@@ -257,10 +264,14 @@ mod tests {
     #[test]
     fn delete_returns_space() {
         let mut s = store(true, 2);
-        let before: u64 = (0..2).map(|i| s.allocator().free_blocks(BackendId(i))).sum();
+        let before: u64 = (0..2)
+            .map(|i| s.allocator().free_blocks(BackendId(i)))
+            .sum();
         let f = s.create_file(64 * 4, |_| 1.0).unwrap();
         s.delete_file(f);
-        let after: u64 = (0..2).map(|i| s.allocator().free_blocks(BackendId(i))).sum();
+        let after: u64 = (0..2)
+            .map(|i| s.allocator().free_blocks(BackendId(i)))
+            .sum();
         assert_eq!(before, after);
     }
 

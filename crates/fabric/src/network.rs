@@ -198,9 +198,8 @@ mod tests {
         // Non-inlined write pays a round trip plus serialization.
         let c = cmd(IoType::Write, 131072);
         let fetched = d.write_payload_fetched(&mut tx, now, &c);
-        let expected = now
-            + d.config().propagation * 2
-            + SimDuration::for_bytes(131072, 12_500_000_000);
+        let expected =
+            now + d.config().propagation * 2 + SimDuration::for_bytes(131072, 12_500_000_000);
         assert_eq!(fetched, expected);
     }
 

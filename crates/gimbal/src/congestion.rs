@@ -111,7 +111,7 @@ impl LatencyMonitor {
     /// Whether the EWMA is below `Thresh_min` (used by the write-cost
     /// estimator, §3.4).
     pub fn below_min(&self) -> bool {
-        self.ewma.get().map_or(true, |e| e < self.thresh_min)
+        self.ewma.get().is_none_or(|e| e < self.thresh_min)
     }
 }
 

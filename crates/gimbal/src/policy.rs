@@ -80,10 +80,9 @@ impl SwitchPolicy for GimbalPolicy {
         // Split borrows: the scheduler walks its lists while the token check
         // consults the rate controller.
         let rate = &mut self.rate;
-        match self
-            .scheduler
-            .dequeue(wc, |req| rate.try_consume(req.cmd.opcode, req.cmd.len_bytes()))
-        {
+        match self.scheduler.dequeue(wc, |req| {
+            rate.try_consume(req.cmd.opcode, req.cmd.len_bytes())
+        }) {
             SchedPoll::Submit(req) => PolicyPoll::Submit(req),
             SchedPoll::Blocked { io_type, size } => {
                 PolicyPoll::WaitUntil(self.rate.wait_hint(now, io_type, size, wc))
@@ -283,6 +282,6 @@ mod tests {
         };
         let wait = wait.expect("must block on tokens, not go idle");
         assert!(wait > now);
-        assert!(submits >= 1 && submits < 16, "submitted {submits}");
+        assert!((1..16).contains(&submits), "submitted {submits}");
     }
 }

@@ -138,7 +138,9 @@ impl RateController {
             CongestionState::CongestionAvoidance => self.target_rate += size,
             CongestionState::Underutilized => self.target_rate += self.params.beta * size,
         }
-        self.target_rate = self.target_rate.clamp(self.params.min_rate, self.params.max_rate);
+        self.target_rate = self
+            .target_rate
+            .clamp(self.params.min_rate, self.params.max_rate);
         self.last_state = state;
         state
     }
@@ -189,7 +191,11 @@ mod tests {
         c.update_buckets(SimTime::from_millis(1), 3.0);
         let r = c.read_tokens();
         let w = c.write_tokens();
-        assert!((r / (r + w) - 0.75).abs() < 0.01, "read share {}", r / (r + w));
+        assert!(
+            (r / (r + w) - 0.75).abs() < 0.01,
+            "read share {}",
+            r / (r + w)
+        );
     }
 
     #[test]
@@ -199,7 +205,11 @@ mod tests {
                                                   // Read bucket is already full; a long interval generates plenty for
                                                   // both: read overflow must spill into the write bucket.
         c.update_buckets(SimTime::from_millis(100), 9.0);
-        assert!(c.write_tokens() > 0.0, "spilled tokens: {}", c.write_tokens());
+        assert!(
+            c.write_tokens() > 0.0,
+            "spilled tokens: {}",
+            c.write_tokens()
+        );
     }
 
     #[test]

@@ -20,9 +20,10 @@
 
 use crate::params::Params;
 use gimbal_fabric::{CmdId, IoType, Priority, TenantId};
+use gimbal_sim::collections::DetMap;
 use gimbal_sim::SimTime;
 use gimbal_switch::Request;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Outcome of a scheduling attempt.
 #[derive(Clone, Copy, Debug)]
@@ -117,10 +118,10 @@ fn weighted_size(req: &Request, write_cost: f64) -> f64 {
 /// The virtual-slot DRR scheduler for one SSD pipeline.
 pub struct VirtualSlotScheduler {
     params: Params,
-    tenants: HashMap<TenantId, Tenant>,
+    tenants: DetMap<TenantId, Tenant>,
     active: VecDeque<TenantId>,
     /// Maps an in-flight command to (tenant, slot index).
-    inflight: HashMap<CmdId, (TenantId, usize)>,
+    inflight: DetMap<CmdId, (TenantId, usize)>,
 }
 
 impl VirtualSlotScheduler {
@@ -129,9 +130,9 @@ impl VirtualSlotScheduler {
         params.validate();
         VirtualSlotScheduler {
             params,
-            tenants: HashMap::new(),
+            tenants: DetMap::new(),
             active: VecDeque::new(),
-            inflight: HashMap::new(),
+            inflight: DetMap::new(),
         }
     }
 
@@ -186,7 +187,6 @@ impl VirtualSlotScheduler {
         true
     }
 
-
     /// One DRR scheduling step. `token_check` is the rate pacer's gate: it
     /// is consulted once a request is deficit-eligible, and if it refuses,
     /// the request stays at the head (no reordering) and the caller gets
@@ -205,7 +205,7 @@ impl VirtualSlotScheduler {
                 return SchedPoll::Empty;
             };
             // Idle tenants leave the list.
-            if self.tenants[&tid].queued == 0 {
+            if self.tenants.get(&tid).expect("active tenant exists").queued == 0 {
                 self.active.pop_front();
                 let t = self.tenants.get_mut(&tid).unwrap();
                 t.state = ListState::Idle;
@@ -213,7 +213,14 @@ impl VirtualSlotScheduler {
                 continue;
             }
             // A tenant needs an open slot to be scheduled.
-            if self.tenants[&tid].open_slot.is_none() && !self.open_slot(tid) {
+            if self
+                .tenants
+                .get(&tid)
+                .expect("active tenant exists")
+                .open_slot
+                .is_none()
+                && !self.open_slot(tid)
+            {
                 self.active.pop_front();
                 let t = self.tenants.get_mut(&tid).unwrap();
                 t.state = ListState::Deferred;
@@ -275,8 +282,8 @@ impl VirtualSlotScheduler {
             // slots with one large write and others with 32 small reads; the
             // raw latest value would yo-yo the credit grant).
             t.last_completed_slot_ios =
-                ((3 * u64::from(t.last_completed_slot_ios) + u64::from(slot.submits)) / 4)
-                    .max(1) as u32;
+                ((3 * u64::from(t.last_completed_slot_ios) + u64::from(slot.submits)) / 4).max(1)
+                    as u32;
             *slot = VSlot::default(); // freed
             if t.state == ListState::Deferred {
                 t.state = ListState::Active;
@@ -304,7 +311,7 @@ impl VirtualSlotScheduler {
     pub fn is_deferred(&self, tenant: TenantId) -> bool {
         self.tenants
             .get(&tenant)
-            .map_or(false, |t| t.state == ListState::Deferred)
+            .is_some_and(|t| t.state == ListState::Deferred)
     }
 }
 
@@ -364,7 +371,10 @@ mod tests {
     fn drr_alternates_between_equal_tenants() {
         let mut s = sched();
         for i in 0..8 {
-            s.on_arrival(req(i, (i % 2) as u32, IoType::Read, 128 * 1024), SimTime::ZERO);
+            s.on_arrival(
+                req(i, (i % 2) as u32, IoType::Read, 128 * 1024),
+                SimTime::ZERO,
+            );
         }
         let subs = drain(&mut s, 1.0, 20);
         // 128 KB IOs = exactly one quantum each: strict alternation.
@@ -500,10 +510,8 @@ mod tests {
     #[test]
     fn every_tenant_keeps_at_least_one_slot() {
         let mut s = sched();
-        let mut id = 0;
-        for t in 0..16 {
-            s.on_arrival(req(id, t, IoType::Read, 128 * 1024), SimTime::ZERO);
-            id += 1;
+        for (id, t) in (0..16).enumerate() {
+            s.on_arrival(req(id as u64, t, IoType::Read, 128 * 1024), SimTime::ZERO);
         }
         assert_eq!(s.slot_limit(), 1);
         let subs = drain(&mut s, 1.0, 100);
@@ -534,7 +542,10 @@ mod tests {
     fn priority_queues_prefer_urgent_requests() {
         let mut s = sched();
         for i in 0..8 {
-            s.on_arrival(req_full(i, 0, IoType::Read, 4096, Priority::LOW), SimTime::ZERO);
+            s.on_arrival(
+                req_full(i, 0, IoType::Read, 4096, Priority::LOW),
+                SimTime::ZERO,
+            );
         }
         for i in 8..12 {
             s.on_arrival(
@@ -566,7 +577,10 @@ mod tests {
             s.on_completion(CmdId(i));
         }
         let after_one = s.credit_for(TenantId(0));
-        assert!(after_one > 8 * 16, "credit moved toward 32/slot: {after_one}");
+        assert!(
+            after_one > 8 * 16,
+            "credit moved toward 32/slot: {after_one}"
+        );
         let n = drain(&mut s, 1.0, 64).len() as u64;
         for i in 32..32 + n {
             s.on_completion(CmdId(i));
@@ -593,11 +607,8 @@ mod tests {
                 s.on_arrival(req(next, t, IoType::Read, 4096), SimTime::ZERO);
                 next += 1;
             }
-            loop {
-                match s.dequeue(1.0, |_| true) {
-                    SchedPoll::Submit(r) => inflight.push(r.cmd.id.0),
-                    _ => break,
-                }
+            while let SchedPoll::Submit(r) = s.dequeue(1.0, |_| true) {
+                inflight.push(r.cmd.id.0);
             }
             // Complete a prefix.
             let k = (round % 4) as usize + 1;
@@ -609,11 +620,8 @@ mod tests {
         for id in inflight.drain(..) {
             s.on_completion(CmdId(id));
         }
-        loop {
-            match s.dequeue(1.0, |_| true) {
-                SchedPoll::Submit(r) => s.on_completion(r.cmd.id),
-                _ => break,
-            }
+        while let SchedPoll::Submit(r) = s.dequeue(1.0, |_| true) {
+            s.on_completion(r.cmd.id);
         }
         assert_eq!(s.queued(), 0);
     }

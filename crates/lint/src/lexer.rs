@@ -1,0 +1,221 @@
+//! A minimal Rust lexer that blanks out comments and literals.
+//!
+//! The determinism rules are token-level ("is `HashMap` mentioned on this
+//! line?"), so false positives from comments, doc examples, and string
+//! literals would be fatal to the tool's credibility. Rather than parse Rust,
+//! we run a small state machine over the source and replace every character
+//! inside a comment, string, raw string, byte string, or char literal with a
+//! space — newlines are preserved, so line numbers in the stripped text match
+//! the original exactly.
+
+/// Return `source` with comments and string/char literals blanked to spaces.
+/// The output has the same length and the same newline positions as the
+/// input.
+pub fn strip_non_code(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut i = 0;
+
+    // Push `ch` if it is a newline, else a space — keeps line structure.
+    fn blank(out: &mut Vec<char>, ch: char) {
+        out.push(if ch == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            while i < chars.len() && chars[i] != '\n' {
+                blank(&mut out, chars[i]);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment (nested, as in Rust).
+        if c == '/' && next == Some('*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw (byte) string: r"..", r#".."#, br".." — backslash is not an
+        // escape, termination is the quote followed by the right number of
+        // hashes.
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if !prev_is_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+            let start = if c == 'b' { i + 2 } else { i + 1 };
+            let mut hashes = 0;
+            while chars.get(start + hashes) == Some(&'#') {
+                hashes += 1;
+            }
+            if chars.get(start + hashes) == Some(&'"') {
+                // Keep the prefix letters (they are code), blank the rest.
+                out.push(c);
+                if c == 'b' {
+                    out.push('r');
+                }
+                i = start;
+                let mut j = i + hashes + 1; // first content char
+                let end = loop {
+                    match chars.get(j) {
+                        None => break chars.len(),
+                        Some('"')
+                            if chars[j + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes =>
+                        {
+                            break j + 1 + hashes;
+                        }
+                        Some(_) => j += 1,
+                    }
+                };
+                while i < end {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+
+        // Ordinary or byte string.
+        if c == '"' || (c == 'b' && next == Some('"') && !prev_is_ident) {
+            if c == 'b' {
+                out.push('b');
+                i += 1;
+            }
+            blank(&mut out, chars[i]); // opening quote
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    blank(&mut out, chars[i]);
+                    blank(&mut out, chars[i + 1]);
+                    i += 2;
+                } else if chars[i] == '"' {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime: 'a' is a literal, 'a (no closing quote
+        // right after one char) is a lifetime and stays in the code text.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal: blank through the closing quote.
+                blank(&mut out, chars[i]);
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        blank(&mut out, chars[i]);
+                        i += 1;
+                    }
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+                if i < chars.len() {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                blank(&mut out, chars[i]);
+                blank(&mut out, chars[i + 1]);
+                blank(&mut out, chars[i + 2]);
+                i += 3;
+                continue;
+            }
+            // Lifetime — fall through, keep as code.
+        }
+
+        out.push(c);
+        i += 1;
+    }
+
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_but_keeps_lines() {
+        let src = "let a = 1; // HashMap here\n/* HashSet\n spans */ let b = 2;\n";
+        let out = strip_non_code(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("HashSet"));
+        assert!(out.contains("let a = 1;"));
+        assert!(out.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn strips_strings_and_raw_strings() {
+        let src = r###"let s = "HashMap"; let r = r#"HashSet "quoted""#; let t = 3;"###;
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("HashSet"));
+        assert!(out.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = "let s = \"a\\\"HashMap\"; let x = 1;";
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { '\"' }";
+        let out = strip_non_code(src);
+        assert!(out.contains("fn f<'a>(x: &'a str)"));
+        // The char literal's quote must not open a string that swallows code.
+        assert!(out.contains('}'));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment HashMap */ let y = 1;";
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let src = "let m = \"x\"; // c\nlet n = 'q';\n";
+        assert_eq!(strip_non_code(src).len(), src.len());
+    }
+}

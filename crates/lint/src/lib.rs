@@ -1,0 +1,193 @@
+//! `gimbal-lint` — static determinism checks for the Gimbal workspace.
+//!
+//! The simulation's core promise is that one seed pins down an entire run,
+//! byte for byte. The compiler cannot enforce that: `HashMap` iteration
+//! order, wall-clock reads, and environment lookups all type-check fine and
+//! then quietly make two identical runs diverge. This crate is the
+//! enforcement layer: a dependency-free scanner that walks every crate's
+//! `src/` tree, strips comments and literals with a small lexer, and applies
+//! the determinism rules D1–D4 (see [`rules`]) with per-crate rule sets.
+//!
+//! It runs three ways:
+//!
+//! * `cargo run -p gimbal-lint` — human-readable report, non-zero exit on
+//!   errors;
+//! * `cargo run -p gimbal-lint -- --json` — one JSON object per finding
+//!   (machine-readable, for CI annotation);
+//! * `cargo test` — `tests/lint_clean.rs` calls [`run_workspace`] and fails
+//!   the tier-1 suite if any error-level finding exists.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check_file, ruleset_for, Finding, RuleId, RuleSet, Severity};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of scanning a workspace.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, ordered by file path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Waivers that suppressed at least one finding.
+    pub waivers_used: usize,
+}
+
+impl Report {
+    /// Error-level findings (these fail the build).
+    pub fn errors(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+    }
+
+    /// Warning-level findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+    }
+}
+
+/// Collect `.rs` files under `dir`, recursively, in sorted order (the lint's
+/// own output must be deterministic too).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The source roots to scan: `(crate-name, src-dir)` pairs. `"root"` is the
+/// top-level `gimbal-repro` package; everything else is a `crates/*` member.
+fn source_roots(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut roots = Vec::new();
+    let top_src = root.join("src");
+    if top_src.is_dir() {
+        roots.push(("root".to_string(), top_src));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                let name = member
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                roots.push((name, src));
+            }
+        }
+    }
+    Ok(roots)
+}
+
+/// Scan the workspace rooted at `root` and return every finding.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for (crate_name, src_dir) in source_roots(root)? {
+        let rules = ruleset_for(&crate_name);
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        for path in files {
+            let source = fs::read_to_string(&path)?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let (mut findings, used) = check_file(&rel, &source, rules);
+            report.findings.append(&mut findings);
+            report.waivers_used += used;
+            report.files_scanned += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Render one finding for terminals: `path:line: severity[code/slug]: message`.
+pub fn format_human(f: &Finding) -> String {
+    let sev = match f.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    format!(
+        "{}:{}: {}[{}/{}]: {}\n    {}",
+        f.file,
+        f.line,
+        sev,
+        f.rule.code(),
+        f.rule.slug(),
+        f.rule.message(),
+        f.snippet
+    )
+}
+
+/// Render one finding as a JSON object (one per line; hand-rolled because
+/// the crate is dependency-free).
+pub fn format_json(f: &Finding) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    format!(
+        "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"slug\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"}}",
+        esc(&f.file),
+        f.line,
+        f.rule.code(),
+        f.rule.slug(),
+        match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        },
+        esc(f.rule.message()),
+        esc(&f.snippet)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        let f = Finding {
+            file: "a\\b.rs".into(),
+            line: 3,
+            rule: RuleId::UnorderedMap,
+            severity: Severity::Error,
+            snippet: "let s = \"x\";".into(),
+        };
+        let j = format_json(&f);
+        assert!(j.contains("\"file\":\"a\\\\b.rs\""));
+        assert!(j.contains("\\\"x\\\""));
+        assert!(j.contains("\"rule\":\"D1\""));
+    }
+}

@@ -1,0 +1,110 @@
+//! CLI for the workspace determinism lint.
+//!
+//! ```text
+//! gimbal-lint [--json] [ROOT]
+//! ```
+//!
+//! `ROOT` defaults to the workspace root (located by walking up from the
+//! current directory to the first `Cargo.toml` containing `[workspace]`).
+//! Exits 0 when no error-level findings exist, 1 otherwise, 2 on usage or
+//! I/O problems.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gimbal_lint::{format_human, format_json, run_workspace, Severity};
+
+/// Walk up from `start` to the first directory whose `Cargo.toml` declares a
+/// `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: gimbal-lint [--json] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("gimbal-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("gimbal-lint: no workspace root found; pass ROOT explicitly");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gimbal-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        // A typo'd ROOT must not read as a clean bill of health.
+        eprintln!(
+            "gimbal-lint: no Rust sources found under {} — wrong ROOT?",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for f in &report.findings {
+        match f.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+        if json {
+            println!("{}", format_json(f));
+        } else {
+            println!("{}", format_human(f));
+        }
+    }
+
+    if !json {
+        println!(
+            "gimbal-lint: {} files scanned, {} errors, {} warnings, {} waivers honoured",
+            report.files_scanned, errors, warnings, report.waivers_used
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,520 @@
+//! The determinism rules (D1–D4) and the per-crate rule sets.
+//!
+//! Policy (also documented in `DESIGN.md` § Determinism policy):
+//!
+//! * **D1 `unordered-map`** — `std::collections::HashMap`/`HashSet` are
+//!   forbidden in simulation crates: their iteration order is randomized per
+//!   process, so any iterated map silently breaks seed-reproducibility. Use
+//!   `gimbal_sim::collections::{DetMap, DetSet}` or `BTreeMap`/`BTreeSet`.
+//! * **D2 `ambient-time-env`** — `std::time::Instant`/`SystemTime`,
+//!   `rand::thread_rng`, and `std::env` are forbidden in simulation crates:
+//!   all time must be virtual (`SimTime`) and all entropy seeded (`SimRng`).
+//! * **D3 `float-eq`** — exact `==`/`!=` against float literals is forbidden
+//!   in core crates: such comparisons are brittle under any re-ordering of
+//!   accumulation and tend to encode accidental invariants.
+//! * **D4 `unwrap-hot-path`** — warning only: `unwrap()`/`expect()` in the
+//!   non-test hot paths of the scheduler crates; prefer explicit handling.
+//!
+//! A finding is suppressed by an inline waiver on the same line, e.g.
+//! `// lint: allow(unordered-map) — index only, never iterated`. The reason
+//! is mandatory; a waiver with an unknown slug or no reason is itself an
+//! error (**W0**).
+
+use crate::lexer::strip_non_code;
+
+/// Identifies one lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleId {
+    /// D1: std HashMap/HashSet in a simulation crate.
+    UnorderedMap,
+    /// D2: wall-clock time, ambient entropy, or environment access.
+    AmbientTimeEnv,
+    /// D3: exact float equality.
+    FloatEq,
+    /// D4: unwrap/expect in a scheduler hot path (warning).
+    UnwrapHotPath,
+    /// W0: malformed waiver comment.
+    BadWaiver,
+}
+
+impl RuleId {
+    /// Short code used in reports ("D1".."D4", "W0").
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::UnorderedMap => "D1",
+            RuleId::AmbientTimeEnv => "D2",
+            RuleId::FloatEq => "D3",
+            RuleId::UnwrapHotPath => "D4",
+            RuleId::BadWaiver => "W0",
+        }
+    }
+
+    /// The slug a waiver comment names to suppress this rule.
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::UnorderedMap => "unordered-map",
+            RuleId::AmbientTimeEnv => "ambient-time-env",
+            RuleId::FloatEq => "float-eq",
+            RuleId::UnwrapHotPath => "unwrap-hot-path",
+            RuleId::BadWaiver => "bad-waiver",
+        }
+    }
+
+    /// One-line explanation attached to each finding.
+    pub fn message(self) -> &'static str {
+        match self {
+            RuleId::UnorderedMap => {
+                "std HashMap/HashSet iterate in per-process random order; use DetMap/DetSet or BTreeMap"
+            }
+            RuleId::AmbientTimeEnv => {
+                "ambient wall-clock/entropy/environment access; use SimTime and seeded SimRng"
+            }
+            RuleId::FloatEq => "exact float equality; compare with a tolerance or restructure",
+            RuleId::UnwrapHotPath => "unwrap()/expect() in a scheduler hot path; handle explicitly",
+            RuleId::BadWaiver => "malformed waiver: unknown rule slug or missing reason",
+        }
+    }
+}
+
+/// Error findings fail the build (via `tests/lint_clean.rs`); warnings are
+/// reported but do not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+/// One rule violation at a specific source line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: RuleId,
+    pub severity: Severity,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Which rules apply to a crate.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleSet {
+    pub unordered_map: bool,
+    pub ambient_time_env: bool,
+    pub float_eq: bool,
+    /// D4 is only enabled for the scheduler crates and reports warnings.
+    pub unwrap_warn: bool,
+}
+
+/// Crates whose state machines feed the event loop directly: every rule at
+/// error level.
+const STRICT_CRATES: &[&str] = &[
+    "sim",
+    "ssd",
+    "fabric",
+    "nic",
+    "switch",
+    "gimbal",
+    "baselines",
+    "workload",
+    "blobstore",
+    "lsm-kv",
+    "testbed",
+];
+
+/// D4 (unwrap warnings) applies where a panic would take down a whole run
+/// mid-schedule.
+const HOT_PATH_CRATES: &[&str] = &["gimbal", "sim"];
+
+/// Map a crate directory name (or "root" for the top-level `src/`) to its
+/// rule set. CLI-facing crates keep D1/D3 but may read `std::env` and the
+/// wall clock (the bench harness times real executions).
+pub fn ruleset_for(crate_name: &str) -> RuleSet {
+    let strict = STRICT_CRATES.contains(&crate_name);
+    RuleSet {
+        unordered_map: true,
+        ambient_time_env: strict,
+        float_eq: true,
+        unwrap_warn: HOT_PATH_CRATES.contains(&crate_name),
+    }
+}
+
+/// A parsed waiver comment (slug plus whether a reason follows).
+struct Waiver {
+    slug: String,
+    has_reason: bool,
+}
+
+/// The waiver marker. Assembled from two pieces so the lint's own source
+/// never contains the contiguous marker text and cannot trip itself.
+const WAIVER_MARK: &str = concat!("lint: ", "allow(");
+
+/// Parse every waiver on a raw (un-stripped) source line.
+fn parse_waivers(raw_line: &str) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    let mut rest = raw_line;
+    while let Some(pos) = rest.find(WAIVER_MARK) {
+        let after = &rest[pos + WAIVER_MARK.len()..];
+        match after.find(')') {
+            None => {
+                out.push(Waiver {
+                    slug: String::new(),
+                    has_reason: false,
+                });
+                break;
+            }
+            Some(close) => {
+                let slug = after[..close].trim().to_string();
+                let tail = &after[close + 1..];
+                // The reason follows an em-dash/hyphen/colon separator.
+                let reason = tail.trim_start_matches([' ', '\u{2014}', '-', ':', '\u{2013}']);
+                out.push(Waiver {
+                    slug,
+                    has_reason: !reason.trim().is_empty(),
+                });
+                rest = tail;
+            }
+        }
+    }
+    out
+}
+
+/// Is `word` present in `line` as a standalone identifier?
+fn has_ident(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Does `token` look like a float literal (`1.0`, `.5`, `2.`, `1e-3`,
+/// `3f64`)? Used to keep D3 from flagging integer comparisons.
+fn is_float_token(token: &str) -> bool {
+    let t = token
+        .trim_end_matches("f64")
+        .trim_end_matches("f32")
+        .trim_end_matches('_');
+    if t.is_empty() {
+        return false;
+    }
+    let had_suffix = t.len() != token.len();
+    let mut digits = false;
+    let mut dot = false;
+    let mut exp = false;
+    for (i, c) in t.chars().enumerate() {
+        match c {
+            '0'..='9' | '_' => digits = true,
+            '.' if !dot && !exp => dot = true,
+            'e' | 'E' if digits && !exp => exp = true,
+            '+' | '-' if i > 0 && matches!(t.as_bytes()[i - 1], b'e' | b'E') => {}
+            _ => return false,
+        }
+    }
+    digits && (dot || exp || had_suffix)
+}
+
+/// Detect `==` / `!=` where either operand is a float literal.
+fn has_float_eq(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let is_eq = bytes[i] == b'=' && bytes[i + 1] == b'=';
+        let is_ne = bytes[i] == b'!' && bytes[i + 1] == b'=';
+        if (is_eq || is_ne)
+            // Not `<=`, `>=`, `===`-ish runs, or pattern `=>`.
+            && (i == 0 || !matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!'))
+            && (i + 2 >= bytes.len() || bytes[i + 2] != b'=')
+        {
+            let left: String = line[..i]
+                .chars()
+                .rev()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '+' | '-'))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            let right: String = line[i + 2..]
+                .chars()
+                .skip_while(|c| c.is_whitespace())
+                .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '+' | '-'))
+                .collect();
+            if is_float_token(left.trim_start_matches(['+', '-']))
+                || is_float_token(right.trim_start_matches(['+', '-']))
+            {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// All slugs a waiver may name.
+const KNOWN_SLUGS: &[&str] = &[
+    "unordered-map",
+    "ambient-time-env",
+    "float-eq",
+    "unwrap-hot-path",
+];
+
+/// Check one file. Returns the findings plus the number of waivers that
+/// actually suppressed something (so unused waivers can be spotted in
+/// review, and the tool can report coverage).
+pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> (Vec<Finding>, usize) {
+    let stripped = strip_non_code(source);
+    let mut findings = Vec::new();
+    let mut waivers_used = 0usize;
+
+    // `#[cfg(test)]` blocks are exempt from every rule: test assertions may
+    // hash-collect, compare floats exactly, and unwrap freely.
+    let mut in_test = false;
+    let mut test_depth: i32 = 0;
+    let mut test_seen_brace = false;
+
+    // Waivers on a comment-only line carry forward to the next code line,
+    // so rustfmt can rewrap a long statement without detaching its waiver.
+    let mut pending: Vec<Waiver> = Vec::new();
+
+    for (idx, (code_line, raw_line)) in stripped.lines().zip(source.lines()).enumerate() {
+        let line_no = idx + 1;
+
+        if !in_test && code_line.contains("#[cfg(test)]") {
+            in_test = true;
+            test_depth = 0;
+            test_seen_brace = false;
+        }
+        if in_test {
+            for b in code_line.bytes() {
+                match b {
+                    b'{' => {
+                        test_depth += 1;
+                        test_seen_brace = true;
+                    }
+                    b'}' => test_depth -= 1,
+                    _ => {}
+                }
+            }
+            if test_seen_brace && test_depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+
+        let mut waivers = parse_waivers(raw_line);
+        for w in &waivers {
+            if w.slug.is_empty() || !KNOWN_SLUGS.contains(&w.slug.as_str()) || !w.has_reason {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: RuleId::BadWaiver,
+                    severity: Severity::Error,
+                    snippet: raw_line.trim().to_string(),
+                });
+            }
+        }
+        if raw_line.trim_start().starts_with("//") {
+            // Comment-only line: park its waivers for the next code line.
+            pending.append(&mut waivers);
+            continue;
+        }
+        if !code_line.trim().is_empty() {
+            waivers.append(&mut pending);
+        }
+        let waived = |rule: RuleId| {
+            waivers
+                .iter()
+                .any(|w| w.slug == rule.slug() && w.has_reason)
+        };
+
+        let mut hit = |rule: RuleId, severity: Severity, findings: &mut Vec<Finding>| {
+            if waived(rule) {
+                waivers_used += 1;
+            } else {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule,
+                    severity,
+                    snippet: raw_line.trim().to_string(),
+                });
+            }
+        };
+
+        if rules.unordered_map
+            && (has_ident(code_line, "HashMap") || has_ident(code_line, "HashSet"))
+        {
+            hit(RuleId::UnorderedMap, Severity::Error, &mut findings);
+        }
+        if rules.ambient_time_env
+            && (has_ident(code_line, "Instant")
+                || has_ident(code_line, "SystemTime")
+                || has_ident(code_line, "thread_rng")
+                || code_line.contains("std::env"))
+        {
+            hit(RuleId::AmbientTimeEnv, Severity::Error, &mut findings);
+        }
+        if rules.float_eq && has_float_eq(code_line) {
+            hit(RuleId::FloatEq, Severity::Error, &mut findings);
+        }
+        if rules.unwrap_warn && (code_line.contains(".unwrap()") || code_line.contains(".expect("))
+        {
+            hit(RuleId::UnwrapHotPath, Severity::Warning, &mut findings);
+        }
+    }
+
+    (findings, waivers_used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict() -> RuleSet {
+        RuleSet {
+            unordered_map: true,
+            ambient_time_env: true,
+            float_eq: true,
+            unwrap_warn: true,
+        }
+    }
+
+    #[test]
+    fn flags_hashmap_but_not_in_comment_or_string() {
+        let src = "use std::collections::HashMap;\n// HashMap in a comment\nlet s = \"HashMap\";\n";
+        let (f, _) = check_file("x.rs", src, strict());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].rule, RuleId::UnorderedMap);
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let src = "use std::collections::HashMap; // lint: allow(unordered-map) — index only\n";
+        let (f, used) = check_file("x.rs", src, strict());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn waiver_on_preceding_comment_line_suppresses() {
+        // rustfmt may push a trailing waiver onto its own line above the
+        // statement; the waiver must still bind to the next code line.
+        let src = "\
+// lint: allow(unordered-map) — index only, never iterated
+use std::collections::HashMap;
+";
+        let (f, used) = check_file("x.rs", src, strict());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
+    fn carried_waiver_skips_blank_lines_but_binds_once() {
+        let src = "\
+// lint: allow(float-eq) — exact-zero guard
+
+let a = x == 0.0;
+let b = y == 0.0;
+";
+        let (f, used) = check_file("x.rs", src, strict());
+        assert_eq!(used, 1);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4, "second float-eq must still be flagged");
+    }
+
+    #[test]
+    fn waiver_without_reason_is_an_error() {
+        let src = "use std::collections::HashMap; // lint: allow(unordered-map)\n";
+        let (f, _) = check_file("x.rs", src, strict());
+        assert!(f.iter().any(|x| x.rule == RuleId::BadWaiver));
+        assert!(
+            f.iter().any(|x| x.rule == RuleId::UnorderedMap),
+            "unreasoned waiver must not suppress"
+        );
+    }
+
+    #[test]
+    fn unknown_slug_is_an_error() {
+        let src = "let x = 1; // lint: allow(no-such-rule) — because\n";
+        let (f, _) = check_file("x.rs", src, strict());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::BadWaiver);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    #[test]
+    fn t() { let _ = 1.0 == 1.0; }
+}
+fn also_live() { let m = std::collections::HashMap::new(); }
+";
+        let (f, _) = check_file("x.rs", src, strict());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 8);
+    }
+
+    #[test]
+    fn ambient_time_and_env() {
+        let src = "let t = std::time::Instant::now();\nlet e = std::env::var(\"X\");\nlet d = std::time::Duration::from_secs(1);\n";
+        let (f, _) = check_file("x.rs", src, strict());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == RuleId::AmbientTimeEnv));
+    }
+
+    #[test]
+    fn float_eq_detection() {
+        assert!(has_float_eq("if x == 0.0 {"));
+        assert!(has_float_eq("if 1.5 != y {"));
+        assert!(has_float_eq("x == 1e-9"));
+        assert!(has_float_eq("x == 3f64"));
+        assert!(!has_float_eq("tenant.0 == 0"));
+        assert!(!has_float_eq("a == b"));
+        assert!(!has_float_eq("n <= 0"));
+        assert!(!has_float_eq("match x { _ => 1.0 }"));
+        assert!(!has_float_eq("idx == other.0"));
+    }
+
+    #[test]
+    fn unwrap_is_warning_only() {
+        let src = "let v = q.pop().unwrap();\n";
+        let (f, _) = check_file("x.rs", src, strict());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Warning);
+        assert_eq!(f[0].rule, RuleId::UnwrapHotPath);
+    }
+
+    #[test]
+    fn rulesets_by_crate() {
+        assert!(ruleset_for("gimbal").ambient_time_env);
+        assert!(ruleset_for("gimbal").unwrap_warn);
+        assert!(ruleset_for("ssd").ambient_time_env);
+        assert!(!ruleset_for("ssd").unwrap_warn);
+        // CLI/bench crates may read env and the wall clock…
+        assert!(!ruleset_for("bench").ambient_time_env);
+        assert!(!ruleset_for("root").ambient_time_env);
+        // …but still may not use unordered maps.
+        assert!(ruleset_for("bench").unordered_map);
+    }
+}

@@ -8,9 +8,10 @@
 use crate::sstable::{SsTable, TableId};
 use gimbal_blobstore::{BackendId, Blobstore, FileId, IoPlan, RateLimiter};
 use gimbal_fabric::Priority;
+use gimbal_sim::collections::{DetMap, DetSet};
 use gimbal_sim::{SimDuration, SimRng, SimTime};
 use gimbal_workload::KvOp;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Store configuration (scaled-down RocksDB defaults).
 #[derive(Clone, Copy, Debug)]
@@ -144,7 +145,7 @@ struct WalGroup {
 }
 
 struct FlushJob {
-    keys: HashSet<u64>,
+    keys: DetSet<u64>,
     file: FileId,
     size_blocks: u64,
     pending: usize,
@@ -163,7 +164,7 @@ struct CompactionJob {
     input_files: Vec<FileId>,
     merged_keys: Vec<u64>,
     /// Output files created during the write phase.
-    outputs: Vec<(FileId, HashSet<u64>, u64)>,
+    outputs: Vec<(FileId, DetSet<u64>, u64)>,
     target_level: usize,
 }
 
@@ -201,7 +202,7 @@ pub struct LsmKv {
     next_op: u64,
     next_table: u64,
 
-    mem: HashSet<u64>,
+    mem: DetSet<u64>,
     mem_bytes: u64,
     imm: bool,
 
@@ -211,14 +212,14 @@ pub struct LsmKv {
     batch_bytes: u64,
     batch_started: Option<SimTime>,
     next_group: u64,
-    wal_groups: HashMap<u64, WalGroup>,
+    wal_groups: DetMap<u64, WalGroup>,
 
     l0: Vec<SsTable>,
     /// levels[0] is L1.
     levels: Vec<Vec<SsTable>>,
 
-    ops: HashMap<u64, OpState>,
-    io_kinds: HashMap<u64, IoKind>,
+    ops: DetMap<u64, OpState>,
+    io_kinds: DetMap<u64, IoKind>,
     stalled: VecDeque<(u64, u64)>, // (op id, key)
 
     flush: Option<FlushJob>,
@@ -242,7 +243,7 @@ impl LsmKv {
             next_tag: 0,
             next_op: 0,
             next_table: 0,
-            mem: HashSet::new(),
+            mem: DetSet::new(),
             mem_bytes: 0,
             imm: false,
             wal_file: None,
@@ -251,11 +252,11 @@ impl LsmKv {
             batch_bytes: 0,
             batch_started: None,
             next_group: 0,
-            wal_groups: HashMap::new(),
+            wal_groups: DetMap::new(),
             l0: Vec::new(),
             levels: vec![Vec::new(); 6],
-            ops: HashMap::new(),
-            io_kinds: HashMap::new(),
+            ops: DetMap::new(),
+            io_kinds: DetMap::new(),
             stalled: VecDeque::new(),
             flush: None,
             compaction: None,
@@ -302,7 +303,7 @@ impl LsmKv {
         t
     }
 
-    fn make_table(&mut self, file: FileId, keys: HashSet<u64>, size_blocks: u64) -> SsTable {
+    fn make_table(&mut self, file: FileId, keys: DetSet<u64>, size_blocks: u64) -> SsTable {
         let id = TableId(self.next_table);
         self.next_table += 1;
         SsTable::new(id, file, keys, size_blocks)
@@ -329,7 +330,7 @@ impl LsmKv {
         let mut k = 0;
         while k < records {
             let hi = (k + per).min(records);
-            let keys: HashSet<u64> = (k..hi).collect();
+            let keys: DetSet<u64> = (k..hi).collect();
             let blocks = self.blocks_for_entries(hi - k);
             let file = ctx
                 .bs
@@ -485,17 +486,13 @@ impl LsmKv {
                     self.start_probing(id, key, false, ctx)
                 }
             }
-            KvOp::Update(key) | KvOp::Insert(key) => match self.apply_update(id, key, now) {
-                Some(o) => o,
-                None => StepOutput::default(),
-            },
+            KvOp::Update(key) | KvOp::Insert(key) => {
+                self.apply_update(id, key, now).unwrap_or_default()
+            }
             KvOp::ReadModifyWrite(key) => {
                 if self.mem.contains(&key) {
                     self.stats.mem_hits += 1;
-                    match self.apply_update(id, key, now) {
-                        Some(o) => o,
-                        None => StepOutput::default(),
-                    }
+                    self.apply_update(id, key, now).unwrap_or_default()
                 } else {
                     self.start_probing(id, key, true, ctx)
                 }
@@ -597,8 +594,7 @@ impl LsmKv {
         let (input_tables, target_level) = if self.l0.len() > self.cfg.l0_limit {
             let lo = self.l0.iter().map(|t| t.key_min).min().unwrap();
             let hi = self.l0.iter().map(|t| t.key_max).max().unwrap();
-            let mut inputs: Vec<(usize, TableId)> =
-                self.l0.iter().map(|t| (0, t.id)).collect();
+            let mut inputs: Vec<(usize, TableId)> = self.l0.iter().map(|t| (0, t.id)).collect();
             inputs.extend(
                 self.levels[0]
                     .iter()
@@ -610,8 +606,7 @@ impl LsmKv {
             // Size-triggered compaction of the first over-cap level.
             let mut found = None;
             for l in 1..self.levels.len() {
-                if self.level_bytes(l) > self.level_cap_bytes(l) && !self.levels[l - 1].is_empty()
-                {
+                if self.level_bytes(l) > self.level_cap_bytes(l) && !self.levels[l - 1].is_empty() {
                     let victim = &self.levels[l - 1][0];
                     let (lo, hi) = (victim.key_min, victim.key_max);
                     let mut inputs = vec![(l, victim.id)];
@@ -629,7 +624,7 @@ impl LsmKv {
         };
         // Read phase: sequential reads of every input file.
         let mut ios = Vec::new();
-        let mut merged: HashSet<u64> = HashSet::new();
+        let mut merged: DetSet<u64> = DetSet::new();
         let mut input_files = Vec::new();
         for &(_, tid) in &input_tables {
             let t = self.find_table(tid).expect("input exists");
@@ -681,7 +676,7 @@ impl LsmKv {
                 .bs
                 .create_file(blocks, score)
                 .expect("compaction output allocation");
-            let keyset: HashSet<u64> = chunk.iter().copied().collect();
+            let keyset: DetSet<u64> = chunk.iter().copied().collect();
             let mut off = 0;
             while off < blocks {
                 let len = 64.min(blocks - off);
@@ -770,16 +765,13 @@ impl LsmKv {
                 else {
                     panic!("probe for op not probing");
                 };
-                let found = self
-                    .find_table(table)
-                    .map(|t| t.contains(key));
+                let found = self.find_table(table).map(|t| t.contains(key));
                 match found {
                     Some(true) => {
                         // Found. RMW continues into its write phase.
                         if rmw {
-                            match self.apply_update(op, key, now) {
-                                Some(o) => out.merge(o),
-                                None => {}
+                            if let Some(o) = self.apply_update(op, key, now) {
+                                out.merge(o)
                             }
                         } else {
                             out.finished.push(op);
@@ -858,8 +850,7 @@ mod tests {
     use gimbal_blobstore::{HbaConfig, HierarchicalAllocator};
 
     fn make_ctx_parts(backends: usize) -> (Blobstore, RateLimiter) {
-        let alloc =
-            HierarchicalAllocator::new(HbaConfig::default(), &vec![1 << 20; backends]);
+        let alloc = HierarchicalAllocator::new(HbaConfig::default(), &vec![1 << 20; backends]);
         (
             Blobstore::new(alloc, backends >= 2),
             RateLimiter::new(backends, 64, true),
@@ -992,7 +983,7 @@ mod tests {
         // Push ~6 memtables' worth of updates.
         let per_mem = (4 * 1024 * 1024) / 1024;
         for i in 0..(6 * per_mem) {
-            now = now + SimDuration::from_micros(5);
+            now += SimDuration::from_micros(5);
             let mut ctx = IoCtx {
                 bs: &mut bs,
                 lim: &lim,

@@ -2,8 +2,8 @@
 //! behaviour, and backing file.
 
 use gimbal_blobstore::FileId;
+use gimbal_sim::collections::DetSet;
 use gimbal_sim::SimRng;
-use std::collections::HashSet;
 
 /// Identifies an SSTable within one store instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,14 +23,14 @@ pub struct SsTable {
     /// Largest key.
     pub key_max: u64,
     /// Exact key membership.
-    keys: HashSet<u64>,
+    keys: DetSet<u64>,
     /// File size in logical blocks.
     pub size_blocks: u64,
 }
 
 impl SsTable {
     /// Build a table over a sorted, deduplicated key set.
-    pub fn new(id: TableId, file: FileId, keys: HashSet<u64>, size_blocks: u64) -> Self {
+    pub fn new(id: TableId, file: FileId, keys: DetSet<u64>, size_blocks: u64) -> Self {
         assert!(!keys.is_empty(), "empty SSTable");
         let key_min = *keys.iter().min().unwrap();
         let key_max = *keys.iter().max().unwrap();
@@ -96,12 +96,7 @@ mod tests {
     use super::*;
 
     fn table(keys: &[u64]) -> SsTable {
-        SsTable::new(
-            TableId(1),
-            FileId(0),
-            keys.iter().copied().collect(),
-            64,
-        )
+        SsTable::new(TableId(1), FileId(0), keys.iter().copied().collect(), 64)
     }
 
     #[test]

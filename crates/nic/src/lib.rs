@@ -164,13 +164,21 @@ impl CpuCost {
 
     /// Total submit-path cycles for an IO of `bytes`.
     pub fn submit_cycles(&self, bytes: u64, null_device: bool) -> f64 {
-        let driver = if null_device { 0.0 } else { self.nvme_driver * 0.6 };
+        let driver = if null_device {
+            0.0
+        } else {
+            self.nvme_driver * 0.6
+        };
         self.submit + self.transport * 0.6 + driver + self.per_kb * (bytes as f64 / 1024.0) * 0.5
     }
 
     /// Total completion-path cycles for an IO of `bytes`.
     pub fn complete_cycles(&self, bytes: u64, null_device: bool) -> f64 {
-        let driver = if null_device { 0.0 } else { self.nvme_driver * 0.4 };
+        let driver = if null_device {
+            0.0
+        } else {
+            self.nvme_driver * 0.4
+        };
         self.complete + self.transport * 0.4 + driver + self.per_kb * (bytes as f64 / 1024.0) * 0.5
     }
 
@@ -254,6 +262,9 @@ mod tests {
         let c = CpuCost::arm_vanilla();
         let small = c.total_cycles(4096, false);
         let big = c.total_cycles(128 * 1024, false);
-        assert!(big > small + 100.0, "per-KB term should matter: {small} {big}");
+        assert!(
+            big > small + 100.0,
+            "per-KB term should matter: {small} {big}"
+        );
     }
 }

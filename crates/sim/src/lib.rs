@@ -21,12 +21,16 @@
 //! what lets the benchmark harness regenerate each figure of the paper
 //! reproducibly.
 
+pub mod collections;
+pub mod digest;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod token_bucket;
 
+pub use collections::{DetMap, DetSet};
+pub use digest::Digest;
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Ewma, Histogram, Meter, TimeSeries};

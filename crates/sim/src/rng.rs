@@ -198,4 +198,57 @@ mod tests {
         let mut again = SimRng::new(0);
         assert_eq!(first, again.next_u32());
     }
+
+    #[test]
+    fn with_stream_pairs_are_uncorrelated() {
+        // Every pair of distinct streams from the same seed must look
+        // independent: few positional collisions over a shared prefix, and
+        // no collisions at all in their leading values across many streams.
+        let seed = 0xd15_c0de;
+        for s1 in 0..8u64 {
+            for s2 in (s1 + 1)..8u64 {
+                let mut a = SimRng::with_stream(seed, s1);
+                let mut b = SimRng::with_stream(seed, s2);
+                let same = (0..1000).filter(|_| a.next_u32() == b.next_u32()).count();
+                assert!(
+                    same < 5,
+                    "streams {s1}/{s2}: {same} positional collisions in 1000"
+                );
+            }
+        }
+        let firsts: Vec<u64> = (0..64)
+            .map(|s| SimRng::with_stream(seed, s).next_u64())
+            .collect();
+        let mut uniq = firsts.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), firsts.len(), "streams share leading values");
+    }
+
+    #[test]
+    fn with_stream_is_reproducible_per_stream() {
+        let mut a = SimRng::with_stream(99, 7);
+        let mut b = SimRng::with_stream(99, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn clone_replays_identically() {
+        // A cloned RNG must continue exactly like its original — this is
+        // what lets a component snapshot and replay its entropy stream.
+        let mut orig = SimRng::with_stream(0xfeed, 3);
+        for _ in 0..37 {
+            orig.next_u64(); // advance to an arbitrary mid-stream state
+        }
+        let mut replay = orig.clone();
+        let from_orig: Vec<u64> = (0..200).map(|_| orig.next_u64()).collect();
+        let from_clone: Vec<u64> = (0..200).map(|_| replay.next_u64()).collect();
+        assert_eq!(from_orig, from_clone);
+        // And the derived generators agree too.
+        let mut c1 = orig.fork(5);
+        let mut c2 = replay.fork(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+    }
 }

@@ -357,7 +357,7 @@ impl TimeSeries {
     /// Append a point. Timestamps should be non-decreasing.
     pub fn push(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(t, _)| t <= at),
+            self.points.last().is_none_or(|&(t, _)| t <= at),
             "time series must be appended in order"
         );
         self.points.push((at, value));

@@ -355,10 +355,7 @@ mod tests {
     #[test]
     fn saturating_behavior() {
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
-        assert_eq!(
-            SimDuration::MAX.saturating_mul(2),
-            SimDuration::MAX
-        );
+        assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
         assert_eq!(
             SimDuration::from_nanos(1) - SimDuration::from_nanos(2),
             SimDuration::ZERO

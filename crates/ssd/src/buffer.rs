@@ -10,14 +10,14 @@
 //! same LPN each hold a unit of space until their respective programs retire,
 //! which keeps accounting exact without modeling coalescing.
 
-use std::collections::HashMap;
+use gimbal_sim::collections::DetMap;
 
 /// DRAM write buffer occupancy tracker.
 #[derive(Debug)]
 pub struct WriteBuffer {
     capacity_pages: u64,
     occupied_pages: u64,
-    resident: HashMap<u64, u32>,
+    resident: DetMap<u64, u32>,
 }
 
 impl WriteBuffer {
@@ -27,7 +27,7 @@ impl WriteBuffer {
         WriteBuffer {
             capacity_pages,
             occupied_pages: 0,
-            resident: HashMap::new(),
+            resident: DetMap::new(),
         }
     }
 
@@ -40,7 +40,7 @@ impl WriteBuffer {
     pub fn admit(&mut self, lpn: u64) {
         debug_assert!(self.has_space(1), "admitting into a full buffer");
         self.occupied_pages += 1;
-        *self.resident.entry(lpn).or_insert(0) += 1;
+        *self.resident.get_or_insert_with(lpn, || 0) += 1;
     }
 
     /// Whether a logical page is resident (read hit).

@@ -178,11 +178,16 @@ impl SsdConfig {
     pub fn validate(&self) {
         assert!(self.channels > 0 && self.dies_per_channel > 0);
         assert!(
-            self.nand_page_bytes % self.logical_page_bytes == 0,
+            self.nand_page_bytes.is_multiple_of(self.logical_page_bytes),
             "NAND page must hold whole logical pages"
         );
-        assert!(self.logical_capacity % self.logical_page_bytes == 0);
-        assert!(self.overprovision > 0.0, "need overprovisioned space for GC");
+        assert!(self
+            .logical_capacity
+            .is_multiple_of(self.logical_page_bytes));
+        assert!(
+            self.overprovision > 0.0,
+            "need overprovisioned space for GC"
+        );
         assert!(self.gc_low_watermark >= 2);
         assert!(self.gc_high_watermark > self.gc_low_watermark);
         assert!(self.blocks_per_die() > self.gc_high_watermark);
@@ -245,8 +250,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "overprovisioned")]
     fn validate_rejects_zero_op() {
-        let mut c = SsdConfig::default();
-        c.overprovision = 0.0;
+        let c = SsdConfig {
+            overprovision: 0.0,
+            ..SsdConfig::default()
+        };
         c.validate();
     }
 }

@@ -30,8 +30,9 @@ use crate::config::SsdConfig;
 use crate::ftl::Ftl;
 use crate::stats::SsdStats;
 use gimbal_fabric::IoType;
+use gimbal_sim::collections::DetMap;
 use gimbal_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A completed storage command, correlated by the caller-supplied tag.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,7 +135,7 @@ pub struct FlashSsd {
     link_in_busy: SimTime,
     events: EventQueue<Ev>,
     /// Reads with NAND chunks still in flight, by tag.
-    reads: HashMap<u64, ReadIo>,
+    reads: DetMap<u64, ReadIo>,
     /// Writes waiting for buffer space, FIFO.
     pending_writes: VecDeque<PendingWrite>,
     /// Pages admitted to the buffer but not yet batched into a program.
@@ -165,7 +166,7 @@ impl FlashSsd {
             link_out_busy: SimTime::ZERO,
             link_in_busy: SimTime::ZERO,
             events: EventQueue::new(),
-            reads: HashMap::new(),
+            reads: DetMap::new(),
             pending_writes: VecDeque::new(),
             drain_accum: Vec::new(),
             next_die: 0,
@@ -266,12 +267,16 @@ impl FlashSsd {
     // ------------------------------------------------------------------
 
     fn enqueue_fg(&mut self, die: u32, op: DieOp, ready: SimTime, dur: SimDuration, now: SimTime) {
-        self.dies[die as usize].fg.push_back(QueuedOp { op, ready, dur });
+        self.dies[die as usize]
+            .fg
+            .push_back(QueuedOp { op, ready, dur });
         self.kick_die(die, now);
     }
 
     fn enqueue_bg(&mut self, die: u32, op: DieOp, ready: SimTime, dur: SimDuration, now: SimTime) {
-        self.dies[die as usize].bg.push_back(QueuedOp { op, ready, dur });
+        self.dies[die as usize]
+            .bg
+            .push_back(QueuedOp { op, ready, dur });
         self.kick_die(die, now);
     }
 
@@ -582,7 +587,10 @@ impl FlashSsd {
 
 impl StorageDevice for FlashSsd {
     fn submit(&mut self, tag: u64, op: IoType, lba: u64, len: u64, now: SimTime) {
-        assert!(len > 0 && len % self.cfg.logical_page_bytes == 0, "len {len}");
+        assert!(
+            len > 0 && len.is_multiple_of(self.cfg.logical_page_bytes),
+            "len {len}"
+        );
         assert!(
             lba + len / self.cfg.logical_page_bytes <= self.cfg.logical_pages(),
             "IO beyond capacity: lba={lba} len={len}"
@@ -611,7 +619,7 @@ impl StorageDevice for FlashSsd {
 
     fn poll(&mut self, now: SimTime) -> Vec<SsdCompletion> {
         let mut out = Vec::new();
-        while self.events.peek_time().map_or(false, |t| t <= now) {
+        while self.events.peek_time().is_some_and(|t| t <= now) {
             let (at, ev) = self.events.pop().unwrap();
             match ev {
                 Ev::IoDone(c) => {

@@ -405,15 +405,22 @@ impl Ftl {
         assert!(free_per_die >= 1 && free_per_die < self.blocks_per_die);
         self.reset_unmapped();
         let usable_blocks_per_die = self.blocks_per_die - free_per_die;
-        let slots_in_use =
-            u64::from(self.dies) * u64::from(usable_blocks_per_die) * u64::from(self.slots_per_block);
+        let slots_in_use = u64::from(self.dies)
+            * u64::from(usable_blocks_per_die)
+            * u64::from(self.slots_per_block);
         assert!(
             slots_in_use >= self.logical_pages,
             "not enough physical slots to precondition"
         );
         // Shuffle logical pages among in-use slots; remainder become dead.
         let mut fill: Vec<u32> = (0..slots_in_use)
-            .map(|i| if i < self.logical_pages { i as u32 } else { UNMAPPED })
+            .map(|i| {
+                if i < self.logical_pages {
+                    i as u32
+                } else {
+                    UNMAPPED
+                }
+            })
             .collect();
         rng.shuffle(&mut fill);
         let mut i = 0usize;

@@ -58,7 +58,7 @@ impl StorageDevice for NullDevice {
 
     fn poll(&mut self, now: SimTime) -> Vec<SsdCompletion> {
         let mut out = Vec::new();
-        while self.events.peek_time().map_or(false, |t| t <= now) {
+        while self.events.peek_time().is_some_and(|t| t <= now) {
             out.push(self.events.pop().unwrap().1);
             self.inflight -= 1;
         }

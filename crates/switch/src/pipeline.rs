@@ -16,10 +16,10 @@
 use crate::policy::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
 use gimbal_fabric::{CmdStatus, NvmeCmd, SsdId};
 use gimbal_nic::{Core, CpuCost};
+use gimbal_sim::collections::DetMap;
 use gimbal_sim::{EventQueue, SimDuration, SimTime};
 use gimbal_ssd::StorageDevice;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Pipeline configuration.
@@ -69,7 +69,7 @@ pub struct Pipeline<D: StorageDevice> {
     core: Rc<RefCell<Core>>,
     cfg: PipelineConfig,
     events: EventQueue<PipeEv>,
-    inflight: HashMap<u64, NvmeCmd>,
+    inflight: DetMap<u64, NvmeCmd>,
     outputs: Vec<PipelineOut>,
     policy_wake: Option<SimTime>,
 }
@@ -95,7 +95,7 @@ impl<D: StorageDevice> Pipeline<D> {
             core,
             cfg,
             events: EventQueue::new(),
-            inflight: HashMap::new(),
+            inflight: DetMap::new(),
             outputs: Vec::new(),
             policy_wake: None,
         }
@@ -134,16 +134,14 @@ impl<D: StorageDevice> Pipeline<D> {
             .cpu_cost
             .submit_cycles(cmd.len_bytes(), self.cfg.null_device);
         let ready_at = self.core.borrow_mut().process(now, cycles);
-        self.events.push(
-            ready_at,
-            PipeEv::ReqReady(Request { cmd, ready_at }),
-        );
+        self.events
+            .push(ready_at, PipeEv::ReqReady(Request { cmd, ready_at }));
     }
 
     /// Process everything due at or before `now`.
     pub fn poll(&mut self, now: SimTime) {
         // Internal events: arrivals finishing CPU, completions finishing CPU.
-        while self.events.peek_time().map_or(false, |t| t <= now) {
+        while self.events.peek_time().is_some_and(|t| t <= now) {
             let (at, ev) = self.events.pop().unwrap();
             match ev {
                 PipeEv::ReqReady(req) => {
@@ -210,7 +208,7 @@ impl<D: StorageDevice> Pipeline<D> {
             }
         }
         // Completion CPU may have finished within `now` (zero-cost models).
-        while self.events.peek_time().map_or(false, |t| t <= now) {
+        while self.events.peek_time().is_some_and(|t| t <= now) {
             let (at, ev) = self.events.pop().unwrap();
             match ev {
                 PipeEv::ReqReady(req) => self.policy.on_arrival(req, at),
@@ -291,7 +289,12 @@ mod tests {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
         };
-        let mut p = Pipeline::new(SsdId(0), NullDevice::new(), Box::new(FifoPolicy::new()), cfg);
+        let mut p = Pipeline::new(
+            SsdId(0),
+            NullDevice::new(),
+            Box::new(FifoPolicy::new()),
+            cfg,
+        );
         p.on_command(cmd(1, SimTime::ZERO), SimTime::ZERO);
         let outs = drive_until_idle(&mut p);
         assert_eq!(outs.len(), 1);
@@ -310,7 +313,12 @@ mod tests {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
         };
-        let mut p = Pipeline::new(SsdId(0), NullDevice::new(), Box::new(FifoPolicy::new()), cfg);
+        let mut p = Pipeline::new(
+            SsdId(0),
+            NullDevice::new(),
+            Box::new(FifoPolicy::new()),
+            cfg,
+        );
         let horizon = SimTime::from_millis(50);
         // Closed loop with plenty of outstanding commands.
         let mut next_id = 0u64;

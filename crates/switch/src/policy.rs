@@ -175,7 +175,10 @@ mod tests {
             PolicyPoll::Submit(r) => assert_eq!(r.cmd.id, CmdId(2)),
             other => panic!("{other:?}"),
         }
-        assert!(matches!(p.next_submission(SimTime::ZERO, 2), PolicyPoll::Idle));
+        assert!(matches!(
+            p.next_submission(SimTime::ZERO, 2),
+            PolicyPoll::Idle
+        ));
     }
 
     #[test]
@@ -192,7 +195,10 @@ mod tests {
             p.next_submission(SimTime::ZERO, 1),
             PolicyPoll::Submit(_)
         ));
-        assert!(matches!(p.next_submission(SimTime::ZERO, 2), PolicyPoll::Idle));
+        assert!(matches!(
+            p.next_submission(SimTime::ZERO, 2),
+            PolicyPoll::Idle
+        ));
         assert_eq!(p.queued(), 1);
     }
 

@@ -101,6 +101,10 @@ pub struct TestbedConfig {
     pub sample_interval: Option<SimDuration>,
     /// Experiment seed; every stochastic stream derives from it.
     pub seed: u64,
+    /// Record every command submission into
+    /// [`crate::results::RunResult::submissions`] (determinism audits; off
+    /// by default — a long run submits millions of commands).
+    pub record_submissions: bool,
 }
 
 impl Default for TestbedConfig {
@@ -122,6 +126,7 @@ impl Default for TestbedConfig {
             added_per_io_us: 0.0,
             sample_interval: None,
             seed: 42,
+            record_submissions: false,
         }
     }
 }

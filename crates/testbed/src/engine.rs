@@ -1,11 +1,9 @@
 //! The deterministic event loop wiring workers, fabric, and pipelines.
 
 use crate::config::{Precondition, TestbedConfig, WorkerSpec};
-use crate::results::{DeviceSeries, GimbalTrace, RunResult, WorkerResult};
+use crate::results::{DeviceSeries, GimbalTrace, RunResult, SubmissionRecord, WorkerResult};
 use gimbal_core::GimbalPolicy;
-use gimbal_fabric::{
-    CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, SsdId, TenantId,
-};
+use gimbal_fabric::{CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, SsdId, TenantId};
 use gimbal_nic::Core;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{EventQueue, Histogram, Meter, SimDuration, SimRng, SimTime, TimeSeries};
@@ -51,7 +49,10 @@ impl Testbed {
         cfg.validate();
         assert!(!workers.is_empty(), "no workers");
         for w in &workers {
-            assert!((w.ssd as usize) < cfg.num_ssds as usize, "worker on missing SSD");
+            assert!(
+                (w.ssd as usize) < cfg.num_ssds as usize,
+                "worker on missing SSD"
+            );
             w.fio.validate();
             assert!(
                 w.fio.region_start + w.fio.region_blocks
@@ -59,7 +60,10 @@ impl Testbed {
                 "worker region exceeds SSD capacity"
             );
         }
-        Testbed { cfg, specs: workers }
+        Testbed {
+            cfg,
+            specs: workers,
+        }
     }
 
     /// Run the experiment to completion and collect results.
@@ -84,6 +88,8 @@ struct Engine {
     dev_lat_ewma: Vec<[gimbal_sim::Ewma; 2]>,
     dev_meter: Vec<Meter>,
     device_series: Vec<DeviceSeries>,
+    /// Submission trace, populated when `cfg.record_submissions` is set.
+    submissions: Vec<SubmissionRecord>,
 }
 
 impl Engine {
@@ -167,6 +173,7 @@ impl Engine {
             dev_lat_ewma,
             dev_meter,
             device_series,
+            submissions: Vec::new(),
             cfg,
         }
     }
@@ -229,12 +236,24 @@ impl Engine {
                 issued_at: now,
             };
             self.next_cmd += 1;
+            if self.cfg.record_submissions {
+                self.submissions.push(SubmissionRecord {
+                    at_ns: now.as_nanos(),
+                    cmd: cmd.id.0,
+                    tenant: cmd.tenant.0,
+                    opcode: if cmd.opcode.is_write() { 1 } else { 0 },
+                    lba: cmd.lba,
+                    len: cmd.len,
+                });
+            }
             w.outstanding += 1;
             w.client.on_submit(now);
             // Fabric: capsule, then payload fetch for non-inlined writes.
             let mut arrive = self.delays.command_arrival(&mut w.tx_port, now, &cmd);
             if cmd.opcode.is_write() {
-                arrive = self.delays.write_payload_fetched(&mut w.tx_port, arrive, &cmd);
+                arrive = self
+                    .delays
+                    .write_payload_fetched(&mut w.tx_port, arrive, &cmd);
             }
             self.queue.push(
                 arrive,
@@ -300,7 +319,8 @@ impl Engine {
             if let Some(w) = self.dev_lat_ewma[i][1].get() {
                 ds.write_lat_us.push(now, w);
             }
-            ds.bandwidth_bps.push(now, self.dev_meter[i].rate_bytes_per_sec(now));
+            ds.bandwidth_bps
+                .push(now, self.dev_meter[i].rate_bytes_per_sec(now));
         }
         for (i, p) in self.pipelines.iter().enumerate() {
             if let Some(g) = p.policy().as_any().downcast_ref::<GimbalPolicy>() {
@@ -326,7 +346,7 @@ impl Engine {
             self.queue.push(SimTime::ZERO + step, Ev::Sample);
         }
         let end = self.duration();
-        let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok();
+        let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env) — debug tracing toggle only, never affects simulation state
         let mut last_report = 0u64;
         while let Some((now, ev)) = self.queue.pop() {
             if now > end {
@@ -337,8 +357,14 @@ impl Engine {
                 eprintln!(
                     "t={now} queue={} pipes={:?} outs={:?}",
                     self.queue.len(),
-                    self.pipelines.iter().map(|p| p.in_progress()).collect::<Vec<_>>(),
-                    self.workers.iter().map(|w| w.outstanding).collect::<Vec<_>>(),
+                    self.pipelines
+                        .iter()
+                        .map(|p| p.in_progress())
+                        .collect::<Vec<_>>(),
+                    self.workers
+                        .iter()
+                        .map(|w| w.outstanding)
+                        .collect::<Vec<_>>(),
                 );
             }
             match ev {
@@ -391,8 +417,9 @@ impl Engine {
             }
         }
 
-        let windows: Vec<SimDuration> =
-            (0..self.workers.len()).map(|i| self.measured_window(i)).collect();
+        let windows: Vec<SimDuration> = (0..self.workers.len())
+            .map(|i| self.measured_window(i))
+            .collect();
         let workers = self
             .workers
             .into_iter()
@@ -419,6 +446,7 @@ impl Engine {
             device_latency,
             gimbal_traces: self.traces,
             device_series: self.device_series,
+            submissions: self.submissions,
         }
     }
 }
@@ -513,16 +541,10 @@ mod tests {
             ..base_cfg(Scheme::Gimbal, Precondition::Clean)
         };
         let cap = CAP_BLOCKS;
-        let late = WorkerSpec::new(
-            "late",
-            FioSpec::paper_default(1.0, 4096, 0, cap / 2),
-        )
-        .active(SimTime::from_millis(400), None);
-        let early = WorkerSpec::new(
-            "early",
-            FioSpec::paper_default(1.0, 4096, cap / 2, cap / 2),
-        )
-        .active(SimTime::ZERO, Some(SimTime::from_millis(400)));
+        let late = WorkerSpec::new("late", FioSpec::paper_default(1.0, 4096, 0, cap / 2))
+            .active(SimTime::from_millis(400), None);
+        let early = WorkerSpec::new("early", FioSpec::paper_default(1.0, 4096, cap / 2, cap / 2))
+            .active(SimTime::ZERO, Some(SimTime::from_millis(400)));
         let res = Testbed::new(cfg, vec![late, early]).run();
         // Early worker only has 300→400 ms in window; late has 400→800 ms.
         assert!(res.workers[0].ops > 0);
@@ -574,7 +596,10 @@ mod tests {
             "WA {:.2}",
             res.ssd_stats[0].write_amplification()
         );
-        assert!(res.device_latency[0][1].count > 0, "write latencies observed");
+        assert!(
+            res.device_latency[0][1].count > 0,
+            "write latencies observed"
+        );
     }
 
     #[test]

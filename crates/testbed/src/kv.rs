@@ -14,16 +14,16 @@ use gimbal_baselines::PardaClient;
 use gimbal_blobstore::{BackendId, Blobstore, HbaConfig, HierarchicalAllocator, RateLimiter};
 use gimbal_core::Params;
 use gimbal_fabric::{
-    CmdId, FabricConfig, NvmeCmd, NvmeCompletion, Port, RdmaDelays,
-    SsdId, TenantId,
+    CmdId, FabricConfig, NvmeCmd, NvmeCompletion, Port, RdmaDelays, SsdId, TenantId,
 };
 use gimbal_lsm_kv::{IoCtx, LsmConfig, LsmKv, LsmStats, StepOutput, TaggedIo};
+use gimbal_sim::collections::DetMap;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime};
 use gimbal_ssd::{FlashSsd, SsdConfig, SsdStats};
 use gimbal_switch::{ClientPolicy, Pipeline, PipelineConfig};
 use gimbal_workload::{KvOp, YcsbMix, YcsbWorkload};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Configuration of a KV-store experiment.
 #[derive(Clone, Debug)]
@@ -170,9 +170,15 @@ enum Ev {
     FailBackend(usize),
     InstanceStart(usize),
     KvPump(usize),
-    DeliverCmd { backend: usize, cmd: NvmeCmd },
+    DeliverCmd {
+        backend: usize,
+        cmd: NvmeCmd,
+    },
     PipelineWake(usize),
-    DeliverCpl { instance: usize, cpl: NvmeCompletion },
+    DeliverCpl {
+        instance: usize,
+        cpl: NvmeCompletion,
+    },
 }
 
 struct OpTicket {
@@ -195,7 +201,7 @@ struct Instance {
     /// a flush/compaction burst trickles out instead of monopolizing the
     /// tenant's virtual slots and credits (§4.3's IO rate limiter).
     low_outstanding: Vec<u32>,
-    ops_inflight: HashMap<u64, OpTicket>,
+    ops_inflight: DetMap<u64, OpTicket>,
     read_hist: Histogram,
     write_hist: Histogram,
     ops_done: u64,
@@ -252,8 +258,9 @@ impl KvTestbed {
                 )
             })
             .collect();
-        let mut target_ports: Vec<Port> =
-            (0..backends).map(|_| Port::new(cfg.fabric.port_bandwidth)).collect();
+        let mut target_ports: Vec<Port> = (0..backends)
+            .map(|_| Port::new(cfg.fabric.port_bandwidth))
+            .collect();
 
         // Shared blobstore over all backends.
         let caps: Vec<u64> = (0..backends)
@@ -298,7 +305,7 @@ impl KvTestbed {
                     tx_port: Port::new(cfg.fabric.port_bandwidth),
                     pending: (0..backends).map(|_| Default::default()).collect(),
                     low_outstanding: vec![0; backends],
-                    ops_inflight: HashMap::new(),
+                    ops_inflight: DetMap::new(),
                     read_hist: Histogram::new(),
                     write_hist: Histogram::new(),
                     ops_done: 0,
@@ -311,17 +318,14 @@ impl KvTestbed {
         let mut wake_at = vec![SimTime::MAX; backends];
         let mut next_cmd: u64 = 0;
         // cmd id → (instance, kv io tag, is-low-priority)
-        let mut cmd_map: HashMap<u64, (usize, u64, bool)> = HashMap::new();
+        let mut cmd_map: DetMap<u64, (usize, u64, bool)> = DetMap::new();
 
         let end = SimTime::ZERO + cfg.duration;
         let warm = SimTime::ZERO + cfg.warmup;
         let pump_step = SimDuration::from_micros(200);
 
         for i in 0..instances.len() {
-            queue.push(
-                SimTime::from_micros(10 * i as u64),
-                Ev::InstanceStart(i),
-            );
+            queue.push(SimTime::from_micros(10 * i as u64), Ev::InstanceStart(i));
         }
         let mut traces: Vec<GimbalTrace> = (0..backends).map(|_| GimbalTrace::default()).collect();
         if let Some(step) = cfg.sample_interval {
@@ -366,7 +370,16 @@ impl KvTestbed {
                 }
                 Ev::InstanceStart(i) => {
                     Self::top_up_ops(&cfg, &mut instances, &mut bs, i, now);
-                    Self::dispatch_all(&cfg, &mut instances, &delays, &mut queue, &mut cmd_map, &mut next_cmd, i, now);
+                    Self::dispatch_all(
+                        &cfg,
+                        &mut instances,
+                        &delays,
+                        &mut queue,
+                        &mut cmd_map,
+                        &mut next_cmd,
+                        i,
+                        now,
+                    );
                     queue.push(now + pump_step, Ev::KvPump(i));
                 }
                 Ev::KvPump(i) => {
@@ -381,7 +394,16 @@ impl KvTestbed {
                     };
                     Self::absorb(&cfg, &mut instances, i, out, now, warm, end);
                     Self::top_up_ops(&cfg, &mut instances, &mut bs, i, now);
-                    Self::dispatch_all(&cfg, &mut instances, &delays, &mut queue, &mut cmd_map, &mut next_cmd, i, now);
+                    Self::dispatch_all(
+                        &cfg,
+                        &mut instances,
+                        &delays,
+                        &mut queue,
+                        &mut cmd_map,
+                        &mut next_cmd,
+                        i,
+                        now,
+                    );
                     queue.push(now + pump_step, Ev::KvPump(i));
                 }
                 Ev::DeliverCmd { backend, cmd } => {
@@ -422,7 +444,8 @@ impl KvTestbed {
                             inst.low_outstanding[backend] =
                                 inst.low_outstanding[backend].saturating_sub(1);
                         }
-                        inst.lim.on_completion(BackendId(backend as u32), cpl.credit);
+                        inst.lim
+                            .on_completion(BackendId(backend as u32), cpl.credit);
                         if let Some(parda) = &mut inst.parda {
                             parda[backend].on_completion(&cpl, now);
                         }
@@ -445,7 +468,16 @@ impl KvTestbed {
                     };
                     Self::absorb(&cfg, &mut instances, i, out, now, warm, end);
                     Self::top_up_ops(&cfg, &mut instances, &mut bs, i, now);
-                    Self::dispatch_all(&cfg, &mut instances, &delays, &mut queue, &mut cmd_map, &mut next_cmd, i, now);
+                    Self::dispatch_all(
+                        &cfg,
+                        &mut instances,
+                        &delays,
+                        &mut queue,
+                        &mut cmd_map,
+                        &mut next_cmd,
+                        i,
+                        now,
+                    );
                 }
             }
         }
@@ -543,7 +575,7 @@ impl KvTestbed {
         instances: &mut [Instance],
         delays: &RdmaDelays,
         queue: &mut EventQueue<Ev>,
-        cmd_map: &mut HashMap<u64, (usize, u64, bool)>,
+        cmd_map: &mut DetMap<u64, (usize, u64, bool)>,
         next_cmd: &mut u64,
         i: usize,
         now: SimTime,
@@ -551,13 +583,10 @@ impl KvTestbed {
         let inst = &mut instances[i];
         for backend in 0..inst.pending.len() {
             const MAX_LOW_OUTSTANDING: u32 = 2;
-            loop {
-                let Some(lvl) = (0..3).find(|&l| {
-                    !inst.pending[backend][l].is_empty()
-                        && (l < 2 || inst.low_outstanding[backend] < MAX_LOW_OUTSTANDING)
-                }) else {
-                    break;
-                };
+            while let Some(lvl) = (0..3).find(|&l| {
+                !inst.pending[backend][l].is_empty()
+                    && (l < 2 || inst.low_outstanding[backend] < MAX_LOW_OUTSTANDING)
+            }) {
                 if !inst.gate_allows(backend, now) {
                     break;
                 }
@@ -595,13 +624,13 @@ impl KvTestbed {
         wake_at: &mut [SimTime],
         delays: &RdmaDelays,
         queue: &mut EventQueue<Ev>,
-        cmd_map: &HashMap<u64, (usize, u64, bool)>,
+        cmd_map: &DetMap<u64, (usize, u64, bool)>,
         backend: usize,
         now: SimTime,
     ) {
         pipelines[backend].poll(now);
         for out in pipelines[backend].take_outputs() {
-            let (instance, _, _) = cmd_map[&out.cmd.id.0];
+            let (instance, _, _) = *cmd_map.get(&out.cmd.id.0).expect("tracked cmd");
             let cpl = NvmeCompletion {
                 id: out.cmd.id,
                 tenant: out.cmd.tenant,
@@ -702,7 +731,11 @@ mod tests {
         let res = KvTestbed::new(cfg).run();
         let total: u64 = res.instances.iter().map(|i| i.ops).sum();
         assert!(total > 500, "ops continued after the failure: {total}");
-        let retries: u64 = res.instances.iter().map(|i| i.lsm.failed_read_retries).sum();
+        let retries: u64 = res
+            .instances
+            .iter()
+            .map(|i| i.lsm.failed_read_retries)
+            .sum();
         assert!(retries > 0, "reads failed over to the surviving replica");
         // Sanity: the failed backend stopped doing useful work while the
         // survivor kept serving.
@@ -715,6 +748,9 @@ mod tests {
         cfg.lsm.memtable_bytes = 256 * 1024;
         let res = KvTestbed::new(cfg).run();
         let with_writes = res.ssd_stats.iter().filter(|s| s.writes > 0).count();
-        assert!(with_writes >= 2, "replicated writes on {with_writes} backends");
+        assert!(
+            with_writes >= 2,
+            "replicated writes on {with_writes} backends"
+        );
     }
 }

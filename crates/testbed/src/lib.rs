@@ -15,13 +15,15 @@
 //!   (§5.1's fairness metric) and reporting helpers.
 
 pub mod config;
-pub mod kv;
 pub mod engine;
+pub mod kv;
 pub mod results;
 pub mod scheme;
 
 pub use config::{Precondition, TestbedConfig, WorkerSpec};
 pub use engine::Testbed;
 pub use kv::{KvInstanceResult, KvRunResult, KvTestbed, KvTestbedConfig};
-pub use results::{f_util, utilization_deviation, GimbalTrace, RunResult, WorkerResult};
+pub use results::{
+    f_util, utilization_deviation, GimbalTrace, RunResult, SubmissionRecord, WorkerResult,
+};
 pub use scheme::Scheme;

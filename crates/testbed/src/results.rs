@@ -1,8 +1,40 @@
 //! Experiment measurements and the paper's evaluation metrics.
 
 use gimbal_sim::stats::LatencySummary;
-use gimbal_sim::{SimDuration, TimeSeries};
+use gimbal_sim::{Digest, SimDuration, TimeSeries};
 use gimbal_ssd::SsdStats;
+
+/// One NVMe command submission, recorded at creation time when
+/// [`crate::TestbedConfig::record_submissions`] is on. The sequence of these
+/// records is the engine's externally visible schedule: two runs are
+/// behaviorally identical iff their submission traces match byte for byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubmissionRecord {
+    /// Virtual time of submission, nanoseconds.
+    pub at_ns: u64,
+    /// Command id (globally unique, monotone).
+    pub cmd: u64,
+    /// Issuing tenant (worker index).
+    pub tenant: u32,
+    /// Opcode: 0 = read, 1 = write.
+    pub opcode: u8,
+    /// Logical block address.
+    pub lba: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl SubmissionRecord {
+    /// Fold this record into a digest, field order fixed.
+    pub fn fold_into(&self, d: &mut Digest) {
+        d.update_u64(self.at_ns)
+            .update_u64(self.cmd)
+            .update_u64(u64::from(self.tenant))
+            .update(&[self.opcode])
+            .update_u64(self.lba)
+            .update_u64(u64::from(self.len));
+    }
+}
 
 /// Measurements for one worker over its measured window.
 #[derive(Clone, Debug)]
@@ -92,9 +124,57 @@ pub struct RunResult {
     pub gimbal_traces: Vec<GimbalTrace>,
     /// Per-SSD device-latency/bandwidth series (empty when sampling is off).
     pub device_series: Vec<DeviceSeries>,
+    /// Every command submission in order (empty unless
+    /// `record_submissions` was set in the config).
+    pub submissions: Vec<SubmissionRecord>,
 }
 
 impl RunResult {
+    /// Digest of the full submission trace (requires `record_submissions`).
+    pub fn submission_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        for r in &self.submissions {
+            r.fold_into(&mut d);
+        }
+        d.value()
+    }
+
+    /// Digest of the run's aggregate statistics: per-worker counters and
+    /// latency summaries plus per-SSD device counters. Two runs with the
+    /// same seed must produce the same value, bit for bit — floats are
+    /// folded by exact bit pattern, not approximate value.
+    pub fn stats_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        for w in &self.workers {
+            d.update(w.label.as_bytes())
+                .update_u64(w.ops)
+                .update_u64(w.bytes)
+                .update_u64(w.window.as_nanos());
+            for s in [&w.read_latency, &w.write_latency] {
+                d.update_u64(s.count)
+                    .update_f64(s.mean_ns)
+                    .update_u64(s.p50_ns)
+                    .update_u64(s.p99_ns)
+                    .update_u64(s.p999_ns)
+                    .update_u64(s.max_ns);
+            }
+        }
+        for s in &self.ssd_stats {
+            d.update_u64(s.reads)
+                .update_u64(s.writes)
+                .update_u64(s.read_bytes)
+                .update_u64(s.write_bytes)
+                .update_u64(s.buffer_read_hits)
+                .update_u64(s.nand_read_chunks)
+                .update_u64(s.buffer_stalls)
+                .update_u64(s.ftl.host_slot_writes)
+                .update_u64(s.ftl.gc_slot_writes)
+                .update_u64(s.ftl.erases)
+                .update_u64(s.ftl.collections);
+        }
+        d.value()
+    }
+
     /// Aggregated bandwidth (bytes/s) of workers whose label satisfies the
     /// predicate.
     pub fn aggregate_bps<F: Fn(&str) -> bool>(&self, pred: F) -> f64 {
@@ -115,7 +195,13 @@ impl RunResult {
                 .workers
                 .iter()
                 .filter(|w| pred(&w.label))
-                .map(|w| if *pick { &w.read_latency } else { &w.write_latency })
+                .map(|w| {
+                    if *pick {
+                        &w.read_latency
+                    } else {
+                        &w.write_latency
+                    }
+                })
                 .filter(|s| s.count > 0)
                 .collect();
             if sums.is_empty() {

@@ -24,7 +24,12 @@ pub enum Scheme {
 
 impl Scheme {
     /// The four schemes compared throughout §5.
-    pub const COMPARED: [Scheme; 4] = [Scheme::Reflex, Scheme::FlashFq, Scheme::Parda, Scheme::Gimbal];
+    pub const COMPARED: [Scheme; 4] = [
+        Scheme::Reflex,
+        Scheme::FlashFq,
+        Scheme::Parda,
+        Scheme::Gimbal,
+    ];
 
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {

@@ -43,7 +43,12 @@ impl FioSpec {
     /// The paper's default microbenchmark shapes (§5.1): QD 32 for 4 KiB,
     /// QD 4 for 128 KiB; reads random; 128 KiB writes sequential, 4 KiB
     /// writes random.
-    pub fn paper_default(read_ratio: f64, io_bytes: u64, region_start: u64, region_blocks: u64) -> Self {
+    pub fn paper_default(
+        read_ratio: f64,
+        io_bytes: u64,
+        region_start: u64,
+        region_blocks: u64,
+    ) -> Self {
         let qd = if io_bytes >= 128 * 1024 { 4 } else { 32 };
         let write_pattern = if io_bytes >= 128 * 1024 {
             AccessPattern::Sequential
@@ -70,7 +75,7 @@ impl FioSpec {
     /// Validate the specification.
     pub fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.read_ratio));
-        assert!(self.io_bytes > 0 && self.io_bytes % BLOCK_SIZE == 0);
+        assert!(self.io_bytes > 0 && self.io_bytes.is_multiple_of(BLOCK_SIZE));
         assert!(self.queue_depth >= 1);
         assert!(
             self.region_blocks >= self.io_blocks(),

@@ -29,11 +29,8 @@ fn main() {
         Scheme::Gimbal,
     ] {
         // Victim: 4 KB random reads at moderate intensity (QD 32).
-        let victim = WorkerSpec::new(
-            "victim",
-            FioSpec::paper_default(1.0, 4096, 0, cap / 2),
-        )
-        .with_priority(Priority::HIGH);
+        let victim = WorkerSpec::new("victim", FioSpec::paper_default(1.0, 4096, 0, cap / 2))
+            .with_priority(Priority::HIGH);
         // Neighbor: same IO shape but 4× the intensity (QD 128) — the
         // paper's Fig 4 shows intensity alone steals bandwidth on an
         // unmanaged target.

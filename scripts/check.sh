@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate — everything CI runs, in the same order.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "==> gimbal-lint (determinism policy)"
+cargo run --offline -q -p gimbal-lint
+
+echo "All checks passed."

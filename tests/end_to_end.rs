@@ -123,7 +123,14 @@ fn identical_seeds_give_identical_results() {
         .run();
         res.workers
             .iter()
-            .map(|w| (w.ops, w.bytes, w.read_latency.p999_ns, w.write_latency.p999_ns))
+            .map(|w| {
+                (
+                    w.ops,
+                    w.bytes,
+                    w.read_latency.p999_ns,
+                    w.write_latency.p999_ns,
+                )
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run(), "simulation must be fully deterministic");

@@ -1,0 +1,42 @@
+//! Tier-1 gate: the workspace must be free of determinism-lint errors.
+//!
+//! This is the wiring the determinism policy hangs on — `cargo test` fails
+//! if anyone reintroduces a `HashMap`, a wall-clock read, or a float
+//! equality into a simulation crate without a reasoned waiver. Run
+//! `cargo run -p gimbal-lint` for the same report from the command line.
+
+use std::path::Path;
+
+use gimbal_lint::{format_human, run_workspace, Severity};
+
+#[test]
+fn workspace_has_no_determinism_lint_errors() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = run_workspace(root).expect("lint scan must be able to read the workspace");
+
+    assert!(
+        report.files_scanned > 30,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+
+    let errors: Vec<String> = report.errors().map(format_human).collect();
+    assert!(
+        errors.is_empty(),
+        "determinism lint found {} error(s):\n{}",
+        errors.len(),
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn lint_reports_warnings_without_failing() {
+    // D4 (unwrap in hot paths) is advisory: make sure warnings are surfaced
+    // through the API but never escalate to errors.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = run_workspace(root).expect("lint scan must be able to read the workspace");
+    for w in report.warnings() {
+        assert_eq!(w.severity, Severity::Warning);
+        assert_eq!(w.rule.code(), "D4");
+    }
+}

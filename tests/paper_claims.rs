@@ -39,7 +39,11 @@ fn fig4_intensity_steals_bandwidth_without_isolation() {
             ..FioSpec::paper_default(1.0, 4096, s1, b1)
         },
     );
-    let res = Testbed::new(cfg(Scheme::Vanilla, Precondition::Clean), vec![victim, neighbor]).run();
+    let res = Testbed::new(
+        cfg(Scheme::Vanilla, Precondition::Clean),
+        vec![victim, neighbor],
+    )
+    .run();
     let v = res.workers[0].bandwidth_bps();
     let n = res.workers[1].bandwidth_bps();
     assert!(n > 2.5 * v, "intense neighbor {n:.0} vs victim {v:.0}");
@@ -168,11 +172,7 @@ fn s58_gimbal_generalizes_to_the_p3600_profile() {
     let res = Testbed::new(c, workers).run();
     let bw = res.aggregate_bps(|_| true);
     // P3600 die-limited 4 KB read ceiling ≈ 32/88 µs ≈ 1.45 GB/s.
-    assert!(
-        bw > 0.8e9,
-        "P3600 fragmented reads: {:.0} MB/s",
-        bw / 1e6
-    );
+    assert!(bw > 0.8e9, "P3600 fragmented reads: {:.0} MB/s", bw / 1e6);
 }
 
 /// §5.4: under high consolidation (8 readers + 8 writers on one fragmented

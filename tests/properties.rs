@@ -1,4 +1,10 @@
-//! Property-based tests (proptest) on the core data structures' invariants.
+//! Property-style tests on the core data structures' invariants.
+//!
+//! These were originally written against `proptest`; the workspace is now
+//! dependency-free, so each property drives its random cases from `SimRng`
+//! with fixed seeds instead. Coverage is the same shape — randomized inputs,
+//! many cases per property — but fully deterministic, which also means a
+//! failure here reproduces identically on every machine.
 
 use gimbal_repro::fabric::{CmdId, IoType, NvmeCmd, Priority, SsdId, TenantId};
 use gimbal_repro::gimbal::scheduler::SchedPoll;
@@ -8,7 +14,6 @@ use gimbal_repro::ssd::ftl::Ftl;
 use gimbal_repro::ssd::SsdConfig;
 use gimbal_repro::switch::Request;
 use gimbal_repro::workload::Zipfian;
-use proptest::prelude::*;
 
 fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
     Request {
@@ -26,10 +31,13 @@ fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
     }
 }
 
-proptest! {
-    /// Histogram quantiles are monotone in q and bracketed by min/max.
-    #[test]
-    fn histogram_quantiles_are_monotone(values in prop::collection::vec(0u64..1_000_000_000, 1..500)) {
+/// Histogram quantiles are monotone in q and bracketed by min/max.
+#[test]
+fn histogram_quantiles_are_monotone() {
+    let mut rng = SimRng::new(0x9157_0001);
+    for case in 0..200 {
+        let n = 1 + rng.gen_below(499) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_below(1_000_000_000)).collect();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -38,21 +46,30 @@ proptest! {
         let mut last = 0;
         for &q in &qs {
             let v = h.quantile(q);
-            prop_assert!(v >= last, "quantile({q}) = {v} < previous {last}");
+            assert!(
+                v >= last,
+                "case {case}: quantile({q}) = {v} < previous {last}"
+            );
             last = v;
         }
-        prop_assert!(h.quantile(0.0) >= h.min());
-        prop_assert!(h.quantile(1.0) <= h.max());
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert!(h.quantile(0.0) >= h.min());
+        assert!(h.quantile(1.0) <= h.max());
+        assert_eq!(h.count(), values.len() as u64);
     }
+}
 
-    /// A token bucket never goes negative and never exceeds its capacity,
-    /// under arbitrary interleavings of refills, deposits, and consumes.
-    #[test]
-    fn token_bucket_stays_in_bounds(ops in prop::collection::vec((0u8..3, 1u64..100_000), 1..200)) {
+/// A token bucket never goes negative and never exceeds its capacity,
+/// under arbitrary interleavings of refills, deposits, and consumes.
+#[test]
+fn token_bucket_stays_in_bounds() {
+    let mut rng = SimRng::new(0x9157_0002);
+    for case in 0..200 {
         let mut tb = TokenBucket::with_rate(1e8, 1 << 20);
         let mut t = 0u64;
-        for (kind, arg) in ops {
+        let steps = 1 + rng.gen_below(199);
+        for _ in 0..steps {
+            let kind = rng.gen_below(3) as u8;
+            let arg = 1 + rng.gen_below(99_999);
             match kind {
                 0 => {
                     t += arg;
@@ -63,28 +80,39 @@ proptest! {
                 }
                 _ => {
                     let overflow = tb.deposit(arg as f64);
-                    prop_assert!(overflow >= 0.0);
+                    assert!(overflow >= 0.0, "case {case}");
                 }
             }
-            prop_assert!(tb.tokens() >= 0.0);
-            prop_assert!(tb.tokens() <= tb.capacity() + 1e-6);
+            assert!(tb.tokens() >= 0.0, "case {case}");
+            assert!(tb.tokens() <= tb.capacity() + 1e-6, "case {case}");
         }
     }
+}
 
-    /// The virtual-slot DRR conserves requests: everything enqueued is
-    /// either submitted or still queued, never duplicated or lost, under
-    /// random arrival/complete interleavings.
-    #[test]
-    fn drr_conserves_requests(script in prop::collection::vec((0u8..4, 0u32..4, 1u32..3), 1..300)) {
+/// The virtual-slot DRR conserves requests: everything enqueued is either
+/// submitted or still queued, never duplicated or lost, under random
+/// arrival/complete interleavings.
+#[test]
+fn drr_conserves_requests() {
+    let mut rng = SimRng::new(0x9157_0003);
+    for case in 0..150 {
         let mut s = VirtualSlotScheduler::new(Params::default());
         let mut next = 0u64;
         let mut enqueued = 0usize;
         let mut submitted = Vec::new();
         let mut completed = 0usize;
-        for (kind, tenant, sz) in script {
+        let steps = 1 + rng.gen_below(299);
+        for _ in 0..steps {
+            let kind = rng.gen_below(4) as u8;
+            let tenant = rng.gen_below(4) as u32;
+            let sz = 1 + rng.gen_below(2) as u32;
             match kind {
                 0 | 1 => {
-                    let op = if kind == 0 { IoType::Read } else { IoType::Write };
+                    let op = if kind == 0 {
+                        IoType::Read
+                    } else {
+                        IoType::Write
+                    };
                     s.on_arrival(req(next, tenant, op, sz * 4096), SimTime::ZERO);
                     next += 1;
                     enqueued += 1;
@@ -103,16 +131,9 @@ proptest! {
             }
         }
         // Drain: everything left must come out exactly once.
-        loop {
-            match s.dequeue(3.0, |_| true) {
-                SchedPoll::Submit(r) => {
-                    submitted.push(r.cmd.id);
-                    s.on_completion(*submitted.last().unwrap());
-                    completed += 1;
-                    submitted.pop();
-                }
-                _ => break,
-            }
+        while let SchedPoll::Submit(r) = s.dequeue(3.0, |_| true) {
+            s.on_completion(r.cmd.id);
+            completed += 1;
             if submitted.len() + completed > enqueued {
                 break;
             }
@@ -123,23 +144,24 @@ proptest! {
             completed += 1;
         }
         // Second drain after completions freed slots.
-        loop {
-            match s.dequeue(3.0, |_| true) {
-                SchedPoll::Submit(r) => {
-                    s.on_completion(r.cmd.id);
-                    completed += 1;
-                }
-                _ => break,
-            }
+        while let SchedPoll::Submit(r) = s.dequeue(3.0, |_| true) {
+            s.on_completion(r.cmd.id);
+            completed += 1;
         }
-        prop_assert_eq!(completed, enqueued, "requests lost or duplicated");
-        prop_assert_eq!(s.queued(), 0);
+        assert_eq!(
+            completed, enqueued,
+            "case {case}: requests lost or duplicated"
+        );
+        assert_eq!(s.queued(), 0, "case {case}");
     }
+}
 
-    /// FTL map/rmap stay mutually consistent under random writes and
-    /// invalidations, and free-block accounting never goes negative.
-    #[test]
-    fn ftl_mapping_consistency(ops in prop::collection::vec((0u8..2, 0u64..2048), 1..400)) {
+/// FTL map/rmap stay mutually consistent under random writes and
+/// invalidations, and free-block accounting never goes negative.
+#[test]
+fn ftl_mapping_consistency() {
+    let mut rng = SimRng::new(0x9157_0004);
+    for case in 0..50 {
         let cfg = SsdConfig {
             logical_capacity: 64 * 1024 * 1024,
             ..SsdConfig::default()
@@ -147,7 +169,10 @@ proptest! {
         let mut ftl = Ftl::new(&cfg);
         let dies = cfg.dies();
         let mut die = 0u32;
-        for (kind, lpn) in ops {
+        let steps = 1 + rng.gen_below(399);
+        for _ in 0..steps {
+            let kind = rng.gen_below(2) as u8;
+            let lpn = rng.gen_below(2048);
             match kind {
                 0 => {
                     // Keep a couple of free blocks via opportunistic GC.
@@ -161,48 +186,61 @@ proptest! {
                         }
                     }
                     let addr = ftl.write_to_die(lpn, die, false);
-                    prop_assert_eq!(ftl.translate(lpn), Some(addr));
+                    assert_eq!(ftl.translate(lpn), Some(addr), "case {case}");
                     die = (die + 1) % dies;
                 }
                 _ => {
                     ftl.invalidate(lpn);
-                    prop_assert!(ftl.translate(lpn).is_none());
+                    assert!(ftl.translate(lpn).is_none(), "case {case}");
                 }
             }
         }
         for d in 0..dies {
-            prop_assert!(ftl.free_blocks(d) <= cfg.blocks_per_die());
+            assert!(ftl.free_blocks(d) <= cfg.blocks_per_die(), "case {case}");
         }
     }
+}
 
-    /// Zipfian draws always land in range and the most popular rank really
-    /// is rank 0 for heavy skew.
-    #[test]
-    fn zipfian_bounds(items in 2u64..50_000, seed in 0u64..1000) {
+/// Zipfian draws always land in range and the most popular rank really is
+/// rank 0 for heavy skew.
+#[test]
+fn zipfian_bounds() {
+    let mut meta = SimRng::new(0x9157_0005);
+    for case in 0..40 {
+        let items = 2 + meta.gen_below(49_998);
+        let seed = meta.gen_below(1000);
         let z = Zipfian::new(items, 0.99);
         let mut rng = SimRng::new(seed);
         let mut zero = 0u64;
         let n = 2_000;
         for _ in 0..n {
             let k = z.next(&mut rng);
-            prop_assert!(k < items);
+            assert!(k < items, "case {case}");
             if k == 0 {
                 zero += 1;
             }
         }
         // Rank 0 gets at least its uniform share for any skewed keyspace.
-        prop_assert!(zero as f64 >= n as f64 / items as f64);
+        assert!(
+            zero as f64 >= n as f64 / items as f64,
+            "case {case}: items={items} zero={zero}"
+        );
     }
+}
 
-    /// PCG is deterministic per seed and uniform-ish over small ranges.
-    #[test]
-    fn rng_gen_below_is_in_range(seed in 0u64..10_000, bound in 1u64..1_000_000) {
+/// PCG is deterministic per seed and uniform-ish over small ranges.
+#[test]
+fn rng_gen_below_is_in_range() {
+    let mut meta = SimRng::new(0x9157_0006);
+    for case in 0..200 {
+        let seed = meta.gen_below(10_000);
+        let bound = 1 + meta.gen_below(999_999);
         let mut a = SimRng::new(seed);
         let mut b = SimRng::new(seed);
         for _ in 0..50 {
             let x = a.gen_below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.gen_below(bound));
+            assert!(x < bound, "case {case}");
+            assert_eq!(x, b.gen_below(bound), "case {case}");
         }
     }
 }
