@@ -1,0 +1,58 @@
+//! Typed errors for tenant-facing blobstore operations.
+//!
+//! Failure handling (§4.3) is part of the datapath contract: a dead replica
+//! or an impossible configuration must surface as a value the caller can
+//! route — retry on the shadow, degrade to single-replica, or refuse the
+//! request — rather than tearing down the whole tenant with a panic.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by blobstore planning and replica selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlobError {
+    /// A replica chooser was handed an empty replica set.
+    NoReplicas,
+    /// Every candidate replica's backend is marked failed.
+    AllReplicasDead,
+    /// Replication was requested over fewer than two backends.
+    NeedTwoBackends {
+        /// Backends actually available.
+        backends: usize,
+    },
+    /// Both copies of a micro blob sit on failed backends (or the only copy
+    /// does, unreplicated) — no replica can serve the span.
+    DataUnavailable,
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::NoReplicas => write!(f, "empty replica set"),
+            BlobError::AllReplicasDead => {
+                write!(f, "all candidate replicas are on failed backends")
+            }
+            BlobError::NeedTwoBackends { backends } => {
+                write!(f, "replication needs 2+ backends, have {backends}")
+            }
+            BlobError::DataUnavailable => {
+                write!(f, "no live replica holds the requested span")
+            }
+        }
+    }
+}
+
+impl Error for BlobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(BlobError::NoReplicas.to_string(), "empty replica set");
+        assert!(BlobError::NeedTwoBackends { backends: 1 }
+            .to_string()
+            .contains("have 1"));
+    }
+}

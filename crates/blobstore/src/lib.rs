@@ -18,11 +18,15 @@
 //!   read plans pick a replica via a caller-supplied chooser.
 //! * [`limiter`] — the credit-based rate limiter and per-backend load view
 //!   used both for submission gating and replica choice.
+//! * [`error`] — typed errors for tenant-facing operations: bad replica
+//!   sets, impossible configurations, and spans with no live copy left.
 
 pub mod allocator;
+pub mod error;
 pub mod limiter;
 pub mod store;
 
 pub use allocator::{BackendId, BlobAddr, HbaConfig, HierarchicalAllocator};
+pub use error::BlobError;
 pub use limiter::RateLimiter;
-pub use store::{Blobstore, FileId, IoPlan};
+pub use store::{Blobstore, FileId, IoPlan, WritePlan};

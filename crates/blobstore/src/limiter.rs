@@ -9,6 +9,7 @@
 //! decide the loading status on the target").
 
 use crate::allocator::BackendId;
+use crate::error::BlobError;
 
 #[derive(Clone, Copy, Debug)]
 struct BackendState {
@@ -104,16 +105,24 @@ impl RateLimiter {
     }
 
     /// Pick the replica with the most headroom (the §4.3 read load
-    /// balancer). Ties go to the first.
-    pub fn choose_replica(&self, replicas: &[BackendId]) -> usize {
-        assert!(!replicas.is_empty());
-        let mut best = 0;
-        for (i, &b) in replicas.iter().enumerate().skip(1) {
-            if self.headroom(b) > self.headroom(replicas[best]) {
-                best = i;
+    /// balancer). Backends marked failed are excluded outright — a dead
+    /// primary must not win a zero-headroom tie. Ties among live replicas
+    /// go to the first.
+    pub fn choose_replica(&self, replicas: &[BackendId]) -> Result<usize, BlobError> {
+        if replicas.is_empty() {
+            return Err(BlobError::NoReplicas);
+        }
+        let mut best: Option<usize> = None;
+        for (i, &b) in replicas.iter().enumerate() {
+            if self.is_dead(b) {
+                continue;
+            }
+            match best {
+                Some(j) if self.headroom(replicas[j]) >= self.headroom(b) => {}
+                _ => best = Some(i),
             }
         }
-        best
+        best.ok_or(BlobError::AllReplicasDead)
     }
 }
 
@@ -161,9 +170,32 @@ mod tests {
         for _ in 0..6 {
             l.on_submit(BackendId(0));
         }
-        assert_eq!(l.choose_replica(&[BackendId(0), BackendId(1)]), 1);
+        assert_eq!(l.choose_replica(&[BackendId(0), BackendId(1)]), Ok(1));
         // Equal headroom → primary (index 0).
         let l2 = RateLimiter::new(2, 8, true);
-        assert_eq!(l2.choose_replica(&[BackendId(0), BackendId(1)]), 0);
+        assert_eq!(l2.choose_replica(&[BackendId(0), BackendId(1)]), Ok(0));
+    }
+
+    #[test]
+    fn replica_choice_excludes_dead_backends() {
+        let mut l = RateLimiter::new(2, 8, true);
+        // Saturate backend 1 so both report zero headroom; a dead primary
+        // must still lose the tie to the live shadow.
+        for _ in 0..8 {
+            l.on_submit(BackendId(1));
+        }
+        l.mark_dead(BackendId(0));
+        assert_eq!(l.choose_replica(&[BackendId(0), BackendId(1)]), Ok(1));
+        l.mark_dead(BackendId(1));
+        assert_eq!(
+            l.choose_replica(&[BackendId(0), BackendId(1)]),
+            Err(BlobError::AllReplicasDead)
+        );
+    }
+
+    #[test]
+    fn empty_replica_set_is_an_error_not_a_panic() {
+        let l = RateLimiter::new(1, 8, true);
+        assert_eq!(l.choose_replica(&[]), Err(BlobError::NoReplicas));
     }
 }

@@ -7,6 +7,7 @@
 //! credit-based load balancer).
 
 use crate::allocator::{BackendId, BlobAddr, HierarchicalAllocator};
+use crate::error::BlobError;
 use gimbal_fabric::IoType;
 use gimbal_sim::collections::DetMap;
 
@@ -27,6 +28,18 @@ pub struct IoPlan {
     pub op: IoType,
 }
 
+/// A write plan together with its degradation status (§4.3 failure
+/// handling).
+#[derive(Clone, Debug)]
+pub struct WritePlan {
+    /// The IOs to execute.
+    pub plans: Vec<IoPlan>,
+    /// True when at least one micro lost a replica to a failed backend: the
+    /// data lands on a single live copy and redundancy is reduced until
+    /// re-replication.
+    pub degraded: bool,
+}
+
 struct File {
     /// `[primary, shadow]` micro pairs, in file order. With replication
     /// disabled the shadow equals the primary.
@@ -44,18 +57,20 @@ pub struct Blobstore {
 
 impl Blobstore {
     /// Create a store over `alloc`. `replicate` enables primary+shadow
-    /// pairs (requires ≥ 2 backends).
-    pub fn new(alloc: HierarchicalAllocator, replicate: bool) -> Self {
-        assert!(
-            !replicate || alloc.backend_count() >= 2,
-            "replication needs 2+ backends"
-        );
-        Blobstore {
+    /// pairs, which requires ≥ 2 backends — fewer is a configuration error
+    /// surfaced to the caller, not a panic.
+    pub fn new(alloc: HierarchicalAllocator, replicate: bool) -> Result<Self, BlobError> {
+        if replicate && alloc.backend_count() < 2 {
+            return Err(BlobError::NeedTwoBackends {
+                backends: alloc.backend_count(),
+            });
+        }
+        Ok(Blobstore {
             alloc,
             files: DetMap::new(),
             next_file: 0,
             replicate,
-        }
+        })
     }
 
     /// Whether replication is on.
@@ -135,7 +150,7 @@ impl Blobstore {
         offset: u64,
         blocks: u64,
         op: IoType,
-        pick: impl Fn(&[BlobAddr; 2]) -> Vec<BlobAddr>,
+        mut pick: impl FnMut(&[BlobAddr; 2]) -> Vec<BlobAddr>,
     ) -> Vec<IoPlan> {
         let f = self.files.get(&id).expect("live file");
         assert!(offset + blocks <= f.size_blocks, "IO beyond file size");
@@ -189,6 +204,64 @@ impl Blobstore {
             vec![pair[pick]]
         })
     }
+
+    /// Re-plan a read on the *other* replica after `avoid` errored or was
+    /// marked failed: every touched micro is served by its copy that is not
+    /// on `avoid`. Errs with [`BlobError::DataUnavailable`] when some micro
+    /// has no such copy (unreplicated, or both replicas on `avoid`).
+    pub fn plan_read_shadow(
+        &self,
+        id: FileId,
+        offset: u64,
+        blocks: u64,
+        avoid: BackendId,
+    ) -> Result<Vec<IoPlan>, BlobError> {
+        let mut unservable = false;
+        let plans = self.span_plans(id, offset, blocks, IoType::Read, |pair| {
+            match pair.iter().find(|a| a.backend != avoid) {
+                Some(&alt) => vec![alt],
+                None => {
+                    unservable = true;
+                    vec![]
+                }
+            }
+        });
+        if unservable {
+            return Err(BlobError::DataUnavailable);
+        }
+        Ok(plans)
+    }
+
+    /// Plan a write that skips failed backends (`dead` reports the failure
+    /// view, typically [`crate::RateLimiter::is_dead`]): replicas on dead
+    /// backends are dropped and the loss is surfaced via
+    /// [`WritePlan::degraded`]. Errs with [`BlobError::DataUnavailable`]
+    /// when a micro has no live replica left at all.
+    pub fn plan_write_degraded<D: Fn(BackendId) -> bool>(
+        &self,
+        id: FileId,
+        offset: u64,
+        blocks: u64,
+        dead: D,
+    ) -> Result<WritePlan, BlobError> {
+        let replicate = self.replicate;
+        let mut degraded = false;
+        let mut unservable = false;
+        let plans = self.span_plans(id, offset, blocks, IoType::Write, |pair| {
+            let want: &[BlobAddr] = if replicate { &pair[..] } else { &pair[..1] };
+            let live: Vec<BlobAddr> = want.iter().copied().filter(|a| !dead(a.backend)).collect();
+            if live.is_empty() {
+                unservable = true;
+            } else if live.len() < want.len() {
+                degraded = true;
+            }
+            live
+        });
+        if unservable {
+            return Err(BlobError::DataUnavailable);
+        }
+        Ok(WritePlan { plans, degraded })
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +271,7 @@ mod tests {
 
     fn store(replicate: bool, backends: usize) -> Blobstore {
         let alloc = HierarchicalAllocator::new(HbaConfig::default(), &vec![16384; backends]);
-        Blobstore::new(alloc, replicate)
+        Blobstore::new(alloc, replicate).expect("valid store config")
     }
 
     #[test]
@@ -289,5 +362,60 @@ mod tests {
         let mut s = store(false, 1);
         let f = s.create_file(64, |_| 1.0).unwrap();
         s.plan_read(f, 60, 10, |_| 0);
+    }
+
+    #[test]
+    fn replication_on_one_backend_is_an_error_not_a_panic() {
+        let alloc = HierarchicalAllocator::new(HbaConfig::default(), &[16384]);
+        let err = Blobstore::new(alloc, true).err();
+        assert_eq!(err, Some(crate::BlobError::NeedTwoBackends { backends: 1 }));
+    }
+
+    #[test]
+    fn shadow_replan_avoids_the_failed_backend() {
+        let mut s = store(true, 2);
+        let f = s.create_file(128, |_| 1.0).unwrap();
+        let primary = s.plan_read(f, 0, 128, |_| 0);
+        let failed = primary[0].backend;
+        let replanned = s.plan_read_shadow(f, 0, 128, failed).unwrap();
+        assert_eq!(replanned.len(), primary.len());
+        assert!(replanned.iter().all(|p| p.backend != failed));
+        // Same spans, different copies.
+        for (a, b) in primary.iter().zip(&replanned) {
+            assert_eq!(a.blocks, b.blocks);
+            assert_eq!(a.op, b.op);
+        }
+    }
+
+    #[test]
+    fn shadow_replan_without_replication_reports_data_unavailable() {
+        let mut s = store(false, 1);
+        let f = s.create_file(64, |_| 1.0).unwrap();
+        let only = s.plan_read(f, 0, 64, |_| 0)[0].backend;
+        assert_eq!(
+            s.plan_read_shadow(f, 0, 64, only),
+            Err(crate::BlobError::DataUnavailable)
+        );
+    }
+
+    #[test]
+    fn degraded_write_drops_dead_replicas_and_surfaces_it() {
+        let mut s = store(true, 2);
+        let f = s.create_file(128, |_| 1.0).unwrap();
+        // Healthy: both replicas, not degraded.
+        let healthy = s.plan_write_degraded(f, 0, 128, |_| false).unwrap();
+        assert_eq!(healthy.plans.len(), 4);
+        assert!(!healthy.degraded);
+        // Backend 0 dies: single-replica writes, surfaced as degraded.
+        let dead = BackendId(0);
+        let w = s.plan_write_degraded(f, 0, 128, |b| b == dead).unwrap();
+        assert_eq!(w.plans.len(), 2);
+        assert!(w.degraded);
+        assert!(w.plans.iter().all(|p| p.backend != dead));
+        // Everything dead: unservable.
+        assert_eq!(
+            s.plan_write_degraded(f, 0, 128, |_| true).err(),
+            Some(crate::BlobError::DataUnavailable)
+        );
     }
 }

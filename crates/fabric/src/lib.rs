@@ -11,7 +11,9 @@
 //!   NVMe-over-RDMA request flow of §2.1 (command capsule via `RDMA_SEND`,
 //!   data fetch via `RDMA_READ` for writes, data push via `RDMA_WRITE` for
 //!   reads, completion capsule via `RDMA_SEND`) as serialization +
-//!   propagation delays on 100 Gbps ports.
+//!   propagation delays on 100 Gbps ports;
+//! * [`retry`] — the initiator-side timeout/backoff policy that recovers
+//!   lost capsules (and their piggybacked credits) under fault injection.
 //!
 //! The real system runs SPDK's RDMA transport; we substitute a message-level
 //! model because Gimbal only observes the fabric as *delay plus per-message
@@ -19,8 +21,10 @@
 
 pub mod capsule;
 pub mod network;
+pub mod retry;
 pub mod types;
 
 pub use capsule::{CmdStatus, NvmeCmd, NvmeCompletion};
 pub use network::{FabricConfig, Port, RdmaDelays};
+pub use retry::RetryConfig;
 pub use types::{CmdId, IoType, NodeId, Priority, SsdId, TenantId, BLOCK_SIZE};

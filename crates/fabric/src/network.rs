@@ -49,6 +49,9 @@ impl Default for FabricConfig {
 pub struct Port {
     bandwidth: u64,
     busy_until: SimTime,
+    /// Latest `now` seen by [`Port::transmit`]; guards against retrograde
+    /// callers, which would silently reorder serialization.
+    last_now: SimTime,
 }
 
 impl Port {
@@ -58,13 +61,40 @@ impl Port {
         Port {
             bandwidth,
             busy_until: SimTime::ZERO,
+            last_now: SimTime::ZERO,
         }
     }
 
     /// Serialize `bytes` starting no earlier than `now`; returns the instant
-    /// the last byte leaves the port.
+    /// the last byte leaves the port. `now` must be monotone across calls —
+    /// a message cannot be handed to the port in the caller's past.
     pub fn transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
-        let start = now.max(self.busy_until);
+        debug_assert!(
+            now >= self.last_now,
+            "Port::transmit time went backwards: {now} < {}",
+            self.last_now
+        );
+        self.last_now = now;
+        self.enqueue(now, bytes)
+    }
+
+    /// Like [`Port::transmit`], but for messages that start serializing at a
+    /// *future* instant relative to the caller's clock (the `RDMA_READ`
+    /// payload serializes when the read request reaches the initiator, one
+    /// propagation delay later). Skips the monotonic-`now` watermark, since
+    /// present-time and future-time sends legitimately interleave.
+    pub fn transmit_at(&mut self, earliest: SimTime, bytes: u64) -> SimTime {
+        self.enqueue(earliest, bytes)
+    }
+
+    fn enqueue(&mut self, earliest: SimTime, bytes: u64) -> SimTime {
+        let start = earliest.max(self.busy_until);
+        if bytes == 0 {
+            // A zero-byte message occupies no port time; refuse to model a
+            // free message silently — no caller should ever send one.
+            debug_assert!(bytes > 0, "Port asked to transmit zero bytes");
+            return start;
+        }
         let done = start + SimDuration::for_bytes(bytes, self.bandwidth);
         self.busy_until = done;
         done
@@ -124,9 +154,10 @@ impl RdmaDelays {
             return now;
         }
         // RDMA_READ request travels target→initiator, payload serializes at
-        // the initiator's port, then travels back.
+        // the initiator's port, then travels back. The serialization starts
+        // in the caller's future, so it bypasses the monotonic-now check.
         let request_at_initiator = now + self.cfg.propagation;
-        initiator_tx.transmit(request_at_initiator, cmd.len_bytes()) + self.cfg.propagation
+        initiator_tx.transmit_at(request_at_initiator, cmd.len_bytes()) + self.cfg.propagation
     }
 
     /// Steps 4–5: the target finishes the command at `now` and returns data
@@ -178,6 +209,36 @@ mod tests {
         // A message after idle starts immediately.
         let t3 = p.transmit(SimTime::from_micros(10), 1000);
         assert_eq!(t3.as_nanos(), 11_000);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time went backwards")]
+    fn retrograde_transmit_is_rejected_in_debug() {
+        let mut p = Port::new(1_000_000_000);
+        p.transmit(SimTime::from_micros(10), 100);
+        p.transmit(SimTime::from_micros(5), 100);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "zero bytes")]
+    fn zero_byte_transmit_is_rejected_in_debug() {
+        let mut p = Port::new(1_000_000_000);
+        p.transmit(SimTime::ZERO, 0);
+    }
+
+    #[test]
+    fn future_scheduled_transmit_interleaves_with_present() {
+        // transmit_at models the RDMA_READ payload fetch: a send scheduled in
+        // the caller's future must not trip the watermark for a later
+        // present-time send at an earlier instant.
+        let mut p = Port::new(1_000_000_000);
+        let done = p.transmit_at(SimTime::from_micros(100), 1000);
+        assert_eq!(done.as_nanos(), 101_000);
+        // A present-time capsule at t=50µs queues behind the future payload.
+        let t = p.transmit(SimTime::from_micros(50), 1000);
+        assert_eq!(t.as_nanos(), 102_000);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Initiator-side timeout and retransmission policy for NVMe-oF capsules.
+//!
+//! The fabric can lose a command capsule (the target never sees the IO) or a
+//! completion capsule (the IO finished but the initiator — and §3.6's
+//! piggybacked credit — never learns). Either way the initiator arms a
+//! per-command timer; on expiry it retransmits with exponential backoff,
+//! bounded by [`RetryConfig::max_retries`], after which the command errors
+//! out client-side. Retransmissions reuse the original command id, so the
+//! target deduplicates replays and resends the cached completion instead of
+//! re-executing the IO.
+
+use gimbal_sim::SimDuration;
+
+/// Timeout/backoff parameters for capsule retransmission.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryConfig {
+    /// Timer armed for the first transmission of a command.
+    pub base_timeout: SimDuration,
+    /// Ceiling on the per-attempt timer (backoff stops doubling here).
+    pub max_timeout: SimDuration,
+    /// Retransmissions allowed after the original attempt; past this the
+    /// command fails client-side with a timeout error.
+    pub max_retries: u32,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        // Base ≈ 20× an unloaded remote 4 KB read (~100 µs), so timers only
+        // fire on genuine loss or deep stalls; five doublings reach the cap.
+        RetryConfig {
+            base_timeout: SimDuration::from_millis(2),
+            max_timeout: SimDuration::from_millis(32),
+            max_retries: 5,
+        }
+    }
+}
+
+impl RetryConfig {
+    /// Panic on a degenerate configuration.
+    pub fn validate(&self) {
+        assert!(self.base_timeout > SimDuration::ZERO, "zero base timeout");
+        assert!(self.max_timeout >= self.base_timeout, "cap below base");
+    }
+
+    /// The timer armed for attempt `n` (0 = the original transmission):
+    /// `base × 2ⁿ`, capped at [`Self::max_timeout`].
+    pub fn timeout_for(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << attempt.min(20);
+        self.base_timeout
+            .saturating_mul(factor)
+            .min(self.max_timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let r = RetryConfig::default();
+        r.validate();
+        assert_eq!(r.timeout_for(0), SimDuration::from_millis(2));
+        assert_eq!(r.timeout_for(1), SimDuration::from_millis(4));
+        assert_eq!(r.timeout_for(3), SimDuration::from_millis(16));
+        assert_eq!(r.timeout_for(4), SimDuration::from_millis(32));
+        assert_eq!(r.timeout_for(10), SimDuration::from_millis(32));
+        // Huge attempt counts must not overflow the shift.
+        assert_eq!(r.timeout_for(u32::MAX), SimDuration::from_millis(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap below base")]
+    fn validate_rejects_inverted_bounds() {
+        RetryConfig {
+            base_timeout: SimDuration::from_millis(4),
+            max_timeout: SimDuration::from_millis(2),
+            max_retries: 1,
+        }
+        .validate();
+    }
+}

@@ -51,6 +51,14 @@ impl ClientPolicy for CreditClient {
         }
     }
 
+    fn on_timeout(&mut self, _now: SimTime) {
+        // The completion carrying the latest grant is presumed lost, so the
+        // stale local grant may overstate what the switch would allow. Halve
+        // it (never below 1, Algorithm 3's liveness floor); the next
+        // surviving completion's piggybacked credit re-synchronizes exactly.
+        self.credit_total = (self.credit_total / 2).max(1);
+    }
+
     fn allowance(&self) -> u32 {
         self.credit_total
     }
@@ -111,5 +119,21 @@ mod tests {
         assert!(c.can_submit(0, SimTime::ZERO), "minimum one credit");
         c.on_completion(&cpl(Some(0)), SimTime::ZERO);
         assert!(c.can_submit(0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn timeout_halves_the_grant_and_a_completion_resyncs() {
+        let mut c = CreditClient::new(16);
+        c.on_timeout(SimTime::ZERO);
+        assert_eq!(c.allowance(), 8, "loss signal shrinks the window");
+        // Repeated timeouts floor at 1: flow control never wedges.
+        for _ in 0..10 {
+            c.on_timeout(SimTime::ZERO);
+        }
+        assert_eq!(c.allowance(), 1);
+        assert!(c.can_submit(0, SimTime::ZERO));
+        // The next surviving completion re-synchronizes exactly.
+        c.on_completion(&cpl(Some(32)), SimTime::ZERO);
+        assert_eq!(c.allowance(), 32);
     }
 }

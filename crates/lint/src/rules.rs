@@ -14,6 +14,11 @@
 //!   accumulation and tend to encode accidental invariants.
 //! * **D4 `unwrap-hot-path`** — warning only: `unwrap()`/`expect()` in the
 //!   non-test hot paths of the scheduler crates; prefer explicit handling.
+//! * **D5 `panic-in-lib`** — warning only: `panic!`/`unreachable!`/`todo!`
+//!   in non-test library code of simulation crates. A panic on a
+//!   tenant-reachable path takes down a whole multi-tenant run; return a
+//!   typed error instead. Genuine internal invariants may be waived with a
+//!   reason.
 //!
 //! A finding is suppressed by an inline waiver on the same line, e.g.
 //! `// lint: allow(unordered-map) — index only, never iterated`. The reason
@@ -33,6 +38,8 @@ pub enum RuleId {
     FloatEq,
     /// D4: unwrap/expect in a scheduler hot path (warning).
     UnwrapHotPath,
+    /// D5: panic-family macro in non-test library code (warning).
+    PanicInLib,
     /// W0: malformed waiver comment.
     BadWaiver,
 }
@@ -45,6 +52,7 @@ impl RuleId {
             RuleId::AmbientTimeEnv => "D2",
             RuleId::FloatEq => "D3",
             RuleId::UnwrapHotPath => "D4",
+            RuleId::PanicInLib => "D5",
             RuleId::BadWaiver => "W0",
         }
     }
@@ -56,6 +64,7 @@ impl RuleId {
             RuleId::AmbientTimeEnv => "ambient-time-env",
             RuleId::FloatEq => "float-eq",
             RuleId::UnwrapHotPath => "unwrap-hot-path",
+            RuleId::PanicInLib => "panic-in-lib",
             RuleId::BadWaiver => "bad-waiver",
         }
     }
@@ -71,6 +80,9 @@ impl RuleId {
             }
             RuleId::FloatEq => "exact float equality; compare with a tolerance or restructure",
             RuleId::UnwrapHotPath => "unwrap()/expect() in a scheduler hot path; handle explicitly",
+            RuleId::PanicInLib => {
+                "panic!/unreachable!/todo! in library code; return a typed error or waive the invariant"
+            }
             RuleId::BadWaiver => "malformed waiver: unknown rule slug or missing reason",
         }
     }
@@ -105,6 +117,8 @@ pub struct RuleSet {
     pub float_eq: bool,
     /// D4 is only enabled for the scheduler crates and reports warnings.
     pub unwrap_warn: bool,
+    /// D5 applies to every simulation crate and reports warnings.
+    pub panic_warn: bool,
 }
 
 /// Crates whose state machines feed the event loop directly: every rule at
@@ -137,6 +151,7 @@ pub fn ruleset_for(crate_name: &str) -> RuleSet {
         ambient_time_env: strict,
         float_eq: true,
         unwrap_warn: HOT_PATH_CRATES.contains(&crate_name),
+        panic_warn: strict,
     }
 }
 
@@ -272,7 +287,32 @@ const KNOWN_SLUGS: &[&str] = &[
     "ambient-time-env",
     "float-eq",
     "unwrap-hot-path",
+    "panic-in-lib",
 ];
+
+/// Is `name` invoked as a macro (`name!`) on this line? `!=` after the
+/// identifier is a comparison, not a macro bang.
+fn has_macro(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(name) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = at + name.len();
+        if before_ok
+            && end < bytes.len()
+            && bytes[end] == b'!'
+            && (end + 1 >= bytes.len() || bytes[end + 1] != b'=')
+        {
+            return true;
+        }
+        start = at + name.len();
+    }
+    false
+}
 
 /// Check one file. Returns the findings plus the number of waivers that
 /// actually suppressed something (so unused waivers can be spotted in
@@ -377,6 +417,13 @@ pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> (Vec<Finding>
         {
             hit(RuleId::UnwrapHotPath, Severity::Warning, &mut findings);
         }
+        if rules.panic_warn
+            && (has_macro(code_line, "panic")
+                || has_macro(code_line, "unreachable")
+                || has_macro(code_line, "todo"))
+        {
+            hit(RuleId::PanicInLib, Severity::Warning, &mut findings);
+        }
     }
 
     (findings, waivers_used)
@@ -392,6 +439,7 @@ mod tests {
             ambient_time_env: true,
             float_eq: true,
             unwrap_warn: true,
+            panic_warn: true,
         }
     }
 
@@ -506,14 +554,45 @@ fn also_live() { let m = std::collections::HashMap::new(); }
     }
 
     #[test]
+    fn panic_family_is_flagged_as_warning() {
+        let src = "panic!(\"boom\");\nunreachable!();\ntodo!()\n";
+        let (f, _) = check_file("x.rs", src, strict());
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f
+            .iter()
+            .all(|x| x.rule == RuleId::PanicInLib && x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn panic_detection_needs_the_macro_bang() {
+        assert!(has_macro("panic!(\"x\")", "panic"));
+        assert!(has_macro("core::panic!(\"x\")", "panic"));
+        assert!(!has_macro("should_panic(expected = \"x\")", "panic"));
+        assert!(!has_macro("let panic_count = 3;", "panic"));
+        assert!(!has_macro("if todo != 3 {", "todo"));
+        assert!(!has_macro("todo!=3", "todo"));
+    }
+
+    #[test]
+    fn waived_panic_is_suppressed() {
+        let src =
+            "panic!(\"invariant\"); // lint: allow(panic-in-lib) — internal invariant, unreachable from tenants\n";
+        let (f, used) = check_file("x.rs", src, strict());
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
     fn rulesets_by_crate() {
         assert!(ruleset_for("gimbal").ambient_time_env);
         assert!(ruleset_for("gimbal").unwrap_warn);
         assert!(ruleset_for("ssd").ambient_time_env);
         assert!(!ruleset_for("ssd").unwrap_warn);
+        assert!(ruleset_for("ssd").panic_warn);
         // CLI/bench crates may read env and the wall clock…
         assert!(!ruleset_for("bench").ambient_time_env);
         assert!(!ruleset_for("root").ambient_time_env);
+        assert!(!ruleset_for("bench").panic_warn);
         // …but still may not use unordered maps.
         assert!(ruleset_for("bench").unordered_map);
     }

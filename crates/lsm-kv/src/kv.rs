@@ -182,7 +182,9 @@ pub struct IoCtx<'a> {
 impl IoCtx<'_> {
     fn choose(&self, replicas: &[BackendId; 2]) -> usize {
         if self.load_balance {
-            self.lim.choose_replica(replicas)
+            // With every replica dead the plan targets the primary anyway:
+            // the IO fails fast and `io_failed` recovers at the next layer.
+            self.lim.choose_replica(replicas).unwrap_or(0)
         } else {
             0
         }
@@ -734,6 +736,7 @@ impl LsmKv {
         match kind {
             IoKind::Probe { op, .. } => {
                 let Some(OpState::Probing { key, rmw, .. }) = self.ops.remove(&op) else {
+                    // lint: allow(panic-in-lib) — io_kinds/ops are private twins; a Probe tag with a non-Probing op is internal corruption, not tenant input
                     panic!("probe for op not probing");
                 };
                 self.stats.failed_read_retries += 1;
@@ -763,6 +766,7 @@ impl LsmKv {
                     rmw,
                 }) = self.ops.remove(&op)
                 else {
+                    // lint: allow(panic-in-lib) — io_kinds/ops are private twins; a Probe tag with a non-Probing op is internal corruption, not tenant input
                     panic!("probe for op not probing");
                 };
                 let found = self.find_table(table).map(|t| t.contains(key));
@@ -852,7 +856,7 @@ mod tests {
     fn make_ctx_parts(backends: usize) -> (Blobstore, RateLimiter) {
         let alloc = HierarchicalAllocator::new(HbaConfig::default(), &vec![1 << 20; backends]);
         (
-            Blobstore::new(alloc, backends >= 2),
+            Blobstore::new(alloc, backends >= 2).expect("valid store config"),
             RateLimiter::new(backends, 64, true),
         )
     }

@@ -1,0 +1,290 @@
+//! Seeded, deterministic fault injection (§3.6 / §4.3 failure handling).
+//!
+//! A [`FaultPlan`] declares *what can go wrong* during a run: fabric capsule
+//! loss (per-message probability plus burst windows in which every capsule
+//! dies), per-SSD transient IO errors, GC-storm latency stalls, and permanent
+//! device failure at a fixed instant. A [`FaultInjector`] turns the plan into
+//! concrete per-event decisions using dedicated [`SimRng`] streams, so
+//!
+//! * the fault schedule is reproducible per seed (chaos runs are replayable
+//!   bit-for-bit), and
+//! * fault draws never perturb the workload or device RNG streams — the same
+//!   workload unfolds whether or not faults fire.
+//!
+//! Probabilistic draws only happen when the corresponding probability is
+//! non-zero, so an all-zero plan consumes no randomness at all and a run with
+//! `FaultPlan::default()` is byte-identical to a fault-free run.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// RNG stream for fabric-level capsule-loss draws.
+const FABRIC_FAULT_STREAM: u64 = 0xFA17;
+/// RNG stream base for per-SSD fault draws (offset by SSD index).
+const SSD_FAULT_STREAM: u64 = 0xFA17_0100;
+
+/// A half-open window `[start, end)` of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First instant inside the window.
+    pub start: SimTime,
+    /// First instant after the window.
+    pub end: SimTime,
+}
+
+impl FaultWindow {
+    /// Build a window; `end` must not precede `start`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(end >= start, "window ends before it starts");
+        FaultWindow { start, end }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// Fault specification for one SSD.
+#[derive(Clone, Debug, Default)]
+pub struct SsdFaultSpec {
+    /// Probability that a submitted command fails with a transient device
+    /// error (completes with an error status at controller latency).
+    pub transient_error_prob: f64,
+    /// GC-storm windows: commands submitted inside a window are not serviced
+    /// until the window closes, inflating their latency by the remaining
+    /// window span (the stall the congestion controller must survive).
+    pub stall_windows: Vec<FaultWindow>,
+    /// Permanent device death: at and after this instant every command
+    /// completes with an error, fast (the §4.3 replication scenario).
+    pub fail_at: Option<SimTime>,
+}
+
+impl SsdFaultSpec {
+    /// Whether this spec injects nothing.
+    pub fn is_noop(&self) -> bool {
+        // lint: allow(float-eq) — exact zero is the configured "off" sentinel, not a computed value
+        self.transient_error_prob == 0.0 && self.stall_windows.is_empty() && self.fail_at.is_none()
+    }
+
+    /// Panic on out-of-range probabilities.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.transient_error_prob),
+            "transient_error_prob out of [0,1]"
+        );
+    }
+
+    /// If `now` falls inside a stall window, the instant the storm clears.
+    pub fn stall_release(&self, now: SimTime) -> Option<SimTime> {
+        self.stall_windows
+            .iter()
+            .filter(|w| w.contains(now))
+            .map(|w| w.end)
+            .max()
+    }
+}
+
+/// The full fault plan for a run. `Default` is the empty (fault-free) plan.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Probability an individual command capsule is lost in the fabric.
+    pub cmd_loss_prob: f64,
+    /// Probability an individual completion capsule is lost in the fabric.
+    pub cpl_loss_prob: f64,
+    /// Burst-loss windows: every capsule transmitted inside one is dropped
+    /// (a fabric brown-out, deterministic regardless of the RNG).
+    pub burst_windows: Vec<FaultWindow>,
+    /// Per-SSD fault specs, indexed by SSD; missing entries are fault-free.
+    pub ssd: Vec<SsdFaultSpec>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing at all.
+    pub fn is_noop(&self) -> bool {
+        // lint: allow(float-eq) — exact zero is the configured "off" sentinel, not a computed value
+        self.cmd_loss_prob == 0.0
+            // lint: allow(float-eq) — exact zero is the configured "off" sentinel, not a computed value
+            && self.cpl_loss_prob == 0.0
+            && self.burst_windows.is_empty()
+            && self.ssd.iter().all(SsdFaultSpec::is_noop)
+    }
+
+    /// Panic on out-of-range probabilities.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.cmd_loss_prob),
+            "cmd_loss_prob out of [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.cpl_loss_prob),
+            "cpl_loss_prob out of [0,1]"
+        );
+        for s in &self.ssd {
+            s.validate();
+        }
+    }
+
+    /// The fault spec for SSD `i` (empty spec when the plan has none).
+    pub fn ssd_spec(&self, i: usize) -> Option<&SsdFaultSpec> {
+        self.ssd.get(i).filter(|s| !s.is_noop())
+    }
+
+    /// The dedicated RNG for SSD `i`'s fault draws. Device-internal faults
+    /// draw from this stream so they never disturb the device's timing RNG.
+    pub fn device_rng(seed: u64, ssd: usize) -> SimRng {
+        SimRng::with_stream(seed, SSD_FAULT_STREAM + ssd as u64)
+    }
+}
+
+/// Turns a [`FaultPlan`] into deterministic per-capsule decisions for the
+/// fabric, and counts what it injected.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Command capsules dropped so far.
+    pub cmd_drops: u64,
+    /// Completion capsules dropped so far.
+    pub cpl_drops: u64,
+}
+
+impl FaultInjector {
+    /// Build an injector over `plan`; all fabric draws come from a dedicated
+    /// stream of `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        plan.validate();
+        FaultInjector {
+            plan,
+            rng: SimRng::with_stream(seed, FABRIC_FAULT_STREAM),
+            cmd_drops: 0,
+            cpl_drops: 0,
+        }
+    }
+
+    /// The plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn in_burst(&self, now: SimTime) -> bool {
+        self.plan.burst_windows.iter().any(|w| w.contains(now))
+    }
+
+    /// Whether the command capsule transmitted at `now` is lost.
+    pub fn drop_command(&mut self, now: SimTime) -> bool {
+        let dropped = self.in_burst(now)
+            || (self.plan.cmd_loss_prob > 0.0 && self.rng.gen_bool(self.plan.cmd_loss_prob));
+        if dropped {
+            self.cmd_drops += 1;
+        }
+        dropped
+    }
+
+    /// Whether the completion capsule transmitted at `now` is lost.
+    pub fn drop_completion(&mut self, now: SimTime) -> bool {
+        let dropped = self.in_burst(now)
+            || (self.plan.cpl_loss_prob > 0.0 && self.rng.gen_bool(self.plan.cpl_loss_prob));
+        if dropped {
+            self.cpl_drops += 1;
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn default_plan_is_noop_and_draws_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::default(), 1);
+        assert!(inj.plan().is_noop());
+        for i in 0..1000 {
+            assert!(!inj.drop_command(t(i)));
+            assert!(!inj.drop_completion(t(i)));
+        }
+        assert_eq!(inj.cmd_drops + inj.cpl_drops, 0);
+    }
+
+    #[test]
+    fn burst_window_drops_everything_inside_only() {
+        let plan = FaultPlan {
+            burst_windows: vec![FaultWindow::new(t(100), t(200))],
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan, 1);
+        assert!(!inj.drop_command(t(99)));
+        assert!(inj.drop_command(t(100)));
+        assert!(inj.drop_completion(t(199)));
+        assert!(!inj.drop_completion(t(200)), "half-open window");
+        assert_eq!(inj.cmd_drops, 1);
+        assert_eq!(inj.cpl_drops, 1);
+    }
+
+    #[test]
+    fn probabilistic_loss_is_seed_deterministic_and_near_rate() {
+        let plan = FaultPlan {
+            cmd_loss_prob: 0.1,
+            ..FaultPlan::default()
+        };
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan.clone(), seed);
+            (0..10_000)
+                .map(|i| inj.drop_command(t(i)))
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same drops");
+        assert_ne!(a, run(8), "different seed diverges");
+        let drops = a.iter().filter(|&&d| d).count();
+        assert!((800..1200).contains(&drops), "~10% loss: {drops}");
+    }
+
+    #[test]
+    fn stall_release_returns_latest_covering_window_end() {
+        let spec = SsdFaultSpec {
+            stall_windows: vec![
+                FaultWindow::new(t(0), t(50)),
+                FaultWindow::new(t(40), t(90)),
+            ],
+            ..SsdFaultSpec::default()
+        };
+        assert_eq!(spec.stall_release(t(45)), Some(t(90)));
+        assert_eq!(spec.stall_release(t(10)), Some(t(50)));
+        assert_eq!(spec.stall_release(t(90)), None);
+    }
+
+    #[test]
+    fn ssd_spec_lookup_skips_noop_entries() {
+        let plan = FaultPlan {
+            ssd: vec![
+                SsdFaultSpec::default(),
+                SsdFaultSpec {
+                    fail_at: Some(t(5)),
+                    ..SsdFaultSpec::default()
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert!(plan.ssd_spec(0).is_none());
+        assert!(plan.ssd_spec(1).is_some());
+        assert!(plan.ssd_spec(2).is_none());
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn validate_rejects_bad_probability() {
+        FaultPlan {
+            cmd_loss_prob: 1.5,
+            ..FaultPlan::default()
+        }
+        .validate();
+    }
+}

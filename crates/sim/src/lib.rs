@@ -11,6 +11,8 @@
 //! * [`time`] — the [`SimTime`] instant and [`SimDuration`] span newtypes;
 //! * [`queue`] — a stable (FIFO-within-timestamp) event queue;
 //! * [`rng`] — a small, fast, fully deterministic PRNG ([`rng::SimRng`]);
+//! * [`fault`] — seeded fault-injection plans (capsule loss, SSD errors,
+//!   stalls, device death) on dedicated RNG streams;
 //! * [`stats`] — latency histograms, EWMA filters, throughput meters and time
 //!   series used by every experiment;
 //! * [`token_bucket`] — the token-bucket primitive underlying Gimbal's rate
@@ -23,6 +25,7 @@
 
 pub mod collections;
 pub mod digest;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -31,6 +34,7 @@ pub mod token_bucket;
 
 pub use collections::{DetMap, DetSet};
 pub use digest::Digest;
+pub use fault::{FaultInjector, FaultPlan, FaultWindow, SsdFaultSpec};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Ewma, Histogram, Meter, TimeSeries};

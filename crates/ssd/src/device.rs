@@ -31,7 +31,7 @@ use crate::ftl::Ftl;
 use crate::stats::SsdStats;
 use gimbal_fabric::IoType;
 use gimbal_sim::collections::DetMap;
-use gimbal_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use gimbal_sim::{EventQueue, SimDuration, SimRng, SimTime, SsdFaultSpec};
 use std::collections::VecDeque;
 
 /// A completed storage command, correlated by the caller-supplied tag.
@@ -120,6 +120,14 @@ struct PendingWrite {
     submitted_at: SimTime,
 }
 
+/// An armed fault profile: the per-SSD spec plus its dedicated draw stream
+/// (see [`gimbal_sim::FaultPlan::device_rng`]), kept apart from the device's
+/// timing RNG so injection never perturbs fault-free behaviour.
+struct FaultState {
+    spec: SsdFaultSpec,
+    rng: SimRng,
+}
+
 /// The flash SSD model. See the crate docs for the behavioural inventory.
 pub struct FlashSsd {
     cfg: SsdConfig,
@@ -146,6 +154,8 @@ pub struct FlashSsd {
     /// When set (injected flash failure, §4.3's replication study), every
     /// subsequent command completes quickly with an error.
     failed: bool,
+    /// Deterministic fault profile, when armed.
+    faults: Option<FaultState>,
     stats: SsdStats,
     rng: SimRng,
 }
@@ -172,6 +182,7 @@ impl FlashSsd {
             next_die: 0,
             inflight: 0,
             failed: false,
+            faults: None,
             stats: SsdStats::default(),
             rng: SimRng::with_stream(seed, 0x55d),
             cfg,
@@ -219,6 +230,47 @@ impl FlashSsd {
     /// Whether a failure has been injected.
     pub fn is_failed(&self) -> bool {
         self.failed
+    }
+
+    /// Arm deterministic fault injection: transient IO errors, GC-storm
+    /// stall windows, and scheduled permanent death per `spec`. `rng` should
+    /// come from [`gimbal_sim::FaultPlan::device_rng`] so fault draws live on
+    /// their own stream and fault-free behaviour is untouched.
+    pub fn arm_faults(&mut self, spec: SsdFaultSpec, rng: SimRng) {
+        spec.validate();
+        self.faults = Some(FaultState { spec, rng });
+    }
+
+    /// The instant service of work submitted at `now` may begin: inside an
+    /// injected GC-storm window everything defers to the window end. The
+    /// device stays responsive — commands complete, just late — so the
+    /// congestion controller sees a latency spike, not a black hole.
+    fn service_start(&mut self, now: SimTime) -> SimTime {
+        let Some(f) = &self.faults else { return now };
+        match f.spec.stall_release(now) {
+            Some(end) => {
+                self.stats.stalled_cmds += 1;
+                end
+            }
+            None => now,
+        }
+    }
+
+    /// Complete `tag` with an error at controller latency.
+    fn fail_fast(&mut self, tag: u64, op: IoType, len: u64, now: SimTime) {
+        self.stats.failed_cmds += 1;
+        let done = now + self.cfg.controller_overhead;
+        self.events.push(
+            done,
+            Ev::IoDone(SsdCompletion {
+                tag,
+                op,
+                len,
+                submitted_at: now,
+                completed_at: done,
+                failed: true,
+            }),
+        );
     }
 
     /// Diagnostics: pending internal events + queued die ops + pending
@@ -333,7 +385,7 @@ impl FlashSsd {
     // ------------------------------------------------------------------
 
     fn submit_read(&mut self, tag: u64, lba: u64, len: u64, now: SimTime) {
-        let ready = now + self.cfg.controller_overhead;
+        let ready = self.service_start(now) + self.cfg.controller_overhead;
         let pages = len / self.cfg.logical_page_bytes;
 
         // Group consecutive logical pages by the physical NAND page they sit
@@ -428,7 +480,7 @@ impl FlashSsd {
     fn admit_write(&mut self, tag: u64, lba: u64, len: u64, submitted_at: SimTime, now: SimTime) {
         let pages = len / self.cfg.logical_page_bytes;
         // Host payload crosses the controller link into the DRAM buffer.
-        let ready = now + self.cfg.controller_overhead;
+        let ready = self.service_start(now) + self.cfg.controller_overhead;
         let link_done = self.occupy_link_in(ready, len);
         for p in 0..pages {
             self.buffer.admit(lba + p);
@@ -595,21 +647,22 @@ impl StorageDevice for FlashSsd {
             lba + len / self.cfg.logical_page_bytes <= self.cfg.logical_pages(),
             "IO beyond capacity: lba={lba} len={len}"
         );
+        if let Some(f) = &self.faults {
+            if !self.failed && f.spec.fail_at.is_some_and(|t| now >= t) {
+                self.failed = true;
+            }
+        }
         self.inflight += 1;
         if self.failed {
-            let done = now + self.cfg.controller_overhead;
-            self.events.push(
-                done,
-                Ev::IoDone(SsdCompletion {
-                    tag,
-                    op,
-                    len,
-                    submitted_at: now,
-                    completed_at: done,
-                    failed: true,
-                }),
-            );
+            self.fail_fast(tag, op, len, now);
             return;
+        }
+        if let Some(f) = &mut self.faults {
+            if f.spec.transient_error_prob > 0.0 && f.rng.gen_bool(f.spec.transient_error_prob) {
+                self.stats.injected_transient_errors += 1;
+                self.fail_fast(tag, op, len, now);
+                return;
+            }
         }
         match op {
             IoType::Read => self.submit_read(tag, lba, len, now),
@@ -945,6 +998,82 @@ mod tests {
             assert!(c.failed, "tag {tag} must fail");
             assert!(c.latency().as_micros() < 20, "fail fast");
         }
+    }
+
+    #[test]
+    fn armed_fail_at_kills_the_device_on_schedule() {
+        let mut ssd = small();
+        ssd.precondition_clean();
+        let t = SimTime::from_millis(1);
+        ssd.arm_faults(
+            gimbal_sim::SsdFaultSpec {
+                fail_at: Some(t),
+                ..Default::default()
+            },
+            gimbal_sim::FaultPlan::device_rng(1, 0),
+        );
+        ssd.submit(1, IoType::Read, 0, 4096, SimTime::ZERO);
+        ssd.submit(2, IoType::Read, 0, 4096, t);
+        let done = run_until_idle(&mut ssd);
+        assert!(!done.iter().find(|c| c.tag == 1).unwrap().failed);
+        assert!(done.iter().find(|c| c.tag == 2).unwrap().failed);
+        assert!(ssd.is_failed());
+        assert_eq!(ssd.stats().failed_cmds, 1);
+    }
+
+    #[test]
+    fn transient_errors_fire_at_roughly_the_configured_rate() {
+        let mut ssd = small();
+        ssd.precondition_clean();
+        ssd.arm_faults(
+            gimbal_sim::SsdFaultSpec {
+                transient_error_prob: 0.2,
+                ..Default::default()
+            },
+            gimbal_sim::FaultPlan::device_rng(1, 0),
+        );
+        for tag in 0..500 {
+            ssd.submit(tag, IoType::Read, tag % 1000, 4096, SimTime::ZERO);
+        }
+        let done = run_until_idle(&mut ssd);
+        assert_eq!(done.len(), 500);
+        let failed = done.iter().filter(|c| c.failed).count();
+        assert!((60..=140).contains(&failed), "~20% errors: {failed}");
+        assert_eq!(ssd.stats().injected_transient_errors, failed as u64);
+        // Errors complete fast; the rest complete normally.
+        assert!(done
+            .iter()
+            .filter(|c| c.failed)
+            .all(|c| c.latency().as_micros() < 20));
+    }
+
+    #[test]
+    fn gc_storm_stall_defers_service_to_window_end() {
+        let mut ssd = small();
+        ssd.precondition_clean();
+        let w_start = SimTime::from_micros(100);
+        let w_end = SimTime::from_millis(20);
+        ssd.arm_faults(
+            gimbal_sim::SsdFaultSpec {
+                stall_windows: vec![gimbal_sim::FaultWindow::new(w_start, w_end)],
+                ..Default::default()
+            },
+            gimbal_sim::FaultPlan::device_rng(1, 0),
+        );
+        // Submitted inside the window: latency absorbs the remaining stall.
+        ssd.submit(1, IoType::Read, 0, 4096, SimTime::from_millis(1));
+        // Submitted after the window: normal service.
+        ssd.submit(2, IoType::Read, 0, 4096, w_end);
+        let done = run_until_idle(&mut ssd);
+        let stalled = done.iter().find(|c| c.tag == 1).unwrap();
+        assert!(!stalled.failed, "stall is a delay, not an error");
+        assert!(stalled.completed_at >= w_end);
+        assert!(stalled.latency().as_micros() > 18_000);
+        // The post-window read pays at most normal service plus one tR of
+        // die contention behind the released read — never the stall itself.
+        let clean = done.iter().find(|c| c.tag == 2).unwrap();
+        assert!(clean.latency().as_micros() < 250);
+        assert_eq!(ssd.stats().stalled_cmds, 1);
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub struct SsdStats {
     pub nand_read_chunks: u64,
     /// Write IOs that had to wait for buffer space (buffer-full stalls).
     pub buffer_stalls: u64,
+    /// Commands completed with an error status (injected transient faults
+    /// plus everything after a permanent failure).
+    pub failed_cmds: u64,
+    /// Error completions caused by injected *transient* faults specifically.
+    pub injected_transient_errors: u64,
+    /// Commands whose service was deferred by an injected GC-storm stall
+    /// window.
+    pub stalled_cmds: u64,
     /// FTL counters (host/GC slot writes, erases, collections).
     pub ftl: FtlCounters,
 }

@@ -27,6 +27,14 @@ pub trait ClientPolicy {
         let _ = (cpl, now);
     }
 
+    /// An IO exhausted its retransmissions and errored out client-side: its
+    /// completion — and any piggybacked credit grant — is presumed lost.
+    /// Implementations may treat this as a loss signal and shrink their
+    /// window; the next surviving completion re-synchronizes state.
+    fn on_timeout(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
     /// The current submission allowance (window/credit), for reporting and
     /// for the blobstore load balancer, which steers reads toward the
     /// replica with the most headroom (§4.3).

@@ -16,7 +16,7 @@
 use crate::policy::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
 use gimbal_fabric::{CmdStatus, NvmeCmd, SsdId};
 use gimbal_nic::{Core, CpuCost};
-use gimbal_sim::collections::DetMap;
+use gimbal_sim::collections::{DetMap, DetSet};
 use gimbal_sim::{EventQueue, SimDuration, SimTime};
 use gimbal_ssd::StorageDevice;
 use std::cell::RefCell;
@@ -70,6 +70,12 @@ pub struct Pipeline<D: StorageDevice> {
     cfg: PipelineConfig,
     events: EventQueue<PipeEv>,
     inflight: DetMap<u64, NvmeCmd>,
+    /// Ids of every command currently inside the pipeline (CPU, policy
+    /// queue, or device); retransmitted capsules for these are duplicates.
+    resident: DetSet<u64>,
+    /// Duplicate command capsules ignored (fabric-level retransmissions that
+    /// raced the original, §3.6 fault handling).
+    duplicates_ignored: u64,
     outputs: Vec<PipelineOut>,
     policy_wake: Option<SimTime>,
 }
@@ -96,6 +102,8 @@ impl<D: StorageDevice> Pipeline<D> {
             cfg,
             events: EventQueue::new(),
             inflight: DetMap::new(),
+            resident: DetSet::new(),
+            duplicates_ignored: 0,
             outputs: Vec::new(),
             policy_wake: None,
         }
@@ -126,9 +134,23 @@ impl<D: StorageDevice> Pipeline<D> {
         Rc::clone(&self.core)
     }
 
+    /// Duplicate command capsules dropped so far (see [`Self::on_command`]).
+    pub fn duplicates_ignored(&self) -> u64 {
+        self.duplicates_ignored
+    }
+
     /// A command capsule arrived (write payload already fetched). Charges
     /// submit-path CPU; the request becomes schedulable when that finishes.
+    ///
+    /// A capsule whose id is already inside the pipeline is a fabric-level
+    /// retransmission that raced the original; processing it again would
+    /// double-submit the device, so it is dropped here. The in-flight copy
+    /// completes normally and the initiator recovers via that completion.
     pub fn on_command(&mut self, cmd: NvmeCmd, now: SimTime) {
+        if !self.resident.insert(cmd.id.0) {
+            self.duplicates_ignored += 1;
+            return;
+        }
         let cycles = self
             .cfg
             .cpu_cost
@@ -157,6 +179,7 @@ impl<D: StorageDevice> Pipeline<D> {
                 .inflight
                 .remove(&c.tag)
                 .expect("completion for unknown command");
+            self.resident.remove(&c.tag);
             let info = CompletionInfo {
                 cmd,
                 device_latency: c.latency(),

@@ -2,10 +2,28 @@
 
 use crate::scheme::Scheme;
 use gimbal_core::Params;
-use gimbal_fabric::{FabricConfig, Priority};
-use gimbal_sim::{SimDuration, SimTime};
+use gimbal_fabric::{FabricConfig, Priority, RetryConfig};
+use gimbal_sim::{FaultPlan, SimDuration, SimTime};
 use gimbal_ssd::SsdConfig;
 use gimbal_workload::FioSpec;
+
+/// Fault injection for a run: the plan of what goes wrong, and the
+/// initiator-side retry policy that recovers from it.
+#[derive(Clone, Debug, Default)]
+pub struct FaultConfig {
+    /// What gets injected (capsule loss, SSD errors/stalls/death).
+    pub plan: FaultPlan,
+    /// Initiator timeout/backoff/retry policy for lost capsules.
+    pub retry: RetryConfig,
+}
+
+impl FaultConfig {
+    /// Validate both halves.
+    pub fn validate(&self) {
+        self.plan.validate();
+        self.retry.validate();
+    }
+}
 
 /// SSD preconditioning state (§5.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +123,10 @@ pub struct TestbedConfig {
     /// [`crate::results::RunResult::submissions`] (determinism audits; off
     /// by default — a long run submits millions of commands).
     pub record_submissions: bool,
+    /// Fault injection plan and retry policy. `None` (the default) runs
+    /// fault-free and consumes no fault randomness: such a run is
+    /// bit-identical to one on a build without fault support.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for TestbedConfig {
@@ -127,6 +149,7 @@ impl Default for TestbedConfig {
             sample_interval: None,
             seed: 42,
             record_submissions: false,
+            faults: None,
         }
     }
 }
@@ -139,6 +162,9 @@ impl TestbedConfig {
         assert!(self.warmup < self.duration);
         self.ssd.validate();
         self.gimbal_params.validate();
+        if let Some(f) = &self.faults {
+            f.validate();
+        }
     }
 }
 

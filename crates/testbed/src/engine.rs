@@ -1,12 +1,19 @@
 //! The deterministic event loop wiring workers, fabric, and pipelines.
 
 use crate::config::{Precondition, TestbedConfig, WorkerSpec};
-use crate::results::{DeviceSeries, GimbalTrace, RunResult, SubmissionRecord, WorkerResult};
+use crate::results::{
+    DeviceSeries, FaultCounters, GimbalTrace, RunResult, SubmissionRecord, WorkerResult,
+};
 use gimbal_core::GimbalPolicy;
-use gimbal_fabric::{CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, SsdId, TenantId};
+use gimbal_fabric::{
+    CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, RetryConfig, SsdId, TenantId,
+};
 use gimbal_nic::Core;
 use gimbal_sim::stats::LatencySummary;
-use gimbal_sim::{EventQueue, Histogram, Meter, SimDuration, SimRng, SimTime, TimeSeries};
+use gimbal_sim::{
+    DetMap, EventQueue, FaultInjector, FaultPlan, Histogram, Meter, SimDuration, SimRng, SimTime,
+    TimeSeries,
+};
 use gimbal_ssd::FlashSsd;
 use gimbal_switch::{ClientPolicy, Pipeline, PipelineConfig};
 use std::cell::RefCell;
@@ -15,10 +22,60 @@ use std::rc::Rc;
 enum Ev {
     WorkerStart(usize),
     TryIssue(usize),
-    DeliverCmd { ssd: usize, cmd: NvmeCmd },
+    DeliverCmd {
+        ssd: usize,
+        cmd: NvmeCmd,
+    },
     PipelineWake(usize),
-    DeliverCpl { worker: usize, cpl: NvmeCompletion },
+    DeliverCpl {
+        worker: usize,
+        cpl: NvmeCompletion,
+    },
+    /// Retransmission timer for command `cmd`, armed for transmission
+    /// `attempt`. Only pushed when fault injection is configured.
+    Timeout {
+        cmd: u64,
+        attempt: u32,
+    },
     Sample,
+}
+
+/// What a freshly arrived command capsule should do at the target.
+enum CmdAction {
+    /// First arrival: execute it.
+    Execute,
+    /// Replay of a command still executing (or already abandoned): ignore.
+    Duplicate,
+    /// Replay of a finished command: resend the cached completion.
+    Resend(NvmeCompletion),
+}
+
+/// Fault-handling runtime, present only when [`TestbedConfig::faults`] is
+/// set. Fault-off runs never touch this state, so they stay bit-identical
+/// to builds without fault support.
+struct FaultRt {
+    injector: FaultInjector,
+    retry: RetryConfig,
+    /// Live (non-terminal) commands by id. The entry is removed exactly
+    /// once — at completion delivery or at final timeout — which is what
+    /// makes the conservation audit exact.
+    tracked: DetMap<u64, CmdTrack>,
+}
+
+/// Per-command bookkeeping while fault injection is armed.
+struct CmdTrack {
+    cmd: NvmeCmd,
+    worker: usize,
+    ssd: usize,
+    /// Latest transmission attempt (0 = original); timers carry the attempt
+    /// they were armed for, so superseded timers die on arrival.
+    attempt: u32,
+    /// Whether any capsule copy has reached the target pipeline.
+    delivered: bool,
+    /// Completion cached "at the target" for replay dedup: a retransmitted
+    /// command whose IO already finished elicits this instead of a second
+    /// execution.
+    done_cpl: Option<NvmeCompletion>,
 }
 
 struct Worker {
@@ -90,6 +147,11 @@ struct Engine {
     device_series: Vec<DeviceSeries>,
     /// Submission trace, populated when `cfg.record_submissions` is set.
     submissions: Vec<SubmissionRecord>,
+    /// Fault injection state (`None` = fault-free run).
+    faults: Option<FaultRt>,
+    /// Always-on command accounting; all zeros except `submitted` /
+    /// `completed_ok` / `in_flight_at_end` when faults are off.
+    counters: FaultCounters,
 }
 
 impl Engine {
@@ -111,6 +173,11 @@ impl Engine {
                     Precondition::Clean => ssd.precondition_clean(),
                     Precondition::Fragmented => ssd.precondition_fragmented(),
                     Precondition::None => {}
+                }
+                if let Some(fc) = &cfg.faults {
+                    if let Some(spec) = fc.plan.ssd_spec(i as usize) {
+                        ssd.arm_faults(spec.clone(), FaultPlan::device_rng(cfg.seed, i as usize));
+                    }
                 }
                 Pipeline::with_core(
                     SsdId(i),
@@ -159,6 +226,11 @@ impl Engine {
             .map(|_| Meter::new(SimDuration::from_millis(10), 10))
             .collect();
         let device_series = (0..cfg.num_ssds).map(|_| DeviceSeries::default()).collect();
+        let faults = cfg.faults.as_ref().map(|fc| FaultRt {
+            injector: FaultInjector::new(fc.plan.clone(), cfg.seed),
+            retry: fc.retry,
+            tracked: DetMap::new(),
+        });
 
         Engine {
             delays: RdmaDelays::new(cfg.fabric),
@@ -174,6 +246,8 @@ impl Engine {
             dev_meter,
             device_series,
             submissions: Vec::new(),
+            faults,
+            counters: FaultCounters::default(),
             cfg,
         }
     }
@@ -248,21 +322,63 @@ impl Engine {
             }
             w.outstanding += 1;
             w.client.on_submit(now);
+            self.counters.submitted += 1;
             // Fabric: capsule, then payload fetch for non-inlined writes.
+            let ssd = w.spec.ssd as usize;
             let mut arrive = self.delays.command_arrival(&mut w.tx_port, now, &cmd);
             if cmd.opcode.is_write() {
                 arrive = self
                     .delays
                     .write_payload_fetched(&mut w.tx_port, arrive, &cmd);
             }
-            self.queue.push(
-                arrive,
-                Ev::DeliverCmd {
-                    ssd: w.spec.ssd as usize,
-                    cmd,
-                },
-            );
+            if let Some(f) = self.faults.as_mut() {
+                f.tracked.insert(
+                    cmd.id.0,
+                    CmdTrack {
+                        cmd,
+                        worker: wi,
+                        ssd,
+                        attempt: 0,
+                        delivered: false,
+                        done_cpl: None,
+                    },
+                );
+                self.queue.push(
+                    now + f.retry.timeout_for(0),
+                    Ev::Timeout {
+                        cmd: cmd.id.0,
+                        attempt: 0,
+                    },
+                );
+                if f.injector.drop_command(now) {
+                    // Lost in the fabric: the timer retransmits.
+                    self.counters.cmd_capsules_dropped += 1;
+                    continue;
+                }
+            }
+            self.queue.push(arrive, Ev::DeliverCmd { ssd, cmd });
         }
+    }
+
+    /// Transmit a completion capsule from the target's port, subject to
+    /// completion-loss injection. `at` is the instant the capsule leaves.
+    fn send_completion(&mut self, ssd: usize, cmd: &NvmeCmd, cpl: NvmeCompletion, at: SimTime) {
+        let arrive = self
+            .delays
+            .completion_arrival(&mut self.target_ports[ssd], at, cmd);
+        if let Some(f) = self.faults.as_mut() {
+            if f.injector.drop_completion(at) {
+                self.counters.cpl_capsules_dropped += 1;
+                return;
+            }
+        }
+        self.queue.push(
+            arrive,
+            Ev::DeliverCpl {
+                worker: cmd.tenant.index(),
+                cpl,
+            },
+        );
     }
 
     /// Poll a pipeline, route its completion capsules, reschedule its wake.
@@ -284,16 +400,15 @@ impl Engine {
                 issued_at: out.cmd.issued_at,
                 completed_at: out.at,
             };
-            let arrive =
-                self.delays
-                    .completion_arrival(&mut self.target_ports[ssd], out.at, &out.cmd);
-            self.queue.push(
-                arrive,
-                Ev::DeliverCpl {
-                    worker: out.cmd.tenant.index(),
-                    cpl,
-                },
-            );
+            if let Some(f) = self.faults.as_mut() {
+                // Cache for replay dedup. A missing entry means the
+                // initiator already abandoned the command; the capsule
+                // still travels and is ignored on arrival.
+                if let Some(t) = f.tracked.get_mut(&cpl.id.0) {
+                    t.done_cpl = Some(cpl);
+                }
+            }
+            self.send_completion(ssd, &out.cmd, cpl, out.at);
         }
         if let Some(t) = self.pipelines[ssd].next_event_at() {
             let t = t.max(now + SimDuration::from_nanos(1));
@@ -377,8 +492,32 @@ impl Engine {
                     self.try_issue(i, now);
                 }
                 Ev::DeliverCmd { ssd, cmd } => {
-                    self.pipelines[ssd].on_command(cmd, now);
-                    self.pump(ssd, now);
+                    let action = match self.faults.as_mut() {
+                        None => CmdAction::Execute,
+                        Some(f) => match f.tracked.get_mut(&cmd.id.0) {
+                            // Initiator already gave up on it: late replay.
+                            None => CmdAction::Duplicate,
+                            Some(t) => match t.done_cpl {
+                                Some(cpl) => CmdAction::Resend(cpl),
+                                None if t.delivered => CmdAction::Duplicate,
+                                None => {
+                                    t.delivered = true;
+                                    CmdAction::Execute
+                                }
+                            },
+                        },
+                    };
+                    match action {
+                        CmdAction::Execute => {
+                            self.pipelines[ssd].on_command(cmd, now);
+                            self.pump(ssd, now);
+                        }
+                        CmdAction::Duplicate => self.counters.duplicate_cmds_ignored += 1,
+                        CmdAction::Resend(cpl) => {
+                            self.counters.completions_resent += 1;
+                            self.send_completion(ssd, &cmd, cpl, now);
+                        }
+                    }
                 }
                 Ev::PipelineWake(ssd) => {
                     // Only the currently armed wake may pump; superseded
@@ -390,23 +529,94 @@ impl Engine {
                     }
                 }
                 Ev::DeliverCpl { worker, cpl } => {
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.tracked.remove(&cpl.id.0).is_none() {
+                            // The command was already abandoned (final
+                            // timeout): its outstanding slot is gone.
+                            self.counters.stale_completions_ignored += 1;
+                            continue;
+                        }
+                    }
                     {
                         let in_window = self.in_window(worker, now);
                         let w = &mut self.workers[worker];
                         w.outstanding -= 1;
+                        // Even error completions reach the client: they
+                        // carry the credit grant that re-syncs §3.6 flow
+                        // control after losses.
                         w.client.on_completion(&cpl, now);
-                        w.meter.record(now, u64::from(cpl.len));
-                        if in_window {
-                            w.ops += 1;
-                            w.bytes += u64::from(cpl.len);
-                            let e2e = now.since(cpl.issued_at);
-                            match cpl.opcode {
-                                IoType::Read => w.read_hist.record_duration(e2e),
-                                IoType::Write => w.write_hist.record_duration(e2e),
+                        if cpl.status.is_success() {
+                            self.counters.completed_ok += 1;
+                            w.meter.record(now, u64::from(cpl.len));
+                            if in_window {
+                                w.ops += 1;
+                                w.bytes += u64::from(cpl.len);
+                                let e2e = now.since(cpl.issued_at);
+                                match cpl.opcode {
+                                    IoType::Read => w.read_hist.record_duration(e2e),
+                                    IoType::Write => w.write_hist.record_duration(e2e),
+                                }
                             }
+                        } else {
+                            // Failed IOs move no payload: they are
+                            // accounted, not measured as throughput.
+                            self.counters.completed_err += 1;
                         }
                     }
                     self.try_issue(worker, now);
+                }
+                Ev::Timeout { cmd, attempt } => {
+                    let Some(f) = self.faults.as_mut() else {
+                        continue;
+                    };
+                    let (track_cmd, worker, ssd, cur_attempt) = match f.tracked.get(&cmd) {
+                        None => continue,                            // already terminal
+                        Some(t) if t.attempt != attempt => continue, // superseded timer
+                        Some(t) => (t.cmd, t.worker, t.ssd, t.attempt),
+                    };
+                    if cur_attempt >= f.retry.max_retries {
+                        // Out of retries: the command errors out
+                        // client-side. Its grant is presumed lost, so the
+                        // client shrinks its window (re-synced by the next
+                        // surviving completion).
+                        f.tracked.remove(&cmd);
+                        self.counters.timed_out += 1;
+                        let w = &mut self.workers[worker];
+                        w.outstanding -= 1;
+                        w.client.on_timeout(now);
+                        self.try_issue(worker, now);
+                        continue;
+                    }
+                    let next = cur_attempt + 1;
+                    if let Some(t) = f.tracked.get_mut(&cmd) {
+                        t.attempt = next;
+                    }
+                    self.counters.retries += 1;
+                    let deadline = now + f.retry.timeout_for(next);
+                    self.queue
+                        .push(deadline, Ev::Timeout { cmd, attempt: next });
+                    // Retransmit through the worker's port; the target
+                    // dedups replays and resends cached completions.
+                    let w = &mut self.workers[worker];
+                    let mut arrive = self.delays.command_arrival(&mut w.tx_port, now, &track_cmd);
+                    if track_cmd.opcode.is_write() {
+                        arrive =
+                            self.delays
+                                .write_payload_fetched(&mut w.tx_port, arrive, &track_cmd);
+                    }
+                    if let Some(f) = self.faults.as_mut() {
+                        if f.injector.drop_command(now) {
+                            self.counters.cmd_capsules_dropped += 1;
+                            continue;
+                        }
+                    }
+                    self.queue.push(
+                        arrive,
+                        Ev::DeliverCmd {
+                            ssd,
+                            cmd: track_cmd,
+                        },
+                    );
                 }
                 Ev::Sample => {
                     self.sample(now);
@@ -416,6 +626,15 @@ impl Engine {
                 }
             }
         }
+
+        // Commands still on the wire or in a device when the clock ran out.
+        self.counters.in_flight_at_end =
+            self.workers.iter().map(|w| u64::from(w.outstanding)).sum();
+        debug_assert!(
+            self.counters.conservation_holds(),
+            "command conservation violated: {:?}",
+            self.counters
+        );
 
         let windows: Vec<SimDuration> = (0..self.workers.len())
             .map(|i| self.measured_window(i))
@@ -447,6 +666,7 @@ impl Engine {
             gimbal_traces: self.traces,
             device_series: self.device_series,
             submissions: self.submissions,
+            faults: self.counters,
         }
     }
 }

@@ -266,10 +266,12 @@ impl KvTestbed {
         let caps: Vec<u64> = (0..backends)
             .map(|_| cfg.ssd.logical_capacity / cfg.ssd.logical_page_bytes)
             .collect();
+        // Backend count was validated in `KvTestbed::new`.
         let mut bs = Blobstore::new(
             HierarchicalAllocator::new(HbaConfig::default(), &caps),
             cfg.replicate,
-        );
+        )
+        .expect("validated in KvTestbed::new");
 
         // Instances, preloaded.
         let initial_credit = cfg.gimbal_params.initial_credit_ios;

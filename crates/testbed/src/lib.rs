@@ -20,10 +20,11 @@ pub mod kv;
 pub mod results;
 pub mod scheme;
 
-pub use config::{Precondition, TestbedConfig, WorkerSpec};
+pub use config::{FaultConfig, Precondition, TestbedConfig, WorkerSpec};
 pub use engine::Testbed;
 pub use kv::{KvInstanceResult, KvRunResult, KvTestbed, KvTestbedConfig};
 pub use results::{
-    f_util, utilization_deviation, GimbalTrace, RunResult, SubmissionRecord, WorkerResult,
+    f_util, utilization_deviation, FaultCounters, GimbalTrace, RunResult, SubmissionRecord,
+    WorkerResult,
 };
 pub use scheme::Scheme;

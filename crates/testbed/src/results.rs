@@ -109,6 +109,49 @@ pub struct DeviceSeries {
     pub bandwidth_bps: TimeSeries,
 }
 
+/// Per-run fault-handling counters, populated whether or not a
+/// [`crate::FaultConfig`] is armed (all zero on a fault-free run). The
+/// conservation audit over these counters is the end-to-end correctness
+/// check for the failure paths: every submitted command reaches exactly one
+/// terminal state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Commands submitted by workers.
+    pub submitted: u64,
+    /// Commands whose completion arrived with a success status.
+    pub completed_ok: u64,
+    /// Commands whose completion arrived with an error status (injected
+    /// transient errors, dead devices, buffer overruns...).
+    pub completed_err: u64,
+    /// Commands abandoned after exhausting every retransmission.
+    pub timed_out: u64,
+    /// Commands still in flight when the run's clock expired (a run ends at
+    /// a wall, not a drain; these are accounted, not lost).
+    pub in_flight_at_end: u64,
+    /// Command capsules dropped by the fault injector.
+    pub cmd_capsules_dropped: u64,
+    /// Completion capsules dropped by the fault injector.
+    pub cpl_capsules_dropped: u64,
+    /// Command retransmissions after a timer fired.
+    pub retries: u64,
+    /// Cached completions resent for retransmitted, already-executed
+    /// commands (target-side dedup).
+    pub completions_resent: u64,
+    /// Replayed command capsules the target recognized and dropped.
+    pub duplicate_cmds_ignored: u64,
+    /// Completions for commands the initiator had already timed out.
+    pub stale_completions_ignored: u64,
+}
+
+impl FaultCounters {
+    /// The conservation law: every submission lands in exactly one of the
+    /// four terminal buckets.
+    pub fn conservation_holds(&self) -> bool {
+        self.submitted
+            == self.completed_ok + self.completed_err + self.timed_out + self.in_flight_at_end
+    }
+}
+
 /// The complete output of one testbed run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -127,6 +170,8 @@ pub struct RunResult {
     /// Every command submission in order (empty unless
     /// `record_submissions` was set in the config).
     pub submissions: Vec<SubmissionRecord>,
+    /// Fault-handling counters and the conservation audit inputs.
+    pub faults: FaultCounters,
 }
 
 impl RunResult {
@@ -256,6 +301,21 @@ mod tests {
         assert!((f_util(200e6, 1600e6, 16) - 2.0).abs() < 1e-9);
         assert!((f_util(50e6, 1600e6, 16) - 0.5).abs() < 1e-9);
         assert!((utilization_deviation(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_audit_balances_terminal_states() {
+        let mut f = FaultCounters {
+            submitted: 100,
+            completed_ok: 90,
+            completed_err: 4,
+            timed_out: 3,
+            in_flight_at_end: 3,
+            ..FaultCounters::default()
+        };
+        assert!(f.conservation_holds());
+        f.in_flight_at_end = 2; // one command vanished
+        assert!(!f.conservation_holds());
     }
 
     #[test]

@@ -16,6 +16,9 @@ cargo build --release --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> chaos suite (fault injection + conservation audit, release)"
+cargo test --release --offline --test chaos -q
+
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint
 

@@ -1,0 +1,309 @@
+//! Chaos suite: every scheme survives injected failures, and failure
+//! handling itself is deterministic.
+//!
+//! The fault plans exercise the three failure families end to end:
+//!
+//! * **loss-only** — random command/completion capsule loss plus a burst
+//!   brown-out window; recovery is the initiator's timeout/backoff/
+//!   retransmission protocol and the target's replay dedup.
+//! * **stall-only** — a GC-storm window on the SSD during which nothing is
+//!   serviced; recovery is the congestion controller's rate floor (it never
+//!   deadlocks at zero) plus retry timers for IOs stuck past their budget.
+//! * **combined** — loss, a stall, transient device errors, and permanent
+//!   device death partway through the run.
+//!
+//! Every run must finish without a panic and pass the command-conservation
+//! audit: each submitted command completes, errors, times out, or is still
+//! in flight at the wall — exactly once. Double runs at the same seed must
+//! produce identical submission traces, faults and all.
+
+use gimbal_repro::fabric::RetryConfig;
+use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime, SsdFaultSpec};
+use gimbal_repro::testbed::{
+    FaultConfig, Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec,
+};
+use gimbal_repro::workload::FioSpec;
+
+const CAP: u64 = 512 * 1024 * 1024 / 4096;
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Reflex,
+    Scheme::Parda,
+    Scheme::FlashFq,
+    Scheme::Gimbal,
+];
+
+fn ms(v: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(v)
+}
+
+fn mixed_workers(readers: u32, writers: u32) -> Vec<WorkerSpec> {
+    let n = readers + writers;
+    let per = CAP / u64::from(n);
+    (0..n)
+        .map(|i| {
+            let ratio = if i < readers { 1.0 } else { 0.0 };
+            let label = if i < readers { "read" } else { "write" };
+            WorkerSpec::new(
+                label,
+                FioSpec::paper_default(ratio, 4096, u64::from(i) * per, per),
+            )
+        })
+        .collect()
+}
+
+fn loss_only() -> FaultPlan {
+    FaultPlan {
+        cmd_loss_prob: 0.02,
+        cpl_loss_prob: 0.02,
+        burst_windows: vec![FaultWindow::new(ms(150), ms(160))],
+        ssd: vec![],
+    }
+}
+
+fn stall_only() -> FaultPlan {
+    FaultPlan {
+        ssd: vec![SsdFaultSpec {
+            stall_windows: vec![FaultWindow::new(ms(150), ms(250))],
+            ..SsdFaultSpec::default()
+        }],
+        ..FaultPlan::default()
+    }
+}
+
+fn combined() -> FaultPlan {
+    FaultPlan {
+        cmd_loss_prob: 0.01,
+        cpl_loss_prob: 0.01,
+        burst_windows: vec![FaultWindow::new(ms(120), ms(130))],
+        ssd: vec![SsdFaultSpec {
+            transient_error_prob: 0.02,
+            stall_windows: vec![FaultWindow::new(ms(180), ms(220))],
+            fail_at: Some(ms(320)),
+        }],
+    }
+}
+
+fn run_chaos(scheme: Scheme, plan: FaultPlan, seed: u64) -> RunResult {
+    let cfg = TestbedConfig {
+        scheme,
+        precondition: Precondition::Fragmented,
+        duration: SimDuration::from_millis(400),
+        warmup: SimDuration::from_millis(100),
+        seed,
+        record_submissions: true,
+        faults: Some(FaultConfig {
+            plan,
+            retry: RetryConfig::default(),
+        }),
+        ..TestbedConfig::default()
+    };
+    Testbed::new(cfg, mixed_workers(3, 3)).run()
+}
+
+/// Every scheme finishes every fault plan without panicking, and the
+/// conservation audit balances: no command is lost or double-counted.
+#[test]
+fn all_schemes_survive_all_fault_plans_and_conserve_commands() {
+    for scheme in SCHEMES {
+        for (name, plan) in [
+            ("loss-only", loss_only()),
+            ("stall-only", stall_only()),
+            ("combined", combined()),
+        ] {
+            let res = run_chaos(scheme, plan, 7);
+            let f = &res.faults;
+            assert!(f.submitted > 1000, "{} {name}: ran: {f:?}", scheme.name());
+            assert!(
+                f.conservation_holds(),
+                "{} {name}: conservation violated: {f:?}",
+                scheme.name()
+            );
+            assert!(
+                f.completed_ok > 0,
+                "{} {name}: no IO ever succeeded: {f:?}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+/// Capsule loss actually fires and is actually recovered: drops happen,
+/// timers retransmit, the target dedups replays, and goodput survives.
+#[test]
+fn capsule_loss_is_retried_and_deduplicated() {
+    for scheme in SCHEMES {
+        let res = run_chaos(scheme, loss_only(), 11);
+        let f = &res.faults;
+        assert!(f.cmd_capsules_dropped > 0, "{}: {f:?}", scheme.name());
+        assert!(f.cpl_capsules_dropped > 0, "{}: {f:?}", scheme.name());
+        assert!(
+            f.retries > 0,
+            "{}: no retransmissions: {f:?}",
+            scheme.name()
+        );
+        assert!(
+            f.completions_resent > 0,
+            "{}: dropped completions must be recovered from the target's \
+             cache, not by re-executing the IO: {f:?}",
+            scheme.name()
+        );
+        // Loss is 2%: the overwhelming majority of IOs still succeed.
+        assert!(
+            f.completed_ok > 50 * (f.timed_out + 1),
+            "{}: goodput collapsed under 2% loss: {f:?}",
+            scheme.name()
+        );
+        let moved: u64 = res.workers.iter().map(|w| w.bytes).sum();
+        assert!(moved > 0, "{}: no payload moved", scheme.name());
+    }
+}
+
+/// A GC storm freezes the device for 100 ms mid-run. The congestion
+/// controller must not deadlock: service visibly resumes after the window
+/// closes. (Throughput *level* after the storm is scheme-specific — Gimbal
+/// re-probes from its conservative floor — so the assertion is progress,
+/// not rate.)
+#[test]
+fn gc_storm_stall_does_not_deadlock_any_scheme() {
+    for scheme in SCHEMES {
+        let cfg = TestbedConfig {
+            scheme,
+            precondition: Precondition::Fragmented,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            seed: 13,
+            sample_interval: Some(SimDuration::from_millis(25)),
+            faults: Some(FaultConfig {
+                plan: stall_only(),
+                retry: RetryConfig::default(),
+            }),
+            ..TestbedConfig::default()
+        };
+        let res = Testbed::new(cfg, mixed_workers(3, 3)).run();
+        let f = &res.faults;
+        assert!(f.conservation_holds(), "{}: {f:?}", scheme.name());
+        assert!(
+            res.ssd_stats[0].stalled_cmds > 0,
+            "{}: the storm never hit",
+            scheme.name()
+        );
+        // Bandwidth samples taken late enough that their whole 100 ms meter
+        // window lies after the 250 ms release: real post-storm service, not
+        // residue from before the stall.
+        let post_storm_bps: f64 = res
+            .workers
+            .iter()
+            .flat_map(|w| w.series.points())
+            .filter(|p| p.0 >= ms(360))
+            .map(|p| p.1)
+            .sum();
+        assert!(
+            post_storm_bps > 0.0,
+            "{}: no worker moved a byte after the storm cleared — \
+             congestion control deadlocked: {f:?}",
+            scheme.name()
+        );
+    }
+}
+
+/// Permanent device death: everything after `fail_at` errors out fast, the
+/// errors are surfaced (not dropped, not panicking), and accounting stays
+/// exact.
+#[test]
+fn device_death_surfaces_errors_without_losing_commands() {
+    for scheme in SCHEMES {
+        let res = run_chaos(scheme, combined(), 17);
+        let f = &res.faults;
+        assert!(f.conservation_holds(), "{}: {f:?}", scheme.name());
+        assert!(
+            f.completed_err > 100,
+            "{}: device death at 320 ms must produce a stream of error \
+             completions: {f:?}",
+            scheme.name()
+        );
+        assert!(
+            res.ssd_stats[0].failed_cmds > 0 && res.ssd_stats[0].injected_transient_errors > 0,
+            "{}: device-side fault counters empty: {:?}",
+            scheme.name(),
+            res.ssd_stats[0]
+        );
+    }
+}
+
+/// Satellite (d): fault handling is part of the deterministic state machine.
+/// Two runs at the same seed — faults, retries, failovers and all — produce
+/// byte-identical submission traces and stats digests.
+#[test]
+fn chaos_runs_are_deterministic_per_seed() {
+    for scheme in SCHEMES {
+        let a = run_chaos(scheme, combined(), 23);
+        let b = run_chaos(scheme, combined(), 23);
+        assert!(!a.submissions.is_empty(), "{}: empty trace", scheme.name());
+        assert_eq!(
+            a.submissions,
+            b.submissions,
+            "{}: chaos submission traces diverged",
+            scheme.name()
+        );
+        assert_eq!(
+            a.submission_digest(),
+            b.submission_digest(),
+            "{}: chaos trace digests diverged",
+            scheme.name()
+        );
+        assert_eq!(
+            a.stats_digest(),
+            b.stats_digest(),
+            "{}: chaos stats digests diverged",
+            scheme.name()
+        );
+        assert_eq!(
+            a.faults,
+            b.faults,
+            "{}: fault counters diverged between identical runs",
+            scheme.name()
+        );
+        // And the seed still matters.
+        let c = run_chaos(scheme, combined(), 24);
+        assert_ne!(
+            a.submission_digest(),
+            c.submission_digest(),
+            "{}: different seeds produced identical chaos traces",
+            scheme.name()
+        );
+    }
+}
+
+/// An empty fault plan must behave exactly like no fault plan at all: the
+/// injector draws nothing, so the schedule is bit-identical to a fault-free
+/// run. Retry timers are armed but given a budget no healthy IO approaches,
+/// so none fires (verified via the retry counter).
+#[test]
+fn empty_fault_plan_matches_fault_free_run() {
+    let mut base = TestbedConfig {
+        scheme: Scheme::Gimbal,
+        precondition: Precondition::Fragmented,
+        duration: SimDuration::from_millis(400),
+        warmup: SimDuration::from_millis(100),
+        seed: 31,
+        record_submissions: true,
+        ..TestbedConfig::default()
+    };
+    let plain = Testbed::new(base.clone(), mixed_workers(3, 3)).run();
+    base.faults = Some(FaultConfig {
+        plan: FaultPlan::default(),
+        retry: RetryConfig {
+            base_timeout: SimDuration::from_millis(100),
+            max_timeout: SimDuration::from_millis(200),
+            max_retries: 5,
+        },
+    });
+    let armed = Testbed::new(base, mixed_workers(3, 3)).run();
+    assert_eq!(armed.faults.retries, 0, "no healthy IO takes 100 ms");
+    assert_eq!(plain.submissions, armed.submissions);
+    assert_eq!(plain.stats_digest(), armed.stats_digest());
+    assert_eq!(armed.faults.cmd_capsules_dropped, 0);
+    assert_eq!(armed.faults.timed_out, 0);
+    assert!(plain.faults.conservation_holds());
+    assert!(armed.faults.conservation_holds());
+}
