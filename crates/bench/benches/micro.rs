@@ -15,9 +15,37 @@ use gimbal_fabric::{CmdId, IoType, NvmeCmd, Priority, SsdId, TenantId};
 use gimbal_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime, TokenBucket};
 use gimbal_ssd::{FlashSsd, SsdConfig, StorageDevice};
 use gimbal_switch::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
+use gimbal_telemetry::{EventKind, TraceConfig, TraceHandle, Tracer};
 use gimbal_workload::Zipfian;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Allocation-counting wrapper around the system allocator so the telemetry
+/// section can assert the disabled record path never touches the heap.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// The workspace denies `unsafe_code`; the allocator hook is the one place a
+// benchmark needs it, and it only counts before delegating to `System`.
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
     Request {
@@ -133,8 +161,10 @@ fn bench_gimbal_components(want: &dyn Fn(&str) -> bool) {
                 next_id += 1;
             }
             for _ in 0..64 {
-                if let gimbal_core::scheduler::SchedPoll::Submit(r) = s.dequeue(1.5, |_| true) {
-                    s.on_completion(r.cmd.id);
+                if let gimbal_core::scheduler::SchedPoll::Submit(r) =
+                    s.dequeue(SimTime::ZERO, 1.5, |_| true)
+                {
+                    s.on_completion(r.cmd.id, SimTime::ZERO);
                 }
             }
             black_box(s.queued());
@@ -159,6 +189,50 @@ fn bench_gimbal_components(want: &dyn Fn(&str) -> bool) {
             }
             id += 1;
         });
+    }
+}
+
+fn bench_telemetry(want: &dyn Fn(&str) -> bool) {
+    if want("telemetry/record_disabled_zero_alloc") {
+        // The acceptance gate for the off-by-default policy: with tracing
+        // disabled, the record/observe/gauge paths must not allocate.
+        let handle = TraceHandle::disabled();
+        let mut t = 0u64;
+        let mut step = || {
+            t += 1;
+            handle.record(
+                SimTime::from_nanos(t),
+                SsdId(0),
+                Some(TenantId(0)),
+                EventKind::CreditGranted { credit: 1 },
+            );
+            handle.observe("device_latency_ns", TenantId(0), t);
+            handle.set_gauge("target_bytes_sent", t as f64);
+        };
+        let before = ALLOC_COUNT.load(Ordering::Relaxed);
+        for _ in 0..200_000u64 {
+            step();
+        }
+        let allocs = ALLOC_COUNT.load(Ordering::Relaxed) - before;
+        assert_eq!(allocs, 0, "disabled telemetry hot path allocated {allocs}x");
+        bench("telemetry/record_disabled_zero_alloc", 2_000_000, step);
+    }
+    if want("telemetry/record_enabled_ring") {
+        let tracer = Rc::new(RefCell::new(Tracer::new(TraceConfig { capacity: 1 << 12 })));
+        let handle = TraceHandle::attached(&tracer);
+        let mut t = 0u64;
+        bench("telemetry/record_enabled_ring", 1_000_000, || {
+            t += 1;
+            handle.record(
+                SimTime::from_nanos(t),
+                SsdId(0),
+                Some(TenantId((t % 4) as u32)),
+                EventKind::CreditGranted {
+                    credit: (t % 64) as u32,
+                },
+            );
+        });
+        black_box(tracer.borrow().len());
     }
 }
 
@@ -205,5 +279,6 @@ fn main() {
         move |name: &str| filter.is_empty() || filter.iter().any(|f| name.contains(f.as_str()));
     bench_sim_primitives(&want);
     bench_gimbal_components(&want);
+    bench_telemetry(&want);
     bench_substrates(&want);
 }

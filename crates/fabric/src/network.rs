@@ -52,6 +52,8 @@ pub struct Port {
     /// Latest `now` seen by [`Port::transmit`]; guards against retrograde
     /// callers, which would silently reorder serialization.
     last_now: SimTime,
+    bytes_sent: u64,
+    messages_sent: u64,
 }
 
 impl Port {
@@ -62,6 +64,8 @@ impl Port {
             bandwidth,
             busy_until: SimTime::ZERO,
             last_now: SimTime::ZERO,
+            bytes_sent: 0,
+            messages_sent: 0,
         }
     }
 
@@ -97,12 +101,24 @@ impl Port {
         }
         let done = start + SimDuration::for_bytes(bytes, self.bandwidth);
         self.busy_until = done;
+        self.bytes_sent += bytes;
+        self.messages_sent += 1;
         done
     }
 
     /// The instant the port becomes idle.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
+    }
+
+    /// Total bytes serialized since creation (telemetry gauge feed).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages serialized since creation.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
     }
 }
 
@@ -209,6 +225,16 @@ mod tests {
         // A message after idle starts immediately.
         let t3 = p.transmit(SimTime::from_micros(10), 1000);
         assert_eq!(t3.as_nanos(), 11_000);
+    }
+
+    #[test]
+    fn port_accounts_traffic() {
+        let mut p = Port::new(1_000_000_000);
+        p.transmit(SimTime::ZERO, 1000);
+        p.transmit(SimTime::ZERO, 500);
+        p.transmit_at(SimTime::from_micros(10), 250);
+        assert_eq!(p.bytes_sent(), 1750);
+        assert_eq!(p.messages_sent(), 3);
     }
 
     #[test]

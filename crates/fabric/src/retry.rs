@@ -50,6 +50,12 @@ impl RetryConfig {
             .saturating_mul(factor)
             .min(self.max_timeout)
     }
+
+    /// Whether attempt `n` exhausted the retry budget: a timer firing on
+    /// attempt `max_retries` (0-based original + retries) fails the command.
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt >= self.max_retries
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +73,15 @@ mod tests {
         assert_eq!(r.timeout_for(10), SimDuration::from_millis(32));
         // Huge attempt counts must not overflow the shift.
         assert_eq!(r.timeout_for(u32::MAX), SimDuration::from_millis(32));
+    }
+
+    #[test]
+    fn exhaustion_is_reached_after_max_retries() {
+        let r = RetryConfig::default();
+        assert!(!r.exhausted(0));
+        assert!(!r.exhausted(4));
+        assert!(r.exhausted(5));
+        assert!(r.exhausted(6));
     }
 
     #[test]

@@ -31,6 +31,22 @@ pub enum CongestionState {
     Underutilized,
 }
 
+impl CongestionState {
+    /// The telemetry mirror of this state. `gimbal-telemetry` sits below
+    /// this crate in the dependency DAG, so it carries its own copy of the
+    /// state enum; this is the single conversion point.
+    pub fn trace_state(self) -> gimbal_telemetry::CongState {
+        match self {
+            CongestionState::Overloaded => gimbal_telemetry::CongState::Overloaded,
+            CongestionState::Congested => gimbal_telemetry::CongState::Congested,
+            CongestionState::CongestionAvoidance => {
+                gimbal_telemetry::CongState::CongestionAvoidance
+            }
+            CongestionState::Underutilized => gimbal_telemetry::CongState::Underutilized,
+        }
+    }
+}
+
 /// Per-IO-type latency monitor implementing Algorithm 1's `update_latency`.
 #[derive(Clone, Debug)]
 pub struct LatencyMonitor {

@@ -16,6 +16,7 @@ use crate::write_cost::WriteCostEstimator;
 use gimbal_fabric::{IoType, SsdId, TenantId};
 use gimbal_sim::SimTime;
 use gimbal_switch::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
+use gimbal_telemetry::TraceHandle;
 
 /// The Gimbal storage switch policy for one SSD.
 pub struct GimbalPolicy {
@@ -80,7 +81,7 @@ impl SwitchPolicy for GimbalPolicy {
         // Split borrows: the scheduler walks its lists while the token check
         // consults the rate controller.
         let rate = &mut self.rate;
-        match self.scheduler.dequeue(wc, |req| {
+        match self.scheduler.dequeue(now, wc, |req| {
             rate.try_consume(req.cmd.opcode, req.cmd.len_bytes())
         }) {
             SchedPoll::Submit(req) => PolicyPoll::Submit(req),
@@ -103,7 +104,7 @@ impl SwitchPolicy for GimbalPolicy {
                 self.write_cost.on_write_completion(now, below);
             }
         }
-        self.scheduler.on_completion(info.cmd.id);
+        self.scheduler.on_completion(info.cmd.id, now);
     }
 
     fn credit_for(&mut self, tenant: TenantId) -> Option<u32> {
@@ -120,6 +121,12 @@ impl SwitchPolicy for GimbalPolicy {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
+        self.scheduler.attach_trace(trace.clone(), ssd);
+        self.rate.attach_trace(trace.clone(), ssd);
+        self.write_cost.attach_trace(trace, ssd);
     }
 }
 

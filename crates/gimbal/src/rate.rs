@@ -18,8 +18,9 @@
 
 use crate::congestion::{CongestionState, LatencyMonitor};
 use crate::params::Params;
-use gimbal_fabric::IoType;
+use gimbal_fabric::{IoType, SsdId};
 use gimbal_sim::{Meter, SimDuration, SimTime, TokenBucket};
+use gimbal_telemetry::{EventKind, OverflowDirection, TraceHandle};
 
 /// The per-SSD rate controller.
 #[derive(Clone, Debug)]
@@ -32,6 +33,10 @@ pub struct RateController {
     monitors: [LatencyMonitor; 2],
     completion_meter: Meter,
     last_state: CongestionState,
+    /// Last observed state per IO type; transitions are emitted on change.
+    io_states: [CongestionState; 2],
+    trace: TraceHandle,
+    trace_ssd: SsdId,
 }
 
 impl RateController {
@@ -46,8 +51,17 @@ impl RateController {
             monitors: [LatencyMonitor::new(&params), LatencyMonitor::new(&params)],
             completion_meter: Meter::default_rate_meter(),
             last_state: CongestionState::Underutilized,
+            io_states: [CongestionState::Underutilized; 2],
+            trace: TraceHandle::disabled(),
+            trace_ssd: SsdId(0),
             params,
         }
+    }
+
+    /// Attach a telemetry handle; events carry `ssd` as their origin.
+    pub fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
+        self.trace = trace;
+        self.trace_ssd = ssd;
     }
 
     /// Algorithm 4: accrue tokens for elapsed time, split by write cost,
@@ -63,6 +77,17 @@ impl RateController {
             // Ablation: one bucket for everything (Appendix C.1 explains
             // why this submits writes at the wrong rate).
             self.read_bucket.deposit(avail);
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    now,
+                    self.trace_ssd,
+                    None,
+                    EventKind::BucketRefill {
+                        read_tokens: self.read_bucket.tokens(),
+                        write_tokens: self.write_bucket.tokens(),
+                    },
+                );
+            }
             return;
         }
         let read_share = write_cost / (1.0 + write_cost);
@@ -70,9 +95,42 @@ impl RateController {
         let overflow_w = self.write_bucket.deposit(avail * (1.0 - read_share));
         if overflow_r > 0.0 {
             self.write_bucket.deposit(overflow_r);
+            // Overflow only happens when the source bucket filled to
+            // capacity, i.e. its tenant-side demand is idle (Algorithm 4).
+            self.trace.record(
+                now,
+                self.trace_ssd,
+                None,
+                EventKind::OverflowTransfer {
+                    direction: OverflowDirection::ReadToWrite,
+                    amount: overflow_r,
+                    src_tokens: self.read_bucket.tokens(),
+                },
+            );
         }
         if overflow_w > 0.0 {
             self.read_bucket.deposit(overflow_w);
+            self.trace.record(
+                now,
+                self.trace_ssd,
+                None,
+                EventKind::OverflowTransfer {
+                    direction: OverflowDirection::WriteToRead,
+                    amount: overflow_w,
+                    src_tokens: self.write_bucket.tokens(),
+                },
+            );
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                self.trace_ssd,
+                None,
+                EventKind::BucketRefill {
+                    read_tokens: self.read_bucket.tokens(),
+                    write_tokens: self.write_bucket.tokens(),
+                },
+            );
         }
     }
 
@@ -121,7 +179,26 @@ impl RateController {
         device_latency: SimDuration,
     ) -> CongestionState {
         self.completion_meter.record(now, size);
-        let state = self.monitors[io_type.index()].update(device_latency);
+        let io_idx = io_type.index();
+        let thresh_before = self.monitors[io_idx].thresh_ns();
+        let state = self.monitors[io_idx].update(device_latency);
+        if state != self.io_states[io_idx] {
+            self.trace.record(
+                now,
+                self.trace_ssd,
+                None,
+                EventKind::CongestionTransition {
+                    io: io_type,
+                    from: self.io_states[io_idx].trace_state(),
+                    to: state.trace_state(),
+                    ewma_ns: self.monitors[io_idx].ewma_ns(),
+                    thresh_before_ns: thresh_before,
+                    thresh_after_ns: self.monitors[io_idx].thresh_ns(),
+                },
+            );
+            self.io_states[io_idx] = state;
+        }
+        let old_rate = self.target_rate;
         let size = size as f64;
         match state {
             CongestionState::Overloaded => {
@@ -141,6 +218,17 @@ impl RateController {
         self.target_rate = self
             .target_rate
             .clamp(self.params.min_rate, self.params.max_rate);
+        self.trace.record(
+            now,
+            self.trace_ssd,
+            None,
+            EventKind::RateUpdate {
+                io: io_type,
+                state: state.trace_state(),
+                old_bps: old_rate,
+                new_bps: self.target_rate,
+            },
+        );
         self.last_state = state;
         state
     }

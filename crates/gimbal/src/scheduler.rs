@@ -19,10 +19,11 @@
 //! letting latency-sensitive IOs overtake bulk traffic without starving it.
 
 use crate::params::Params;
-use gimbal_fabric::{CmdId, IoType, Priority, TenantId};
+use gimbal_fabric::{CmdId, IoType, Priority, SsdId, TenantId};
 use gimbal_sim::collections::DetMap;
 use gimbal_sim::SimTime;
 use gimbal_switch::Request;
+use gimbal_telemetry::{EventKind, TraceHandle};
 use std::collections::VecDeque;
 
 /// Outcome of a scheduling attempt.
@@ -122,6 +123,8 @@ pub struct VirtualSlotScheduler {
     active: VecDeque<TenantId>,
     /// Maps an in-flight command to (tenant, slot index).
     inflight: DetMap<CmdId, (TenantId, usize)>,
+    trace: TraceHandle,
+    trace_ssd: SsdId,
 }
 
 impl VirtualSlotScheduler {
@@ -133,7 +136,15 @@ impl VirtualSlotScheduler {
             tenants: DetMap::new(),
             active: VecDeque::new(),
             inflight: DetMap::new(),
+            trace: TraceHandle::disabled(),
+            trace_ssd: SsdId(0),
         }
+    }
+
+    /// Attach a telemetry handle; events carry `ssd` as their origin.
+    pub fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
+        self.trace = trace;
+        self.trace_ssd = ssd;
     }
 
     fn ensure_tenant(&mut self, id: TenantId) {
@@ -169,7 +180,7 @@ impl VirtualSlotScheduler {
     }
 
     /// Try to open a fresh virtual slot for `id`; returns whether one opened.
-    fn open_slot(&mut self, id: TenantId) -> bool {
+    fn open_slot(&mut self, id: TenantId, now: SimTime) -> bool {
         let limit = self.slot_limit();
         let t = self.tenants.get_mut(&id).unwrap();
         if t.slots_in_use() >= limit {
@@ -184,6 +195,12 @@ impl VirtualSlotScheduler {
             ..VSlot::default()
         };
         t.open_slot = Some(idx);
+        self.trace.record(
+            now,
+            self.trace_ssd,
+            Some(id),
+            EventKind::SlotOpened { slot: idx as u32 },
+        );
         true
     }
 
@@ -191,7 +208,7 @@ impl VirtualSlotScheduler {
     /// is consulted once a request is deficit-eligible, and if it refuses,
     /// the request stays at the head (no reordering) and the caller gets
     /// [`SchedPoll::Blocked`].
-    pub fn dequeue<F>(&mut self, write_cost: f64, mut token_check: F) -> SchedPoll
+    pub fn dequeue<F>(&mut self, now: SimTime, write_cost: f64, mut token_check: F) -> SchedPoll
     where
         F: FnMut(&Request) -> bool,
     {
@@ -219,12 +236,19 @@ impl VirtualSlotScheduler {
                 .expect("active tenant exists")
                 .open_slot
                 .is_none()
-                && !self.open_slot(tid)
+                && !self.open_slot(tid, now)
             {
                 self.active.pop_front();
                 let t = self.tenants.get_mut(&tid).unwrap();
                 t.state = ListState::Deferred;
                 t.deficit = 0.0; // Algorithm 2: deficit cleared when deferred
+                let queued = t.queued as u32;
+                self.trace.record(
+                    now,
+                    self.trace_ssd,
+                    Some(tid),
+                    EventKind::TenantDeferred { queued },
+                );
                 continue;
             }
             let weights = self.params.priority_weights;
@@ -254,7 +278,17 @@ impl VirtualSlotScheduler {
                 slot.weighted_bytes += w;
                 if slot.weighted_bytes >= slot_bytes {
                     slot.full = true;
+                    let submits = slot.submits;
                     t.open_slot = None; // next dequeue opens/defers as needed
+                    self.trace.record(
+                        now,
+                        self.trace_ssd,
+                        Some(tid),
+                        EventKind::SlotClosed {
+                            slot: slot_idx as u32,
+                            submits,
+                        },
+                    );
                 }
                 self.inflight.insert(req.cmd.id, (tid, slot_idx));
                 return SchedPoll::Submit(req);
@@ -269,7 +303,7 @@ impl VirtualSlotScheduler {
 
     /// Record a completion (Algorithm 2's `Sched_Complete`): frees the slot
     /// when its bundle fully completes and reactivates a deferred tenant.
-    pub fn on_completion(&mut self, id: CmdId) {
+    pub fn on_completion(&mut self, id: CmdId, now: SimTime) {
         let Some((tid, slot_idx)) = self.inflight.remove(&id) else {
             return;
         };
@@ -285,9 +319,22 @@ impl VirtualSlotScheduler {
                 ((3 * u64::from(t.last_completed_slot_ios) + u64::from(slot.submits)) / 4).max(1)
                     as u32;
             *slot = VSlot::default(); // freed
+            let credit_ios = t.last_completed_slot_ios;
+            self.trace.record(
+                now,
+                self.trace_ssd,
+                Some(tid),
+                EventKind::SlotFreed {
+                    slot: slot_idx as u32,
+                    credit_ios,
+                },
+            );
+            let t = self.tenants.get_mut(&tid).unwrap();
             if t.state == ListState::Deferred {
                 t.state = ListState::Active;
                 self.active.push_back(tid);
+                self.trace
+                    .record(now, self.trace_ssd, Some(tid), EventKind::TenantResumed);
             }
         }
     }
@@ -347,7 +394,7 @@ mod tests {
     fn drain(s: &mut VirtualSlotScheduler, wc: f64, max: usize) -> Vec<Request> {
         let mut out = Vec::new();
         for _ in 0..max {
-            match s.dequeue(wc, |_| true) {
+            match s.dequeue(SimTime::ZERO, wc, |_| true) {
                 SchedPoll::Submit(r) => out.push(r),
                 _ => break,
             }
@@ -429,7 +476,7 @@ mod tests {
         }
         let (mut reads, mut writes) = (0f64, 0f64);
         for _ in 0..200 {
-            match s.dequeue(3.0, |_| true) {
+            match s.dequeue(SimTime::ZERO, 3.0, |_| true) {
                 SchedPoll::Submit(r) => {
                     if r.cmd.opcode.is_read() {
                         reads += 1.0;
@@ -437,7 +484,7 @@ mod tests {
                         writes += 1.0;
                     }
                     // Complete immediately: slots never run out.
-                    s.on_completion(r.cmd.id);
+                    s.on_completion(r.cmd.id, SimTime::ZERO);
                 }
                 _ => break,
             }
@@ -460,9 +507,12 @@ mod tests {
         let subs = drain(&mut s, 1.0, 20);
         assert_eq!(subs.len(), 8, "slot threshold caps submissions");
         assert!(s.is_deferred(TenantId(0)));
-        assert!(matches!(s.dequeue(1.0, |_| true), SchedPoll::Empty));
+        assert!(matches!(
+            s.dequeue(SimTime::ZERO, 1.0, |_| true),
+            SchedPoll::Empty
+        ));
         // Completing one IO frees its (full) slot; the tenant reactivates.
-        s.on_completion(CmdId(0));
+        s.on_completion(CmdId(0), SimTime::ZERO);
         assert!(!s.is_deferred(TenantId(0)));
         let more = drain(&mut s, 1.0, 5);
         assert_eq!(more.len(), 1);
@@ -482,7 +532,7 @@ mod tests {
         // Completing one partial bundle does nothing; completing a full
         // slot's 32 IOs frees it.
         for i in 0..32 {
-            s.on_completion(CmdId(i));
+            s.on_completion(CmdId(i), SimTime::ZERO);
         }
         assert!(!s.is_deferred(TenantId(0)));
         assert_eq!(drain(&mut s, 1.0, 400).len(), 32);
@@ -524,7 +574,7 @@ mod tests {
         s.on_arrival(req(0, 0, IoType::Write, 128 * 1024), SimTime::ZERO);
         s.on_arrival(req(1, 0, IoType::Read, 4096), SimTime::ZERO);
         // Token check refuses writes: the write blocks the head.
-        match s.dequeue(1.0, |r| r.cmd.opcode.is_read()) {
+        match s.dequeue(SimTime::ZERO, 1.0, |r| r.cmd.opcode.is_read()) {
             SchedPoll::Blocked { io_type, size } => {
                 assert_eq!(io_type, IoType::Write);
                 assert_eq!(size, 128 * 1024);
@@ -532,7 +582,7 @@ mod tests {
             other => panic!("expected Blocked, got {other:?}"),
         }
         // Allowing it lets the stream proceed in order.
-        match s.dequeue(1.0, |_| true) {
+        match s.dequeue(SimTime::ZERO, 1.0, |_| true) {
             SchedPoll::Submit(r) => assert_eq!(r.cmd.id, CmdId(0)),
             other => panic!("{other:?}"),
         }
@@ -574,7 +624,7 @@ mod tests {
         // per-slot IO count converges toward 32, so the credit approaches
         // 8 slots × 32.
         for i in 0..32 {
-            s.on_completion(CmdId(i));
+            s.on_completion(CmdId(i), SimTime::ZERO);
         }
         let after_one = s.credit_for(TenantId(0));
         assert!(
@@ -583,7 +633,7 @@ mod tests {
         );
         let n = drain(&mut s, 1.0, 64).len() as u64;
         for i in 32..32 + n {
-            s.on_completion(CmdId(i));
+            s.on_completion(CmdId(i), SimTime::ZERO);
         }
         assert!(
             s.credit_for(TenantId(0)) >= after_one,
@@ -607,21 +657,21 @@ mod tests {
                 s.on_arrival(req(next, t, IoType::Read, 4096), SimTime::ZERO);
                 next += 1;
             }
-            while let SchedPoll::Submit(r) = s.dequeue(1.0, |_| true) {
+            while let SchedPoll::Submit(r) = s.dequeue(SimTime::ZERO, 1.0, |_| true) {
                 inflight.push(r.cmd.id.0);
             }
             // Complete a prefix.
             let k = (round % 4) as usize + 1;
             for id in inflight.drain(..k.min(inflight.len())) {
-                s.on_completion(CmdId(id));
+                s.on_completion(CmdId(id), SimTime::ZERO);
             }
         }
         // Drain everything.
         for id in inflight.drain(..) {
-            s.on_completion(CmdId(id));
+            s.on_completion(CmdId(id), SimTime::ZERO);
         }
-        while let SchedPoll::Submit(r) = s.dequeue(1.0, |_| true) {
-            s.on_completion(r.cmd.id);
+        while let SchedPoll::Submit(r) = s.dequeue(SimTime::ZERO, 1.0, |_| true) {
+            s.on_completion(r.cmd.id, SimTime::ZERO);
         }
         assert_eq!(s.queued(), 0);
     }

@@ -13,7 +13,9 @@
 //!   few periods.
 
 use crate::params::Params;
+use gimbal_fabric::SsdId;
 use gimbal_sim::{SimDuration, SimTime};
+use gimbal_telemetry::{EventKind, TraceHandle};
 
 /// Periodic ADMI estimator of the SSD write cost.
 #[derive(Clone, Debug)]
@@ -26,6 +28,8 @@ pub struct WriteCostEstimator {
     writes_in_period: u64,
     /// Ablation: never recalibrate (ReFlex-style static worst-case tax).
     frozen: bool,
+    trace: TraceHandle,
+    trace_ssd: SsdId,
 }
 
 impl WriteCostEstimator {
@@ -40,7 +44,15 @@ impl WriteCostEstimator {
             next_update: SimTime::ZERO + params.write_cost_period,
             writes_in_period: 0,
             frozen: params.static_write_cost,
+            trace: TraceHandle::disabled(),
+            trace_ssd: SsdId(0),
         }
+    }
+
+    /// Attach a telemetry handle; events carry `ssd` as their origin.
+    pub fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
+        self.trace = trace;
+        self.trace_ssd = ssd;
     }
 
     /// Current write cost, in `[1, write_cost_worst]`.
@@ -63,6 +75,7 @@ impl WriteCostEstimator {
             return;
         }
         self.writes_in_period = 0;
+        let old_cost = self.cost;
         if write_ewma_below_min {
             // Writes are served from the buffer: credit them down to parity
             // with reads.
@@ -71,6 +84,16 @@ impl WriteCostEstimator {
             // Latency is up: converge quickly toward the worst case.
             self.cost = (self.cost + self.worst) / 2.0;
         }
+        self.trace.record(
+            now,
+            self.trace_ssd,
+            None,
+            EventKind::WriteCostStep {
+                old_cost,
+                new_cost: self.cost,
+                below_min: write_ewma_below_min,
+            },
+        );
     }
 
     /// The worst-case cost baseline.

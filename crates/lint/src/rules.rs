@@ -19,6 +19,12 @@
 //!   tenant-reachable path takes down a whole multi-tenant run; return a
 //!   typed error instead. Genuine internal invariants may be waived with a
 //!   reason.
+//! * **D6 `telemetry-alloc`** — warning only, telemetry crate: record paths
+//!   must be stamped with virtual time (`fn record` signatures take a
+//!   `SimTime`) and must not allocate per event (`format!`, `.to_string()`,
+//!   `String::from`, `.to_owned()`). String rendering belongs in the
+//!   exporters (`export*.rs` files are exempt), which run once after the
+//!   simulation, not per recorded event.
 //!
 //! A finding is suppressed by an inline waiver on the same line, e.g.
 //! `// lint: allow(unordered-map) — index only, never iterated`. The reason
@@ -40,6 +46,9 @@ pub enum RuleId {
     UnwrapHotPath,
     /// D5: panic-family macro in non-test library code (warning).
     PanicInLib,
+    /// D6: telemetry record path missing `SimTime` or allocating per event
+    /// (warning).
+    TelemetryAlloc,
     /// W0: malformed waiver comment.
     BadWaiver,
 }
@@ -53,6 +62,7 @@ impl RuleId {
             RuleId::FloatEq => "D3",
             RuleId::UnwrapHotPath => "D4",
             RuleId::PanicInLib => "D5",
+            RuleId::TelemetryAlloc => "D6",
             RuleId::BadWaiver => "W0",
         }
     }
@@ -65,6 +75,7 @@ impl RuleId {
             RuleId::FloatEq => "float-eq",
             RuleId::UnwrapHotPath => "unwrap-hot-path",
             RuleId::PanicInLib => "panic-in-lib",
+            RuleId::TelemetryAlloc => "telemetry-alloc",
             RuleId::BadWaiver => "bad-waiver",
         }
     }
@@ -82,6 +93,9 @@ impl RuleId {
             RuleId::UnwrapHotPath => "unwrap()/expect() in a scheduler hot path; handle explicitly",
             RuleId::PanicInLib => {
                 "panic!/unreachable!/todo! in library code; return a typed error or waive the invariant"
+            }
+            RuleId::TelemetryAlloc => {
+                "telemetry record path must take SimTime and not allocate per event; render strings in exporters"
             }
             RuleId::BadWaiver => "malformed waiver: unknown rule slug or missing reason",
         }
@@ -119,6 +133,9 @@ pub struct RuleSet {
     pub unwrap_warn: bool,
     /// D5 applies to every simulation crate and reports warnings.
     pub panic_warn: bool,
+    /// D6 is only enabled for the telemetry crate and reports warnings;
+    /// exporter files (`export*.rs`) are exempt.
+    pub telemetry_alloc: bool,
 }
 
 /// Crates whose state machines feed the event loop directly: every rule at
@@ -135,6 +152,7 @@ const STRICT_CRATES: &[&str] = &[
     "blobstore",
     "lsm-kv",
     "testbed",
+    "telemetry",
 ];
 
 /// D4 (unwrap warnings) applies where a panic would take down a whole run
@@ -152,6 +170,7 @@ pub fn ruleset_for(crate_name: &str) -> RuleSet {
         float_eq: true,
         unwrap_warn: HOT_PATH_CRATES.contains(&crate_name),
         panic_warn: strict,
+        telemetry_alloc: crate_name == "telemetry",
     }
 }
 
@@ -288,6 +307,7 @@ const KNOWN_SLUGS: &[&str] = &[
     "float-eq",
     "unwrap-hot-path",
     "panic-in-lib",
+    "telemetry-alloc",
 ];
 
 /// Is `name` invoked as a macro (`name!`) on this line? `!=` after the
@@ -319,6 +339,9 @@ fn has_macro(line: &str, name: &str) -> bool {
 /// review, and the tool can report coverage).
 pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> (Vec<Finding>, usize) {
     let stripped = strip_non_code(source);
+    // D6 needs signature lookahead (rustfmt wraps long `fn record` headers),
+    // so keep an indexable copy of the stripped lines.
+    let code_lines: Vec<&str> = stripped.lines().collect();
     let mut findings = Vec::new();
     let mut waivers_used = 0usize;
 
@@ -332,7 +355,7 @@ pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> (Vec<Finding>
     // so rustfmt can rewrap a long statement without detaching its waiver.
     let mut pending: Vec<Waiver> = Vec::new();
 
-    for (idx, (code_line, raw_line)) in stripped.lines().zip(source.lines()).enumerate() {
+    for (idx, (code_line, raw_line)) in code_lines.iter().copied().zip(source.lines()).enumerate() {
         let line_no = idx + 1;
 
         if !in_test && code_line.contains("#[cfg(test)]") {
@@ -424,6 +447,30 @@ pub fn check_file(rel_path: &str, source: &str, rules: RuleSet) -> (Vec<Finding>
         {
             hit(RuleId::PanicInLib, Severity::Warning, &mut findings);
         }
+        if rules.telemetry_alloc && !rel_path.contains("export") {
+            let allocates = has_macro(code_line, "format")
+                || code_line.contains(".to_string()")
+                || code_line.contains("String::from(")
+                || code_line.contains(".to_owned()");
+            // A record fn must be stamped with virtual time. The signature
+            // may wrap, so scan forward until the body brace for `SimTime`.
+            let record_unstamped = code_line.contains("fn record") && {
+                let mut stamped = false;
+                for l in code_lines[idx..].iter().take(6) {
+                    if l.contains("SimTime") {
+                        stamped = true;
+                        break;
+                    }
+                    if l.contains('{') {
+                        break;
+                    }
+                }
+                !stamped
+            };
+            if allocates || record_unstamped {
+                hit(RuleId::TelemetryAlloc, Severity::Warning, &mut findings);
+            }
+        }
     }
 
     (findings, waivers_used)
@@ -440,6 +487,7 @@ mod tests {
             float_eq: true,
             unwrap_warn: true,
             panic_warn: true,
+            telemetry_alloc: false,
         }
     }
 
@@ -583,6 +631,49 @@ fn also_live() { let m = std::collections::HashMap::new(); }
     }
 
     #[test]
+    fn d6_flags_allocation_and_unstamped_record_outside_exporters() {
+        let rules = ruleset_for("telemetry");
+        assert!(rules.telemetry_alloc);
+        let src = "\
+fn record(&mut self, kind: u32) {
+    let s = format!(\"{kind}\");
+}
+";
+        let (f, _) = check_file("crates/telemetry/src/tracer.rs", src, rules);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f
+            .iter()
+            .all(|x| x.rule == RuleId::TelemetryAlloc && x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn d6_accepts_wrapped_simtime_signature_and_exempts_exporters() {
+        let rules = ruleset_for("telemetry");
+        let ok = "\
+fn record(
+    &mut self,
+    at: SimTime,
+) {
+}
+";
+        let (f, _) = check_file("crates/telemetry/src/tracer.rs", ok, rules);
+        assert!(f.is_empty(), "{f:?}");
+        // Exporters render strings by design; `export*.rs` is exempt.
+        let exporter = "fn render(x: u32) -> String { x.to_string() }\n";
+        let (f, _) = check_file("crates/telemetry/src/export.rs", exporter, rules);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn d6_waiver_suppresses() {
+        let rules = ruleset_for("telemetry");
+        let src = "let s = v.to_string(); // lint: allow(telemetry-alloc) — cold error path\n";
+        let (f, used) = check_file("crates/telemetry/src/tracer.rs", src, rules);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(used, 1);
+    }
+
+    #[test]
     fn rulesets_by_crate() {
         assert!(ruleset_for("gimbal").ambient_time_env);
         assert!(ruleset_for("gimbal").unwrap_warn);
@@ -595,5 +686,9 @@ fn also_live() { let m = std::collections::HashMap::new(); }
         assert!(!ruleset_for("bench").panic_warn);
         // …but still may not use unordered maps.
         assert!(ruleset_for("bench").unordered_map);
+        // D6 is scoped to the telemetry crate alone.
+        assert!(ruleset_for("telemetry").telemetry_alloc);
+        assert!(ruleset_for("telemetry").ambient_time_env);
+        assert!(!ruleset_for("gimbal").telemetry_alloc);
     }
 }

@@ -29,9 +29,10 @@ use crate::buffer::WriteBuffer;
 use crate::config::SsdConfig;
 use crate::ftl::Ftl;
 use crate::stats::SsdStats;
-use gimbal_fabric::IoType;
+use gimbal_fabric::{IoType, SsdId};
 use gimbal_sim::collections::DetMap;
 use gimbal_sim::{EventQueue, SimDuration, SimRng, SimTime, SsdFaultSpec};
+use gimbal_telemetry::{EventKind, TraceHandle};
 use std::collections::VecDeque;
 
 /// A completed storage command, correlated by the caller-supplied tag.
@@ -72,6 +73,11 @@ pub trait StorageDevice {
     fn next_event_at(&self) -> Option<SimTime>;
     /// Number of submitted-but-not-yet-completed commands.
     fn inflight(&self) -> usize;
+    /// Attach a telemetry handle; `ssd` stamps this device's events.
+    /// Devices without instrumentation ignore it (the default).
+    fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
+        let _ = (trace, ssd);
+    }
 }
 
 enum Ev {
@@ -158,6 +164,9 @@ pub struct FlashSsd {
     faults: Option<FaultState>,
     stats: SsdStats,
     rng: SimRng,
+    trace: TraceHandle,
+    /// SSD id stamped on telemetry events (set by [`StorageDevice::attach_trace`]).
+    trace_ssd: SsdId,
 }
 
 impl FlashSsd {
@@ -185,6 +194,8 @@ impl FlashSsd {
             faults: None,
             stats: SsdStats::default(),
             rng: SimRng::with_stream(seed, 0x55d),
+            trace: TraceHandle::disabled(),
+            trace_ssd: SsdId(0),
             cfg,
         }
     }
@@ -250,6 +261,14 @@ impl FlashSsd {
         match f.spec.stall_release(now) {
             Some(end) => {
                 self.stats.stalled_cmds += 1;
+                self.trace.record(
+                    now,
+                    self.trace_ssd,
+                    None,
+                    EventKind::SsdStall {
+                        release_ns: end.as_nanos(),
+                    },
+                );
                 end
             }
             None => now,
@@ -618,6 +637,8 @@ impl FlashSsd {
         // is queued behind these chunks on the same background lane.
         self.ftl.erase(victim);
         self.ftl.note_collection();
+        self.trace
+            .record(now, self.trace_ssd, None, EventKind::SsdGc { die });
         true
     }
 
@@ -691,6 +712,11 @@ impl StorageDevice for FlashSsd {
 
     fn inflight(&self) -> usize {
         self.inflight
+    }
+
+    fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
+        self.trace = trace;
+        self.trace_ssd = ssd;
     }
 }
 

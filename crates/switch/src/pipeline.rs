@@ -129,6 +129,13 @@ impl<D: StorageDevice> Pipeline<D> {
         self.policy.as_ref()
     }
 
+    /// Attach a telemetry handle to the policy and the device; events are
+    /// stamped with this pipeline's SSD id.
+    pub fn attach_trace(&mut self, trace: gimbal_telemetry::TraceHandle) {
+        self.policy.attach_trace(trace.clone(), self.ssd);
+        self.device.attach_trace(trace, self.ssd);
+    }
+
     /// The core this pipeline runs on.
     pub fn core(&self) -> Rc<RefCell<Core>> {
         Rc::clone(&self.core)

@@ -1,7 +1,8 @@
 //! The target-side policy interface and the pass-through FIFO policy.
 
-use gimbal_fabric::{NvmeCmd, TenantId};
+use gimbal_fabric::{NvmeCmd, SsdId, TenantId};
 use gimbal_sim::{SimDuration, SimTime};
+use gimbal_telemetry::TraceHandle;
 use std::collections::VecDeque;
 
 /// A request as seen by a switch policy: the NVMe command plus the instant
@@ -75,6 +76,12 @@ pub trait SwitchPolicy {
     /// Downcast hook so experiments can sample policy-internal state
     /// (e.g. Gimbal's dynamic threshold trace for Fig 18).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Attach a telemetry handle; `ssd` stamps this pipeline's events.
+    /// Policies without instrumentation ignore it (the default).
+    fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
+        let _ = (trace, ssd);
+    }
 }
 
 /// Pass-through FIFO: submit every request immediately in arrival order,

@@ -1,0 +1,538 @@
+//! The typed event taxonomy.
+//!
+//! Every variant corresponds to one observable decision of a control loop.
+//! Events are `Copy`, carry only plain numbers and interned labels, and fold
+//! into a [`Digest`] field by field so a trace has a deterministic fingerprint.
+
+use gimbal_fabric::{IoType, SsdId, TenantId};
+use gimbal_sim::{Digest, SimTime};
+
+/// The subsystem an event originates from. Used for filtering and as the
+/// interned category label in exports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Per-IO congestion state machine (§3.2, Alg. 1).
+    Congestion,
+    /// Rate limiter and dual token bucket (§3.3).
+    Rate,
+    /// ADMI write-cost estimator (§3.4).
+    WriteCost,
+    /// DRR virtual-slot scheduler (§3.5).
+    Scheduler,
+    /// Credit-based flow control (§3.6).
+    Credit,
+    /// Flash device internals (GC, stalls).
+    Ssd,
+    /// Fabric-level failure handling (loss, retries, timeouts).
+    Fabric,
+}
+
+impl Component {
+    /// Every component, in a fixed order (counter registration, exports).
+    pub const ALL: [Component; 7] = [
+        Component::Congestion,
+        Component::Rate,
+        Component::WriteCost,
+        Component::Scheduler,
+        Component::Credit,
+        Component::Ssd,
+        Component::Fabric,
+    ];
+
+    /// Interned label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Component::Congestion => "congestion",
+            Component::Rate => "rate",
+            Component::WriteCost => "write_cost",
+            Component::Scheduler => "scheduler",
+            Component::Credit => "credit",
+            Component::Ssd => "ssd",
+            Component::Fabric => "fabric",
+        }
+    }
+}
+
+impl std::fmt::Display for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Mirror of the Alg. 1 congestion states.
+///
+/// Kept telemetry-local so `gimbal-telemetry` depends only on the simulation
+/// substrate and the fabric types, not on `gimbal-core` (which depends on the
+/// crates this one instruments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CongState {
+    /// Latency below the floor threshold: probe aggressively.
+    Underutilized,
+    /// Additive increase band.
+    CongestionAvoidance,
+    /// Latency at or above the dynamic threshold: additive decrease.
+    Congested,
+    /// Latency at or above the ceiling: multiplicative back-off.
+    Overloaded,
+}
+
+impl CongState {
+    /// Position on the pressure ladder (0 = idle, 3 = overloaded); adjacency
+    /// checks compare ranks.
+    pub const fn rank(self) -> u8 {
+        match self {
+            CongState::Underutilized => 0,
+            CongState::CongestionAvoidance => 1,
+            CongState::Congested => 2,
+            CongState::Overloaded => 3,
+        }
+    }
+
+    /// Interned label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CongState::Underutilized => "underutilized",
+            CongState::CongestionAvoidance => "congestion_avoidance",
+            CongState::Congested => "congested",
+            CongState::Overloaded => "overloaded",
+        }
+    }
+
+    /// Whether `a → b` moves at most one rung on the pressure ladder.
+    pub fn adjacent(a: CongState, b: CongState) -> bool {
+        a.rank().abs_diff(b.rank()) <= 1
+    }
+}
+
+impl std::fmt::Display for CongState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which capsule a fabric fault consumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CapsuleKind {
+    /// Initiator → target command capsule.
+    Command,
+    /// Target → initiator completion capsule.
+    Completion,
+}
+
+impl CapsuleKind {
+    /// Interned label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CapsuleKind::Command => "command",
+            CapsuleKind::Completion => "completion",
+        }
+    }
+}
+
+/// Direction of a token-bucket overflow transfer (§3.3's spill between the
+/// read and write buckets when one side is idle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OverflowDirection {
+    /// Read bucket was full; surplus flowed to the write bucket.
+    ReadToWrite,
+    /// Write bucket was full; surplus flowed to the read bucket.
+    WriteToRead,
+}
+
+impl OverflowDirection {
+    /// Interned label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            OverflowDirection::ReadToWrite => "read_to_write",
+            OverflowDirection::WriteToRead => "write_to_read",
+        }
+    }
+}
+
+/// One observable control-loop decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventKind {
+    /// The per-IO congestion state machine changed state; snapshots of the
+    /// EWMA and the dynamic threshold before/after let conformance tests
+    /// re-derive the classification.
+    CongestionTransition {
+        /// Which monitor (read or write).
+        io: IoType,
+        /// State before this sample.
+        from: CongState,
+        /// State after this sample.
+        to: CongState,
+        /// EWMA latency after folding in this sample, in ns.
+        ewma_ns: f64,
+        /// Dynamic threshold before the update, in ns.
+        thresh_before_ns: f64,
+        /// Dynamic threshold after the update, in ns.
+        thresh_after_ns: f64,
+    },
+    /// The rate limiter adjusted the target rate on a completion.
+    RateUpdate {
+        /// The IO type of the completing command.
+        io: IoType,
+        /// Congestion state that drove the adjustment.
+        state: CongState,
+        /// Target rate before, bytes/second.
+        old_bps: f64,
+        /// Target rate after clamping, bytes/second.
+        new_bps: f64,
+    },
+    /// The dual token bucket was replenished from the target rate.
+    BucketRefill {
+        /// Read-bucket level after the refill, bytes.
+        read_tokens: f64,
+        /// Write-bucket level after the refill, bytes.
+        write_tokens: f64,
+    },
+    /// Surplus tokens spilled from a full bucket to its sibling.
+    OverflowTransfer {
+        /// Which way the surplus flowed.
+        direction: OverflowDirection,
+        /// Bytes transferred.
+        amount: f64,
+        /// Source-bucket level after the transfer, bytes — the overflow
+        /// invariant says this equals the bucket capacity (the source was
+        /// full, i.e. that side is idle).
+        src_tokens: f64,
+    },
+    /// The ADMI estimator stepped the write cost at a period boundary.
+    WriteCostStep {
+        /// Cost before the step.
+        old_cost: f64,
+        /// Cost after the step.
+        new_cost: f64,
+        /// Whether the write monitor was below the floor threshold (fast
+        /// additive recovery) or not (averaging back toward worst case).
+        below_min: bool,
+    },
+    /// The DRR scheduler opened a virtual slot for a tenant.
+    SlotOpened {
+        /// Slot index in the tenant's slot table.
+        slot: u32,
+    },
+    /// A virtual slot reached its byte budget and stopped accepting IOs.
+    SlotClosed {
+        /// Slot index.
+        slot: u32,
+        /// IOs submitted into the slot over its lifetime.
+        submits: u32,
+    },
+    /// Every IO in a closed slot completed; the slot returned to the pool
+    /// and refreshed the tenant's credit estimate.
+    SlotFreed {
+        /// Slot index.
+        slot: u32,
+        /// New smoothed IOs-per-slot estimate (feeds credit grants).
+        credit_ios: u32,
+    },
+    /// A tenant could not open a slot and left the active round-robin.
+    TenantDeferred {
+        /// IOs still queued for the tenant at deferral.
+        queued: u32,
+    },
+    /// A deferred tenant re-entered the active round-robin.
+    TenantResumed,
+    /// A completion carried a piggybacked credit grant to a tenant.
+    CreditGranted {
+        /// The granted outstanding-IO allowance.
+        credit: u32,
+    },
+    /// A client halved its credit allowance after a timeout.
+    CreditHalved {
+        /// Allowance before the halving.
+        before: u32,
+        /// Allowance after (floored at 1).
+        after: u32,
+    },
+    /// The flash device ran a garbage-collection cycle on a die.
+    SsdGc {
+        /// Die index.
+        die: u32,
+    },
+    /// A command hit an injected GC-storm window and stalls.
+    SsdStall {
+        /// Virtual-time instant (ns) at which the storm clears.
+        release_ns: u64,
+    },
+    /// The fault injector consumed a capsule in the fabric.
+    FaultInjected {
+        /// Which capsule was lost.
+        capsule: CapsuleKind,
+    },
+    /// An initiator timer fired and the command was retransmitted.
+    RetryScheduled {
+        /// Raw command id.
+        cmd: u64,
+        /// Retransmission attempt number (1 = first retry).
+        attempt: u32,
+        /// Backoff timer armed for the new attempt, ns.
+        timeout_ns: u64,
+    },
+    /// A command exhausted its retry budget and errored out client-side.
+    TimedOut {
+        /// Raw command id.
+        cmd: u64,
+        /// Attempts consumed, including the original transmission.
+        attempts: u32,
+    },
+}
+
+impl EventKind {
+    /// The subsystem this event belongs to.
+    pub const fn component(&self) -> Component {
+        match self {
+            EventKind::CongestionTransition { .. } => Component::Congestion,
+            EventKind::RateUpdate { .. }
+            | EventKind::BucketRefill { .. }
+            | EventKind::OverflowTransfer { .. } => Component::Rate,
+            EventKind::WriteCostStep { .. } => Component::WriteCost,
+            EventKind::SlotOpened { .. }
+            | EventKind::SlotClosed { .. }
+            | EventKind::SlotFreed { .. }
+            | EventKind::TenantDeferred { .. }
+            | EventKind::TenantResumed => Component::Scheduler,
+            EventKind::CreditGranted { .. } | EventKind::CreditHalved { .. } => Component::Credit,
+            EventKind::SsdGc { .. } | EventKind::SsdStall { .. } => Component::Ssd,
+            EventKind::FaultInjected { .. }
+            | EventKind::RetryScheduled { .. }
+            | EventKind::TimedOut { .. } => Component::Fabric,
+        }
+    }
+
+    /// Interned event name (snake_case, stable across runs).
+    pub const fn name(&self) -> &'static str {
+        match self {
+            EventKind::CongestionTransition { .. } => "congestion_transition",
+            EventKind::RateUpdate { .. } => "rate_update",
+            EventKind::BucketRefill { .. } => "bucket_refill",
+            EventKind::OverflowTransfer { .. } => "overflow_transfer",
+            EventKind::WriteCostStep { .. } => "write_cost_step",
+            EventKind::SlotOpened { .. } => "slot_opened",
+            EventKind::SlotClosed { .. } => "slot_closed",
+            EventKind::SlotFreed { .. } => "slot_freed",
+            EventKind::TenantDeferred { .. } => "tenant_deferred",
+            EventKind::TenantResumed => "tenant_resumed",
+            EventKind::CreditGranted { .. } => "credit_granted",
+            EventKind::CreditHalved { .. } => "credit_halved",
+            EventKind::SsdGc { .. } => "ssd_gc",
+            EventKind::SsdStall { .. } => "ssd_stall",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::RetryScheduled { .. } => "retry_scheduled",
+            EventKind::TimedOut { .. } => "timed_out",
+        }
+    }
+
+    /// Fold every payload field into `d`, field order fixed.
+    pub fn fold_into(&self, d: &mut Digest) {
+        d.update(self.name().as_bytes());
+        match *self {
+            EventKind::CongestionTransition {
+                io,
+                from,
+                to,
+                ewma_ns,
+                thresh_before_ns,
+                thresh_after_ns,
+            } => {
+                d.update_u64(io.index() as u64);
+                d.update_u64(u64::from(from.rank()));
+                d.update_u64(u64::from(to.rank()));
+                d.update_f64(ewma_ns);
+                d.update_f64(thresh_before_ns);
+                d.update_f64(thresh_after_ns);
+            }
+            EventKind::RateUpdate {
+                io,
+                state,
+                old_bps,
+                new_bps,
+            } => {
+                d.update_u64(io.index() as u64);
+                d.update_u64(u64::from(state.rank()));
+                d.update_f64(old_bps);
+                d.update_f64(new_bps);
+            }
+            EventKind::BucketRefill {
+                read_tokens,
+                write_tokens,
+            } => {
+                d.update_f64(read_tokens);
+                d.update_f64(write_tokens);
+            }
+            EventKind::OverflowTransfer {
+                direction,
+                amount,
+                src_tokens,
+            } => {
+                d.update(direction.name().as_bytes());
+                d.update_f64(amount);
+                d.update_f64(src_tokens);
+            }
+            EventKind::WriteCostStep {
+                old_cost,
+                new_cost,
+                below_min,
+            } => {
+                d.update_f64(old_cost);
+                d.update_f64(new_cost);
+                d.update_u64(u64::from(below_min));
+            }
+            EventKind::SlotOpened { slot } => {
+                d.update_u64(u64::from(slot));
+            }
+            EventKind::SlotClosed { slot, submits } => {
+                d.update_u64(u64::from(slot));
+                d.update_u64(u64::from(submits));
+            }
+            EventKind::SlotFreed { slot, credit_ios } => {
+                d.update_u64(u64::from(slot));
+                d.update_u64(u64::from(credit_ios));
+            }
+            EventKind::TenantDeferred { queued } => {
+                d.update_u64(u64::from(queued));
+            }
+            EventKind::TenantResumed => {}
+            EventKind::CreditGranted { credit } => {
+                d.update_u64(u64::from(credit));
+            }
+            EventKind::CreditHalved { before, after } => {
+                d.update_u64(u64::from(before));
+                d.update_u64(u64::from(after));
+            }
+            EventKind::SsdGc { die } => {
+                d.update_u64(u64::from(die));
+            }
+            EventKind::SsdStall { release_ns } => {
+                d.update_u64(release_ns);
+            }
+            EventKind::FaultInjected { capsule } => {
+                d.update(capsule.name().as_bytes());
+            }
+            EventKind::RetryScheduled {
+                cmd,
+                attempt,
+                timeout_ns,
+            } => {
+                d.update_u64(cmd);
+                d.update_u64(u64::from(attempt));
+                d.update_u64(timeout_ns);
+            }
+            EventKind::TimedOut { cmd, attempts } => {
+                d.update_u64(cmd);
+                d.update_u64(u64::from(attempts));
+            }
+        }
+    }
+}
+
+/// One recorded event: a payload stamped with where and when.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number, global across the tracer.
+    pub seq: u64,
+    /// Virtual-time instant of the decision.
+    pub at: SimTime,
+    /// The SSD/pipeline the event belongs to.
+    pub ssd: SsdId,
+    /// The tenant involved, when the event is tenant-scoped.
+    pub tenant: Option<TenantId>,
+    /// The decision itself.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The component label (delegates to the kind).
+    pub const fn component(&self) -> Component {
+        self.kind.component()
+    }
+
+    /// The event name label (delegates to the kind).
+    pub const fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    /// Fold the full event — stamp and payload — into `d`.
+    pub fn fold_into(&self, d: &mut Digest) {
+        d.update_u64(self.seq);
+        d.update_u64(self.at.as_nanos());
+        d.update_u64(u64::from(self.ssd.index() as u32));
+        match self.tenant {
+            Some(t) => {
+                d.update_u64(1 + t.index() as u64);
+            }
+            None => {
+                d.update_u64(0);
+            }
+        }
+        self.kind.fold_into(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gimbal_fabric::IoType;
+
+    #[test]
+    fn ranks_order_the_pressure_ladder() {
+        assert!(CongState::Underutilized.rank() < CongState::CongestionAvoidance.rank());
+        assert!(CongState::CongestionAvoidance.rank() < CongState::Congested.rank());
+        assert!(CongState::Congested.rank() < CongState::Overloaded.rank());
+        assert!(CongState::adjacent(
+            CongState::Congested,
+            CongState::Overloaded
+        ));
+        assert!(CongState::adjacent(
+            CongState::Congested,
+            CongState::Congested
+        ));
+        assert!(!CongState::adjacent(
+            CongState::Underutilized,
+            CongState::Congested
+        ));
+    }
+
+    #[test]
+    fn every_component_has_a_distinct_label() {
+        let mut names: Vec<&str> = Component::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Component::ALL.len());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_field_sensitive() {
+        let ev = Event {
+            seq: 3,
+            at: SimTime::from_micros(10),
+            ssd: SsdId(1),
+            tenant: Some(TenantId(2)),
+            kind: EventKind::RateUpdate {
+                io: IoType::Read,
+                state: CongState::Congested,
+                old_bps: 2.0e9,
+                new_bps: 1.9e9,
+            },
+        };
+        let fold = |e: &Event| {
+            let mut d = Digest::new();
+            e.fold_into(&mut d);
+            d.value()
+        };
+        assert_eq!(fold(&ev), fold(&ev), "same event, same digest");
+        let mut tweaked = ev;
+        tweaked.kind = EventKind::RateUpdate {
+            io: IoType::Read,
+            state: CongState::Congested,
+            old_bps: 2.0e9,
+            new_bps: 1.8e9,
+        };
+        assert_ne!(fold(&ev), fold(&tweaked), "payload change must show");
+        let mut anon = ev;
+        anon.tenant = None;
+        assert_ne!(fold(&ev), fold(&anon), "tenant stamp must show");
+    }
+}

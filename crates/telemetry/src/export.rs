@@ -1,0 +1,411 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and JSONL.
+//!
+//! This is the one place in the crate allowed to format and allocate —
+//! exporters run after the simulation, never on the record path. Both
+//! formats are hand-rolled (the workspace is dependency-free): a small
+//! escaping writer plus per-kind argument serializers.
+//!
+//! Chrome mapping: `pid` is the SSD, `tid` is the tenant (0 = no tenant,
+//! otherwise tenant index + 1), `ts` is virtual time in microseconds.
+//! Token levels and the target rate export as counter events (`ph: "C"`),
+//! which Perfetto renders as counter tracks; everything else is a
+//! thread-scoped instant (`ph: "i"`).
+
+use std::io;
+use std::path::Path;
+
+use crate::event::{Event, EventKind};
+use crate::tracer::RecordedTrace;
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str("\\u0000"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    push_escaped(out, key);
+    out.push_str("\":\"");
+    push_escaped(out, value);
+    out.push('"');
+}
+
+fn push_f64_field(out: &mut String, key: &str, value: f64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    push_escaped(out, key);
+    out.push_str("\":");
+    if value.is_finite() {
+        let mut buf = String::new();
+        std::fmt::Write::write_fmt(&mut buf, format_args!("{value}")).expect("fmt to String");
+        // `{}` on an integral f64 prints no decimal point; that is still a
+        // valid JSON number, so emit it as-is.
+        out.push_str(&buf);
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    push_escaped(out, key);
+    out.push_str("\":");
+    let mut buf = String::new();
+    std::fmt::Write::write_fmt(&mut buf, format_args!("{value}")).expect("fmt to String");
+    out.push_str(&buf);
+}
+
+fn push_bool_field(out: &mut String, key: &str, value: bool, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('"');
+    push_escaped(out, key);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+/// Serialize the payload fields of `kind` as JSON object members into `out`.
+fn push_args(out: &mut String, kind: &EventKind, first: &mut bool) {
+    match *kind {
+        EventKind::CongestionTransition {
+            io,
+            from,
+            to,
+            ewma_ns,
+            thresh_before_ns,
+            thresh_after_ns,
+        } => {
+            push_str_field(
+                out,
+                "io",
+                if io.is_read() { "read" } else { "write" },
+                first,
+            );
+            push_str_field(out, "from", from.name(), first);
+            push_str_field(out, "to", to.name(), first);
+            push_f64_field(out, "ewma_ns", ewma_ns, first);
+            push_f64_field(out, "thresh_before_ns", thresh_before_ns, first);
+            push_f64_field(out, "thresh_after_ns", thresh_after_ns, first);
+        }
+        EventKind::RateUpdate {
+            io,
+            state,
+            old_bps,
+            new_bps,
+        } => {
+            push_str_field(
+                out,
+                "io",
+                if io.is_read() { "read" } else { "write" },
+                first,
+            );
+            push_str_field(out, "state", state.name(), first);
+            push_f64_field(out, "old_bps", old_bps, first);
+            push_f64_field(out, "bps", new_bps, first);
+        }
+        EventKind::BucketRefill {
+            read_tokens,
+            write_tokens,
+        } => {
+            push_f64_field(out, "read", read_tokens, first);
+            push_f64_field(out, "write", write_tokens, first);
+        }
+        EventKind::OverflowTransfer {
+            direction,
+            amount,
+            src_tokens,
+        } => {
+            push_str_field(out, "direction", direction.name(), first);
+            push_f64_field(out, "amount", amount, first);
+            push_f64_field(out, "src_tokens", src_tokens, first);
+        }
+        EventKind::WriteCostStep {
+            old_cost,
+            new_cost,
+            below_min,
+        } => {
+            push_f64_field(out, "old_cost", old_cost, first);
+            push_f64_field(out, "new_cost", new_cost, first);
+            push_bool_field(out, "below_min", below_min, first);
+        }
+        EventKind::SlotOpened { slot } => {
+            push_u64_field(out, "slot", u64::from(slot), first);
+        }
+        EventKind::SlotClosed { slot, submits } => {
+            push_u64_field(out, "slot", u64::from(slot), first);
+            push_u64_field(out, "submits", u64::from(submits), first);
+        }
+        EventKind::SlotFreed { slot, credit_ios } => {
+            push_u64_field(out, "slot", u64::from(slot), first);
+            push_u64_field(out, "credit_ios", u64::from(credit_ios), first);
+        }
+        EventKind::TenantDeferred { queued } => {
+            push_u64_field(out, "queued", u64::from(queued), first);
+        }
+        EventKind::TenantResumed => {}
+        EventKind::CreditGranted { credit } => {
+            push_u64_field(out, "credit", u64::from(credit), first);
+        }
+        EventKind::CreditHalved { before, after } => {
+            push_u64_field(out, "before", u64::from(before), first);
+            push_u64_field(out, "after", u64::from(after), first);
+        }
+        EventKind::SsdGc { die } => {
+            push_u64_field(out, "die", u64::from(die), first);
+        }
+        EventKind::SsdStall { release_ns } => {
+            push_u64_field(out, "release_ns", release_ns, first);
+        }
+        EventKind::FaultInjected { capsule } => {
+            push_str_field(out, "capsule", capsule.name(), first);
+        }
+        EventKind::RetryScheduled {
+            cmd,
+            attempt,
+            timeout_ns,
+        } => {
+            push_u64_field(out, "cmd", cmd, first);
+            push_u64_field(out, "attempt", u64::from(attempt), first);
+            push_u64_field(out, "timeout_ns", timeout_ns, first);
+        }
+        EventKind::TimedOut { cmd, attempts } => {
+            push_u64_field(out, "cmd", cmd, first);
+            push_u64_field(out, "attempts", u64::from(attempts), first);
+        }
+    }
+}
+
+fn chrome_tid(e: &Event) -> u64 {
+    match e.tenant {
+        Some(t) => 1 + t.index() as u64,
+        None => 0,
+    }
+}
+
+/// Counter events carry a stable counter-track name; instants keep the
+/// event name.
+fn chrome_entry_name(e: &Event) -> &'static str {
+    match e.kind {
+        EventKind::RateUpdate { .. } => "target_rate",
+        EventKind::BucketRefill { .. } => "tokens",
+        _ => e.name(),
+    }
+}
+
+fn is_counter(e: &Event) -> bool {
+    matches!(
+        e.kind,
+        EventKind::RateUpdate { .. } | EventKind::BucketRefill { .. }
+    )
+}
+
+/// Render the trace as a Chrome trace-event JSON document: one metadata
+/// entry per SSD, then exactly one entry per retained event, in stream
+/// order. Load the result in Perfetto (ui.perfetto.dev) or
+/// `chrome://tracing`.
+pub fn chrome_trace(trace: &RecordedTrace) -> String {
+    let mut out = String::with_capacity(128 * trace.events.len() + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut wrote_any = false;
+
+    // One process_name metadata entry per SSD, in order of first appearance.
+    let mut seen: Vec<u32> = Vec::new();
+    for e in &trace.events {
+        let ssd = e.ssd.index() as u32;
+        if !seen.contains(&ssd) {
+            seen.push(ssd);
+            if wrote_any {
+                out.push(',');
+            }
+            wrote_any = true;
+            out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+            let mut buf = String::new();
+            std::fmt::Write::write_fmt(&mut buf, format_args!("{ssd}")).expect("fmt to String");
+            out.push_str(&buf);
+            out.push_str(",\"tid\":0,\"args\":{\"name\":\"ssd");
+            out.push_str(&buf);
+            out.push_str("\"}}");
+        }
+    }
+
+    for e in &trace.events {
+        if wrote_any {
+            out.push(',');
+        }
+        wrote_any = true;
+        out.push('{');
+        let mut first = true;
+        push_str_field(&mut out, "name", chrome_entry_name(e), &mut first);
+        push_str_field(&mut out, "cat", e.component().name(), &mut first);
+        if is_counter(e) {
+            push_str_field(&mut out, "ph", "C", &mut first);
+        } else {
+            push_str_field(&mut out, "ph", "i", &mut first);
+            push_str_field(&mut out, "s", "t", &mut first);
+        }
+        push_f64_field(&mut out, "ts", e.at.as_nanos() as f64 / 1000.0, &mut first);
+        push_u64_field(&mut out, "pid", e.ssd.index() as u64, &mut first);
+        push_u64_field(&mut out, "tid", chrome_tid(e), &mut first);
+        out.push_str(",\"args\":{");
+        let mut afirst = true;
+        push_u64_field(&mut out, "seq", e.seq, &mut afirst);
+        push_args(&mut out, &e.kind, &mut afirst);
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render the trace as JSONL: one self-describing object per event, in
+/// stream order, followed by one object per metric. Friendly to `grep` and
+/// `jq`-style tooling.
+pub fn jsonl(trace: &RecordedTrace) -> String {
+    let mut out = String::with_capacity(160 * trace.events.len() + 256);
+    for e in &trace.events {
+        out.push('{');
+        let mut first = true;
+        push_u64_field(&mut out, "seq", e.seq, &mut first);
+        push_u64_field(&mut out, "ns", e.at.as_nanos(), &mut first);
+        push_u64_field(&mut out, "ssd", e.ssd.index() as u64, &mut first);
+        match e.tenant {
+            Some(t) => push_u64_field(&mut out, "tenant", t.index() as u64, &mut first),
+            None => {
+                out.push_str(",\"tenant\":null");
+            }
+        }
+        push_str_field(&mut out, "component", e.component().name(), &mut first);
+        push_str_field(&mut out, "kind", e.name(), &mut first);
+        push_args(&mut out, &e.kind, &mut first);
+        out.push_str("}\n");
+    }
+    for (name, v) in trace.metrics.counters() {
+        out.push('{');
+        let mut first = true;
+        push_str_field(&mut out, "metric", "counter", &mut first);
+        push_str_field(&mut out, "name", name, &mut first);
+        push_u64_field(&mut out, "value", v, &mut first);
+        out.push_str("}\n");
+    }
+    for (name, v) in trace.metrics.gauges() {
+        out.push('{');
+        let mut first = true;
+        push_str_field(&mut out, "metric", "gauge", &mut first);
+        push_str_field(&mut out, "name", name, &mut first);
+        push_f64_field(&mut out, "value", v, &mut first);
+        out.push_str("}\n");
+    }
+    for (name, tenant, h) in trace.metrics.tenant_histograms() {
+        let s = h.summary();
+        out.push('{');
+        let mut first = true;
+        push_str_field(&mut out, "metric", "histogram", &mut first);
+        push_str_field(&mut out, "name", name, &mut first);
+        push_u64_field(&mut out, "tenant", u64::from(tenant), &mut first);
+        push_u64_field(&mut out, "count", s.count, &mut first);
+        push_f64_field(&mut out, "mean_ns", s.mean_ns, &mut first);
+        push_u64_field(&mut out, "p50_ns", s.p50_ns, &mut first);
+        push_u64_field(&mut out, "p99_ns", s.p99_ns, &mut first);
+        push_u64_field(&mut out, "p999_ns", s.p999_ns, &mut first);
+        push_u64_field(&mut out, "max_ns", s.max_ns, &mut first);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Write the Chrome trace JSON to `path`.
+pub fn write_chrome_trace<P: AsRef<Path>>(path: P, trace: &RecordedTrace) -> io::Result<()> {
+    std::fs::write(path, chrome_trace(trace))
+}
+
+/// Write the JSONL rendering to `path`.
+pub fn write_jsonl<P: AsRef<Path>>(path: P, trace: &RecordedTrace) -> io::Result<()> {
+    std::fs::write(path, jsonl(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CongState, EventKind};
+    use crate::tracer::{TraceConfig, Tracer};
+    use gimbal_fabric::{IoType, SsdId, TenantId};
+    use gimbal_sim::SimTime;
+
+    fn sample() -> RecordedTrace {
+        let mut tr = Tracer::new(TraceConfig::default());
+        tr.record(
+            SimTime::from_micros(5),
+            SsdId(0),
+            None,
+            EventKind::RateUpdate {
+                io: IoType::Read,
+                state: CongState::Congested,
+                old_bps: 2.0e9,
+                new_bps: 1.9e9,
+            },
+        );
+        tr.record(
+            SimTime::from_micros(7),
+            SsdId(1),
+            Some(TenantId(2)),
+            EventKind::SlotOpened { slot: 3 },
+        );
+        tr.metrics_mut().observe("lat", TenantId(2), 80_000);
+        tr.metrics_mut().set_gauge("port_tx_bytes", 1.0e9);
+        tr.finish()
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let s = chrome_trace(&sample());
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.ends_with("]}"));
+        assert!(s.contains("\"name\":\"target_rate\""), "counter track: {s}");
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("\"name\":\"slot_opened\""));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"args\":{\"name\":\"ssd0\"}"), "metadata: {s}");
+        assert!(s.contains("\"tid\":3"), "tenant 2 maps to tid 3");
+        // ts is virtual µs.
+        assert!(s.contains("\"ts\":5"));
+        let opens = s.matches('{').count();
+        let closes = s.matches('}').count();
+        assert_eq!(opens, closes, "balanced braces");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_metrics_tail() {
+        let s = jsonl(&sample());
+        let lines: Vec<&str> = s.lines().collect();
+        // 2 events + 7 component counters + 1 gauge + 1 histogram.
+        assert_eq!(lines.len(), 2 + 7 + 1 + 1, "{s}");
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "line: {l}");
+        }
+        assert!(lines[0].contains("\"kind\":\"rate_update\""));
+        assert!(lines[1].contains("\"tenant\":2"));
+        assert!(s.contains("\"metric\":\"histogram\""));
+        assert!(s.contains("\"metric\":\"gauge\""));
+    }
+}

@@ -5,6 +5,7 @@ use gimbal_core::Params;
 use gimbal_fabric::{FabricConfig, Priority, RetryConfig};
 use gimbal_sim::{FaultPlan, SimDuration, SimTime};
 use gimbal_ssd::SsdConfig;
+use gimbal_telemetry::TraceConfig;
 use gimbal_workload::FioSpec;
 
 /// Fault injection for a run: the plan of what goes wrong, and the
@@ -127,6 +128,10 @@ pub struct TestbedConfig {
     /// fault-free and consumes no fault randomness: such a run is
     /// bit-identical to one on a build without fault support.
     pub faults: Option<FaultConfig>,
+    /// Structured telemetry recording. `None` (the default) keeps every
+    /// record site behind a disabled handle: no events, no allocations, and
+    /// run digests bit-identical to a build without telemetry.
+    pub trace: Option<TraceConfig>,
 }
 
 impl Default for TestbedConfig {
@@ -150,6 +155,7 @@ impl Default for TestbedConfig {
             seed: 42,
             record_submissions: false,
             faults: None,
+            trace: None,
         }
     }
 }
@@ -164,6 +170,9 @@ impl TestbedConfig {
         self.gimbal_params.validate();
         if let Some(f) = &self.faults {
             f.validate();
+        }
+        if let Some(t) = &self.trace {
+            t.validate();
         }
     }
 }

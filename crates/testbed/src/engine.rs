@@ -16,6 +16,7 @@ use gimbal_sim::{
 };
 use gimbal_ssd::FlashSsd;
 use gimbal_switch::{ClientPolicy, Pipeline, PipelineConfig};
+use gimbal_telemetry::{CapsuleKind, EventKind, TraceHandle, Tracer};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -152,6 +153,12 @@ struct Engine {
     /// Always-on command accounting; all zeros except `submitted` /
     /// `completed_ok` / `in_flight_at_end` when faults are off.
     counters: FaultCounters,
+    /// The event recorder backing every [`TraceHandle`] in the run
+    /// (`None` = tracing off; handles stay disabled and record nothing).
+    tracer: Option<Rc<RefCell<Tracer>>>,
+    /// The engine's own handle for fabric-path events (fault injections,
+    /// retransmissions, timeouts, credit flow).
+    trace: TraceHandle,
 }
 
 impl Engine {
@@ -166,7 +173,16 @@ impl Engine {
             .map(|_| Rc::new(RefCell::new(Core::new())))
             .collect();
 
-        let pipelines: Vec<Pipeline<FlashSsd>> = (0..cfg.num_ssds)
+        let (tracer, trace) = match &cfg.trace {
+            Some(tc) => {
+                let t = Rc::new(RefCell::new(Tracer::new(tc.clone())));
+                let h = TraceHandle::attached(&t);
+                (Some(t), h)
+            }
+            None => (None, TraceHandle::disabled()),
+        };
+
+        let mut pipelines: Vec<Pipeline<FlashSsd>> = (0..cfg.num_ssds)
             .map(|i| {
                 let mut ssd = FlashSsd::new(cfg.ssd.clone(), root_rng.next_u64());
                 match cfg.precondition {
@@ -191,6 +207,11 @@ impl Engine {
                 )
             })
             .collect();
+        if trace.is_enabled() {
+            for p in &mut pipelines {
+                p.attach_trace(trace.clone());
+            }
+        }
 
         let workers: Vec<Worker> = specs
             .into_iter()
@@ -248,6 +269,8 @@ impl Engine {
             submissions: Vec::new(),
             faults,
             counters: FaultCounters::default(),
+            tracer,
+            trace,
             cfg,
         }
     }
@@ -353,6 +376,14 @@ impl Engine {
                 if f.injector.drop_command(now) {
                     // Lost in the fabric: the timer retransmits.
                     self.counters.cmd_capsules_dropped += 1;
+                    self.trace.record(
+                        now,
+                        cmd.ssd,
+                        Some(cmd.tenant),
+                        EventKind::FaultInjected {
+                            capsule: CapsuleKind::Command,
+                        },
+                    );
                     continue;
                 }
             }
@@ -369,6 +400,14 @@ impl Engine {
         if let Some(f) = self.faults.as_mut() {
             if f.injector.drop_completion(at) {
                 self.counters.cpl_capsules_dropped += 1;
+                self.trace.record(
+                    at,
+                    cmd.ssd,
+                    Some(cmd.tenant),
+                    EventKind::FaultInjected {
+                        capsule: CapsuleKind::Completion,
+                    },
+                );
                 return;
             }
         }
@@ -387,6 +426,8 @@ impl Engine {
         for out in self.pipelines[ssd].take_outputs() {
             let lat_ns = out.device_latency.as_nanos();
             self.device_hist[ssd][out.cmd.opcode.index()].record(lat_ns);
+            self.trace
+                .observe("device_latency_ns", out.cmd.tenant, lat_ns);
             self.dev_lat_ewma[ssd][out.cmd.opcode.index()].update(lat_ns as f64 / 1e3);
             self.dev_meter[ssd].record(now, out.cmd.len_bytes());
             let cpl = NvmeCompletion {
@@ -545,6 +586,14 @@ impl Engine {
                         // carry the credit grant that re-syncs §3.6 flow
                         // control after losses.
                         w.client.on_completion(&cpl, now);
+                        if let Some(credit) = cpl.credit {
+                            self.trace.record(
+                                now,
+                                cpl.ssd,
+                                Some(cpl.tenant),
+                                EventKind::CreditGranted { credit },
+                            );
+                        }
                         if cpl.status.is_success() {
                             self.counters.completed_ok += 1;
                             w.meter.record(now, u64::from(cpl.len));
@@ -574,16 +623,35 @@ impl Engine {
                         Some(t) if t.attempt != attempt => continue, // superseded timer
                         Some(t) => (t.cmd, t.worker, t.ssd, t.attempt),
                     };
-                    if cur_attempt >= f.retry.max_retries {
+                    if f.retry.exhausted(cur_attempt) {
                         // Out of retries: the command errors out
                         // client-side. Its grant is presumed lost, so the
                         // client shrinks its window (re-synced by the next
                         // surviving completion).
                         f.tracked.remove(&cmd);
                         self.counters.timed_out += 1;
+                        self.trace.record(
+                            now,
+                            track_cmd.ssd,
+                            Some(track_cmd.tenant),
+                            EventKind::TimedOut {
+                                cmd,
+                                attempts: cur_attempt,
+                            },
+                        );
                         let w = &mut self.workers[worker];
                         w.outstanding -= 1;
+                        let before = w.client.allowance();
                         w.client.on_timeout(now);
+                        let after = w.client.allowance();
+                        if after != before {
+                            self.trace.record(
+                                now,
+                                track_cmd.ssd,
+                                Some(track_cmd.tenant),
+                                EventKind::CreditHalved { before, after },
+                            );
+                        }
                         self.try_issue(worker, now);
                         continue;
                     }
@@ -593,6 +661,16 @@ impl Engine {
                     }
                     self.counters.retries += 1;
                     let deadline = now + f.retry.timeout_for(next);
+                    self.trace.record(
+                        now,
+                        track_cmd.ssd,
+                        Some(track_cmd.tenant),
+                        EventKind::RetryScheduled {
+                            cmd,
+                            attempt: next,
+                            timeout_ns: deadline.since(now).as_nanos(),
+                        },
+                    );
                     self.queue
                         .push(deadline, Ev::Timeout { cmd, attempt: next });
                     // Retransmit through the worker's port; the target
@@ -607,6 +685,14 @@ impl Engine {
                     if let Some(f) = self.faults.as_mut() {
                         if f.injector.drop_command(now) {
                             self.counters.cmd_capsules_dropped += 1;
+                            self.trace.record(
+                                now,
+                                track_cmd.ssd,
+                                Some(track_cmd.tenant),
+                                EventKind::FaultInjected {
+                                    capsule: CapsuleKind::Command,
+                                },
+                            );
                             continue;
                         }
                     }
@@ -635,6 +721,25 @@ impl Engine {
             "command conservation violated: {:?}",
             self.counters
         );
+
+        // Export fabric-port utilization counters as whole-run gauges.
+        if self.trace.is_enabled() {
+            let (mut ib, mut im) = (0u64, 0u64);
+            for w in &self.workers {
+                ib += w.tx_port.bytes_sent();
+                im += w.tx_port.messages_sent();
+            }
+            let (mut tb, mut tm) = (0u64, 0u64);
+            for p in &self.target_ports {
+                tb += p.bytes_sent();
+                tm += p.messages_sent();
+            }
+            self.trace.set_gauge("initiator_bytes_sent", ib as f64);
+            self.trace.set_gauge("initiator_messages_sent", im as f64);
+            self.trace.set_gauge("target_bytes_sent", tb as f64);
+            self.trace.set_gauge("target_messages_sent", tm as f64);
+        }
+        let trace = self.tracer.take().map(|t| t.borrow_mut().finish());
 
         let windows: Vec<SimDuration> = (0..self.workers.len())
             .map(|i| self.measured_window(i))
@@ -667,6 +772,7 @@ impl Engine {
             device_series: self.device_series,
             submissions: self.submissions,
             faults: self.counters,
+            trace,
         }
     }
 }

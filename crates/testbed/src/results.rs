@@ -3,6 +3,7 @@
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{Digest, SimDuration, TimeSeries};
 use gimbal_ssd::SsdStats;
+use gimbal_telemetry::RecordedTrace;
 
 /// One NVMe command submission, recorded at creation time when
 /// [`crate::TestbedConfig::record_submissions`] is on. The sequence of these
@@ -172,6 +173,9 @@ pub struct RunResult {
     pub submissions: Vec<SubmissionRecord>,
     /// Fault-handling counters and the conservation audit inputs.
     pub faults: FaultCounters,
+    /// Recorded telemetry (`None` unless [`crate::TestbedConfig::trace`] was
+    /// set).
+    pub trace: Option<RecordedTrace>,
 }
 
 impl RunResult {
@@ -182,6 +186,12 @@ impl RunResult {
             r.fold_into(&mut d);
         }
         d.value()
+    }
+
+    /// Digest of the recorded telemetry stream, `None` when tracing was off.
+    /// Deterministic: two same-seed traced runs must agree bit for bit.
+    pub fn trace_digest(&self) -> Option<u64> {
+        self.trace.as_ref().map(RecordedTrace::digest)
     }
 
     /// Digest of the run's aggregate statistics: per-worker counters and

@@ -9,9 +9,15 @@
 //! ```sh
 //! cargo run --release --example noisy_neighbor
 //! ```
+//!
+//! The Gimbal run records structured telemetry and dumps it as
+//! `noisy_neighbor_gimbal.trace.json` — load it at ui.perfetto.dev to watch
+//! the congestion state machine, the target-rate counter, and the token
+//! buckets react to the neighbor (see EXPERIMENTS.md for the recipe).
 
 use gimbal_repro::fabric::Priority;
 use gimbal_repro::sim::SimDuration;
+use gimbal_repro::telemetry::{export, TraceConfig};
 use gimbal_repro::testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
 use gimbal_repro::workload::FioSpec;
 
@@ -48,9 +54,21 @@ fn main() {
             precondition: Precondition::Fragmented,
             duration: SimDuration::from_secs(2),
             warmup: SimDuration::from_millis(800),
+            // Trace the Gimbal run for the Perfetto dump below.
+            trace: (scheme == Scheme::Gimbal).then(TraceConfig::default),
             ..TestbedConfig::default()
         };
         let res = Testbed::new(cfg, vec![victim, neighbor]).run();
+        if let Some(trace) = &res.trace {
+            let path = "noisy_neighbor_gimbal.trace.json";
+            match export::write_chrome_trace(path, trace) {
+                Ok(()) => eprintln!(
+                    "[trace] {} events -> {path} (load at ui.perfetto.dev)",
+                    trace.events.len()
+                ),
+                Err(e) => eprintln!("[trace] write failed: {e}"),
+            }
+        }
         let v = &res.workers[0];
         let n = &res.workers[1];
         println!(

@@ -19,6 +19,9 @@ cargo test --workspace --offline -q
 echo "==> chaos suite (fault injection + conservation audit, release)"
 cargo test --release --offline --test chaos -q
 
+echo "==> trace conformance (telemetry invariants + Perfetto round-trip, release)"
+cargo test --release --offline --test trace_conformance -q
+
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint
 

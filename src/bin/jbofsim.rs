@@ -12,6 +12,7 @@
 //! disjoint LBA regions and, when `--ssds` > 1, round-robin across SSDs.
 
 use gimbal_repro::sim::{SimDuration, SimTime};
+use gimbal_repro::telemetry::{export, TraceConfig};
 use gimbal_repro::testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
 use gimbal_repro::workload::FioSpec;
 use std::process::exit;
@@ -21,10 +22,15 @@ fn usage() -> ! {
         "usage: jbofsim [--scheme vanilla|reflex|parda|flashfq|gimbal]\n\
          \x20              [--precondition clean|fragmented]\n\
          \x20              [--duration-ms N] [--warmup-ms N] [--ssds N] [--cores N]\n\
-         \x20              [--seed N] --workers SPEC[,SPEC…]\n\
+         \x20              [--seed N] [--trace-out FILE] [--trace-format chrome|jsonl]\n\
+         \x20              --workers SPEC[,SPEC…]\n\
          \n\
          SPEC = COUNTxSIZE-TYPE[-qdN][-rateM]   e.g. 8x4k-read, 4x128k-write-qd8,\n\
-         \x20      2x4k-mix70-rate50 (70% reads, 50 MB/s cap per worker)"
+         \x20      2x4k-mix70-rate50 (70% reads, 50 MB/s cap per worker)\n\
+         \n\
+         --trace-out enables structured telemetry and writes the trace to FILE:\n\
+         \x20      chrome (default) loads in Perfetto (ui.perfetto.dev), jsonl is\n\
+         \x20      one event per line for grep/jq"
     );
     exit(2);
 }
@@ -91,6 +97,8 @@ fn main() {
     let mut ssds = 1u32;
     let mut cores = 0u32; // 0 = one per SSD
     let mut seed = 42u64;
+    let mut trace_out: Option<String> = None;
+    let mut trace_chrome = true;
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -141,6 +149,21 @@ fn main() {
             }
             "--seed" => {
                 seed = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(need(i).clone());
+                i += 2;
+            }
+            "--trace-format" => {
+                trace_chrome = match need(i).as_str() {
+                    "chrome" => true,
+                    "jsonl" => false,
+                    other => {
+                        eprintln!("unknown trace format {other}");
+                        usage()
+                    }
+                };
                 i += 2;
             }
             "--workers" => {
@@ -197,6 +220,7 @@ fn main() {
         duration: SimDuration::from_millis(duration_ms),
         warmup: SimDuration::from_millis(warmup_ms.min(duration_ms.saturating_sub(1))),
         seed,
+        trace: trace_out.as_ref().map(|_| TraceConfig::default()),
         ..TestbedConfig::default()
     };
 
@@ -238,5 +262,26 @@ fn main() {
             s.write_amplification(),
             s.buffer_stalls
         );
+    }
+
+    if let Some(path) = trace_out {
+        let trace = res.trace.as_ref().expect("trace was enabled");
+        let write = if trace_chrome {
+            export::write_chrome_trace(&path, trace)
+        } else {
+            export::write_jsonl(&path, trace)
+        };
+        match write {
+            Ok(()) => eprintln!(
+                "trace: {} events ({} dropped) -> {path} [{}]",
+                trace.events.len(),
+                trace.dropped_oldest,
+                if trace_chrome { "chrome" } else { "jsonl" }
+            ),
+            Err(e) => {
+                eprintln!("trace: failed to write {path}: {e}");
+                exit(1);
+            }
+        }
     }
 }

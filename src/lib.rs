@@ -19,6 +19,8 @@
 //! * [`workload`] — fio-like streams and YCSB;
 //! * [`blobstore`] — the hierarchical blob allocator + replication layer;
 //! * [`lsm_kv`] — the RocksDB-analog LSM store;
+//! * [`telemetry`] — deterministic structured tracing, metrics, and
+//!   Perfetto/JSONL export;
 //! * [`testbed`] — end-to-end experiment orchestration.
 //!
 //! ## Quick start
@@ -53,5 +55,6 @@ pub use gimbal_nic as nic;
 pub use gimbal_sim as sim;
 pub use gimbal_ssd as ssd;
 pub use gimbal_switch as switch;
+pub use gimbal_telemetry as telemetry;
 pub use gimbal_testbed as testbed;
 pub use gimbal_workload as workload;

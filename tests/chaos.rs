@@ -19,6 +19,7 @@
 
 use gimbal_repro::fabric::RetryConfig;
 use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime, SsdFaultSpec};
+use gimbal_repro::telemetry::{CapsuleKind, EventKind, TraceConfig};
 use gimbal_repro::testbed::{
     FaultConfig, Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec,
 };
@@ -269,6 +270,87 @@ fn chaos_runs_are_deterministic_per_seed() {
             a.submission_digest(),
             c.submission_digest(),
             "{}: different seeds produced identical chaos traces",
+            scheme.name()
+        );
+    }
+}
+
+/// Telemetry satellite: the fault events in the trace reconcile *exactly*
+/// with the aggregate [`FaultCounters`] — every capsule drop, retransmission
+/// and timeout that bumps a counter also lands in the event stream, and
+/// nothing lands twice.
+#[test]
+fn fault_event_counts_reconcile_with_fault_counters() {
+    for scheme in SCHEMES {
+        let cfg = TestbedConfig {
+            scheme,
+            precondition: Precondition::Fragmented,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            seed: 17,
+            faults: Some(FaultConfig {
+                plan: combined(),
+                retry: RetryConfig::default(),
+            }),
+            trace: Some(TraceConfig { capacity: 1 << 21 }),
+            ..TestbedConfig::default()
+        };
+        let res = Testbed::new(cfg, mixed_workers(3, 3)).run();
+        let f = &res.faults;
+        let trace = res.trace.as_ref().expect("trace was enabled");
+        assert_eq!(
+            trace.dropped_oldest,
+            0,
+            "{}: ring too small for exact reconciliation",
+            scheme.name()
+        );
+        let view = trace.view();
+        let cmd_drops = view.count(|e| {
+            matches!(
+                e.kind,
+                EventKind::FaultInjected {
+                    capsule: CapsuleKind::Command
+                }
+            )
+        }) as u64;
+        let cpl_drops = view.count(|e| {
+            matches!(
+                e.kind,
+                EventKind::FaultInjected {
+                    capsule: CapsuleKind::Completion
+                }
+            )
+        }) as u64;
+        let retries = view.count(|e| matches!(e.kind, EventKind::RetryScheduled { .. })) as u64;
+        let timeouts = view.count(|e| matches!(e.kind, EventKind::TimedOut { .. })) as u64;
+        assert_eq!(
+            cmd_drops,
+            f.cmd_capsules_dropped,
+            "{}: command-drop events vs counter: {f:?}",
+            scheme.name()
+        );
+        assert_eq!(
+            cpl_drops,
+            f.cpl_capsules_dropped,
+            "{}: completion-drop events vs counter: {f:?}",
+            scheme.name()
+        );
+        assert_eq!(
+            retries,
+            f.retries,
+            "{}: retry events vs counter: {f:?}",
+            scheme.name()
+        );
+        assert_eq!(
+            timeouts,
+            f.timed_out,
+            "{}: timeout events vs counter: {f:?}",
+            scheme.name()
+        );
+        // The plan actually fired: the reconciliation above is not 0 == 0.
+        assert!(
+            cmd_drops > 0 && cpl_drops > 0 && retries > 0,
+            "{}: combined plan injected nothing: {f:?}",
             scheme.name()
         );
     }

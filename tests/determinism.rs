@@ -9,6 +9,7 @@
 //! per-process `HashMap` ordering leaked into tenant scheduling order.
 
 use gimbal_repro::sim::SimDuration;
+use gimbal_repro::telemetry::TraceConfig;
 use gimbal_repro::testbed::{Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec};
 use gimbal_repro::workload::FioSpec;
 
@@ -30,6 +31,10 @@ fn mixed_workers(readers: u32, writers: u32) -> Vec<WorkerSpec> {
 }
 
 fn run_once(scheme: Scheme, seed: u64) -> RunResult {
+    run_cfg(scheme, seed, None)
+}
+
+fn run_cfg(scheme: Scheme, seed: u64, trace: Option<TraceConfig>) -> RunResult {
     let cfg = TestbedConfig {
         scheme,
         precondition: Precondition::Fragmented,
@@ -37,6 +42,7 @@ fn run_once(scheme: Scheme, seed: u64) -> RunResult {
         warmup: SimDuration::from_millis(100),
         seed,
         record_submissions: true,
+        trace,
         ..TestbedConfig::default()
     };
     Testbed::new(cfg, mixed_workers(3, 3)).run()
@@ -75,6 +81,86 @@ fn same_seed_reproduces_trace_and_stats_for_every_engine() {
             a.stats_digest(),
             b.stats_digest(),
             "{}: stats digests diverged between identical runs",
+            scheme.name()
+        );
+    }
+}
+
+/// Telemetry satellite: with tracing *enabled*, the recorded event stream is
+/// itself deterministic — two runs at the same seed produce identical trace
+/// digests (sequence numbers, timestamps, payloads and all), for every
+/// engine. Different seeds must produce different traces.
+#[test]
+fn trace_digest_is_reproducible_per_seed_for_every_engine() {
+    let trace = Some(TraceConfig { capacity: 1 << 20 });
+    for scheme in [
+        Scheme::Gimbal,
+        Scheme::Reflex,
+        Scheme::Parda,
+        Scheme::FlashFq,
+    ] {
+        let a = run_cfg(scheme, 7, trace.clone());
+        let b = run_cfg(scheme, 7, trace.clone());
+        let ta = a.trace.as_ref().expect("trace enabled");
+        let tb = b.trace.as_ref().expect("trace enabled");
+        assert!(
+            !ta.events.is_empty(),
+            "{}: tracing enabled but no events recorded",
+            scheme.name()
+        );
+        assert_eq!(
+            ta.total_recorded,
+            tb.total_recorded,
+            "{}: event counts diverged",
+            scheme.name()
+        );
+        assert_eq!(
+            a.trace_digest(),
+            b.trace_digest(),
+            "{}: trace digests diverged between identical runs",
+            scheme.name()
+        );
+        let c = run_cfg(scheme, 8, trace.clone());
+        assert_ne!(
+            a.trace_digest(),
+            c.trace_digest(),
+            "{}: different seeds produced identical traces",
+            scheme.name()
+        );
+    }
+}
+
+/// Telemetry satellite, the other half of the bargain: *enabling* tracing
+/// must not perturb the simulation. A traced run and an untraced run at the
+/// same seed submit the same commands and compute the same stats — the
+/// recorder observes the schedule, it never participates in it.
+#[test]
+fn tracing_is_an_observer_not_a_participant() {
+    for scheme in [
+        Scheme::Gimbal,
+        Scheme::Reflex,
+        Scheme::Parda,
+        Scheme::FlashFq,
+    ] {
+        let plain = run_cfg(scheme, 7, None);
+        let traced = run_cfg(scheme, 7, Some(TraceConfig { capacity: 1 << 20 }));
+        assert!(plain.trace.is_none());
+        assert_eq!(
+            plain.submissions,
+            traced.submissions,
+            "{}: tracing changed the submission schedule",
+            scheme.name()
+        );
+        assert_eq!(
+            plain.submission_digest(),
+            traced.submission_digest(),
+            "{}: tracing changed the submission digest",
+            scheme.name()
+        );
+        assert_eq!(
+            plain.stats_digest(),
+            traced.stats_digest(),
+            "{}: tracing changed the stats digest",
             scheme.name()
         );
     }

@@ -118,21 +118,21 @@ fn drr_conserves_requests() {
                     enqueued += 1;
                 }
                 2 => {
-                    if let SchedPoll::Submit(r) = s.dequeue(3.0, |_| true) {
+                    if let SchedPoll::Submit(r) = s.dequeue(SimTime::ZERO, 3.0, |_| true) {
                         submitted.push(r.cmd.id);
                     }
                 }
                 _ => {
                     if let Some(id) = submitted.pop() {
-                        s.on_completion(id);
+                        s.on_completion(id, SimTime::ZERO);
                         completed += 1;
                     }
                 }
             }
         }
         // Drain: everything left must come out exactly once.
-        while let SchedPoll::Submit(r) = s.dequeue(3.0, |_| true) {
-            s.on_completion(r.cmd.id);
+        while let SchedPoll::Submit(r) = s.dequeue(SimTime::ZERO, 3.0, |_| true) {
+            s.on_completion(r.cmd.id, SimTime::ZERO);
             completed += 1;
             if submitted.len() + completed > enqueued {
                 break;
@@ -140,12 +140,12 @@ fn drr_conserves_requests() {
         }
         // Complete all in-flight.
         for id in submitted.drain(..) {
-            s.on_completion(id);
+            s.on_completion(id, SimTime::ZERO);
             completed += 1;
         }
         // Second drain after completions freed slots.
-        while let SchedPoll::Submit(r) = s.dequeue(3.0, |_| true) {
-            s.on_completion(r.cmd.id);
+        while let SchedPoll::Submit(r) = s.dequeue(SimTime::ZERO, 3.0, |_| true) {
+            s.on_completion(r.cmd.id, SimTime::ZERO);
             completed += 1;
         }
         assert_eq!(

@@ -1,0 +1,707 @@
+//! Trace conformance: the telemetry stream is not just reproducible, it is
+//! *semantically correct* — the events describe a run that obeys the
+//! algorithms of the paper.
+//!
+//! Invariants checked here, all from the exported event stream (never by
+//! poking at private fields):
+//!
+//! * **Algorithm 1 state machine** — congestion transitions form a
+//!   continuous per-(SSD, IO-type) chain, every threshold/EWMA snapshot
+//!   re-validates the branch that produced it, and a smooth latency ramp
+//!   only ever moves between adjacent states (plus the one documented
+//!   rank-2 jump, Overloaded → CongestionAvoidance on recovery: while
+//!   Overloaded the threshold is pinned at `Thresh_max`, so the Congested
+//!   band `[Thresh, Thresh_max)` is empty and recovery skips it).
+//! * **Rate monotonicity** — the target rate never increases on a
+//!   completion observed in the Congested state.
+//! * **Algorithm 4 overflow** — tokens move bucket-to-bucket only when the
+//!   source bucket sat at full capacity, i.e. its IO type was idle.
+//! * **Algorithm 3 credit halving** — every `CreditHalved` event records
+//!   `after == max(before / 2, 1)`.
+//! * **Exporter round-trip** — the Chrome trace-event JSON parses with an
+//!   in-test recursive-descent JSON parser and maps back onto the recorded
+//!   events one-to-one.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+use gimbal_repro::fabric::{IoType, RetryConfig, SsdId};
+use gimbal_repro::gimbal::{Params, RateController, WriteCostEstimator};
+use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime, SsdFaultSpec};
+use gimbal_repro::telemetry::export::chrome_trace;
+use gimbal_repro::telemetry::{
+    CongState, Event, EventKind, RecordedTrace, TraceConfig, TraceHandle, Tracer,
+};
+use gimbal_repro::testbed::{
+    FaultConfig, Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec,
+};
+use gimbal_repro::workload::FioSpec;
+
+const CAP: u64 = 512 * 1024 * 1024 / 4096;
+const EPS: f64 = 1e-6;
+
+fn ms(v: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(v)
+}
+
+fn mixed_workers(readers: u32, writers: u32) -> Vec<WorkerSpec> {
+    let n = readers + writers;
+    let per = CAP / u64::from(n);
+    (0..n)
+        .map(|i| {
+            let ratio = if i < readers { 1.0 } else { 0.0 };
+            let label = if i < readers { "read" } else { "write" };
+            WorkerSpec::new(
+                label,
+                FioSpec::paper_default(ratio, 4096, u64::from(i) * per, per),
+            )
+        })
+        .collect()
+}
+
+/// One traced Gimbal run shared by the testbed-level tests. The plan mixes
+/// capsule loss (fabric events, retries) with a 100 ms GC storm (SSD stall
+/// events; the storm outlasts the ~62 ms retry budget, so timeouts — and
+/// therefore credit halvings — are guaranteed).
+fn traced_run() -> &'static RunResult {
+    static RUN: OnceLock<RunResult> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let cfg = TestbedConfig {
+            scheme: Scheme::Gimbal,
+            precondition: Precondition::Fragmented,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            seed: 17,
+            faults: Some(FaultConfig {
+                plan: FaultPlan {
+                    cmd_loss_prob: 0.02,
+                    cpl_loss_prob: 0.02,
+                    burst_windows: vec![FaultWindow::new(ms(120), ms(130))],
+                    ssd: vec![SsdFaultSpec {
+                        stall_windows: vec![FaultWindow::new(ms(180), ms(280))],
+                        ..SsdFaultSpec::default()
+                    }],
+                },
+                retry: RetryConfig::default(),
+            }),
+            trace: Some(TraceConfig { capacity: 1 << 21 }),
+            ..TestbedConfig::default()
+        };
+        Testbed::new(cfg, mixed_workers(3, 3)).run()
+    })
+}
+
+fn run_trace() -> &'static RecordedTrace {
+    let trace = traced_run().trace.as_ref().expect("trace enabled");
+    assert_eq!(trace.dropped_oldest, 0, "ring too small for conformance");
+    trace
+}
+
+/// Re-validate one transition's snapshot against Algorithm 1's branch
+/// arithmetic. `from` is the previous state; the EWMA/threshold values were
+/// sampled inside the update that produced the transition.
+fn check_transition_snapshot(e: &Event, p: &Params) {
+    let tmin = p.thresh_min.as_nanos() as f64;
+    let tmax = p.thresh_max.as_nanos() as f64;
+    let EventKind::CongestionTransition {
+        to,
+        ewma_ns,
+        thresh_before_ns,
+        thresh_after_ns,
+        ..
+    } = e.kind
+    else {
+        panic!("not a transition: {e:?}");
+    };
+    assert!(
+        (tmin - EPS..=tmax + EPS).contains(&thresh_after_ns),
+        "threshold left [min, max]: {e:?}"
+    );
+    match to {
+        CongState::Overloaded => {
+            assert!(ewma_ns >= tmax - EPS, "overloaded below Thresh_max: {e:?}");
+            assert!(
+                (thresh_after_ns - tmax).abs() < EPS,
+                "overload must pin the threshold at Thresh_max: {e:?}"
+            );
+        }
+        CongState::Congested => {
+            assert!(
+                ewma_ns >= thresh_before_ns - EPS && ewma_ns < tmax + EPS,
+                "congested outside [Thresh, Thresh_max): {e:?}"
+            );
+            let expect = (thresh_before_ns + tmax) / 2.0;
+            assert!(
+                (thresh_after_ns - expect.max(tmin)).abs() < EPS,
+                "congestion must spring the threshold to the midpoint: {e:?}"
+            );
+        }
+        CongState::CongestionAvoidance => {
+            assert!(
+                ewma_ns >= tmin - EPS && ewma_ns < thresh_before_ns + EPS,
+                "CA outside [Thresh_min, Thresh): {e:?}"
+            );
+            let expect = (thresh_before_ns - p.alpha_t * (thresh_before_ns - ewma_ns)).max(tmin);
+            assert!(
+                (thresh_after_ns - expect).abs() < EPS,
+                "CA must decay the threshold toward the EWMA: {e:?}"
+            );
+        }
+        CongState::Underutilized => {
+            assert!(
+                ewma_ns < tmin + EPS,
+                "underutilized above Thresh_min: {e:?}"
+            );
+            let expect = (thresh_before_ns - p.alpha_t * (thresh_before_ns - ewma_ns)).max(tmin);
+            assert!(
+                (thresh_after_ns - expect).abs() < EPS,
+                "decay must also run while underutilized: {e:?}"
+            );
+        }
+    }
+}
+
+/// The per-(SSD, IO-type) congestion streams from the real testbed run are
+/// continuous (`prev.to == next.from`, starting from Underutilized) and
+/// every snapshot re-validates Algorithm 1's branch that produced it.
+#[test]
+fn congestion_streams_are_continuous_and_snapshots_conform() {
+    let trace = run_trace();
+    let p = Params::default();
+    let view = trace.view();
+    let transitions = view.named("congestion_transition");
+    assert!(!transitions.is_empty(), "no congestion activity recorded");
+    for ssd in 0..1u32 {
+        for io in [IoType::Read, IoType::Write] {
+            let stream = transitions.filter(|e| {
+                e.ssd == SsdId(ssd)
+                    && matches!(e.kind, EventKind::CongestionTransition { io: i, .. } if i == io)
+            });
+            if let Some(first) = stream.first() {
+                let EventKind::CongestionTransition { from, .. } = first.kind else {
+                    unreachable!()
+                };
+                assert_eq!(
+                    from,
+                    CongState::Underutilized,
+                    "controllers start Underutilized: {first:?}"
+                );
+            }
+            if let Some((a, b)) = stream.first_violation(|prev, next| {
+                let EventKind::CongestionTransition { to, .. } = prev.kind else {
+                    return false;
+                };
+                let EventKind::CongestionTransition { from, .. } = next.kind else {
+                    return false;
+                };
+                to == from
+            }) {
+                panic!("congestion stream tore between {a:?} and {b:?}");
+            }
+            for e in stream.iter() {
+                check_transition_snapshot(e, &p);
+            }
+        }
+    }
+}
+
+/// Drive a `RateController` directly with a smooth latency ramp (up through
+/// every band, then back down) and assert every transition is in the
+/// adjacency set of Algorithm 1: one rung at a time, plus the documented
+/// Overloaded → CongestionAvoidance recovery jump.
+#[test]
+fn smooth_latency_ramp_moves_between_adjacent_states_only() {
+    let tracer = Rc::new(RefCell::new(Tracer::new(TraceConfig::default())));
+    let mut c = RateController::new(Params::default());
+    c.attach_trace(TraceHandle::attached(&tracer), SsdId(0));
+    let mut t_us = 0u64;
+    let mut feed = |c: &mut RateController, lat_us: u64| {
+        t_us += 100;
+        c.on_completion(
+            SimTime::from_micros(t_us),
+            IoType::Read,
+            4096,
+            SimDuration::from_micros(lat_us),
+        );
+    };
+    // Up: 300 µs → 1800 µs in 5 µs steps (through CA, Congested, into
+    // Overloaded), then back down to 80 µs (recovery into Underutilized).
+    for lat in (300..=1800).step_by(5) {
+        feed(&mut c, lat);
+    }
+    for lat in (80..=1800).rev().step_by(5) {
+        feed(&mut c, lat);
+    }
+    let trace = tracer.borrow_mut().finish();
+    let view = trace.view();
+    let transitions = view.named("congestion_transition");
+    use CongState::{
+        Congested as C, CongestionAvoidance as Ca, Overloaded as O, Underutilized as U,
+    };
+    const ALLOWED: [(CongState, CongState); 6] =
+        [(U, Ca), (Ca, U), (Ca, C), (C, Ca), (C, O), (O, Ca)];
+    let mut seen = [false; 4];
+    for e in transitions.iter() {
+        let EventKind::CongestionTransition { from, to, .. } = e.kind else {
+            unreachable!()
+        };
+        seen[from.rank() as usize] = true;
+        seen[to.rank() as usize] = true;
+        assert!(
+            ALLOWED.contains(&(from, to)),
+            "non-adjacent transition under a smooth ramp: {e:?}"
+        );
+    }
+    assert_eq!(
+        seen, [true; 4],
+        "the ramp must visit all four congestion states"
+    );
+    // The same trace exercises rate monotonicity under congestion, with a
+    // guaranteed non-empty sample.
+    let congested_updates = view.filter(|e| {
+        matches!(
+            e.kind,
+            EventKind::RateUpdate {
+                state: CongState::Congested,
+                ..
+            }
+        )
+    });
+    assert!(!congested_updates.is_empty(), "ramp never got Congested");
+    for e in congested_updates.iter() {
+        let EventKind::RateUpdate {
+            old_bps, new_bps, ..
+        } = e.kind
+        else {
+            unreachable!()
+        };
+        assert!(
+            new_bps <= old_bps + EPS,
+            "rate increased while Congested: {e:?}"
+        );
+    }
+}
+
+/// In the full testbed run, no completion observed in the Congested state
+/// ever raises the target rate.
+#[test]
+fn rate_never_increases_while_congested() {
+    let view = run_trace().view();
+    for e in view.named("rate_update").iter() {
+        let EventKind::RateUpdate {
+            state,
+            old_bps,
+            new_bps,
+            ..
+        } = e.kind
+        else {
+            unreachable!()
+        };
+        if state == CongState::Congested {
+            assert!(
+                new_bps <= old_bps + EPS,
+                "rate increased while Congested: {e:?}"
+            );
+        }
+    }
+}
+
+/// Algorithm 4: a bucket only spills to its sibling when it filled to
+/// capacity — the recorded source-bucket level must sit at `bucket_bytes`,
+/// proving the donating IO type was idle.
+#[test]
+fn overflow_tokens_only_flow_when_the_source_bucket_is_full() {
+    let view = run_trace().view();
+    let transfers = view.named("overflow_transfer");
+    assert!(
+        !transfers.is_empty(),
+        "a 3r/3w mix must idle one bucket at some point"
+    );
+    let cap = Params::default().bucket_bytes as f64;
+    for e in transfers.iter() {
+        let EventKind::OverflowTransfer {
+            amount, src_tokens, ..
+        } = e.kind
+        else {
+            unreachable!()
+        };
+        assert!(amount > 0.0, "empty transfer recorded: {e:?}");
+        assert!(
+            (src_tokens - cap).abs() < EPS,
+            "overflow from a non-full bucket (src {src_tokens}, cap {cap}): {e:?}"
+        );
+    }
+}
+
+/// Algorithm 3: every credit halving in the trace shrank the window to
+/// exactly `max(before / 2, 1)`. The GC storm outlasts the retry budget, so
+/// timeouts (and halvings) are guaranteed to appear.
+#[test]
+fn credit_grants_halve_after_a_timeout() {
+    let res = traced_run();
+    let view = run_trace().view();
+    assert!(res.faults.timed_out > 0, "storm produced no timeouts");
+    let halvings = view.named("credit_halved");
+    assert!(!halvings.is_empty(), "timeouts recorded but no halvings");
+    for e in halvings.iter() {
+        let EventKind::CreditHalved { before, after } = e.kind else {
+            unreachable!()
+        };
+        assert_eq!(after, (before / 2).max(1), "halving must be exact: {e:?}");
+        assert!(e.tenant.is_some(), "halving must be tenant-attributed");
+    }
+    // Grants flow the other way on surviving completions.
+    assert!(
+        !view.named("credit_granted").is_empty(),
+        "no piggybacked credit grants recorded"
+    );
+}
+
+/// Every component of the event taxonomy shows up in the combined run, and
+/// the per-component metric counters agree exactly with the event stream
+/// (nothing was recorded without being counted, or vice versa).
+#[test]
+fn all_components_appear_and_reconcile_with_metric_counters() {
+    use gimbal_repro::telemetry::Component;
+    let trace = run_trace();
+    let view = trace.view();
+    for comp in Component::ALL {
+        let in_stream = view.component(comp).len() as u64;
+        assert!(in_stream > 0, "no {comp} events in a faulted Gimbal run");
+        assert_eq!(
+            trace.metrics.counter(comp.name()),
+            in_stream,
+            "metric counter diverged from the stream for {comp}"
+        );
+    }
+}
+
+/// Satellite: the `below_min` fast-recovery edge of the write-cost ADMI
+/// loop, observed purely through the public event stream. Buffered writes
+/// decay the cost by δ per period down to parity; the moment the write EWMA
+/// leaves the buffered band the cost converges to worst-case in midpoint
+/// jumps.
+#[test]
+fn write_cost_steps_expose_the_below_min_recovery_edge() {
+    let p = Params::default();
+    let tracer = Rc::new(RefCell::new(Tracer::new(TraceConfig::default())));
+    let handle = TraceHandle::attached(&tracer);
+    let mut rate = RateController::new(p);
+    let mut wc = WriteCostEstimator::new(&p);
+    rate.attach_trace(handle.clone(), SsdId(0));
+    wc.attach_trace(handle, SsdId(0));
+    let mut t_ms = 0u64;
+    let mut feed = |rate: &mut RateController, wc: &mut WriteCostEstimator, lat_us: u64| {
+        t_ms += 1;
+        let now = SimTime::from_millis(t_ms);
+        rate.on_completion(now, IoType::Write, 4096, SimDuration::from_micros(lat_us));
+        // The policy's wiring: the write monitor's below_min feeds the ADMI
+        // step (§3.4).
+        wc.on_write_completion(now, rate.monitor(IoType::Write).below_min());
+    };
+    // 20 periods of buffer-absorbed writes (60 µs), then 8 periods of
+    // buffer-exceeded writes (900 µs).
+    for _ in 0..200 {
+        feed(&mut rate, &mut wc, 60);
+    }
+    for _ in 0..80 {
+        feed(&mut rate, &mut wc, 900);
+    }
+    let trace = tracer.borrow_mut().finish();
+    let view = trace.view();
+    let steps = view.named("write_cost_step");
+    assert!(steps.len() >= 20, "one step per elapsed period");
+    let mut saw_floor = false;
+    let mut saw_recovery = false;
+    let mut last_cost = p.write_cost_worst;
+    for e in steps.iter() {
+        let EventKind::WriteCostStep {
+            old_cost,
+            new_cost,
+            below_min,
+        } = e.kind
+        else {
+            unreachable!()
+        };
+        assert!(
+            (old_cost - last_cost).abs() < EPS,
+            "cost stream tore: {e:?}"
+        );
+        let expect = if below_min {
+            (old_cost - p.delta).max(1.0)
+        } else {
+            (old_cost + p.write_cost_worst) / 2.0
+        };
+        assert!((new_cost - expect).abs() < EPS, "ADMI step wrong: {e:?}");
+        saw_floor |= below_min && (new_cost - 1.0).abs() < EPS;
+        saw_recovery |= !below_min;
+        last_cost = new_cost;
+    }
+    assert!(saw_floor, "buffered writes never reached cost parity (1.0)");
+    assert!(saw_recovery, "latency rise never flipped below_min off");
+    assert!(
+        last_cost > 8.0,
+        "recovery must converge near worst-case: {last_cost}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON round-trip, via a minimal in-test JSON parser.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(
+            self.bytes.get(self.pos),
+            Some(&b),
+            "expected {:?} at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        self.bytes[self.pos]
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Json {
+        self.skip_ws();
+        assert_eq!(
+            &self.bytes[self.pos..self.pos + word.len()],
+            word.as_bytes()
+        );
+        self.pos += word.len();
+        v
+    }
+
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            let b = self.bytes[self.pos];
+            self.pos += 1;
+            match b {
+                b'"' => return out,
+                b'\\' => {
+                    let esc = self.bytes[self.pos];
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .expect("utf8 escape");
+                            let code = u32::from_str_radix(hex, 16).expect("hex escape");
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => panic!("unknown escape \\{}", other as char),
+                    }
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        Json::Num(text.parse().unwrap_or_else(|_| panic!("bad number {text}")))
+    }
+
+    fn array(&mut self) -> Json {
+        self.eat(b'[');
+        let mut out = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(out);
+        }
+        loop {
+            out.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(out);
+                }
+                other => panic!("expected , or ] got {:?}", other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.eat(b'{');
+        let mut out = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(out);
+        }
+        loop {
+            let key = self.string();
+            self.eat(b':');
+            out.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(out);
+                }
+                other => panic!("expected , or }} got {:?}", other as char),
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Json {
+    let mut p = Parser::new(s);
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trailing garbage after JSON value");
+    v
+}
+
+/// The Chrome trace-event export parses as JSON and maps back onto the
+/// recorded events one-to-one: same order, same timestamps, same pid/tid
+/// attribution, sequence numbers intact.
+#[test]
+fn chrome_trace_round_trips_a_json_parse() {
+    // A small, fully deterministic trace: the smooth-ramp controller drive.
+    let tracer = Rc::new(RefCell::new(Tracer::new(TraceConfig::default())));
+    let mut c = RateController::new(Params::default());
+    c.attach_trace(TraceHandle::attached(&tracer), SsdId(3));
+    for (i, lat) in (300..=1800).step_by(25).enumerate() {
+        c.on_completion(
+            SimTime::from_micros(100 * (i as u64 + 1)),
+            IoType::Read,
+            4096,
+            SimDuration::from_micros(lat),
+        );
+        c.update_buckets(SimTime::from_micros(100 * (i as u64 + 1) + 50), 3.0);
+    }
+    let trace = tracer.borrow_mut().finish();
+    assert!(!trace.events.is_empty());
+
+    let doc = parse_json(&chrome_trace(&trace));
+    let entries = match doc.get("traceEvents") {
+        Some(Json::Arr(entries)) => entries,
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    let (meta, events): (Vec<&Json>, Vec<&Json>) = entries
+        .iter()
+        .partition(|e| e.get("ph").and_then(Json::as_str) == Some("M"));
+    assert_eq!(meta.len(), 1, "one process_name entry for the single SSD");
+    assert_eq!(
+        meta[0]
+            .get("args")
+            .and_then(|a| a.get("name"))
+            .and_then(Json::as_str),
+        Some("ssd3")
+    );
+    assert_eq!(events.len(), trace.events.len(), "one entry per event");
+    for (entry, recorded) in events.iter().zip(&trace.events) {
+        let ph = entry.get("ph").and_then(Json::as_str).expect("ph");
+        match recorded.kind {
+            EventKind::RateUpdate { .. } | EventKind::BucketRefill { .. } => {
+                assert_eq!(ph, "C", "counter events export as ph C: {entry:?}")
+            }
+            _ => assert_eq!(ph, "i", "instant events export as ph i: {entry:?}"),
+        }
+        assert_eq!(
+            entry.get("pid").and_then(Json::as_num),
+            Some(recorded.ssd.index() as f64),
+            "pid is the SSD"
+        );
+        let ts = entry.get("ts").and_then(Json::as_num).expect("ts");
+        let want_us = recorded.at.as_nanos() as f64 / 1000.0;
+        assert!((ts - want_us).abs() < EPS, "ts {ts} != {want_us}");
+        assert_eq!(
+            entry
+                .get("args")
+                .and_then(|a| a.get("seq"))
+                .and_then(Json::as_num),
+            Some(recorded.seq as f64),
+            "sequence number survives the round trip"
+        );
+        let cat = entry.get("cat").and_then(Json::as_str).expect("cat");
+        assert_eq!(cat, recorded.component().name());
+    }
+}
