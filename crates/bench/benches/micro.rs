@@ -10,6 +10,7 @@
 //! benchmark framework. Run with `cargo bench --bench micro`; pass a filter
 //! string to run a subset: `cargo bench --bench micro -- drr`.
 
+use gimbal_cache::{AdmissionPolicy, CacheConfig, SsdCache};
 use gimbal_core::{GimbalPolicy, LatencyMonitor, Params, VirtualSlotScheduler, WriteCostEstimator};
 use gimbal_fabric::{CmdId, IoType, NvmeCmd, Priority, SsdId, TenantId};
 use gimbal_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime, TokenBucket};
@@ -236,6 +237,65 @@ fn bench_telemetry(want: &dyn Fn(&str) -> bool) {
     }
 }
 
+fn bench_cache(want: &dyn Fn(&str) -> bool) {
+    let read_at = |id: u64, lba: u64| NvmeCmd {
+        id: CmdId(id),
+        tenant: TenantId(0),
+        ssd: SsdId(0),
+        opcode: IoType::Read,
+        lba,
+        len: 4096,
+        priority: Priority::NORMAL,
+        issued_at: SimTime::ZERO,
+    };
+    if want("cache/hit_path_lookup") {
+        // The latency a cache hit adds to the pipeline's submit path: one
+        // line-table probe plus the FIFO bookkeeping. Must be well under
+        // the ~µs per-IO envelope for the bypass to be worth anything.
+        let mut c = SsdCache::new(
+            SsdId(0),
+            CacheConfig {
+                policy: AdmissionPolicy::Always,
+                ..CacheConfig::for_mb(64)
+            },
+        );
+        let hot = 1024u64;
+        for i in 0..hot {
+            let cmd = read_at(i, i);
+            c.try_read_hit(&cmd, SimTime::ZERO);
+            c.on_read_completion(&cmd, SimDuration::from_micros(80), false, SimTime::ZERO);
+        }
+        let mut id = hot;
+        let mut lba = 0u64;
+        bench("cache/hit_path_lookup", 1_000_000, || {
+            lba = (lba + 1) % hot;
+            id += 1;
+            black_box(c.try_read_hit(&read_at(id, lba), SimTime::ZERO));
+        });
+    }
+    if want("cache/miss_fill_evict_cycle") {
+        // Steady-state thrash: every lookup misses, every fill evicts.
+        let mut c = SsdCache::new(
+            SsdId(0),
+            CacheConfig {
+                policy: AdmissionPolicy::Always,
+                capacity_bytes: 1 << 20,
+                ..CacheConfig::for_mb(64)
+            },
+        );
+        let mut id = 0u64;
+        let mut lba = 0u64;
+        bench("cache/miss_fill_evict_cycle", 500_000, || {
+            id += 1;
+            lba += 1;
+            let cmd = read_at(id, lba);
+            c.try_read_hit(&cmd, SimTime::ZERO);
+            c.on_read_completion(&cmd, SimDuration::from_micros(80), false, SimTime::ZERO);
+        });
+        black_box(c.stats().evictions);
+    }
+}
+
 fn bench_substrates(want: &dyn Fn(&str) -> bool) {
     if want("substrates/zipfian_draw") {
         let z = Zipfian::new(1_000_000, 0.99);
@@ -280,5 +340,6 @@ fn main() {
     bench_sim_primitives(&want);
     bench_gimbal_components(&want);
     bench_telemetry(&want);
+    bench_cache(&want);
     bench_substrates(&want);
 }

@@ -1,0 +1,7 @@
+//! Regenerates the NIC-DRAM cache-tier ablation at full scale.
+//! Pass `--quick` for the shortened variant the bench harness uses.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    gimbal_bench::figs::abl_cache::run(quick);
+}

@@ -2,6 +2,7 @@
 //! `run(quick: bool)`, printing the same rows/series the paper reports.
 
 pub mod abl_bucket_cost;
+pub mod abl_cache;
 pub mod abl_slots;
 pub mod abl_threshold;
 pub mod fig02_unloaded_latency;

@@ -36,6 +36,7 @@ fn null_kiops(cost: CpuCost, cores: u32, quick: bool) -> f64 {
     let cfg = PipelineConfig {
         cpu_cost: cost,
         null_device: true,
+        cache: None,
     };
     let mut pipes: Vec<Pipeline<NullDevice>> = (0..cores)
         .map(|i| {

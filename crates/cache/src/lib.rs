@@ -1,0 +1,1080 @@
+//! # gimbal-cache
+//!
+//! A deterministic, multi-tenant DRAM cache tier for the SmartNIC.
+//!
+//! Gimbal (§3) arbitrates *SSD* bandwidth among tenants but leaves the
+//! Stingray's on-NIC DRAM unused as a data tier. This crate adds a read
+//! cache with write staging that sits in the per-SSD switch pipeline ahead
+//! of the scheduling policy:
+//!
+//! * **Read hits** complete from NIC DRAM. The pipeline charges hit-path
+//!   CPU cycles and a small DRAM-copy latency; the SSD — and therefore
+//!   Alg. 1's latency/rate accounting — is bypassed entirely.
+//! * **Read misses** go to the device as before and *fill on completion*,
+//!   subject to an admission controller coupled to a congestion classifier
+//!   over observed device latency (NetCAS-style): admit aggressively while
+//!   `Congested`/`Overloaded` to shed SSD load, admit only re-referenced
+//!   (ghost-hit) lines in the avoidance band, and bypass entirely when the
+//!   device is clean so the hit path costs nothing.
+//! * **Writes** are write-through: covered lines are updated in place and
+//!   marked dirty until the device write completes; partially covered lines
+//!   are invalidated. A failed device write with staged lines surfaces a
+//!   typed [`StagedWriteLoss`] — never silent loss.
+//!
+//! Capacity is partitioned per tenant with cost-weighted shares mirroring
+//! the §3.5 DRR weights, so one tenant's working set cannot evict everyone
+//! else's. Eviction is a deterministic segmented FIFO (small probation
+//! segment + main segment with second chance) plus a per-tenant ghost queue
+//! remembering recently evicted line ids. All state lives in
+//! [`DetMap`]/[`DetSet`]/`VecDeque` — iteration order is insertion order,
+//! so a run is a pure function of the submitted command sequence and the
+//! cache folds into [`Digest`] for the double-run determinism checks.
+
+use std::collections::VecDeque;
+
+use gimbal_fabric::{NvmeCmd, Priority, SsdId, TenantId, BLOCK_SIZE};
+use gimbal_sim::collections::{DetMap, DetSet};
+use gimbal_sim::{Digest, SimDuration, SimTime};
+use gimbal_telemetry::{CongState, EventKind, TraceHandle};
+
+/// Miss-fill admission policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Fill every read miss (classic cache).
+    Always,
+    /// Couple admission to the congestion classifier: fill everything while
+    /// the device is `Congested`/`Overloaded`, fill only ghost-queue hits in
+    /// the avoidance band, bypass when `Underutilized`.
+    CongestionAware,
+    /// Never fill (the cache only stages writes); hits can still occur on
+    /// lines staged by writes of resident lines, i.e. effectively none.
+    Never,
+}
+
+impl AdmissionPolicy {
+    /// Interned label (CLI, exports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Always => "always",
+            AdmissionPolicy::CongestionAware => "congestion",
+            AdmissionPolicy::Never => "never",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "always" => Some(AdmissionPolicy::Always),
+            "congestion" | "congestion-aware" => Some(AdmissionPolicy::CongestionAware),
+            "never" | "bypass" => Some(AdmissionPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// Stable rank for digest folding.
+    const fn rank(self) -> u64 {
+        match self {
+            AdmissionPolicy::Always => 0,
+            AdmissionPolicy::CongestionAware => 1,
+            AdmissionPolicy::Never => 2,
+        }
+    }
+}
+
+/// Cache configuration, carried by `PipelineConfig`/`TestbedConfig`.
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Total NIC-DRAM capacity dedicated to this SSD's cache, in bytes.
+    /// Zero means the pipeline constructs no cache at all, which is
+    /// bit-identical to running without one.
+    pub capacity_bytes: u64,
+    /// Cache-line size in bytes; a positive multiple of [`BLOCK_SIZE`].
+    pub line_bytes: u32,
+    /// DRAM-copy latency charged on a hit before completion CPU cycles.
+    pub hit_latency: SimDuration,
+    /// Miss-fill admission policy.
+    pub policy: AdmissionPolicy,
+    /// Per-priority capacity weights, mirroring the §3.5 DRR weights:
+    /// index 0 = `Priority::HIGH`. A tenant's share of lines is
+    /// `weight / sum(weights of registered tenants)`.
+    pub priority_weights: [u32; Priority::LEVELS],
+    /// Target share of a tenant's partition held by the small (probation)
+    /// segment, in percent.
+    pub small_percent: u32,
+    /// Ghost-queue capacity as a percentage of the tenant's line budget.
+    pub ghost_percent: u32,
+    /// EWMA smoothing factor for the congestion classifier.
+    pub ewma_alpha: f64,
+    /// Classifier floor: EWMA device read latency below this is
+    /// `Underutilized`.
+    pub thresh_min: SimDuration,
+    /// Classifier ceiling: EWMA at or above this is `Overloaded`.
+    pub thresh_max: SimDuration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024 * 1024,
+            line_bytes: BLOCK_SIZE as u32,
+            hit_latency: SimDuration::from_micros(2),
+            policy: AdmissionPolicy::CongestionAware,
+            priority_weights: [4, 2, 1],
+            small_percent: 10,
+            ghost_percent: 100,
+            ewma_alpha: 0.125,
+            thresh_min: SimDuration::from_micros(250),
+            thresh_max: SimDuration::from_micros(1500),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A default-policy cache of `mb` mebibytes (CLI convenience).
+    pub fn for_mb(mb: u64) -> Self {
+        CacheConfig {
+            capacity_bytes: mb * 1024 * 1024,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Whether a pipeline should construct a cache at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Panic on a degenerate configuration.
+    pub fn validate(&self) {
+        assert!(
+            self.line_bytes > 0 && u64::from(self.line_bytes) % BLOCK_SIZE == 0,
+            "cache line must be a positive multiple of the 4 KiB block"
+        );
+        assert!(
+            self.hit_latency > SimDuration::ZERO,
+            "hit latency must be positive"
+        );
+        assert!(
+            (1..=90).contains(&self.small_percent),
+            "small segment share must be in 1..=90 percent"
+        );
+        assert!(
+            self.ghost_percent <= 400,
+            "ghost queue beyond 4x the partition is pointless"
+        );
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "EWMA alpha must be in (0, 1]"
+        );
+        assert!(
+            self.thresh_min < self.thresh_max,
+            "classifier floor must sit below the ceiling"
+        );
+    }
+
+    /// Total line slots this configuration provides.
+    pub fn capacity_lines(&self) -> u64 {
+        self.capacity_bytes / u64::from(self.line_bytes)
+    }
+}
+
+/// A failed device write that had lines staged in the cache: the staged
+/// copies were dropped and the initiator must treat the write as failed.
+/// Typed so chaos tests can assert that no staged data is lost silently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StagedWriteLoss {
+    /// Raw id of the failed write command.
+    pub cmd: u64,
+    /// Tenant that issued the write.
+    pub tenant: TenantId,
+    /// SSD whose device write failed.
+    pub ssd: SsdId,
+    /// Dirty lines invalidated.
+    pub lines_lost: u32,
+    /// Virtual-time instant of the failed completion.
+    pub at: SimTime,
+}
+
+impl StagedWriteLoss {
+    /// Fold into a digest, field order fixed.
+    pub fn fold_into(&self, d: &mut Digest) {
+        d.update_u64(self.cmd);
+        d.update_u64(self.tenant.index() as u64);
+        d.update_u64(self.ssd.index() as u64);
+        d.update_u64(u64::from(self.lines_lost));
+        d.update_u64(self.at.as_nanos());
+    }
+}
+
+/// Counters describing one SSD cache's activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served entirely from DRAM.
+    pub hits: u64,
+    /// Reads sent to the device (at least one line missing).
+    pub misses: u64,
+    /// Lines filled on miss completions.
+    pub fills: u64,
+    /// Lines evicted for capacity (small-segment and main-segment).
+    pub evictions: u64,
+    /// Lines invalidated by partially covering writes.
+    pub invalidations: u64,
+    /// Lines updated in place by fully covering writes (write staging).
+    pub staged: u64,
+    /// Dirty lines dropped because the device write failed.
+    pub staged_losses: u64,
+    /// Fills whose line id was found in the ghost queue.
+    pub ghost_hits: u64,
+    /// Miss completions not admitted by the policy.
+    pub bypassed: u64,
+    /// Congestion-classifier regime changes (admission law toggles).
+    pub admit_toggles: u64,
+    /// Lines resident at snapshot time.
+    pub resident_lines: u64,
+}
+
+impl CacheStats {
+    /// Total read lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of read lookups served from DRAM (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Fold every counter into `d`, field order fixed.
+    pub fn fold_into(&self, d: &mut Digest) {
+        for v in [
+            self.hits,
+            self.misses,
+            self.fills,
+            self.evictions,
+            self.invalidations,
+            self.staged,
+            self.staged_losses,
+            self.ghost_hits,
+            self.bypassed,
+            self.admit_toggles,
+            self.resident_lines,
+        ] {
+            d.update_u64(v);
+        }
+    }
+}
+
+/// Which FIFO segment a resident line belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Segment {
+    /// Probation: newly admitted lines; one touch promotes to main.
+    Small,
+    /// Protected: promoted or ghost-hit lines; evicted with second chance.
+    Main,
+}
+
+/// One resident cache line.
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tenant: TenantId,
+    seg: Segment,
+    /// Distinguishes this residency from stale FIFO entries left behind by
+    /// an earlier life of the same line id (queues are cleaned lazily).
+    incarnation: u64,
+    accessed: bool,
+    /// Staged by a write whose device copy has not completed yet.
+    dirty: bool,
+}
+
+/// Per-tenant partition: budget, segment FIFOs, and the ghost queue.
+#[derive(Debug)]
+struct TenantPart {
+    weight: u32,
+    budget_lines: u64,
+    resident_small: u64,
+    resident_main: u64,
+    /// (line id, incarnation); entries whose incarnation no longer matches
+    /// the line table are stale and skipped on pop.
+    small: VecDeque<(u64, u64)>,
+    main: VecDeque<(u64, u64)>,
+    ghost_set: DetSet<u64>,
+    ghost_fifo: VecDeque<u64>,
+}
+
+impl TenantPart {
+    fn resident(&self) -> u64 {
+        self.resident_small + self.resident_main
+    }
+}
+
+/// The per-SSD cache: line table, per-tenant partitions, congestion
+/// classifier, and counters. Owned by the switch pipeline.
+#[derive(Debug)]
+pub struct SsdCache {
+    cfg: CacheConfig,
+    ssd: SsdId,
+    cap_lines: u64,
+    line_blocks: u64,
+    lines: DetMap<u64, Line>,
+    tenants: DetMap<TenantId, TenantPart>,
+    total_weight: u64,
+    next_incarnation: u64,
+    // Congestion classifier over device read latency (µs).
+    ewma_us: f64,
+    thresh_us: f64,
+    state: CongState,
+    seen_sample: bool,
+    stats: CacheStats,
+    losses: Vec<StagedWriteLoss>,
+    trace: TraceHandle,
+}
+
+impl SsdCache {
+    /// Build a cache for `ssd`. The configuration must be enabled
+    /// (`capacity_bytes > 0`); the pipeline skips construction otherwise so
+    /// a zero-capacity config is bit-identical to no cache at all.
+    pub fn new(ssd: SsdId, cfg: CacheConfig) -> Self {
+        cfg.validate();
+        assert!(cfg.enabled(), "construct no cache for zero capacity");
+        let cap_lines = cfg.capacity_lines().max(1);
+        let line_blocks = u64::from(cfg.line_bytes) / BLOCK_SIZE;
+        let thresh_us = cfg.thresh_max.as_micros_f64();
+        SsdCache {
+            cfg,
+            ssd,
+            cap_lines,
+            line_blocks,
+            lines: DetMap::new(),
+            tenants: DetMap::new(),
+            total_weight: 0,
+            next_incarnation: 0,
+            ewma_us: 0.0,
+            thresh_us,
+            state: CongState::Underutilized,
+            seen_sample: false,
+            stats: CacheStats::default(),
+            losses: Vec::new(),
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle; cache events are stamped with the SSD id.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// The DRAM-copy latency the pipeline charges on a hit.
+    pub fn hit_latency(&self) -> SimDuration {
+        self.cfg.hit_latency
+    }
+
+    /// Current congestion regime of the admission classifier.
+    pub fn congestion_state(&self) -> CongState {
+        self.state
+    }
+
+    /// Snapshot of the counters, with `resident_lines` filled in.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats;
+        s.resident_lines = self.lines.len() as u64;
+        s
+    }
+
+    /// Typed records of staged data dropped on failed device writes.
+    pub fn losses(&self) -> &[StagedWriteLoss] {
+        &self.losses
+    }
+
+    /// The line-id range `[start, end)` a command touches.
+    fn line_range(&self, cmd: &NvmeCmd) -> (u64, u64) {
+        let start = cmd.lba / self.line_blocks;
+        let end = cmd.lba_end().div_ceil(self.line_blocks);
+        (start, end)
+    }
+
+    /// Lazily register a tenant and re-split capacity cost-weighted across
+    /// all registered tenants (§3.5 weights). Shrinking an existing
+    /// partition takes effect lazily at that tenant's next fill.
+    fn register_tenant(&mut self, tenant: TenantId, prio: Priority) {
+        if self.tenants.contains_key(&tenant) {
+            return;
+        }
+        let idx = (prio.0 as usize).min(Priority::LEVELS - 1);
+        let w = self.cfg.priority_weights[idx].max(1);
+        self.total_weight += u64::from(w);
+        self.tenants.insert(
+            tenant,
+            TenantPart {
+                weight: w,
+                budget_lines: 0,
+                resident_small: 0,
+                resident_main: 0,
+                small: VecDeque::new(),
+                main: VecDeque::new(),
+                ghost_set: DetSet::new(),
+                ghost_fifo: VecDeque::new(),
+            },
+        );
+        let (cap, total) = (self.cap_lines, self.total_weight);
+        for p in self.tenants.values_mut() {
+            p.budget_lines = (cap * u64::from(p.weight) / total).max(1);
+        }
+    }
+
+    /// Read lookup. On a full hit every touched line is marked accessed and
+    /// the command can complete from DRAM; any missing line makes the whole
+    /// read a miss (it goes to the device and may fill on completion).
+    pub fn try_read_hit(&mut self, cmd: &NvmeCmd, now: SimTime) -> bool {
+        self.register_tenant(cmd.tenant, cmd.priority);
+        let (s, e) = self.line_range(cmd);
+        let mut missing = 0u32;
+        for l in s..e {
+            match self.lines.get_mut(&l) {
+                Some(line) => line.accessed = true,
+                None => missing += 1,
+            }
+        }
+        if missing == 0 {
+            self.stats.hits += 1;
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(cmd.tenant),
+                EventKind::CacheHit {
+                    lines: (e - s) as u32,
+                },
+            );
+            true
+        } else {
+            self.stats.misses += 1;
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(cmd.tenant),
+                EventKind::CacheMiss {
+                    lines_missing: missing,
+                },
+            );
+            false
+        }
+    }
+
+    /// Stage a write-through: fully covered resident lines are updated in
+    /// place and marked dirty until [`Self::on_write_completion`]; partially
+    /// covered resident lines are invalidated (their DRAM copy would be
+    /// stale). Writes never allocate lines.
+    pub fn stage_write(&mut self, cmd: &NvmeCmd, now: SimTime) {
+        self.register_tenant(cmd.tenant, cmd.priority);
+        let (s, e) = self.line_range(cmd);
+        for l in s..e {
+            let covered =
+                l * self.line_blocks >= cmd.lba && (l + 1) * self.line_blocks <= cmd.lba_end();
+            if covered {
+                if let Some(line) = self.lines.get_mut(&l) {
+                    line.dirty = true;
+                    line.accessed = true;
+                    self.stats.staged += 1;
+                }
+            } else if self.lines.contains_key(&l) {
+                self.invalidate_line(l, now);
+            }
+        }
+    }
+
+    /// A device write completed. Success commits staged lines (clears
+    /// dirty); failure drops them and surfaces a typed [`StagedWriteLoss`].
+    pub fn on_write_completion(&mut self, cmd: &NvmeCmd, failed: bool, now: SimTime) {
+        let (s, e) = self.line_range(cmd);
+        if !failed {
+            for l in s..e {
+                if let Some(line) = self.lines.get_mut(&l) {
+                    line.dirty = false;
+                }
+            }
+            return;
+        }
+        let mut lost = 0u32;
+        for l in s..e {
+            if self.lines.get(&l).is_some_and(|line| line.dirty) {
+                self.invalidate_line(l, now);
+                lost += 1;
+            }
+        }
+        if lost > 0 {
+            self.stats.staged_losses += u64::from(lost);
+            self.losses.push(StagedWriteLoss {
+                cmd: cmd.id.0,
+                tenant: cmd.tenant,
+                ssd: cmd.ssd,
+                lines_lost: lost,
+                at: now,
+            });
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(cmd.tenant),
+                EventKind::CacheStagedLoss {
+                    cmd: cmd.id.0,
+                    lines: lost,
+                },
+            );
+        }
+    }
+
+    /// A device read completed: feed the congestion classifier and, if the
+    /// admission law allows, fill the missing lines.
+    pub fn on_read_completion(
+        &mut self,
+        cmd: &NvmeCmd,
+        device_latency: SimDuration,
+        failed: bool,
+        now: SimTime,
+    ) {
+        if failed {
+            return;
+        }
+        self.observe_device_latency(device_latency, cmd.tenant, now);
+        let ghost_only = match self.cfg.policy {
+            AdmissionPolicy::Never => {
+                self.stats.bypassed += 1;
+                return;
+            }
+            AdmissionPolicy::Always => false,
+            AdmissionPolicy::CongestionAware => match self.state {
+                // Device under pressure: shed load onto DRAM aggressively.
+                CongState::Congested | CongState::Overloaded => false,
+                // Middle band: only lines with proven reuse (ghost hits).
+                CongState::CongestionAvoidance => true,
+                // Clean device: the hit path would only add overhead.
+                CongState::Underutilized => {
+                    self.stats.bypassed += 1;
+                    return;
+                }
+            },
+        };
+        let (s, e) = self.line_range(cmd);
+        let mut filled = 0u32;
+        let mut ghost_hits = 0u32;
+        for l in s..e {
+            if self.lines.contains_key(&l) {
+                continue;
+            }
+            let ghost_hit = self
+                .tenants
+                .get_mut(&cmd.tenant)
+                .is_some_and(|p| p.ghost_set.remove(&l));
+            if ghost_only && !ghost_hit {
+                continue;
+            }
+            self.insert_line(cmd.tenant, l, ghost_hit, now);
+            filled += 1;
+            if ghost_hit {
+                ghost_hits += 1;
+            }
+        }
+        if filled > 0 {
+            self.stats.fills += u64::from(filled);
+            self.stats.ghost_hits += u64::from(ghost_hits);
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(cmd.tenant),
+                EventKind::CacheFill {
+                    lines: filled,
+                    ghost_hits,
+                },
+            );
+        } else {
+            self.stats.bypassed += 1;
+        }
+    }
+
+    /// Fold the EWMA and reclassify. The dynamic threshold drifts toward
+    /// the observed latency while the device is clean, springs toward the
+    /// ceiling midpoint while congested, and pins at the ceiling when
+    /// overloaded — a simplified, deterministic cousin of Alg. 1 that keeps
+    /// the admission law self-tuning without touching the policy's own
+    /// monitors (which a hit never reaches).
+    fn observe_device_latency(&mut self, lat: SimDuration, tenant: TenantId, now: SimTime) {
+        let us = lat.as_micros_f64();
+        if self.seen_sample {
+            let a = self.cfg.ewma_alpha;
+            self.ewma_us = a * us + (1.0 - a) * self.ewma_us;
+        } else {
+            self.ewma_us = us;
+            self.seen_sample = true;
+        }
+        let min = self.cfg.thresh_min.as_micros_f64();
+        let max = self.cfg.thresh_max.as_micros_f64();
+        let next = if self.ewma_us >= max {
+            CongState::Overloaded
+        } else if self.ewma_us >= self.thresh_us {
+            CongState::Congested
+        } else if self.ewma_us >= min {
+            CongState::CongestionAvoidance
+        } else {
+            CongState::Underutilized
+        };
+        self.thresh_us = match next {
+            CongState::Overloaded => max,
+            CongState::Congested => (self.thresh_us + max) / 2.0,
+            _ => (7.0 * self.thresh_us + self.ewma_us.max(min)) / 8.0,
+        }
+        .clamp(min, max);
+        if next != self.state {
+            self.stats.admit_toggles += 1;
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(tenant),
+                EventKind::CacheAdmitToggle {
+                    from: self.state,
+                    to: next,
+                },
+            );
+            self.state = next;
+        }
+    }
+
+    /// Insert a line into the tenant's partition, evicting within that
+    /// partition first if it is at budget. Ghost hits land in the main
+    /// segment (proven reuse); everything else starts in probation.
+    fn insert_line(&mut self, tenant: TenantId, l: u64, to_main: bool, now: SimTime) {
+        loop {
+            let at_budget = self
+                .tenants
+                .get(&tenant)
+                .is_some_and(|p| p.resident() >= p.budget_lines);
+            if !at_budget || !self.evict_one(tenant, now) {
+                break;
+            }
+        }
+        let inc = self.next_incarnation;
+        self.next_incarnation += 1;
+        self.lines.insert(
+            l,
+            Line {
+                tenant,
+                seg: if to_main {
+                    Segment::Main
+                } else {
+                    Segment::Small
+                },
+                incarnation: inc,
+                accessed: false,
+                dirty: false,
+            },
+        );
+        if let Some(p) = self.tenants.get_mut(&tenant) {
+            if to_main {
+                p.resident_main += 1;
+                p.main.push_back((l, inc));
+            } else {
+                p.resident_small += 1;
+                p.small.push_back((l, inc));
+            }
+        }
+    }
+
+    /// Evict one line from `tenant`'s partition. The small segment is
+    /// drained while it exceeds its share; otherwise the main segment goes
+    /// first. Returns false when nothing evictable remains.
+    fn evict_one(&mut self, tenant: TenantId, now: SimTime) -> bool {
+        let prefer_small = self.tenants.get(&tenant).is_some_and(|p| {
+            let small_share = (p.budget_lines * u64::from(self.cfg.small_percent) / 100).max(1);
+            p.resident_small >= small_share || p.resident_main == 0
+        });
+        // Order matters: eviction mutates the segments, so the fallback is a
+        // real second attempt, not a commutative `||`.
+        let order: [fn(&mut Self, TenantId, SimTime) -> bool; 2] = if prefer_small {
+            [Self::evict_from_small, Self::evict_from_main]
+        } else {
+            [Self::evict_from_main, Self::evict_from_small]
+        };
+        order.into_iter().any(|seg| seg(self, tenant, now))
+    }
+
+    /// Pop the probation FIFO: a touched line is promoted to main, a cold
+    /// line is evicted and remembered in the ghost queue.
+    fn evict_from_small(&mut self, tenant: TenantId, now: SimTime) -> bool {
+        let ghost_cap = self.tenants.get(&tenant).map_or(1, |p| {
+            (p.budget_lines * u64::from(self.cfg.ghost_percent) / 100).max(1)
+        });
+        loop {
+            let Some(p) = self.tenants.get_mut(&tenant) else {
+                return false;
+            };
+            let Some((l, inc)) = p.small.pop_front() else {
+                return false;
+            };
+            let Some(line) = self.lines.get_mut(&l) else {
+                continue; // stale entry: the line was invalidated
+            };
+            if line.incarnation != inc {
+                continue; // stale entry: the id was refilled later
+            }
+            if line.accessed {
+                line.accessed = false;
+                line.seg = Segment::Main;
+                p.resident_small -= 1;
+                p.resident_main += 1;
+                p.main.push_back((l, inc));
+                continue;
+            }
+            self.lines.remove(&l);
+            p.resident_small -= 1;
+            if p.ghost_set.insert(l) {
+                p.ghost_fifo.push_back(l);
+            }
+            while p.ghost_set.len() as u64 > ghost_cap {
+                match p.ghost_fifo.pop_front() {
+                    Some(old) => {
+                        p.ghost_set.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            self.stats.evictions += 1;
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(tenant),
+                EventKind::CacheEvict {
+                    line: l,
+                    to_ghost: true,
+                },
+            );
+            return true;
+        }
+    }
+
+    /// Pop the main FIFO with second chance: a touched line goes back to
+    /// the tail untouched-bit-cleared; chances are bounded by the queue
+    /// length so the scan terminates even when everything is hot.
+    fn evict_from_main(&mut self, tenant: TenantId, now: SimTime) -> bool {
+        let mut chances = self.tenants.get(&tenant).map_or(0, |p| p.main.len());
+        loop {
+            let Some(p) = self.tenants.get_mut(&tenant) else {
+                return false;
+            };
+            let Some((l, inc)) = p.main.pop_front() else {
+                return false;
+            };
+            let Some(line) = self.lines.get_mut(&l) else {
+                continue;
+            };
+            if line.incarnation != inc {
+                continue;
+            }
+            if line.accessed && chances > 0 {
+                chances -= 1;
+                line.accessed = false;
+                p.main.push_back((l, inc));
+                continue;
+            }
+            self.lines.remove(&l);
+            p.resident_main -= 1;
+            self.stats.evictions += 1;
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(tenant),
+                EventKind::CacheEvict {
+                    line: l,
+                    to_ghost: false,
+                },
+            );
+            return true;
+        }
+    }
+
+    /// Drop a resident line (write invalidation / staged loss).
+    fn invalidate_line(&mut self, l: u64, now: SimTime) {
+        let Some(line) = self.lines.remove(&l) else {
+            return;
+        };
+        if let Some(p) = self.tenants.get_mut(&line.tenant) {
+            match line.seg {
+                Segment::Small => p.resident_small -= 1,
+                Segment::Main => p.resident_main -= 1,
+            }
+        }
+        self.stats.invalidations += 1;
+        self.trace.record(
+            now,
+            self.ssd,
+            Some(line.tenant),
+            EventKind::CacheEvict {
+                line: l,
+                to_ghost: false,
+            },
+        );
+    }
+
+    /// Fold the full cache state — line table, partitions, classifier,
+    /// counters, losses — into `d`. Joins the double-run identity checks.
+    pub fn fold_into(&self, d: &mut Digest) {
+        d.update_u64(self.cfg.policy.rank());
+        d.update_u64(self.cap_lines);
+        d.update_u64(self.lines.len() as u64);
+        for (l, line) in self.lines.iter() {
+            d.update_u64(*l);
+            d.update_u64(line.tenant.index() as u64);
+            d.update_u64(match line.seg {
+                Segment::Small => 0,
+                Segment::Main => 1,
+            });
+            d.update_u64(line.incarnation);
+            d.update_u64(u64::from(line.accessed));
+            d.update_u64(u64::from(line.dirty));
+        }
+        d.update_u64(self.tenants.len() as u64);
+        for (t, p) in self.tenants.iter() {
+            d.update_u64(t.index() as u64);
+            d.update_u64(u64::from(p.weight));
+            d.update_u64(p.budget_lines);
+            d.update_u64(p.resident_small);
+            d.update_u64(p.resident_main);
+            d.update_u64(p.ghost_fifo.len() as u64);
+            for g in &p.ghost_fifo {
+                d.update_u64(*g);
+            }
+        }
+        d.update_f64(self.ewma_us);
+        d.update_f64(self.thresh_us);
+        d.update_u64(u64::from(self.state.rank()));
+        self.stats().fold_into(d);
+        d.update_u64(self.losses.len() as u64);
+        for loss in &self.losses {
+            loss.fold_into(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gimbal_fabric::{CmdId, IoType};
+
+    fn cmd(id: u64, tenant: u32, op: IoType, lba: u64, len: u32) -> NvmeCmd {
+        NvmeCmd {
+            id: CmdId(id),
+            tenant: TenantId(tenant),
+            ssd: SsdId(0),
+            opcode: op,
+            lba,
+            len,
+            priority: Priority::NORMAL,
+            issued_at: SimTime::ZERO,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn small_cache(lines: u64, policy: AdmissionPolicy) -> SsdCache {
+        SsdCache::new(
+            SsdId(0),
+            CacheConfig {
+                capacity_bytes: lines * 4096,
+                policy,
+                ..CacheConfig::default()
+            },
+        )
+    }
+
+    /// Read lba and let it fill unconditionally.
+    fn read_and_fill(c: &mut SsdCache, id: u64, tenant: u32, lba: u64) -> bool {
+        let r = cmd(id, tenant, IoType::Read, lba, 4096);
+        let hit = c.try_read_hit(&r, t(id));
+        if !hit {
+            c.on_read_completion(&r, SimDuration::from_micros(80), false, t(id));
+        }
+        hit
+    }
+
+    #[test]
+    fn eviction_is_fifo_over_cold_lines_and_promotes_hot_ones() {
+        let mut c = small_cache(4, AdmissionPolicy::Always);
+        for (i, lba) in [0u64, 1, 2, 3].into_iter().enumerate() {
+            assert!(!read_and_fill(&mut c, i as u64, 0, lba));
+        }
+        // Touch line 0 so it is promoted instead of evicted.
+        assert!(read_and_fill(&mut c, 10, 0, 0));
+        // Two more distinct lines force two evictions: 1 then 2 (FIFO),
+        // while 0 survives via promotion.
+        assert!(!read_and_fill(&mut c, 11, 0, 4));
+        assert!(!read_and_fill(&mut c, 12, 0, 5));
+        assert!(read_and_fill(&mut c, 13, 0, 0), "hot line survived");
+        let s = c.stats();
+        assert!(s.evictions >= 2);
+        // The evicted cold lines miss again.
+        assert!(!read_and_fill(&mut c, 14, 0, 1));
+    }
+
+    #[test]
+    fn ghost_hits_readmit_to_main() {
+        let mut c = small_cache(2, AdmissionPolicy::Always);
+        assert!(!read_and_fill(&mut c, 0, 0, 0));
+        assert!(!read_and_fill(&mut c, 1, 0, 1));
+        assert!(!read_and_fill(&mut c, 2, 0, 2)); // evicts 0 into the ghost queue
+        assert!(!read_and_fill(&mut c, 3, 0, 0)); // ghost hit on refill
+        assert!(c.stats().ghost_hits >= 1);
+        assert!(read_and_fill(&mut c, 4, 0, 0), "ghost-hit line resident");
+    }
+
+    #[test]
+    fn partitions_isolate_tenants() {
+        // Equal priorities, 8 lines: each tenant owns 4. Tenant 1 flooding
+        // must not evict tenant 0's resident lines.
+        let mut c = small_cache(8, AdmissionPolicy::Always);
+        for lba in 0..4u64 {
+            read_and_fill(&mut c, lba, 0, lba);
+        }
+        for i in 0..64u64 {
+            read_and_fill(&mut c, 100 + i, 1, 1000 + i);
+        }
+        for lba in 0..4u64 {
+            assert!(
+                read_and_fill(&mut c, 200 + lba, 0, lba),
+                "tenant 0 line {lba} evicted by tenant 1's flood"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_budgets_mirror_drr_weights() {
+        let mut c = small_cache(70, AdmissionPolicy::Always);
+        let mut hi = cmd(0, 0, IoType::Read, 0, 4096);
+        hi.priority = Priority::HIGH;
+        let mut lo = cmd(1, 1, IoType::Read, 10, 4096);
+        lo.priority = Priority::LOW;
+        c.try_read_hit(&hi, t(0));
+        c.try_read_hit(&lo, t(1));
+        let hi_budget = c.tenants.get(&TenantId(0)).unwrap().budget_lines;
+        let lo_budget = c.tenants.get(&TenantId(1)).unwrap().budget_lines;
+        assert_eq!(hi_budget, 70 * 4 / 5);
+        assert_eq!(lo_budget, 70 / 5);
+    }
+
+    #[test]
+    fn covering_write_stages_and_partial_write_invalidates() {
+        let mut c = SsdCache::new(
+            SsdId(0),
+            CacheConfig {
+                capacity_bytes: 16 * 8192,
+                line_bytes: 8192,
+                policy: AdmissionPolicy::Always,
+                ..CacheConfig::default()
+            },
+        );
+        // Fill line 0 (blocks 0..2) via a miss completion.
+        let r = cmd(0, 0, IoType::Read, 0, 8192);
+        assert!(!c.try_read_hit(&r, t(0)));
+        c.on_read_completion(&r, SimDuration::from_micros(80), false, t(0));
+        assert!(c.try_read_hit(&r, t(1)));
+
+        // A fully covering write stages in place: still a hit, marked dirty.
+        let w_full = cmd(1, 0, IoType::Write, 0, 8192);
+        c.stage_write(&w_full, t(2));
+        assert_eq!(c.stats().staged, 1);
+        assert!(c.try_read_hit(&r, t(3)));
+        c.on_write_completion(&w_full, false, t(4));
+        assert!(c.losses().is_empty());
+
+        // A half-line write invalidates: the DRAM copy would be stale.
+        let w_half = cmd(2, 0, IoType::Write, 0, 4096);
+        c.stage_write(&w_half, t(5));
+        assert_eq!(c.stats().invalidations, 1);
+        assert!(!c.try_read_hit(&r, t(6)));
+    }
+
+    #[test]
+    fn failed_write_with_staged_lines_surfaces_typed_loss() {
+        let mut c = small_cache(8, AdmissionPolicy::Always);
+        read_and_fill(&mut c, 0, 0, 0);
+        let w = cmd(1, 0, IoType::Write, 0, 4096);
+        c.stage_write(&w, t(1));
+        assert_eq!(c.stats().staged, 1);
+        c.on_write_completion(&w, true, t(2));
+        assert_eq!(c.losses().len(), 1);
+        let loss = c.losses()[0];
+        assert_eq!(loss.cmd, 1);
+        assert_eq!(loss.tenant, TenantId(0));
+        assert_eq!(loss.lines_lost, 1);
+        assert_eq!(c.stats().staged_losses, 1);
+        // The stale line is gone: the next read misses.
+        assert!(!c.try_read_hit(&cmd(2, 0, IoType::Read, 0, 4096), t(3)));
+    }
+
+    #[test]
+    fn congestion_aware_admission_follows_the_classifier() {
+        let mut c = small_cache(64, AdmissionPolicy::CongestionAware);
+        let r = cmd(0, 0, IoType::Read, 0, 4096);
+        // Clean device (fast completions): bypass, no fill.
+        assert!(!c.try_read_hit(&r, t(0)));
+        c.on_read_completion(&r, SimDuration::from_micros(80), false, t(0));
+        assert_eq!(c.congestion_state(), CongState::Underutilized);
+        assert_eq!(c.stats().fills, 0);
+        assert!(c.stats().bypassed >= 1);
+
+        // Sustained slow completions push the classifier to Overloaded and
+        // open admission.
+        for i in 0..32u64 {
+            let ri = cmd(10 + i, 0, IoType::Read, 100 + i, 4096);
+            assert!(!c.try_read_hit(&ri, t(10 + i)));
+            c.on_read_completion(&ri, SimDuration::from_micros(2000), false, t(10 + i));
+        }
+        assert_eq!(c.congestion_state(), CongState::Overloaded);
+        assert!(c.stats().fills > 0, "congestion opened admission");
+        assert!(c.stats().admit_toggles >= 1);
+        // Admitted lines now hit.
+        assert!(c.try_read_hit(&cmd(99, 0, IoType::Read, 131, 4096), t(99)));
+    }
+
+    #[test]
+    fn double_run_digest_identity() {
+        let run = || {
+            let mut c = small_cache(8, AdmissionPolicy::CongestionAware);
+            for i in 0..200u64 {
+                let lba = (i * 7) % 16;
+                let op = if i % 5 == 0 {
+                    IoType::Write
+                } else {
+                    IoType::Read
+                };
+                let k = cmd(i, (i % 3) as u32, op, lba, 4096);
+                match op {
+                    IoType::Read => {
+                        if !c.try_read_hit(&k, t(i)) {
+                            let lat = SimDuration::from_micros(100 + (i % 9) * 300);
+                            c.on_read_completion(&k, lat, false, t(i));
+                        }
+                    }
+                    IoType::Write => {
+                        c.stage_write(&k, t(i));
+                        c.on_write_completion(&k, i % 17 == 0, t(i));
+                    }
+                }
+            }
+            let mut d = Digest::new();
+            c.fold_into(&mut d);
+            d.value()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the 4 KiB block")]
+    fn misaligned_line_size_is_rejected() {
+        CacheConfig {
+            line_bytes: 1000,
+            ..CacheConfig::default()
+        }
+        .validate();
+    }
+}

@@ -170,6 +170,7 @@ mod tests {
             PipelineConfig {
                 cpu_cost: CpuCost::arm_gimbal(),
                 null_device: false,
+                cache: None,
             },
         )
     }

@@ -153,6 +153,7 @@ const STRICT_CRATES: &[&str] = &[
     "lsm-kv",
     "testbed",
     "telemetry",
+    "cache",
 ];
 
 /// D4 (unwrap warnings) applies where a panic would take down a whole run
@@ -170,7 +171,7 @@ pub fn ruleset_for(crate_name: &str) -> RuleSet {
         float_eq: true,
         unwrap_warn: HOT_PATH_CRATES.contains(&crate_name),
         panic_warn: strict,
-        telemetry_alloc: crate_name == "telemetry",
+        telemetry_alloc: matches!(crate_name, "telemetry" | "cache"),
     }
 }
 
@@ -686,9 +687,11 @@ fn record(
         assert!(!ruleset_for("bench").panic_warn);
         // …but still may not use unordered maps.
         assert!(ruleset_for("bench").unordered_map);
-        // D6 is scoped to the telemetry crate alone.
+        // D6 is scoped to the record-site crates: telemetry and cache.
         assert!(ruleset_for("telemetry").telemetry_alloc);
         assert!(ruleset_for("telemetry").ambient_time_env);
+        assert!(ruleset_for("cache").telemetry_alloc);
+        assert!(ruleset_for("cache").ambient_time_env);
         assert!(!ruleset_for("gimbal").telemetry_alloc);
     }
 }

@@ -14,7 +14,8 @@
 //!    grant.
 
 use crate::policy::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
-use gimbal_fabric::{CmdStatus, NvmeCmd, SsdId};
+use gimbal_cache::{CacheConfig, CacheStats, SsdCache, StagedWriteLoss};
+use gimbal_fabric::{CmdStatus, IoType, NvmeCmd, SsdId};
 use gimbal_nic::{Core, CpuCost};
 use gimbal_sim::collections::{DetMap, DetSet};
 use gimbal_sim::{EventQueue, SimDuration, SimTime};
@@ -29,6 +30,10 @@ pub struct PipelineConfig {
     pub cpu_cost: CpuCost,
     /// Whether the device is a NULL device (driver cycles skipped, Table 1b).
     pub null_device: bool,
+    /// Optional NIC-DRAM cache tier ahead of the policy. `None` — or a
+    /// zero-capacity config — constructs no cache at all and is
+    /// bit-identical to the pre-cache pipeline.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -36,6 +41,7 @@ impl Default for PipelineConfig {
         PipelineConfig {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: false,
+            cache: None,
         }
     }
 }
@@ -49,10 +55,13 @@ pub struct PipelineOut {
     pub status: CmdStatus,
     /// Piggybacked credit grant (§3.6), if the policy provides one.
     pub credit: Option<u32>,
-    /// Device service latency.
+    /// Device service latency — the DRAM-copy latency for cache hits.
     pub device_latency: SimDuration,
     /// Instant the capsule is ready for transmission.
     pub at: SimTime,
+    /// Whether the read completed from the NIC-DRAM cache without touching
+    /// the SSD (device-latency accounting must skip these).
+    pub served_from_cache: bool,
 }
 
 enum PipeEv {
@@ -78,6 +87,8 @@ pub struct Pipeline<D: StorageDevice> {
     duplicates_ignored: u64,
     outputs: Vec<PipelineOut>,
     policy_wake: Option<SimTime>,
+    /// NIC-DRAM cache tier ahead of the policy; absent when disabled.
+    cache: Option<SsdCache>,
 }
 
 impl<D: StorageDevice> Pipeline<D> {
@@ -94,6 +105,11 @@ impl<D: StorageDevice> Pipeline<D> {
         cfg: PipelineConfig,
         core: Rc<RefCell<Core>>,
     ) -> Self {
+        let cache = cfg
+            .cache
+            .as_ref()
+            .filter(|c| c.enabled())
+            .map(|c| SsdCache::new(ssd, c.clone()));
         Pipeline {
             ssd,
             device,
@@ -106,6 +122,7 @@ impl<D: StorageDevice> Pipeline<D> {
             duplicates_ignored: 0,
             outputs: Vec::new(),
             policy_wake: None,
+            cache,
         }
     }
 
@@ -133,7 +150,26 @@ impl<D: StorageDevice> Pipeline<D> {
     /// stamped with this pipeline's SSD id.
     pub fn attach_trace(&mut self, trace: gimbal_telemetry::TraceHandle) {
         self.policy.attach_trace(trace.clone(), self.ssd);
+        if let Some(cache) = &mut self.cache {
+            cache.attach_trace(trace.clone());
+        }
         self.device.attach_trace(trace, self.ssd);
+    }
+
+    /// Counters of the cache tier, when one is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Typed records of staged write data dropped on failed device writes
+    /// (empty without a cache).
+    pub fn cache_losses(&self) -> &[StagedWriteLoss] {
+        self.cache.as_ref().map_or(&[], |c| c.losses())
+    }
+
+    /// The cache tier itself, for digest folding and inspection.
+    pub fn cache(&self) -> Option<&SsdCache> {
+        self.cache.as_ref()
     }
 
     /// The core this pipeline runs on.
@@ -167,15 +203,51 @@ impl<D: StorageDevice> Pipeline<D> {
             .push(ready_at, PipeEv::ReqReady(Request { cmd, ready_at }));
     }
 
+    /// A request finished its submit-path CPU. With a cache configured,
+    /// reads that hit complete from NIC DRAM here — the policy (and with it
+    /// Alg. 1's latency/rate accounting) never sees them — and writes stage
+    /// their lines before queueing for the device (write-through). Misses
+    /// and cache-less pipelines fall through to the policy unchanged.
+    fn handle_ready(&mut self, req: Request, at: SimTime) {
+        if let Some(cache) = &mut self.cache {
+            match req.cmd.opcode {
+                IoType::Read => {
+                    if cache.try_read_hit(&req.cmd, at) {
+                        let ready = at + cache.hit_latency();
+                        let cycles = self
+                            .cfg
+                            .cpu_cost
+                            .complete_cycles(req.cmd.len_bytes(), self.cfg.null_device);
+                        let done = self.core.borrow_mut().process(ready, cycles);
+                        self.resident.remove(&req.cmd.id.0);
+                        let credit = self.policy.credit_for(req.cmd.tenant);
+                        self.events.push(
+                            done,
+                            PipeEv::Emit(PipelineOut {
+                                cmd: req.cmd,
+                                status: CmdStatus::Success,
+                                credit,
+                                device_latency: cache.hit_latency(),
+                                at: done,
+                                served_from_cache: true,
+                            }),
+                        );
+                        return;
+                    }
+                }
+                IoType::Write => cache.stage_write(&req.cmd, at),
+            }
+        }
+        self.policy.on_arrival(req, at);
+    }
+
     /// Process everything due at or before `now`.
     pub fn poll(&mut self, now: SimTime) {
         // Internal events: arrivals finishing CPU, completions finishing CPU.
         while self.events.peek_time().is_some_and(|t| t <= now) {
             let (at, ev) = self.events.pop().unwrap();
             match ev {
-                PipeEv::ReqReady(req) => {
-                    self.policy.on_arrival(req, at);
-                }
+                PipeEv::ReqReady(req) => self.handle_ready(req, at),
                 PipeEv::Emit(out) => self.outputs.push(out),
             }
         }
@@ -194,6 +266,14 @@ impl<D: StorageDevice> Pipeline<D> {
                 failed: c.failed,
             };
             self.policy.on_completion(&info, c.completed_at);
+            if let Some(cache) = &mut self.cache {
+                match cmd.opcode {
+                    IoType::Read => {
+                        cache.on_read_completion(&cmd, c.latency(), c.failed, c.completed_at);
+                    }
+                    IoType::Write => cache.on_write_completion(&cmd, c.failed, c.completed_at),
+                }
+            }
             let cycles = self
                 .cfg
                 .cpu_cost
@@ -212,6 +292,7 @@ impl<D: StorageDevice> Pipeline<D> {
                     credit,
                     device_latency: c.latency(),
                     at: done,
+                    served_from_cache: false,
                 }),
             );
         }
@@ -241,7 +322,7 @@ impl<D: StorageDevice> Pipeline<D> {
         while self.events.peek_time().is_some_and(|t| t <= now) {
             let (at, ev) = self.events.pop().unwrap();
             match ev {
-                PipeEv::ReqReady(req) => self.policy.on_arrival(req, at),
+                PipeEv::ReqReady(req) => self.handle_ready(req, at),
                 PipeEv::Emit(out) => self.outputs.push(out),
             }
         }
@@ -318,6 +399,7 @@ mod tests {
         let cfg = PipelineConfig {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
+            cache: None,
         };
         let mut p = Pipeline::new(
             SsdId(0),
@@ -342,6 +424,7 @@ mod tests {
         let cfg = PipelineConfig {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
+            cache: None,
         };
         let mut p = Pipeline::new(
             SsdId(0),
@@ -380,6 +463,7 @@ mod tests {
         let cfg = PipelineConfig {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
+            cache: None,
         };
         let mut p = Pipeline::new(
             SsdId(0),
@@ -399,6 +483,7 @@ mod tests {
         let cfg = PipelineConfig {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
+            cache: None,
         };
         let mut a = Pipeline::with_core(
             SsdId(0),
@@ -450,5 +535,64 @@ mod tests {
         );
         let ratio = done[0] as f64 / done[1] as f64;
         assert!((0.7..1.4).contains(&ratio), "roughly fair split {ratio}");
+    }
+
+    #[test]
+    fn repeated_read_hits_in_cache_and_bypasses_device() {
+        use gimbal_cache::{AdmissionPolicy, CacheConfig};
+        let cfg = PipelineConfig {
+            cpu_cost: CpuCost::arm_vanilla(),
+            null_device: false,
+            cache: Some(CacheConfig {
+                capacity_bytes: 1024 * 4096,
+                policy: AdmissionPolicy::Always,
+                ..CacheConfig::default()
+            }),
+        };
+        let mut p = Pipeline::new(
+            SsdId(0),
+            NullDevice::with_delay(SimDuration::from_micros(90)),
+            Box::new(FifoPolicy::new()),
+            cfg,
+        );
+        p.on_command(cmd(1, SimTime::ZERO), SimTime::ZERO);
+        let first = drive_until_idle(&mut p);
+        assert!(!first[0].served_from_cache, "cold read goes to the device");
+        assert_eq!(first[0].device_latency, SimDuration::from_micros(90));
+
+        let t1 = first[0].at;
+        p.on_command(cmd(2, t1), t1);
+        let second = drive_until_idle(&mut p);
+        assert!(second[0].served_from_cache, "refill made the re-read a hit");
+        assert!(
+            second[0].device_latency < SimDuration::from_micros(90),
+            "hit latency is the DRAM copy, not the device"
+        );
+        let stats = p.cache_stats().expect("cache configured");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.fills, 1);
+    }
+
+    #[test]
+    fn zero_capacity_cache_config_builds_no_cache() {
+        use gimbal_cache::CacheConfig;
+        let cfg = PipelineConfig {
+            cpu_cost: CpuCost::arm_vanilla(),
+            null_device: true,
+            cache: Some(CacheConfig {
+                capacity_bytes: 0,
+                ..CacheConfig::default()
+            }),
+        };
+        let p = Pipeline::new(
+            SsdId(0),
+            NullDevice::new(),
+            Box::new(FifoPolicy::new()),
+            cfg,
+        );
+        assert!(p.cache().is_none(), "zero capacity must mean no cache");
+        assert!(p.cache_stats().is_none());
+        assert!(p.cache_losses().is_empty());
     }
 }

@@ -25,11 +25,13 @@ pub enum Component {
     Ssd,
     /// Fabric-level failure handling (loss, retries, timeouts).
     Fabric,
+    /// NIC-DRAM cache tier (hits, fills, eviction, admission).
+    Cache,
 }
 
 impl Component {
     /// Every component, in a fixed order (counter registration, exports).
-    pub const ALL: [Component; 7] = [
+    pub const ALL: [Component; 8] = [
         Component::Congestion,
         Component::Rate,
         Component::WriteCost,
@@ -37,6 +39,7 @@ impl Component {
         Component::Credit,
         Component::Ssd,
         Component::Fabric,
+        Component::Cache,
     ];
 
     /// Interned label.
@@ -49,6 +52,7 @@ impl Component {
             Component::Credit => "credit",
             Component::Ssd => "ssd",
             Component::Fabric => "fabric",
+            Component::Cache => "cache",
         }
     }
 }
@@ -278,6 +282,46 @@ pub enum EventKind {
         /// Attempts consumed, including the original transmission.
         attempts: u32,
     },
+    /// A read was served entirely from the NIC-DRAM cache.
+    CacheHit {
+        /// Lines the command spans.
+        lines: u32,
+    },
+    /// A read had missing lines and went to the device.
+    CacheMiss {
+        /// Lines absent from the cache.
+        lines_missing: u32,
+    },
+    /// A miss completion was admitted and lines were filled.
+    CacheFill {
+        /// Lines filled.
+        lines: u32,
+        /// How many of them were ghost-queue hits (proven reuse).
+        ghost_hits: u32,
+    },
+    /// A resident line left the cache (capacity eviction or write
+    /// invalidation).
+    CacheEvict {
+        /// Line id.
+        line: u64,
+        /// Whether the id was remembered in the tenant's ghost queue.
+        to_ghost: bool,
+    },
+    /// The cache's congestion classifier changed regime, toggling the
+    /// admission law.
+    CacheAdmitToggle {
+        /// Regime before the sample.
+        from: CongState,
+        /// Regime after.
+        to: CongState,
+    },
+    /// A failed device write dropped dirty staged lines (typed loss).
+    CacheStagedLoss {
+        /// Raw id of the failed write.
+        cmd: u64,
+        /// Dirty lines invalidated.
+        lines: u32,
+    },
 }
 
 impl EventKind {
@@ -299,6 +343,12 @@ impl EventKind {
             EventKind::FaultInjected { .. }
             | EventKind::RetryScheduled { .. }
             | EventKind::TimedOut { .. } => Component::Fabric,
+            EventKind::CacheHit { .. }
+            | EventKind::CacheMiss { .. }
+            | EventKind::CacheFill { .. }
+            | EventKind::CacheEvict { .. }
+            | EventKind::CacheAdmitToggle { .. }
+            | EventKind::CacheStagedLoss { .. } => Component::Cache,
         }
     }
 
@@ -322,6 +372,12 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::RetryScheduled { .. } => "retry_scheduled",
             EventKind::TimedOut { .. } => "timed_out",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheFill { .. } => "cache_fill",
+            EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::CacheAdmitToggle { .. } => "cache_admit_toggle",
+            EventKind::CacheStagedLoss { .. } => "cache_staged_loss",
         }
     }
 
@@ -423,6 +479,28 @@ impl EventKind {
             EventKind::TimedOut { cmd, attempts } => {
                 d.update_u64(cmd);
                 d.update_u64(u64::from(attempts));
+            }
+            EventKind::CacheHit { lines } => {
+                d.update_u64(u64::from(lines));
+            }
+            EventKind::CacheMiss { lines_missing } => {
+                d.update_u64(u64::from(lines_missing));
+            }
+            EventKind::CacheFill { lines, ghost_hits } => {
+                d.update_u64(u64::from(lines));
+                d.update_u64(u64::from(ghost_hits));
+            }
+            EventKind::CacheEvict { line, to_ghost } => {
+                d.update_u64(line);
+                d.update_u64(u64::from(to_ghost));
+            }
+            EventKind::CacheAdmitToggle { from, to } => {
+                d.update_u64(u64::from(from.rank()));
+                d.update_u64(u64::from(to.rank()));
+            }
+            EventKind::CacheStagedLoss { cmd, lines } => {
+                d.update_u64(cmd);
+                d.update_u64(u64::from(lines));
             }
         }
     }

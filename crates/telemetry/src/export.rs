@@ -194,6 +194,28 @@ fn push_args(out: &mut String, kind: &EventKind, first: &mut bool) {
             push_u64_field(out, "cmd", cmd, first);
             push_u64_field(out, "attempts", u64::from(attempts), first);
         }
+        EventKind::CacheHit { lines } => {
+            push_u64_field(out, "lines", u64::from(lines), first);
+        }
+        EventKind::CacheMiss { lines_missing } => {
+            push_u64_field(out, "lines_missing", u64::from(lines_missing), first);
+        }
+        EventKind::CacheFill { lines, ghost_hits } => {
+            push_u64_field(out, "lines", u64::from(lines), first);
+            push_u64_field(out, "ghost_hits", u64::from(ghost_hits), first);
+        }
+        EventKind::CacheEvict { line, to_ghost } => {
+            push_u64_field(out, "line", line, first);
+            push_bool_field(out, "to_ghost", to_ghost, first);
+        }
+        EventKind::CacheAdmitToggle { from, to } => {
+            push_str_field(out, "from", from.name(), first);
+            push_str_field(out, "to", to.name(), first);
+        }
+        EventKind::CacheStagedLoss { cmd, lines } => {
+            push_u64_field(out, "cmd", cmd, first);
+            push_u64_field(out, "lines", u64::from(lines), first);
+        }
     }
 }
 
@@ -398,8 +420,8 @@ mod tests {
     fn jsonl_is_one_object_per_line_with_metrics_tail() {
         let s = jsonl(&sample());
         let lines: Vec<&str> = s.lines().collect();
-        // 2 events + 7 component counters + 1 gauge + 1 histogram.
-        assert_eq!(lines.len(), 2 + 7 + 1 + 1, "{s}");
+        // 2 events + 8 component counters + 1 gauge + 1 histogram.
+        assert_eq!(lines.len(), 2 + 8 + 1 + 1, "{s}");
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "line: {l}");
         }

@@ -1,6 +1,7 @@
 //! Testbed and worker specifications.
 
 use crate::scheme::Scheme;
+use gimbal_cache::CacheConfig;
 use gimbal_core::Params;
 use gimbal_fabric::{FabricConfig, Priority, RetryConfig};
 use gimbal_sim::{FaultPlan, SimDuration, SimTime};
@@ -132,6 +133,10 @@ pub struct TestbedConfig {
     /// record site behind a disabled handle: no events, no allocations, and
     /// run digests bit-identical to a build without telemetry.
     pub trace: Option<TraceConfig>,
+    /// NIC-DRAM cache tier per SSD pipeline. `None` (the default) — or a
+    /// zero-capacity config — constructs no cache: such a run is
+    /// bit-identical to one on a build without cache support.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for TestbedConfig {
@@ -156,6 +161,7 @@ impl Default for TestbedConfig {
             record_submissions: false,
             faults: None,
             trace: None,
+            cache: None,
         }
     }
 }
@@ -173,6 +179,9 @@ impl TestbedConfig {
         }
         if let Some(t) = &self.trace {
             t.validate();
+        }
+        if let Some(c) = &self.cache {
+            c.validate();
         }
     }
 }

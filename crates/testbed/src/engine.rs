@@ -202,6 +202,7 @@ impl Engine {
                     PipelineConfig {
                         cpu_cost,
                         null_device: false,
+                        cache: cfg.cache.clone(),
                     },
                     Rc::clone(&cores[(i % cfg.cores) as usize]),
                 )
@@ -424,12 +425,19 @@ impl Engine {
     fn pump(&mut self, ssd: usize, now: SimTime) {
         self.pipelines[ssd].poll(now);
         for out in self.pipelines[ssd].take_outputs() {
-            let lat_ns = out.device_latency.as_nanos();
-            self.device_hist[ssd][out.cmd.opcode.index()].record(lat_ns);
-            self.trace
-                .observe("device_latency_ns", out.cmd.tenant, lat_ns);
-            self.dev_lat_ewma[ssd][out.cmd.opcode.index()].update(lat_ns as f64 / 1e3);
-            self.dev_meter[ssd].record(now, out.cmd.len_bytes());
+            if out.served_from_cache {
+                // The SSD never saw this read: its DRAM-copy latency must
+                // not pollute the device-latency signals (histograms, the
+                // EWMA Gimbal-style monitors sample, the device meter).
+                self.counters.cache_served += 1;
+            } else {
+                let lat_ns = out.device_latency.as_nanos();
+                self.device_hist[ssd][out.cmd.opcode.index()].record(lat_ns);
+                self.trace
+                    .observe("device_latency_ns", out.cmd.tenant, lat_ns);
+                self.dev_lat_ewma[ssd][out.cmd.opcode.index()].update(lat_ns as f64 / 1e3);
+                self.dev_meter[ssd].record(now, out.cmd.len_bytes());
+            }
             let cpl = NvmeCompletion {
                 id: out.cmd.id,
                 tenant: out.cmd.tenant,
@@ -764,6 +772,18 @@ impl Engine {
             .iter()
             .map(|h| [h[0].summary(), h[1].summary()])
             .collect();
+        // Per-SSD cache counters and typed staged-loss records, in pipeline
+        // order; both stay empty on cache-off runs so digests are untouched.
+        let cache: Vec<gimbal_cache::CacheStats> = self
+            .pipelines
+            .iter()
+            .filter_map(|p| p.cache_stats())
+            .collect();
+        let cache_losses: Vec<gimbal_cache::StagedWriteLoss> = self
+            .pipelines
+            .iter()
+            .flat_map(|p| p.cache_losses().iter().copied())
+            .collect();
         RunResult {
             workers,
             ssd_stats,
@@ -773,6 +793,8 @@ impl Engine {
             submissions: self.submissions,
             faults: self.counters,
             trace,
+            cache,
+            cache_losses,
         }
     }
 }

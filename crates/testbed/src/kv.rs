@@ -69,6 +69,10 @@ pub struct KvTestbedConfig {
     pub sample_interval: Option<SimDuration>,
     /// Inject a permanent flash failure: backend index + instant.
     pub fail_backend_at: Option<(u32, SimDuration)>,
+    /// NIC-DRAM cache tier per backend pipeline. `None` (the default) — or a
+    /// zero-capacity config — constructs no cache: such a run is
+    /// bit-identical to one on a build without cache support.
+    pub cache: Option<gimbal_cache::CacheConfig>,
 }
 
 impl Default for KvTestbedConfig {
@@ -97,6 +101,7 @@ impl Default for KvTestbedConfig {
             seed: 42,
             sample_interval: None,
             fail_backend_at: None,
+            cache: None,
         }
     }
 }
@@ -131,6 +136,8 @@ pub struct KvRunResult {
     /// Gimbal control traces per backend (populated when `sample_interval`
     /// is set and the scheme is Gimbal).
     pub gimbal_traces: Vec<GimbalTrace>,
+    /// Per-backend cache statistics (empty when no cache is configured).
+    pub cache: Vec<gimbal_cache::CacheStats>,
     /// Measured window length.
     pub window: SimDuration,
 }
@@ -162,6 +169,17 @@ impl KvRunResult {
             .map(|i| i.read_latency.p999_us())
             .collect();
         xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    }
+
+    /// Aggregate cache hit ratio over all backends (0.0 when no cache ran).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let hits: u64 = self.cache.iter().map(|c| c.hits).sum();
+        let lookups: u64 = self.cache.iter().map(|c| c.lookups()).sum();
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
     }
 }
 
@@ -254,6 +272,7 @@ impl KvTestbed {
                     PipelineConfig {
                         cpu_cost: cfg.scheme.cpu_cost(false),
                         null_device: false,
+                        cache: cfg.cache.clone(),
                     },
                 )
             })
@@ -498,6 +517,7 @@ impl KvTestbed {
             instances: results,
             ssd_stats: pipelines.iter().map(|p| p.device().stats()).collect(),
             gimbal_traces: traces,
+            cache: pipelines.iter().filter_map(|p| p.cache_stats()).collect(),
             window,
         }
     }

@@ -22,9 +22,10 @@ pub mod scheme;
 
 pub use config::{FaultConfig, Precondition, TestbedConfig, WorkerSpec};
 pub use engine::Testbed;
+pub use gimbal_cache::{AdmissionPolicy, CacheConfig, CacheStats, StagedWriteLoss};
 pub use kv::{KvInstanceResult, KvRunResult, KvTestbed, KvTestbedConfig};
 pub use results::{
     f_util, utilization_deviation, FaultCounters, GimbalTrace, RunResult, SubmissionRecord,
     WorkerResult,
 };
-pub use scheme::Scheme;
+pub use scheme::{cache_tier, Scheme};

@@ -1,5 +1,6 @@
 //! Experiment measurements and the paper's evaluation metrics.
 
+use gimbal_cache::{CacheStats, StagedWriteLoss};
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{Digest, SimDuration, TimeSeries};
 use gimbal_ssd::SsdStats;
@@ -142,11 +143,20 @@ pub struct FaultCounters {
     pub duplicate_cmds_ignored: u64,
     /// Completions for commands the initiator had already timed out.
     pub stale_completions_ignored: u64,
+    /// Completions served from the NIC-DRAM cache without touching the
+    /// device. A *service-source* counter, not a terminal bucket: a
+    /// cache-served command still lands in `completed_ok` (or, when its
+    /// completion capsule is lost and retries exhaust, `timed_out`), so the
+    /// conservation law is unchanged — this counter proves the audit covers
+    /// completions the SSD never saw.
+    pub cache_served: u64,
 }
 
 impl FaultCounters {
     /// The conservation law: every submission lands in exactly one of the
-    /// four terminal buckets.
+    /// four terminal buckets. Cache-served completions are `completed_ok`
+    /// like any other — `cache_served` only attributes their service source
+    /// — so the equation needs no cache term.
     pub fn conservation_holds(&self) -> bool {
         self.submitted
             == self.completed_ok + self.completed_err + self.timed_out + self.in_flight_at_end
@@ -176,6 +186,13 @@ pub struct RunResult {
     /// Recorded telemetry (`None` unless [`crate::TestbedConfig::trace`] was
     /// set).
     pub trace: Option<RecordedTrace>,
+    /// Per-SSD cache counters (empty unless [`crate::TestbedConfig::cache`]
+    /// configured a cache — the digest then folds them in, so cache-off runs
+    /// keep their pre-cache digests).
+    pub cache: Vec<CacheStats>,
+    /// Typed records of staged write data dropped on failed device writes,
+    /// across all SSDs in pipeline order (empty without a cache).
+    pub cache_losses: Vec<StagedWriteLoss>,
 }
 
 impl RunResult {
@@ -227,7 +244,29 @@ impl RunResult {
                 .update_u64(s.ftl.erases)
                 .update_u64(s.ftl.collections);
         }
+        // Folded only when a cache ran, so cache-off digests are
+        // bit-identical to pre-cache builds.
+        if !self.cache.is_empty() {
+            for c in &self.cache {
+                c.fold_into(&mut d);
+            }
+            d.update_u64(self.cache_losses.len() as u64);
+            for l in &self.cache_losses {
+                l.fold_into(&mut d);
+            }
+        }
         d.value()
+    }
+
+    /// Aggregate cache hit ratio across all SSDs (0 when no cache ran).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let hits: u64 = self.cache.iter().map(|c| c.hits).sum();
+        let lookups: u64 = self.cache.iter().map(|c| c.lookups()).sum();
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
     }
 
     /// Aggregated bandwidth (bytes/s) of workers whose label satisfies the

@@ -1,10 +1,22 @@
 //! The multi-tenancy scheme under test and its component factories.
 
 use gimbal_baselines::{FlashFqPolicy, PardaClient, ReflexPolicy};
+use gimbal_cache::{AdmissionPolicy, CacheConfig};
 use gimbal_core::{CreditClient, GimbalPolicy, Params};
 use gimbal_fabric::SsdId;
 use gimbal_nic::CpuCost;
 use gimbal_switch::{ClientPolicy, FifoPolicy, SwitchPolicy, UnlimitedClient};
+
+/// Build the NIC-DRAM cache tier configuration shared by the CLI and the
+/// bench binaries. `mb == 0` disables the cache entirely (`None`), which is
+/// bit-identical to a build without cache support; the cache tier composes
+/// with every [`Scheme`] because it sits ahead of the policy in the pipeline.
+pub fn cache_tier(mb: u64, policy: AdmissionPolicy) -> Option<CacheConfig> {
+    (mb > 0).then(|| CacheConfig {
+        policy,
+        ..CacheConfig::for_mb(mb)
+    })
+}
 
 /// Which multi-tenancy mechanism the JBOF runs (§5.1's comparison set plus
 /// the plain vanilla target used for the characterization experiments).
@@ -110,6 +122,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cache_tier_disables_at_zero_capacity() {
+        assert!(cache_tier(0, AdmissionPolicy::Always).is_none());
+        let c = cache_tier(16, AdmissionPolicy::Never).expect("nonzero capacity");
+        assert_eq!(c.capacity_bytes, 16 * 1024 * 1024);
+        assert_eq!(c.policy, AdmissionPolicy::Never);
+        c.validate();
     }
 
     #[test]

@@ -6,8 +6,13 @@
 //! token bucket, emulating fio's `rate=` option (used by the Fig 9 dynamic
 //! experiment: readers 200 MB/s, writers 60 MB/s).
 
+use crate::ycsb::Zipfian;
 use gimbal_fabric::{IoType, BLOCK_SIZE};
 use gimbal_sim::{SimRng, SimTime, TokenBucket};
+
+/// The Zipfian skew used by [`AccessPattern::Zipfian`] — YCSB's default
+/// constant, matching the KV workloads.
+pub const ZIPF_THETA: f64 = 0.99;
 
 /// Random or sequential addressing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -16,6 +21,9 @@ pub enum AccessPattern {
     Random,
     /// Sequentially advancing offsets, wrapping at the region end.
     Sequential,
+    /// Zipfian-skewed offsets (theta [`ZIPF_THETA`]): rank 0 — the hottest
+    /// IO-sized slot — sits at the region start. Cache-sensitive workloads.
+    Zipfian,
 }
 
 /// A fio-like stream specification.
@@ -102,6 +110,7 @@ pub struct FioStream {
     rng: SimRng,
     seq_cursor: u64,
     limiter: Option<TokenBucket>,
+    zipf: Option<Zipfian>,
 }
 
 impl FioStream {
@@ -113,11 +122,15 @@ impl FioStream {
             // closed loop to refill between completions.
             TokenBucket::with_rate(r, (spec.io_bytes * 4).max(1))
         });
+        let zipf = (spec.read_pattern == AccessPattern::Zipfian
+            || spec.write_pattern == AccessPattern::Zipfian)
+            .then(|| Zipfian::new(spec.region_blocks / spec.io_blocks(), ZIPF_THETA));
         FioStream {
             spec,
             rng,
             seq_cursor: 0,
             limiter,
+            zipf,
         }
     }
 
@@ -175,6 +188,15 @@ impl FioStream {
                     self.seq_cursor = 0;
                 }
                 lba
+            }
+            AccessPattern::Zipfian => {
+                // `zipf` is always built in `new` when either pattern is
+                // Zipfian; fall back to slot 0 rather than panic.
+                let rank = match &self.zipf {
+                    Some(z) => z.next(&mut self.rng),
+                    None => 0,
+                };
+                self.spec.region_start + rank * blocks
             }
         };
         FioIo {
@@ -241,6 +263,27 @@ mod tests {
         assert_eq!(l1, l0 + 32);
         assert_eq!(l2, l1 + 32);
         assert_eq!(l3, l0, "wrapped");
+    }
+
+    #[test]
+    fn zipfian_skews_toward_the_region_start_and_stays_aligned() {
+        let mut sp = spec(1.0, 4096);
+        sp.read_pattern = AccessPattern::Zipfian;
+        sp.region_start = 500;
+        sp.region_blocks = 1 << 12;
+        let mut s = FioStream::new(sp, SimRng::new(7));
+        let n = 8_000;
+        let mut hottest = 0u64;
+        for _ in 0..n {
+            let io = s.next_io(SimTime::ZERO);
+            assert!(io.lba >= 500 && io.lba < 500 + (1 << 12));
+            if io.lba == 500 {
+                hottest += 1;
+            }
+        }
+        // Rank 0 of 4096 slots at theta 0.99 draws far more than the 2-ish
+        // hits a uniform stream would give it.
+        assert!(hottest > n / 100, "hottest slot drew {hottest} of {n}");
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Quick bench smoke: a short cache-enabled Zipfian read workload through
+# jbofsim, writing the machine-readable summary to BENCH_smoke.json at the
+# repo root. The run is deterministic (fixed seed), so the committed
+# artifact only changes when the simulator's behavior does — diffs to it
+# are a signal, not noise.
+# Usage: scripts/bench_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --offline -q --bin jbofsim -- \
+    --scheme gimbal --precondition clean \
+    --duration-ms 500 --warmup-ms 100 --seed 42 \
+    --cache-mb 16 --cache-policy congestion \
+    --workers 4x4k-read-zipf,2x4k-write \
+    --bench-json BENCH_smoke.json
+
+echo "wrote BENCH_smoke.json"

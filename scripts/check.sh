@@ -22,6 +22,13 @@ cargo test --release --offline --test chaos -q
 echo "==> trace conformance (telemetry invariants + Perfetto round-trip, release)"
 cargo test --release --offline --test trace_conformance -q
 
+echo "==> cache tier (hit-ratio/latency e2e + device-bypass accounting, release)"
+cargo test --release --offline --test cache -q
+
+echo "==> bench smoke (deterministic jbofsim run; BENCH_smoke.json must be fresh)"
+scripts/bench_smoke.sh
+git diff --exit-code BENCH_smoke.json
+
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint
 

@@ -13,7 +13,10 @@
 
 use gimbal_repro::sim::{SimDuration, SimTime};
 use gimbal_repro::telemetry::{export, TraceConfig};
-use gimbal_repro::testbed::{Precondition, Scheme, Testbed, TestbedConfig, WorkerSpec};
+use gimbal_repro::testbed::{
+    cache_tier, AdmissionPolicy, Precondition, RunResult, Scheme, Testbed, TestbedConfig,
+    WorkerSpec,
+};
 use gimbal_repro::workload::FioSpec;
 use std::process::exit;
 
@@ -23,11 +26,17 @@ fn usage() -> ! {
          \x20              [--precondition clean|fragmented]\n\
          \x20              [--duration-ms N] [--warmup-ms N] [--ssds N] [--cores N]\n\
          \x20              [--seed N] [--trace-out FILE] [--trace-format chrome|jsonl]\n\
+         \x20              [--cache-mb N] [--cache-policy always|congestion|never]\n\
+         \x20              [--bench-json FILE]\n\
          \x20              --workers SPEC[,SPEC…]\n\
          \n\
-         SPEC = COUNTxSIZE-TYPE[-qdN][-rateM]   e.g. 8x4k-read, 4x128k-write-qd8,\n\
-         \x20      2x4k-mix70-rate50 (70% reads, 50 MB/s cap per worker)\n\
+         SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf]   e.g. 8x4k-read,\n\
+         \x20      4x128k-write-qd8, 2x4k-mix70-rate50 (70% reads, 50 MB/s cap\n\
+         \x20      per worker), 8x4k-read-zipf (Zipf-skewed addresses)\n\
          \n\
+         --cache-mb enables a NIC-DRAM cache of N MiB per SSD pipeline (0 = off);\n\
+         \x20      --cache-policy picks the fill admission law (default congestion)\n\
+         --bench-json writes a machine-readable run summary to FILE\n\
          --trace-out enables structured telemetry and writes the trace to FILE:\n\
          \x20      chrome (default) loads in Perfetto (ui.perfetto.dev), jsonl is\n\
          \x20      one event per line for grep/jq"
@@ -53,6 +62,7 @@ struct ParsedWorker {
     read_ratio: f64,
     qd: Option<u32>,
     rate: Option<f64>,
+    zipf: bool,
     label: String,
 }
 
@@ -70,11 +80,14 @@ fn parse_worker(spec: &str) -> Option<ParsedWorker> {
     };
     let mut qd = None;
     let mut rate = None;
+    let mut zipf = false;
     for p in parts {
         if let Some(n) = p.strip_prefix("qd") {
             qd = Some(n.parse().ok()?);
         } else if let Some(n) = p.strip_prefix("rate") {
             rate = Some(n.parse::<f64>().ok()? * 1e6);
+        } else if p == "zipf" {
+            zipf = true;
         } else {
             return None;
         }
@@ -85,8 +98,79 @@ fn parse_worker(spec: &str) -> Option<ParsedWorker> {
         read_ratio,
         qd,
         rate,
+        zipf,
         label: spec.to_string(),
     })
+}
+
+/// Minimal JSON string escape for worker labels (quotes and backslashes;
+/// specs cannot contain control characters).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn latency_json(l: &gimbal_repro::sim::stats::LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_us\": {:.3}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}}}",
+        l.count,
+        l.mean_us(),
+        l.p50_ns as f64 / 1e3,
+        l.p99_us(),
+        l.p999_us()
+    )
+}
+
+/// Write the machine-readable run summary: scheme, per-group throughput and
+/// latency percentiles, per-SSD device stats, and the cache tier's hit
+/// ratio. Hand-rolled JSON — the workspace carries no serializer.
+fn write_bench_json(
+    path: &str,
+    scheme: Scheme,
+    cache_mb: u64,
+    cache_policy: AdmissionPolicy,
+    worker_specs: &[ParsedWorker],
+    res: &RunResult,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scheme\": \"{}\",\n", scheme.name()));
+    out.push_str(&format!(
+        "  \"cache\": {{\"enabled\": {}, \"mb_per_ssd\": {cache_mb}, \"policy\": \"{}\", \"hit_ratio\": {:.4}}},\n",
+        !res.cache.is_empty(),
+        cache_policy.name(),
+        res.cache_hit_ratio()
+    ));
+    out.push_str("  \"groups\": [\n");
+    for (gi, w) in worker_specs.iter().enumerate() {
+        let bw = res.aggregate_bps(|l| l == w.label) / 1e6;
+        let [rd, wr] = res.group_latency(|l| l == w.label);
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"workers\": {}, \"throughput_mbps\": {:.3}, \"read_latency\": {}, \"write_latency\": {}}}{}\n",
+            json_escape(&w.label),
+            w.count,
+            bw,
+            latency_json(&rd),
+            latency_json(&wr),
+            if gi + 1 < worker_specs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ssds\": [\n");
+    for (si, s) in res.ssd_stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"reads\": {}, \"writes\": {}, \"write_amplification\": {:.4}}}{}\n",
+            s.reads,
+            s.writes,
+            s.write_amplification(),
+            if si + 1 < res.ssd_stats.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
 }
 
 fn main() {
@@ -99,6 +183,9 @@ fn main() {
     let mut seed = 42u64;
     let mut trace_out: Option<String> = None;
     let mut trace_chrome = true;
+    let mut cache_mb = 0u64;
+    let mut cache_policy = AdmissionPolicy::CongestionAware;
+    let mut bench_json: Option<String> = None;
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -166,6 +253,24 @@ fn main() {
                 };
                 i += 2;
             }
+            "--cache-mb" => {
+                cache_mb = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--cache-policy" => {
+                cache_policy = match AdmissionPolicy::parse(need(i)) {
+                    Some(p) => p,
+                    None => {
+                        eprintln!("unknown cache policy {}", need(i));
+                        usage()
+                    }
+                };
+                i += 2;
+            }
+            "--bench-json" => {
+                bench_json = Some(need(i).clone());
+                i += 2;
+            }
             "--workers" => {
                 for spec in need(i).split(',') {
                     match parse_worker(spec) {
@@ -203,6 +308,9 @@ fn main() {
                 fio.queue_depth = qd;
             }
             fio.rate_limit = w.rate;
+            if w.zipf {
+                fio.read_pattern = gimbal_repro::workload::AccessPattern::Zipfian;
+            }
             workers.push(
                 WorkerSpec::new(w.label.clone(), fio)
                     .on_ssd((idx % u64::from(ssds)) as u32)
@@ -221,6 +329,7 @@ fn main() {
         warmup: SimDuration::from_millis(warmup_ms.min(duration_ms.saturating_sub(1))),
         seed,
         trace: trace_out.as_ref().map(|_| TraceConfig::default()),
+        cache: cache_tier(cache_mb, cache_policy),
         ..TestbedConfig::default()
     };
 
@@ -262,6 +371,26 @@ fn main() {
             s.write_amplification(),
             s.buffer_stalls
         );
+    }
+    if !res.cache.is_empty() {
+        let hits: u64 = res.cache.iter().map(|c| c.hits).sum();
+        let fills: u64 = res.cache.iter().map(|c| c.fills).sum();
+        let evict: u64 = res.cache.iter().map(|c| c.evictions).sum();
+        println!(
+            "cache ({cache_mb} MiB/ssd, {}): hit ratio {:.3}, {hits} hits, {fills} fills, {evict} evictions",
+            cache_policy.name(),
+            res.cache_hit_ratio(),
+        );
+    }
+
+    if let Some(path) = bench_json {
+        match write_bench_json(&path, scheme, cache_mb, cache_policy, &worker_specs, &res) {
+            Ok(()) => eprintln!("bench summary -> {path}"),
+            Err(e) => {
+                eprintln!("bench summary: failed to write {path}: {e}");
+                exit(1);
+            }
+        }
     }
 
     if let Some(path) = trace_out {

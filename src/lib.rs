@@ -12,6 +12,7 @@
 //! * [`ssd`] — the flash SSD model (FTL, GC, write buffer, die priority);
 //! * [`nic`] — SmartNIC/server CPU cost model;
 //! * [`switch`] — the storage-switch pipeline and policy traits;
+//! * [`cache`] — the congestion-aware multi-tenant NIC-DRAM cache tier;
 //! * [`gimbal`] — the paper's contribution: delay-based congestion control,
 //!   dual token bucket, write-cost estimation, virtual-slot DRR scheduling,
 //!   credit-based flow control, per-SSD virtual view;
@@ -48,6 +49,7 @@
 
 pub use gimbal_baselines as baselines;
 pub use gimbal_blobstore as blobstore;
+pub use gimbal_cache as cache;
 pub use gimbal_core as gimbal;
 pub use gimbal_fabric as fabric;
 pub use gimbal_lsm_kv as lsm_kv;

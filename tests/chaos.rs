@@ -21,9 +21,10 @@ use gimbal_repro::fabric::RetryConfig;
 use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime, SsdFaultSpec};
 use gimbal_repro::telemetry::{CapsuleKind, EventKind, TraceConfig};
 use gimbal_repro::testbed::{
-    FaultConfig, Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec,
+    AdmissionPolicy, CacheConfig, FaultConfig, Precondition, RunResult, Scheme, Testbed,
+    TestbedConfig, WorkerSpec,
 };
-use gimbal_repro::workload::FioSpec;
+use gimbal_repro::workload::{AccessPattern, FioSpec};
 
 const CAP: u64 = 512 * 1024 * 1024 / 4096;
 const SCHEMES: [Scheme; 4] = [
@@ -273,6 +274,110 @@ fn chaos_runs_are_deterministic_per_seed() {
             scheme.name()
         );
     }
+}
+
+fn run_chaos_cache(
+    scheme: Scheme,
+    plan: FaultPlan,
+    seed: u64,
+    workers: Vec<WorkerSpec>,
+) -> RunResult {
+    let cfg = TestbedConfig {
+        scheme,
+        precondition: Precondition::Fragmented,
+        duration: SimDuration::from_millis(400),
+        warmup: SimDuration::from_millis(100),
+        seed,
+        record_submissions: true,
+        faults: Some(FaultConfig {
+            plan,
+            retry: RetryConfig::default(),
+        }),
+        cache: Some(CacheConfig {
+            policy: AdmissionPolicy::Always,
+            ..CacheConfig::for_mb(64)
+        }),
+        ..TestbedConfig::default()
+    };
+    Testbed::new(cfg, workers).run()
+}
+
+/// Cache satellite: completions served from NIC DRAM are accounted by the
+/// conservation audit. `cache_served` is a service-source counter — every
+/// cache hit still lands in exactly one terminal bucket — so the equation
+/// balances with the cache absorbing a large share of reads under capsule
+/// loss.
+#[test]
+fn cache_served_completions_keep_conservation_exact() {
+    let mut workers = mixed_workers(3, 3);
+    for w in &mut workers {
+        if w.fio.read_ratio > 0.5 {
+            w.fio.read_pattern = AccessPattern::Zipfian;
+        }
+    }
+    let res = run_chaos_cache(Scheme::Gimbal, loss_only(), 7, workers);
+    let f = &res.faults;
+    assert!(f.conservation_holds(), "conservation violated: {f:?}");
+    assert!(
+        f.cache_served > 0,
+        "Zipf readers through a 64 MiB cache never hit: {f:?}"
+    );
+    // Every pumped cache hit is one cache-served completion; hits whose
+    // emission was still queued at the wall are covered by the in-flight
+    // bucket, so the gap is bounded by it.
+    let hits: u64 = res.cache.iter().map(|c| c.hits).sum();
+    assert!(
+        f.cache_served <= hits && hits - f.cache_served <= f.in_flight_at_end,
+        "cache-served completions ({}) must account for all {hits} hits \
+         minus at most the {} in flight at the wall",
+        f.cache_served,
+        f.in_flight_at_end
+    );
+    assert!(
+        f.cmd_capsules_dropped > 0 && f.retries > 0,
+        "the loss plan never fired: {f:?}"
+    );
+}
+
+/// Cache satellite: device death with dirty staged write lines surfaces a
+/// typed [`gimbal_repro::testbed::StagedWriteLoss`] per failed write whose
+/// staged lines were dropped — never silent loss — and the failure path is
+/// deterministic.
+#[test]
+fn device_death_with_staged_writes_surfaces_typed_losses() {
+    // Mixed 50/50 read/write streams over shared regions: reads fill lines,
+    // fully-covering writes stage into them, and the 320 ms device death
+    // fails writes whose staged data is then unbacked.
+    let workers = |()| -> Vec<WorkerSpec> {
+        let per = CAP / 4;
+        (0..4u64)
+            .map(|i| WorkerSpec::new("mix", FioSpec::paper_default(0.5, 4096, i * per, per)))
+            .collect()
+    };
+    let a = run_chaos_cache(Scheme::Gimbal, combined(), 17, workers(()));
+    let f = &a.faults;
+    assert!(f.conservation_holds(), "conservation violated: {f:?}");
+    let stats: u64 = a.cache.iter().map(|c| c.staged).sum();
+    assert!(stats > 0, "no write ever staged into a resident line");
+    assert!(
+        !a.cache_losses.is_empty(),
+        "device death must surface typed staged-write losses, got none \
+         (staged {stats}, faults {f:?})"
+    );
+    let counted: u64 = a.cache.iter().map(|c| c.staged_losses).sum();
+    assert_eq!(
+        counted,
+        a.cache_losses.len() as u64,
+        "loss counter and typed loss records disagree"
+    );
+    for loss in &a.cache_losses {
+        assert!(loss.lines_lost > 0, "a loss record with no lines: {loss:?}");
+    }
+    // Failure handling is part of the deterministic state machine.
+    let b = run_chaos_cache(Scheme::Gimbal, combined(), 17, workers(()));
+    assert_eq!(a.cache_losses, b.cache_losses, "loss records diverged");
+    assert_eq!(a.cache, b.cache, "cache counters diverged");
+    assert_eq!(a.stats_digest(), b.stats_digest());
 }
 
 /// Telemetry satellite: the fault events in the trace reconcile *exactly*

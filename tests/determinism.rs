@@ -10,8 +10,11 @@
 
 use gimbal_repro::sim::SimDuration;
 use gimbal_repro::telemetry::TraceConfig;
-use gimbal_repro::testbed::{Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec};
-use gimbal_repro::workload::FioSpec;
+use gimbal_repro::testbed::{
+    AdmissionPolicy, CacheConfig, Precondition, RunResult, Scheme, Testbed, TestbedConfig,
+    WorkerSpec,
+};
+use gimbal_repro::workload::{AccessPattern, FioSpec};
 
 const CAP: u64 = 512 * 1024 * 1024 / 4096;
 
@@ -35,6 +38,15 @@ fn run_once(scheme: Scheme, seed: u64) -> RunResult {
 }
 
 fn run_cfg(scheme: Scheme, seed: u64, trace: Option<TraceConfig>) -> RunResult {
+    run_cache_cfg(scheme, seed, trace, None)
+}
+
+fn run_cache_cfg(
+    scheme: Scheme,
+    seed: u64,
+    trace: Option<TraceConfig>,
+    cache: Option<CacheConfig>,
+) -> RunResult {
     let cfg = TestbedConfig {
         scheme,
         precondition: Precondition::Fragmented,
@@ -43,6 +55,7 @@ fn run_cfg(scheme: Scheme, seed: u64, trace: Option<TraceConfig>) -> RunResult {
         seed,
         record_submissions: true,
         trace,
+        cache,
         ..TestbedConfig::default()
     };
     Testbed::new(cfg, mixed_workers(3, 3)).run()
@@ -164,6 +177,103 @@ fn tracing_is_an_observer_not_a_participant() {
             scheme.name()
         );
     }
+}
+
+/// Cache satellite, the bit-identity half: with the cache disabled — either
+/// `None` or a zero-capacity config — every engine's run is byte-identical
+/// to one on a build without cache support: same submissions, same stats
+/// digest, same telemetry digest. The zero-capacity leg proves the pipeline
+/// filters disabled configs out before constructing any cache state.
+#[test]
+fn cache_off_is_bit_identical_for_every_engine() {
+    let trace = Some(TraceConfig { capacity: 1 << 20 });
+    let zero = CacheConfig {
+        capacity_bytes: 0,
+        ..CacheConfig::default()
+    };
+    for scheme in [
+        Scheme::Gimbal,
+        Scheme::Reflex,
+        Scheme::Parda,
+        Scheme::FlashFq,
+    ] {
+        let none = run_cache_cfg(scheme, 7, trace.clone(), None);
+        let zeroed = run_cache_cfg(scheme, 7, trace.clone(), Some(zero.clone()));
+        assert!(
+            zeroed.cache.is_empty(),
+            "{}: zero-capacity config constructed a cache",
+            scheme.name()
+        );
+        assert_eq!(
+            none.submissions,
+            zeroed.submissions,
+            "{}: disabled cache changed the submission schedule",
+            scheme.name()
+        );
+        assert_eq!(
+            none.submission_digest(),
+            zeroed.submission_digest(),
+            "{}: disabled cache changed the submission digest",
+            scheme.name()
+        );
+        assert_eq!(
+            none.stats_digest(),
+            zeroed.stats_digest(),
+            "{}: disabled cache changed the stats digest",
+            scheme.name()
+        );
+        assert_eq!(
+            none.trace_digest(),
+            zeroed.trace_digest(),
+            "{}: disabled cache changed the telemetry digest",
+            scheme.name()
+        );
+    }
+}
+
+/// Cache satellite, the determinism half: with the cache *enabled* on a
+/// skewed read workload, two runs at the same seed agree on everything —
+/// submissions, stats digest (which now folds the full cache state), and
+/// the per-SSD hit/miss counters themselves.
+#[test]
+fn cache_on_double_run_is_deterministic() {
+    let cache = Some(CacheConfig {
+        policy: AdmissionPolicy::Always,
+        ..CacheConfig::for_mb(16)
+    });
+    let run = |seed: u64| {
+        let mut workers = mixed_workers(3, 3);
+        for w in &mut workers {
+            if w.fio.read_ratio > 0.5 {
+                w.fio.read_pattern = AccessPattern::Zipfian;
+            }
+        }
+        let cfg = TestbedConfig {
+            scheme: Scheme::Gimbal,
+            precondition: Precondition::Fragmented,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            seed,
+            record_submissions: true,
+            cache: cache.clone(),
+            ..TestbedConfig::default()
+        };
+        Testbed::new(cfg, workers).run()
+    };
+    let a = run(7);
+    let b = run(7);
+    assert!(!a.cache.is_empty(), "cache enabled but no stats collected");
+    let hits: u64 = a.cache.iter().map(|c| c.hits).sum();
+    assert!(hits > 0, "Zipf readers through a 16 MiB cache never hit");
+    assert_eq!(a.cache, b.cache, "cache counters diverged between runs");
+    assert_eq!(a.submissions, b.submissions);
+    assert_eq!(a.stats_digest(), b.stats_digest());
+    let c = run(8);
+    assert_ne!(
+        a.stats_digest(),
+        c.stats_digest(),
+        "different seeds produced identical cache-on stats digests"
+    );
 }
 
 /// Different seeds must actually change the run (guards against the digest

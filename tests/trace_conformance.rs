@@ -34,7 +34,8 @@ use gimbal_repro::telemetry::{
     CongState, Event, EventKind, RecordedTrace, TraceConfig, TraceHandle, Tracer,
 };
 use gimbal_repro::testbed::{
-    FaultConfig, Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec,
+    AdmissionPolicy, CacheConfig, FaultConfig, Precondition, RunResult, Scheme, Testbed,
+    TestbedConfig, WorkerSpec,
 };
 use gimbal_repro::workload::FioSpec;
 
@@ -84,6 +85,13 @@ fn traced_run() -> &'static RunResult {
                     }],
                 },
                 retry: RetryConfig::default(),
+            }),
+            // A small cache tier so the Cache component shows up in the
+            // combined stream (misses and fills record even when the
+            // uniform pattern rarely re-reads a line).
+            cache: Some(CacheConfig {
+                policy: AdmissionPolicy::Always,
+                ..CacheConfig::for_mb(16)
             }),
             trace: Some(TraceConfig { capacity: 1 << 21 }),
             ..TestbedConfig::default()
