@@ -184,6 +184,7 @@ mod tests {
                 len,
                 priority: Priority::NORMAL,
                 issued_at: SimTime::ZERO,
+                wal: None,
             },
             ready_at: SimTime::ZERO,
         }

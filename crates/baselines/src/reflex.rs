@@ -195,6 +195,7 @@ mod tests {
                 len,
                 priority: Priority::NORMAL,
                 issued_at: SimTime::ZERO,
+                wal: None,
             },
             ready_at: SimTime::ZERO,
         }

@@ -59,6 +59,7 @@ fn req(id: u64, tenant: u32, op: IoType, len: u32) -> Request {
             len,
             priority: Priority::NORMAL,
             issued_at: SimTime::ZERO,
+            wal: None,
         },
         ready_at: SimTime::ZERO,
     }
@@ -247,6 +248,7 @@ fn bench_cache(want: &dyn Fn(&str) -> bool) {
         len: 4096,
         priority: Priority::NORMAL,
         issued_at: SimTime::ZERO,
+        wal: None,
     };
     if want("cache/hit_path_lookup") {
         // The latency a cache hit adds to the pipeline's submit path: one

@@ -21,6 +21,7 @@ fn cmd(id: u64, issued: SimTime) -> NvmeCmd {
         len: 4096,
         priority: Priority::NORMAL,
         issued_at: issued,
+        wal: None,
     }
 }
 

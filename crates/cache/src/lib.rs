@@ -16,10 +16,20 @@
 //!   `Congested`/`Overloaded` to shed SSD load, admit only re-referenced
 //!   (ghost-hit) lines in the avoidance band, and bypass entirely when the
 //!   device is clean so the hit path costs nothing.
-//! * **Writes** are write-through: covered lines are updated in place and
-//!   marked dirty until the device write completes; partially covered lines
-//!   are invalidated. A failed device write with staged lines surfaces a
-//!   typed [`StagedWriteLoss`] — never silent loss.
+//! * **Writes** follow the configured [`WritePolicy`]. Under
+//!   `WritePolicy::Through` (the default, bit-identical to the original
+//!   tier): covered lines are updated in place and marked dirty until the
+//!   device write completes; partially covered lines are invalidated. A
+//!   failed device write with staged lines surfaces a typed
+//!   [`StagedWriteLoss`] — never silent loss. Under `WritePolicy::Back`:
+//!   writes that fit the tenant's partition ack at DRAM cost, their lines
+//!   stay dirty until a deterministic flusher writes them back through the
+//!   switch pipeline — opportunistically while the congestion classifier
+//!   says the device is clean, under watermark/age pressure otherwise, with
+//!   WAL-tagged lines drained in log order ahead of data lines. Every
+//!   dirty-line transition is recorded in a [`DurabilityEvent`] journal so
+//!   the testbed's crash-consistency oracle can replay a shadow model and
+//!   prove exact loss accounting on injected device death or power loss.
 //!
 //! Capacity is partitioned per tenant with cost-weighted shares mirroring
 //! the §3.5 DRR weights, so one tenant's working set cannot evict everyone
@@ -81,6 +91,57 @@ impl AdmissionPolicy {
     }
 }
 
+/// How writes interact with the cache tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Write-through (the original tier, and the default): every write goes
+    /// to the device; covered resident lines are updated in place and stay
+    /// dirty only until the device write completes.
+    Through,
+    /// Write-back: writes that fit the tenant's partition acknowledge at
+    /// DRAM cost; dirty lines are pinned until the deterministic flusher
+    /// drains them to flash through the switch pipeline.
+    Back,
+}
+
+impl WritePolicy {
+    /// Interned label (CLI, exports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            WritePolicy::Through => "through",
+            WritePolicy::Back => "back",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<WritePolicy> {
+        match s {
+            "through" | "write-through" => Some(WritePolicy::Through),
+            "back" | "write-back" => Some(WritePolicy::Back),
+            _ => None,
+        }
+    }
+
+    /// Stable rank for digest folding.
+    const fn rank(self) -> u64 {
+        match self {
+            WritePolicy::Through => 0,
+            WritePolicy::Back => 1,
+        }
+    }
+}
+
+/// Flush command ids live in their own high-bit space so they can never
+/// collide with initiator command ids; the pipeline intercepts completions
+/// carrying this bit and never emits capsules for them.
+pub const FLUSH_ID_BASE: u64 = 1 << 63;
+
+/// Whether `id` names a cache-flusher write rather than an initiator command.
+#[inline]
+pub const fn is_flush_id(id: u64) -> bool {
+    id & FLUSH_ID_BASE != 0
+}
+
 /// Cache configuration, carried by `PipelineConfig`/`TestbedConfig`.
 #[derive(Clone, Debug)]
 pub struct CacheConfig {
@@ -110,6 +171,17 @@ pub struct CacheConfig {
     pub thresh_min: SimDuration,
     /// Classifier ceiling: EWMA at or above this is `Overloaded`.
     pub thresh_max: SimDuration,
+    /// Write handling mode. `Through` is bit-identical to the original tier.
+    pub write_policy: WritePolicy,
+    /// Write-back watermark: a tenant whose dirty lines reach this percent
+    /// of its partition budget is flushed under pressure regardless of the
+    /// congestion classifier.
+    pub dirty_high_percent: u32,
+    /// Write-back age bound: a dirty line older than this is flushed under
+    /// pressure regardless of the congestion classifier.
+    pub flush_max_age: SimDuration,
+    /// Maximum flush writes in flight at the device per SSD cache.
+    pub flush_batch: u32,
 }
 
 impl Default for CacheConfig {
@@ -125,6 +197,10 @@ impl Default for CacheConfig {
             ewma_alpha: 0.125,
             thresh_min: SimDuration::from_micros(250),
             thresh_max: SimDuration::from_micros(1500),
+            write_policy: WritePolicy::Through,
+            dirty_high_percent: 50,
+            flush_max_age: SimDuration::from_millis(2),
+            flush_batch: 4,
         }
     }
 }
@@ -169,6 +245,15 @@ impl CacheConfig {
             self.thresh_min < self.thresh_max,
             "classifier floor must sit below the ceiling"
         );
+        assert!(
+            (1..=100).contains(&self.dirty_high_percent),
+            "dirty watermark must be in 1..=100 percent"
+        );
+        assert!(
+            self.flush_max_age > SimDuration::ZERO,
+            "flush age bound must be positive"
+        );
+        assert!(self.flush_batch >= 1, "flusher needs at least one slot");
     }
 
     /// Total line slots this configuration provides.
@@ -192,7 +277,16 @@ pub struct StagedWriteLoss {
     pub lines_lost: u32,
     /// Virtual-time instant of the failed completion.
     pub at: SimTime,
+    /// Whether the lines were write-back dirty — acknowledged to the
+    /// initiator and awaiting flush — rather than write-through staged
+    /// copies of an in-flight device write. Dirty losses are the enlarged
+    /// blast radius the crash-consistency oracle accounts for exactly.
+    pub dirty: bool,
 }
+
+/// Sentinel `cmd` id on [`StagedWriteLoss`] records produced by device death
+/// or power loss, where no single initiator command failed.
+pub const LOSS_EVENT_CMD: u64 = u64::MAX;
 
 impl StagedWriteLoss {
     /// Fold into a digest, field order fixed.
@@ -202,6 +296,305 @@ impl StagedWriteLoss {
         d.update_u64(self.ssd.index() as u64);
         d.update_u64(u64::from(self.lines_lost));
         d.update_u64(self.at.as_nanos());
+        d.update_u64(u64::from(self.dirty));
+    }
+}
+
+/// Write-back activity counters, kept apart from [`CacheStats`] so the
+/// write-through digest stream is untouched; they fold into digests only
+/// when the cache runs `WritePolicy::Back`.
+///
+/// Line conservation (the property the oracle also proves from the
+/// journal): `acked_lines == flushed_lines + lost_lines + superseded_lines
+/// + dirty_lines`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteBackStats {
+    /// Write commands acknowledged at DRAM cost.
+    pub acked: u64,
+    /// Clean→dirty line transitions from acknowledged writes.
+    pub acked_lines: u64,
+    /// Flush writes submitted to the device.
+    pub flush_ios: u64,
+    /// Flush writes carrying WAL-tagged lines.
+    pub wal_flush_ios: u64,
+    /// Flush writes issued opportunistically (classifier `Underutilized`).
+    pub opportunistic_flushes: u64,
+    /// Flush writes issued under watermark or age pressure.
+    pub pressure_flushes: u64,
+    /// Dirty lines cleaned by a successful flush.
+    pub flushed_lines: u64,
+    /// Failed flushes whose lines were re-queued (transient device error).
+    pub requeued_lines: u64,
+    /// Dirty lines surfaced as [`StagedWriteLoss`] (device death, power
+    /// loss).
+    pub lost_lines: u64,
+    /// Dirty lines whose data was superseded on flash by a later
+    /// pass-through write from the initiator before the flusher got to them.
+    pub superseded_lines: u64,
+    /// Write commands that fell through to the device because the tenant's
+    /// partition could not buffer them (the flusher's pressure valve).
+    pub passthrough: u64,
+    /// Power-loss events absorbed.
+    pub power_losses: u64,
+    /// Dirty lines resident at snapshot time.
+    pub dirty_lines: u64,
+}
+
+impl WriteBackStats {
+    /// Fold every counter into `d`, field order fixed.
+    pub fn fold_into(&self, d: &mut Digest) {
+        for v in [
+            self.acked,
+            self.acked_lines,
+            self.flush_ios,
+            self.wal_flush_ios,
+            self.opportunistic_flushes,
+            self.pressure_flushes,
+            self.flushed_lines,
+            self.requeued_lines,
+            self.lost_lines,
+            self.superseded_lines,
+            self.passthrough,
+            self.power_losses,
+            self.dirty_lines,
+        ] {
+            d.update_u64(v);
+        }
+    }
+
+    /// Exact line conservation: every acknowledged dirty transition is
+    /// accounted for as flushed, lost, superseded, or still dirty.
+    pub fn conservation_holds(&self) -> bool {
+        self.acked_lines
+            == self.flushed_lines + self.lost_lines + self.superseded_lines + self.dirty_lines
+    }
+}
+
+/// One flush IO the pipeline submits to the device on the cache's behalf:
+/// a whole dirty line written back to flash through the scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushIo {
+    /// Command id from the disjoint [`FLUSH_ID_BASE`] space.
+    pub id: u64,
+    /// Tenant whose partition owns the line (DRR accounting).
+    pub tenant: TenantId,
+    /// Starting LBA (line-aligned).
+    pub lba: u64,
+    /// Length in bytes (one line).
+    pub len: u32,
+    /// WAL log-order tag when the line holds write-ahead-log data.
+    pub wal: Option<u64>,
+}
+
+/// One entry of the write-back durability journal. The cache appends these
+/// in virtual-time order; the testbed's crash-consistency oracle replays
+/// them against a shadow dirty-set to prove no silent and no phantom loss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DurabilityEvent {
+    /// A write command acknowledged at DRAM cost.
+    Acked {
+        /// Raw initiator command id.
+        cmd: u64,
+        /// Issuing tenant.
+        tenant: TenantId,
+        /// Lines the command spans.
+        lines: u32,
+        /// Acknowledgement instant.
+        at: SimTime,
+    },
+    /// A line transitioned clean→dirty (acked data now only in DRAM).
+    Dirtied {
+        /// Line id.
+        line: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// WAL log-order tag, when the dirtying write carried one.
+        wal: Option<u64>,
+        /// Transition instant.
+        at: SimTime,
+    },
+    /// The flusher submitted a write for this dirty line.
+    FlushIssued {
+        /// Flush command id ([`FLUSH_ID_BASE`] space).
+        id: u64,
+        /// Line id.
+        line: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// WAL log-order tag carried by the line.
+        wal: Option<u64>,
+        /// Submission instant.
+        at: SimTime,
+    },
+    /// A flush completed successfully and the line is durable on flash.
+    Cleaned {
+        /// Line id.
+        line: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// A flush failed transiently (or raced a re-dirty); the line went back
+    /// to the flush queue, still dirty.
+    Requeued {
+        /// Line id.
+        line: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// WAL log-order tag carried by the line.
+        wal: Option<u64>,
+        /// Re-queue instant.
+        at: SimTime,
+    },
+    /// A later pass-through write from the initiator reached flash and
+    /// superseded this dirty line's data; nothing left to flush.
+    Superseded {
+        /// Line id.
+        line: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// Completion instant of the superseding device write.
+        at: SimTime,
+    },
+    /// A dirty line's acked-but-unflushed data was lost (device death or
+    /// power loss) and surfaced in a [`StagedWriteLoss`].
+    Lost {
+        /// Line id.
+        line: u64,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// WAL log-order tag carried by the line.
+        wal: Option<u64>,
+        /// Loss instant.
+        at: SimTime,
+    },
+    /// A write command fell through to the device (partition full or device
+    /// dead); it is durably ordered by the device, not the cache.
+    PassThrough {
+        /// Raw initiator command id.
+        cmd: u64,
+        /// Issuing tenant.
+        tenant: TenantId,
+        /// Submission instant.
+        at: SimTime,
+    },
+    /// Simulated power loss: NIC DRAM cleared cold; every dirty line was
+    /// surfaced as `Lost` immediately after this marker.
+    PowerLoss {
+        /// Loss instant.
+        at: SimTime,
+    },
+    /// The device died; every dirty line was surfaced as `Lost` immediately
+    /// after this marker and the flusher stopped.
+    DeviceDeath {
+        /// Observation instant.
+        at: SimTime,
+    },
+}
+
+impl DurabilityEvent {
+    /// Fold into a digest, variant rank then fields, order fixed.
+    pub fn fold_into(&self, d: &mut Digest) {
+        let fold_wal = |d: &mut Digest, wal: Option<u64>| match wal {
+            Some(w) => {
+                d.update_u64(1);
+                d.update_u64(w);
+            }
+            None => {
+                d.update_u64(0);
+            }
+        };
+        match *self {
+            DurabilityEvent::Acked {
+                cmd,
+                tenant,
+                lines,
+                at,
+            } => {
+                d.update_u64(0);
+                d.update_u64(cmd);
+                d.update_u64(tenant.index() as u64);
+                d.update_u64(u64::from(lines));
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::Dirtied {
+                line,
+                tenant,
+                wal,
+                at,
+            } => {
+                d.update_u64(1);
+                d.update_u64(line);
+                d.update_u64(tenant.index() as u64);
+                fold_wal(d, wal);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::FlushIssued {
+                id,
+                line,
+                tenant,
+                wal,
+                at,
+            } => {
+                d.update_u64(2);
+                d.update_u64(id);
+                d.update_u64(line);
+                d.update_u64(tenant.index() as u64);
+                fold_wal(d, wal);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::Cleaned { line, tenant, at } => {
+                d.update_u64(3);
+                d.update_u64(line);
+                d.update_u64(tenant.index() as u64);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::Requeued {
+                line,
+                tenant,
+                wal,
+                at,
+            } => {
+                d.update_u64(4);
+                d.update_u64(line);
+                d.update_u64(tenant.index() as u64);
+                fold_wal(d, wal);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::Superseded { line, tenant, at } => {
+                d.update_u64(5);
+                d.update_u64(line);
+                d.update_u64(tenant.index() as u64);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::Lost {
+                line,
+                tenant,
+                wal,
+                at,
+            } => {
+                d.update_u64(6);
+                d.update_u64(line);
+                d.update_u64(tenant.index() as u64);
+                fold_wal(d, wal);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::PassThrough { cmd, tenant, at } => {
+                d.update_u64(7);
+                d.update_u64(cmd);
+                d.update_u64(tenant.index() as u64);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::PowerLoss { at } => {
+                d.update_u64(8);
+                d.update_u64(at.as_nanos());
+            }
+            DurabilityEvent::DeviceDeath { at } => {
+                d.update_u64(9);
+                d.update_u64(at.as_nanos());
+            }
+        }
     }
 }
 
@@ -285,8 +678,19 @@ struct Line {
     /// an earlier life of the same line id (queues are cleaned lazily).
     incarnation: u64,
     accessed: bool,
-    /// Staged by a write whose device copy has not completed yet.
+    /// Write-through: staged by a write whose device copy has not completed
+    /// yet. Write-back: acknowledged data not yet durable on flash.
     dirty: bool,
+    /// Bumped on every dirtying; a flush (or pass-through write) only cleans
+    /// the line if the epoch it snapshotted still matches, so a re-dirty
+    /// racing an in-flight device write is never lost.
+    dirty_epoch: u64,
+    /// Instant of the clean→dirty transition (age-pressure flushing).
+    dirtied_at: SimTime,
+    /// A flush IO for this line is in flight (keeps it out of the queues).
+    flushing: bool,
+    /// WAL log-order tag of the dirtying write, when it carried one.
+    wal: Option<u64>,
 }
 
 /// Per-tenant partition: budget, segment FIFOs, and the ghost queue.
@@ -302,12 +706,38 @@ struct TenantPart {
     main: VecDeque<(u64, u64)>,
     ghost_set: DetSet<u64>,
     ghost_fifo: VecDeque<u64>,
+    /// Dirty resident lines (write-back only; pinned against eviction).
+    dirty: u64,
+    /// Dirty WAL-tagged lines awaiting a flush slot, kept sorted by WAL tag
+    /// so flush issue order is log order: `(line, enqueued_at, wal_tag)`.
+    /// Entries are lazily invalidated (skipped when the line is no longer
+    /// dirty, is already flushing, or changed identity).
+    wal_q: VecDeque<(u64, SimTime, u64)>,
+    /// Dirty data lines awaiting a flush slot, FIFO by first-dirty time:
+    /// `(line, enqueued_at)`. Lazily invalidated like `wal_q`.
+    data_q: VecDeque<(u64, SimTime)>,
 }
 
 impl TenantPart {
     fn resident(&self) -> u64 {
         self.resident_small + self.resident_main
     }
+
+    /// Whether the dirty population crossed the pressure watermark.
+    fn over_watermark(&self, dirty_high_percent: u32) -> bool {
+        self.dirty * 100 >= self.budget_lines * u64::from(dirty_high_percent)
+    }
+}
+
+/// A flush write in flight at the device.
+#[derive(Clone, Copy, Debug)]
+struct Flight {
+    line: u64,
+    tenant: TenantId,
+    /// Dirty epoch snapshotted at issue; a mismatch on completion means the
+    /// line was re-dirtied (or superseded) while the flush was in flight.
+    epoch: u64,
+    wal: Option<u64>,
 }
 
 /// The per-SSD cache: line table, per-tenant partitions, congestion
@@ -329,6 +759,13 @@ pub struct SsdCache {
     seen_sample: bool,
     stats: CacheStats,
     losses: Vec<StagedWriteLoss>,
+    // Write-back machinery; all of it stays empty under WritePolicy::Through.
+    wb: WriteBackStats,
+    flights: DetMap<u64, Flight>,
+    next_flush: u64,
+    journal: Vec<DurabilityEvent>,
+    /// The device died: stop acking and flushing; pass every write through.
+    dead: bool,
     trace: TraceHandle,
 }
 
@@ -357,6 +794,11 @@ impl SsdCache {
             seen_sample: false,
             stats: CacheStats::default(),
             losses: Vec::new(),
+            wb: WriteBackStats::default(),
+            flights: DetMap::new(),
+            next_flush: 0,
+            journal: Vec::new(),
+            dead: false,
             trace: TraceHandle::disabled(),
         }
     }
@@ -388,6 +830,36 @@ impl SsdCache {
         &self.losses
     }
 
+    /// Write-back counters, with `dirty_lines` filled in. All-zero under
+    /// `WritePolicy::Through`.
+    pub fn write_back_stats(&self) -> WriteBackStats {
+        let mut s = self.wb;
+        s.dirty_lines = self.tenants.values().map(|p| p.dirty).sum();
+        s
+    }
+
+    /// The write-back durability journal so far (empty under
+    /// `WritePolicy::Through`). The crash-consistency oracle replays this.
+    pub fn journal(&self) -> &[DurabilityEvent] {
+        &self.journal
+    }
+
+    /// The configured write policy.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.cfg.write_policy
+    }
+
+    /// Per-tenant `(tenant, dirty lines, partition budget in lines)` in
+    /// registration order. Dirty lines are pinned (unevictable), so the
+    /// partition-capacity invariant is `dirty <= budget` at every instant;
+    /// the property suite asserts it after every operation.
+    pub fn tenant_dirty(&self) -> Vec<(TenantId, u64, u64)> {
+        self.tenants
+            .iter()
+            .map(|(t, p)| (*t, p.dirty, p.budget_lines))
+            .collect()
+    }
+
     /// The line-id range `[start, end)` a command touches.
     fn line_range(&self, cmd: &NvmeCmd) -> (u64, u64) {
         let start = cmd.lba / self.line_blocks;
@@ -416,6 +888,9 @@ impl SsdCache {
                 main: VecDeque::new(),
                 ghost_set: DetSet::new(),
                 ghost_fifo: VecDeque::new(),
+                dirty: 0,
+                wal_q: VecDeque::new(),
+                data_q: VecDeque::new(),
             },
         );
         let (cap, total) = (self.cap_lines, self.total_weight);
@@ -462,12 +937,24 @@ impl SsdCache {
         }
     }
 
-    /// Stage a write-through: fully covered resident lines are updated in
-    /// place and marked dirty until [`Self::on_write_completion`]; partially
-    /// covered resident lines are invalidated (their DRAM copy would be
-    /// stale). Writes never allocate lines.
+    /// A write is going to the device. Write-through: fully covered resident
+    /// lines are updated in place and marked dirty until
+    /// [`Self::on_write_completion`]; partially covered resident lines are
+    /// invalidated (their DRAM copy would be stale). Writes never allocate
+    /// lines. Write-back: this is the pass-through path (the write did not
+    /// fit the partition, or the device is dead) — nothing is staged at
+    /// submit time; resident lines are reconciled at completion.
     pub fn stage_write(&mut self, cmd: &NvmeCmd, now: SimTime) {
         self.register_tenant(cmd.tenant, cmd.priority);
+        if self.cfg.write_policy == WritePolicy::Back {
+            self.wb.passthrough += 1;
+            self.journal.push(DurabilityEvent::PassThrough {
+                cmd: cmd.id.0,
+                tenant: cmd.tenant,
+                at: now,
+            });
+            return;
+        }
         let (s, e) = self.line_range(cmd);
         for l in s..e {
             let covered =
@@ -484,9 +971,534 @@ impl SsdCache {
         }
     }
 
+    /// Try to absorb a write at DRAM cost (write-back only). Every touched
+    /// line becomes dirty — a partially covering write is modeled as a
+    /// read-modify-write merge into the line — and the command can complete
+    /// at hit latency. Returns false (the caller must send the write to the
+    /// device) when the policy is write-through, the device is dead, or the
+    /// tenant's partition cannot pin the span: dirty lines are unevictable,
+    /// so admission requires `dirty + newly_dirty <= budget`, where
+    /// `newly_dirty` counts every span line that is not already dirty —
+    /// absent lines allocate and pin, resident *clean* lines re-dirty and
+    /// pin just the same.
+    pub fn write_back_ack(&mut self, cmd: &NvmeCmd, now: SimTime) -> bool {
+        if self.cfg.write_policy != WritePolicy::Back || self.dead {
+            return false;
+        }
+        self.register_tenant(cmd.tenant, cmd.priority);
+        let (s, e) = self.line_range(cmd);
+        let newly_dirty = (s..e)
+            .filter(|l| !self.lines.get(l).is_some_and(|line| line.dirty))
+            .count() as u64;
+        let p = self.tenants.get(&cmd.tenant).expect("registered");
+        if p.dirty + newly_dirty > p.budget_lines {
+            return false;
+        }
+        for l in s..e {
+            if self.lines.contains_key(&l) {
+                self.redirty_resident(l, cmd.wal, now);
+            } else {
+                self.alloc_dirty(cmd.tenant, l, cmd.wal, now);
+            }
+        }
+        self.wb.acked += 1;
+        self.trace.record(
+            now,
+            self.ssd,
+            Some(cmd.tenant),
+            EventKind::CacheWriteBackAck {
+                cmd: cmd.id.0,
+                lines: (e - s) as u32,
+            },
+        );
+        self.journal.push(DurabilityEvent::Acked {
+            cmd: cmd.id.0,
+            tenant: cmd.tenant,
+            lines: (e - s) as u32,
+            at: now,
+        });
+        true
+    }
+
+    /// Dirty (or re-dirty) a resident line in place. The line keeps its
+    /// current owner; cross-tenant writes to a shared region dirty the
+    /// owner's partition, mirroring how residency is accounted.
+    fn redirty_resident(&mut self, l: u64, wal: Option<u64>, now: SimTime) {
+        let line = self.lines.get_mut(&l).expect("resident");
+        line.accessed = true;
+        line.dirty_epoch += 1;
+        let owner = line.tenant;
+        let was_dirty = line.dirty;
+        let was_queued = was_dirty && !line.flushing;
+        let old_wal = line.wal;
+        line.wal = wal;
+        if !was_dirty {
+            line.dirty = true;
+            line.dirtied_at = now;
+            self.wb.acked_lines += 1;
+            let p = self.tenants.get_mut(&owner).expect("owner registered");
+            p.dirty += 1;
+            Self::enqueue_dirty(p, l, now, wal);
+            self.journal.push(DurabilityEvent::Dirtied {
+                line: l,
+                tenant: owner,
+                wal,
+                at: now,
+            });
+            return;
+        }
+        // Already dirty: the DRAM copy absorbs the newer data; no new debt.
+        // If the WAL tag changed while the line sits in a queue, the queue
+        // entry's ordering key is stale — drop it and re-enqueue sorted.
+        if was_queued && old_wal != wal {
+            let p = self.tenants.get_mut(&owner).expect("owner registered");
+            p.wal_q.retain(|&(ql, _, _)| ql != l);
+            p.data_q.retain(|&(ql, _)| ql != l);
+            Self::enqueue_dirty(p, l, now, wal);
+        }
+    }
+
+    /// Allocate a fresh dirty line (write-allocate), evicting clean lines
+    /// within the tenant's partition as needed. The caller verified the
+    /// partition can pin it.
+    fn alloc_dirty(&mut self, tenant: TenantId, l: u64, wal: Option<u64>, now: SimTime) {
+        if !self.insert_line(tenant, l, false, now) {
+            // Cannot happen: admission guaranteed a clean line is evictable.
+            debug_assert!(false, "write-back allocation failed past admission");
+            return;
+        }
+        let line = self.lines.get_mut(&l).expect("just inserted");
+        line.dirty = true;
+        line.dirty_epoch += 1;
+        line.dirtied_at = now;
+        line.wal = wal;
+        self.wb.acked_lines += 1;
+        let p = self.tenants.get_mut(&tenant).expect("registered");
+        p.dirty += 1;
+        Self::enqueue_dirty(p, l, now, wal);
+        self.journal.push(DurabilityEvent::Dirtied {
+            line: l,
+            tenant,
+            wal,
+            at: now,
+        });
+    }
+
+    /// Put a dirty line into the owner's flush queue. WAL-tagged lines are
+    /// inserted in tag order (scanning from the tail — re-dirties and retry
+    /// re-queues carry tags near the maximum); data lines append FIFO.
+    fn enqueue_dirty(p: &mut TenantPart, l: u64, at: SimTime, wal: Option<u64>) {
+        match wal {
+            Some(w) => {
+                let mut idx = p.wal_q.len();
+                while idx > 0 && p.wal_q[idx - 1].2 > w {
+                    idx -= 1;
+                }
+                p.wal_q.insert(idx, (l, at, w));
+            }
+            None => p.data_q.push_back((l, at)),
+        }
+    }
+
+    /// Whether a flush-queue entry still names the dirty residency it was
+    /// enqueued for. Entries are lazily invalidated: a clean, flushing,
+    /// re-owned, or re-tagged line makes the entry stale and it is skipped.
+    fn queue_entry_valid(
+        lines: &DetMap<u64, Line>,
+        tenant: TenantId,
+        l: u64,
+        wal: Option<u64>,
+    ) -> bool {
+        lines.get(&l).is_some_and(|line| {
+            line.tenant == tenant && line.dirty && !line.flushing && line.wal == wal
+        })
+    }
+
+    /// Pop the next dirty line the flusher should write back, or `None`
+    /// when nothing is eligible. WAL-tagged lines drain globally in log
+    /// order ahead of data lines; data lines drain oldest-first. In
+    /// `opportunistic` mode every queued line is eligible; otherwise a
+    /// tenant's queues open only over the dirty watermark or once its
+    /// oldest entry exceeds the age bound (the whole WAL queue opens with
+    /// it — log order means the head must go first regardless of which
+    /// entry aged out). Returns `(line, tenant, wal, under_pressure)`.
+    fn pop_flushable(
+        &mut self,
+        now: SimTime,
+        opportunistic: bool,
+    ) -> Option<(u64, TenantId, Option<u64>, bool)> {
+        // Purge stale heads so the candidate scan below sees live entries.
+        let tenant_ids: Vec<TenantId> = self.tenants.keys().copied().collect();
+        for t in &tenant_ids {
+            let lines = &self.lines;
+            let p = self.tenants.get_mut(t).expect("listed tenant");
+            while let Some(&(l, _, w)) = p.wal_q.front() {
+                if Self::queue_entry_valid(lines, *t, l, Some(w)) {
+                    break;
+                }
+                p.wal_q.pop_front();
+            }
+            while let Some(&(l, _)) = p.data_q.front() {
+                if Self::queue_entry_valid(lines, *t, l, None) {
+                    break;
+                }
+                p.data_q.pop_front();
+            }
+        }
+        let max_age = self.cfg.flush_max_age;
+        let whp = self.cfg.dirty_high_percent;
+        // (wal tag, tenant, pressure) / (enqueued_at, tenant, pressure);
+        // strict < keeps ties on the earlier-registered tenant.
+        let mut best_wal: Option<(u64, TenantId, bool)> = None;
+        let mut best_data: Option<(SimTime, TenantId, bool)> = None;
+        for (t, p) in self.tenants.iter() {
+            if p.wal_q.is_empty() && p.data_q.is_empty() {
+                continue;
+            }
+            let (eligible, pressure) = if opportunistic {
+                (true, false)
+            } else {
+                let mut oldest: Option<SimTime> = None;
+                for &(l, at, w) in &p.wal_q {
+                    if Self::queue_entry_valid(&self.lines, *t, l, Some(w))
+                        && oldest.is_none_or(|o| at < o)
+                    {
+                        oldest = Some(at);
+                    }
+                }
+                if let Some(&(_, at)) = p.data_q.front() {
+                    if oldest.is_none_or(|o| at < o) {
+                        oldest = Some(at);
+                    }
+                }
+                let due = p.over_watermark(whp) || oldest.is_some_and(|o| o + max_age <= now);
+                (due, true)
+            };
+            if !eligible {
+                continue;
+            }
+            if let Some(&(_, _, w)) = p.wal_q.front() {
+                if best_wal.is_none_or(|(bw, _, _)| w < bw) {
+                    best_wal = Some((w, *t, pressure));
+                }
+            } else if let Some(&(_, at)) = p.data_q.front() {
+                if best_data.is_none_or(|(ba, _, _)| at < ba) {
+                    best_data = Some((at, *t, pressure));
+                }
+            }
+        }
+        if let Some((w, t, pressure)) = best_wal {
+            let p = self.tenants.get_mut(&t).expect("candidate tenant");
+            let (l, _, _) = p.wal_q.pop_front().expect("candidate head");
+            return Some((l, t, Some(w), pressure));
+        }
+        if let Some((_, t, pressure)) = best_data {
+            let p = self.tenants.get_mut(&t).expect("candidate tenant");
+            let (l, _) = p.data_q.pop_front().expect("candidate head");
+            return Some((l, t, None, pressure));
+        }
+        None
+    }
+
+    /// Take the flush writes the pipeline should submit now, bounded by the
+    /// in-flight cap. Empty under write-through, after device death, or when
+    /// no dirty line is eligible (see [`Self::pop_flushable`]).
+    pub fn take_flushes(&mut self, now: SimTime) -> Vec<FlushIo> {
+        let mut out = Vec::new();
+        if self.cfg.write_policy != WritePolicy::Back || self.dead {
+            return out;
+        }
+        let opportunistic = self.state == CongState::Underutilized;
+        while self.flights.len() < self.cfg.flush_batch as usize {
+            let Some((l, tenant, wal, pressure)) = self.pop_flushable(now, opportunistic) else {
+                break;
+            };
+            let line = self.lines.get_mut(&l).expect("validated resident");
+            line.flushing = true;
+            let epoch = line.dirty_epoch;
+            let id = FLUSH_ID_BASE | self.next_flush;
+            self.next_flush += 1;
+            self.flights.insert(
+                id,
+                Flight {
+                    line: l,
+                    tenant,
+                    epoch,
+                    wal,
+                },
+            );
+            self.wb.flush_ios += 1;
+            if wal.is_some() {
+                self.wb.wal_flush_ios += 1;
+            }
+            if pressure {
+                self.wb.pressure_flushes += 1;
+            } else {
+                self.wb.opportunistic_flushes += 1;
+            }
+            self.journal.push(DurabilityEvent::FlushIssued {
+                id,
+                line: l,
+                tenant,
+                wal,
+                at: now,
+            });
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(tenant),
+                EventKind::CacheFlushIssued { id, line: l },
+            );
+            out.push(FlushIo {
+                id,
+                tenant,
+                lba: l * self.line_blocks,
+                len: self.cfg.line_bytes,
+                wal,
+            });
+        }
+        out
+    }
+
+    /// Earliest virtual time at which [`Self::take_flushes`] would produce
+    /// work, given current classifier state — `None` when the flusher is
+    /// idle, saturated, stopped, or write-through. A past instant means
+    /// "due now"; the pipeline clamps to its current time. Pure: calling it
+    /// never mutates the cache, so the pipeline can poll it when computing
+    /// its next event time.
+    pub fn next_flush_due(&self) -> Option<SimTime> {
+        if self.cfg.write_policy != WritePolicy::Back || self.dead {
+            return None;
+        }
+        if self.flights.len() >= self.cfg.flush_batch as usize {
+            return None;
+        }
+        let opportunistic = self.state == CongState::Underutilized;
+        let max_age = self.cfg.flush_max_age;
+        let whp = self.cfg.dirty_high_percent;
+        let mut due: Option<SimTime> = None;
+        for (t, p) in self.tenants.iter() {
+            let mut oldest: Option<SimTime> = None;
+            for &(l, at, w) in &p.wal_q {
+                if Self::queue_entry_valid(&self.lines, *t, l, Some(w))
+                    && oldest.is_none_or(|o| at < o)
+                {
+                    oldest = Some(at);
+                }
+            }
+            for &(l, at) in &p.data_q {
+                if Self::queue_entry_valid(&self.lines, *t, l, None)
+                    && oldest.is_none_or(|o| at < o)
+                {
+                    oldest = Some(at);
+                }
+            }
+            let Some(oldest) = oldest else { continue };
+            let t_due = if opportunistic || p.over_watermark(whp) {
+                oldest
+            } else {
+                oldest + max_age
+            };
+            if due.is_none_or(|d| t_due < d) {
+                due = Some(t_due);
+            }
+        }
+        due
+    }
+
+    /// A flush write completed at the device. Success with an unchanged
+    /// dirty epoch cleans the line (it is durable on flash); a transient
+    /// failure or an epoch mismatch (the line was re-dirtied while the
+    /// flush was in flight) re-queues it, still dirty. A line superseded or
+    /// lost mid-flight just sheds its `flushing` pin.
+    pub fn on_flush_completion(&mut self, id: u64, failed: bool, now: SimTime) {
+        let Some(fl) = self.flights.remove(&id) else {
+            // Power loss or device death already drained this flight.
+            return;
+        };
+        let Some(line) = self.lines.get_mut(&fl.line) else {
+            return;
+        };
+        line.flushing = false;
+        if !line.dirty {
+            return;
+        }
+        let owner = line.tenant;
+        if !failed && line.dirty_epoch == fl.epoch {
+            line.dirty = false;
+            line.wal = None;
+            self.tenants
+                .get_mut(&owner)
+                .expect("owner registered")
+                .dirty -= 1;
+            self.wb.flushed_lines += 1;
+            self.journal.push(DurabilityEvent::Cleaned {
+                line: fl.line,
+                tenant: owner,
+                at: now,
+            });
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(owner),
+                EventKind::CacheFlushDone {
+                    id,
+                    line: fl.line,
+                    requeued: false,
+                },
+            );
+            return;
+        }
+        let wal = line.wal;
+        let p = self.tenants.get_mut(&owner).expect("owner registered");
+        Self::enqueue_dirty(p, fl.line, now, wal);
+        self.wb.requeued_lines += 1;
+        self.journal.push(DurabilityEvent::Requeued {
+            line: fl.line,
+            tenant: owner,
+            wal,
+            at: now,
+        });
+        self.trace.record(
+            now,
+            self.ssd,
+            Some(owner),
+            EventKind::CacheFlushDone {
+                id,
+                line: fl.line,
+                requeued: true,
+            },
+        );
+    }
+
+    /// Surface every dirty line as a [`StagedWriteLoss`] (one aggregated
+    /// record per tenant, `cmd` = [`LOSS_EVENT_CMD`], `dirty` = true) and
+    /// journal a `Lost` entry per line. Lines become clean; flush queues
+    /// drain. Returns the number of lines lost.
+    fn surface_dirty_losses(&mut self, now: SimTime) -> u32 {
+        let mut lost: Vec<(u64, TenantId, Option<u64>)> = Vec::new();
+        for (l, line) in self.lines.iter_mut() {
+            if line.dirty {
+                lost.push((*l, line.tenant, line.wal));
+                line.dirty = false;
+                line.dirty_epoch += 1;
+                line.flushing = false;
+                line.wal = None;
+            }
+        }
+        for &(l, t, wal) in &lost {
+            self.journal.push(DurabilityEvent::Lost {
+                line: l,
+                tenant: t,
+                wal,
+                at: now,
+            });
+        }
+        let mut per_tenant: DetMap<TenantId, u32> = DetMap::new();
+        for &(_, t, _) in &lost {
+            match per_tenant.get_mut(&t) {
+                Some(n) => *n += 1,
+                None => {
+                    per_tenant.insert(t, 1);
+                }
+            }
+        }
+        for (t, n) in per_tenant.iter() {
+            self.wb.lost_lines += u64::from(*n);
+            self.stats.staged_losses += u64::from(*n);
+            self.losses.push(StagedWriteLoss {
+                cmd: LOSS_EVENT_CMD,
+                tenant: *t,
+                ssd: self.ssd,
+                lines_lost: *n,
+                at: now,
+                dirty: true,
+            });
+            self.trace.record(
+                now,
+                self.ssd,
+                Some(*t),
+                EventKind::CacheStagedLoss {
+                    cmd: LOSS_EVENT_CMD,
+                    lines: *n,
+                },
+            );
+        }
+        for p in self.tenants.values_mut() {
+            p.dirty = 0;
+            p.wal_q.clear();
+            p.data_q.clear();
+        }
+        lost.len() as u32
+    }
+
+    /// The device died. Write-back only: every acked-but-unflushed line is
+    /// surfaced as a dirty-tagged [`StagedWriteLoss`] (it can never reach
+    /// flash), the flusher stops for good, and subsequent writes pass
+    /// through (to fail at the device like every other command). The DRAM
+    /// copies stay resident and clean — reads may still hit them.
+    pub fn on_device_death(&mut self, now: SimTime) {
+        if self.cfg.write_policy != WritePolicy::Back || self.dead {
+            return;
+        }
+        self.dead = true;
+        self.journal.push(DurabilityEvent::DeviceDeath { at: now });
+        let lost = self.surface_dirty_losses(now);
+        self.flights.clear();
+        self.trace.record(
+            now,
+            self.ssd,
+            None,
+            EventKind::CacheDeviceDeath { lines_lost: lost },
+        );
+    }
+
+    /// Simulated power loss: NIC DRAM goes cold. Under write-back every
+    /// dirty line is first surfaced as a dirty-tagged [`StagedWriteLoss`]
+    /// (marker-then-losses in the journal); under either policy the whole
+    /// line table, segment FIFOs, and ghost queues clear. Counters are sim
+    /// bookkeeping and survive. The device itself is unaffected.
+    pub fn power_loss(&mut self, now: SimTime) {
+        let mut lost = 0;
+        if self.cfg.write_policy == WritePolicy::Back {
+            self.wb.power_losses += 1;
+            self.journal.push(DurabilityEvent::PowerLoss { at: now });
+            lost = self.surface_dirty_losses(now);
+            self.flights.clear();
+        }
+        self.lines.clear();
+        for p in self.tenants.values_mut() {
+            p.resident_small = 0;
+            p.resident_main = 0;
+            p.small.clear();
+            p.main.clear();
+            p.ghost_set.clear();
+            p.ghost_fifo.clear();
+            p.dirty = 0;
+            p.wal_q.clear();
+            p.data_q.clear();
+        }
+        self.trace.record(
+            now,
+            self.ssd,
+            None,
+            EventKind::CachePowerLoss { lines_lost: lost },
+        );
+    }
+
     /// A device write completed. Success commits staged lines (clears
     /// dirty); failure drops them and surfaces a typed [`StagedWriteLoss`].
+    /// Under write-back this is a pass-through completion and reconciles
+    /// resident lines instead: a successful fully-covering write supersedes
+    /// a dirty line (flash now holds newer data — nothing left to flush), a
+    /// partial write over a dirty line merges into DRAM and stays dirty, a
+    /// partial write over a clean line invalidates the stale copy, and a
+    /// failed write changes nothing.
     pub fn on_write_completion(&mut self, cmd: &NvmeCmd, failed: bool, now: SimTime) {
+        if self.cfg.write_policy == WritePolicy::Back {
+            self.reconcile_passthrough(cmd, failed, now);
+            return;
+        }
         let (s, e) = self.line_range(cmd);
         if !failed {
             for l in s..e {
@@ -511,6 +1523,7 @@ impl SsdCache {
                 ssd: cmd.ssd,
                 lines_lost: lost,
                 at: now,
+                dirty: false,
             });
             self.trace.record(
                 now,
@@ -521,6 +1534,52 @@ impl SsdCache {
                     lines: lost,
                 },
             );
+        }
+    }
+
+    /// Write-back reconciliation for a pass-through device write (see
+    /// [`Self::on_write_completion`]).
+    fn reconcile_passthrough(&mut self, cmd: &NvmeCmd, failed: bool, now: SimTime) {
+        if failed {
+            // The device rejected the write; resident copies (clean ones
+            // match flash, dirty ones are still ahead of it) stay valid.
+            return;
+        }
+        let (s, e) = self.line_range(cmd);
+        for l in s..e {
+            let covered =
+                l * self.line_blocks >= cmd.lba && (l + 1) * self.line_blocks <= cmd.lba_end();
+            let Some(line) = self.lines.get_mut(&l) else {
+                continue;
+            };
+            line.accessed = true;
+            if covered {
+                if line.dirty {
+                    // Flash now holds newer data than the acked DRAM copy:
+                    // the dirty line is superseded, nothing left to flush.
+                    line.dirty = false;
+                    line.dirty_epoch += 1;
+                    line.wal = None;
+                    let owner = line.tenant;
+                    self.tenants
+                        .get_mut(&owner)
+                        .expect("owner registered")
+                        .dirty -= 1;
+                    self.wb.superseded_lines += 1;
+                    self.journal.push(DurabilityEvent::Superseded {
+                        line: l,
+                        tenant: owner,
+                        at: now,
+                    });
+                }
+                // A clean covered line absorbs the write in place.
+            } else if !line.dirty {
+                // Partial write over a clean line: the DRAM copy is stale.
+                self.invalidate_line(l, now);
+            }
+            // Partial write over a dirty line: the DRAM line merges the
+            // written bytes (read-modify-write fiction) and stays dirty —
+            // it is still ahead of flash and must flush.
         }
     }
 
@@ -569,7 +1628,11 @@ impl SsdCache {
             if ghost_only && !ghost_hit {
                 continue;
             }
-            self.insert_line(cmd.tenant, l, ghost_hit, now);
+            if !self.insert_line(cmd.tenant, l, ghost_hit, now) {
+                // Write-back: the partition is wall-to-wall dirty; a read
+                // fill cannot displace pinned lines.
+                continue;
+            }
             filled += 1;
             if ghost_hit {
                 ghost_hits += 1;
@@ -641,15 +1704,21 @@ impl SsdCache {
 
     /// Insert a line into the tenant's partition, evicting within that
     /// partition first if it is at budget. Ghost hits land in the main
-    /// segment (proven reuse); everything else starts in probation.
-    fn insert_line(&mut self, tenant: TenantId, l: u64, to_main: bool, now: SimTime) {
+    /// segment (proven reuse); everything else starts in probation. Returns
+    /// false without inserting when eviction cannot make room — possible
+    /// only under write-back, where dirty lines are pinned; write-through
+    /// partitions always hold an evictable line at budget.
+    fn insert_line(&mut self, tenant: TenantId, l: u64, to_main: bool, now: SimTime) -> bool {
         loop {
             let at_budget = self
                 .tenants
                 .get(&tenant)
                 .is_some_and(|p| p.resident() >= p.budget_lines);
-            if !at_budget || !self.evict_one(tenant, now) {
+            if !at_budget {
                 break;
+            }
+            if !self.evict_one(tenant, now) {
+                return false;
             }
         }
         let inc = self.next_incarnation;
@@ -666,6 +1735,10 @@ impl SsdCache {
                 incarnation: inc,
                 accessed: false,
                 dirty: false,
+                dirty_epoch: 0,
+                dirtied_at: now,
+                flushing: false,
+                wal: None,
             },
         );
         if let Some(p) = self.tenants.get_mut(&tenant) {
@@ -677,6 +1750,7 @@ impl SsdCache {
                 p.small.push_back((l, inc));
             }
         }
+        true
     }
 
     /// Evict one line from `tenant`'s partition. The small segment is
@@ -694,15 +1768,30 @@ impl SsdCache {
         } else {
             [Self::evict_from_main, Self::evict_from_small]
         };
-        order.into_iter().any(|seg| seg(self, tenant, now))
+        if order.into_iter().any(|seg| seg(self, tenant, now)) {
+            return true;
+        }
+        // A failed small scan may still have *promoted* accessed clean lines
+        // into main. When main ran first those promotions were never
+        // considered, which under write-back can strand the only evictable
+        // line (everything else dirty-pinned); one more main pass closes the
+        // gap, and an all-dirty main still terminates its bounded scan.
+        !prefer_small && Self::evict_from_main(self, tenant, now)
     }
 
     /// Pop the probation FIFO: a touched line is promoted to main, a cold
     /// line is evicted and remembered in the ghost queue.
     fn evict_from_small(&mut self, tenant: TenantId, now: SimTime) -> bool {
+        let pinned_dirty = self.cfg.write_policy == WritePolicy::Back;
         let ghost_cap = self.tenants.get(&tenant).map_or(1, |p| {
             (p.budget_lines * u64::from(self.cfg.ghost_percent) / 100).max(1)
         });
+        // Dirty lines rotate to the tail rather than evict. A full lap of
+        // *consecutive* dirty rotations means every live entry is pinned —
+        // only then is giving up correct (a fixed rotation budget can be
+        // exhausted re-visiting dirty lines that promotions or second
+        // chances rotated back in front of an evictable one).
+        let mut consec_dirty = 0usize;
         loop {
             let Some(p) = self.tenants.get_mut(&tenant) else {
                 return false;
@@ -716,6 +1805,15 @@ impl SsdCache {
             if line.incarnation != inc {
                 continue; // stale entry: the id was refilled later
             }
+            if pinned_dirty && line.dirty {
+                p.small.push_back((l, inc));
+                consec_dirty += 1;
+                if consec_dirty > p.small.len() {
+                    return false;
+                }
+                continue;
+            }
+            consec_dirty = 0;
             if line.accessed {
                 line.accessed = false;
                 line.seg = Segment::Main;
@@ -755,7 +1853,11 @@ impl SsdCache {
     /// the tail untouched-bit-cleared; chances are bounded by the queue
     /// length so the scan terminates even when everything is hot.
     fn evict_from_main(&mut self, tenant: TenantId, now: SimTime) -> bool {
+        let pinned_dirty = self.cfg.write_policy == WritePolicy::Back;
         let mut chances = self.tenants.get(&tenant).map_or(0, |p| p.main.len());
+        // See evict_from_small: only a full lap of consecutive dirty
+        // rotations proves the queue holds nothing evictable.
+        let mut consec_dirty = 0usize;
         loop {
             let Some(p) = self.tenants.get_mut(&tenant) else {
                 return false;
@@ -769,6 +1871,15 @@ impl SsdCache {
             if line.incarnation != inc {
                 continue;
             }
+            if pinned_dirty && line.dirty {
+                p.main.push_back((l, inc));
+                consec_dirty += 1;
+                if consec_dirty > p.main.len() {
+                    return false;
+                }
+                continue;
+            }
+            consec_dirty = 0;
             if line.accessed && chances > 0 {
                 chances -= 1;
                 line.accessed = false;
@@ -791,11 +1902,17 @@ impl SsdCache {
         }
     }
 
-    /// Drop a resident line (write invalidation / staged loss).
+    /// Drop a resident line (write invalidation / staged loss). Never
+    /// reached for a write-back dirty line: those are pinned and only leave
+    /// via flush, supersede, or surfaced loss.
     fn invalidate_line(&mut self, l: u64, now: SimTime) {
         let Some(line) = self.lines.remove(&l) else {
             return;
         };
+        debug_assert!(
+            !(self.cfg.write_policy == WritePolicy::Back && line.dirty),
+            "invalidated an acked write-back line: silent loss"
+        );
         if let Some(p) = self.tenants.get_mut(&line.tenant) {
             match line.seg {
                 Segment::Small => p.resident_small -= 1,
@@ -817,6 +1934,10 @@ impl SsdCache {
     /// Fold the full cache state — line table, partitions, classifier,
     /// counters, losses — into `d`. Joins the double-run identity checks.
     pub fn fold_into(&self, d: &mut Digest) {
+        // Write-back state folds only when the policy is `Back`, keeping a
+        // `Through` cache's digest stream bit-identical to the tier before
+        // write-back existed ("off ≡ absent").
+        let back = self.cfg.write_policy == WritePolicy::Back;
         d.update_u64(self.cfg.policy.rank());
         d.update_u64(self.cap_lines);
         d.update_u64(self.lines.len() as u64);
@@ -830,6 +1951,20 @@ impl SsdCache {
             d.update_u64(line.incarnation);
             d.update_u64(u64::from(line.accessed));
             d.update_u64(u64::from(line.dirty));
+            if back {
+                d.update_u64(line.dirty_epoch);
+                d.update_u64(line.dirtied_at.as_nanos());
+                d.update_u64(u64::from(line.flushing));
+                match line.wal {
+                    Some(w) => {
+                        d.update_u64(1);
+                        d.update_u64(w);
+                    }
+                    None => {
+                        d.update_u64(0);
+                    }
+                }
+            }
         }
         d.update_u64(self.tenants.len() as u64);
         for (t, p) in self.tenants.iter() {
@@ -842,6 +1977,20 @@ impl SsdCache {
             for g in &p.ghost_fifo {
                 d.update_u64(*g);
             }
+            if back {
+                d.update_u64(p.dirty);
+                d.update_u64(p.wal_q.len() as u64);
+                for &(l, at, w) in &p.wal_q {
+                    d.update_u64(l);
+                    d.update_u64(at.as_nanos());
+                    d.update_u64(w);
+                }
+                d.update_u64(p.data_q.len() as u64);
+                for &(l, at) in &p.data_q {
+                    d.update_u64(l);
+                    d.update_u64(at.as_nanos());
+                }
+            }
         }
         d.update_f64(self.ewma_us);
         d.update_f64(self.thresh_us);
@@ -850,6 +1999,32 @@ impl SsdCache {
         d.update_u64(self.losses.len() as u64);
         for loss in &self.losses {
             loss.fold_into(d);
+        }
+        if back {
+            d.update_u64(WritePolicy::Back.rank());
+            d.update_u64(u64::from(self.dead));
+            d.update_u64(self.next_flush);
+            self.write_back_stats().fold_into(d);
+            d.update_u64(self.flights.len() as u64);
+            for (id, f) in self.flights.iter() {
+                d.update_u64(*id);
+                d.update_u64(f.line);
+                d.update_u64(f.tenant.index() as u64);
+                d.update_u64(f.epoch);
+                match f.wal {
+                    Some(w) => {
+                        d.update_u64(1);
+                        d.update_u64(w);
+                    }
+                    None => {
+                        d.update_u64(0);
+                    }
+                }
+            }
+            d.update_u64(self.journal.len() as u64);
+            for e in &self.journal {
+                e.fold_into(d);
+            }
         }
     }
 }
@@ -869,6 +2044,7 @@ mod tests {
             len,
             priority: Priority::NORMAL,
             issued_at: SimTime::ZERO,
+            wal: None,
         }
     }
 
@@ -1076,5 +2252,231 @@ mod tests {
             ..CacheConfig::default()
         }
         .validate();
+    }
+
+    fn wb_cache(lines: u64) -> SsdCache {
+        SsdCache::new(
+            SsdId(0),
+            CacheConfig {
+                capacity_bytes: lines * 4096,
+                policy: AdmissionPolicy::Always,
+                write_policy: WritePolicy::Back,
+                ..CacheConfig::default()
+            },
+        )
+    }
+
+    fn wcmd(id: u64, tenant: u32, lba: u64, len: u32, wal: Option<u64>) -> NvmeCmd {
+        let mut c = cmd(id, tenant, IoType::Write, lba, len);
+        c.wal = wal;
+        c
+    }
+
+    #[test]
+    fn write_back_ack_then_flush_cleans_the_line() {
+        let mut c = wb_cache(8);
+        assert!(c.write_back_ack(&wcmd(0, 0, 0, 4096, None), t(0)));
+        let wb = c.write_back_stats();
+        assert_eq!((wb.acked, wb.acked_lines, wb.dirty_lines), (1, 1, 1));
+        // Fresh classifier state is Underutilized ⇒ opportunistic flush.
+        let out = c.take_flushes(t(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, FLUSH_ID_BASE);
+        assert!(is_flush_id(out[0].id));
+        assert_eq!((out[0].lba, out[0].len, out[0].wal), (0, 4096, None));
+        // Saturating the in-flight cap: nothing more to take.
+        assert!(c.take_flushes(t(1)).is_empty());
+        c.on_flush_completion(out[0].id, false, t(2));
+        let wb = c.write_back_stats();
+        assert_eq!((wb.flushed_lines, wb.dirty_lines, wb.lost_lines), (1, 0, 0));
+        assert_eq!(wb.opportunistic_flushes, 1);
+        assert!(wb.conservation_holds(), "{wb:?}");
+        // The flushed line stays resident and clean: reads hit it.
+        assert!(c.try_read_hit(&cmd(9, 0, IoType::Read, 0, 4096), t(3)));
+    }
+
+    #[test]
+    fn write_back_admission_respects_partition_budget() {
+        // One tenant owns all 4 lines; a 5-line span cannot be pinned.
+        let mut c = wb_cache(4);
+        assert!(!c.write_back_ack(&wcmd(0, 0, 0, 5 * 4096, None), t(0)));
+        assert_eq!(c.write_back_stats().acked, 0);
+        // The caller falls back to pass-through, which is journaled.
+        c.stage_write(&wcmd(0, 0, 0, 5 * 4096, None), t(0));
+        assert_eq!(c.write_back_stats().passthrough, 1);
+        // A 4-line span fits exactly.
+        assert!(c.write_back_ack(&wcmd(1, 0, 0, 4 * 4096, None), t(1)));
+        assert_eq!(c.write_back_stats().dirty_lines, 4);
+        // Dirty lines are unevictable: a fifth line is refused until a flush.
+        assert!(!c.write_back_ack(&wcmd(2, 0, 100, 4096, None), t(2)));
+        let out = c.take_flushes(t(3));
+        for io in &out {
+            c.on_flush_completion(io.id, false, t(4));
+        }
+        assert!(c.write_back_ack(&wcmd(3, 0, 100, 4096, None), t(5)));
+        assert!(c.write_back_stats().conservation_holds());
+    }
+
+    #[test]
+    fn wal_lines_flush_in_tag_order_before_data_lines() {
+        let mut c = wb_cache(16);
+        // Enqueue out of tag order, plus an earlier-staged data line.
+        assert!(c.write_back_ack(&wcmd(0, 0, 40, 4096, None), t(0)));
+        assert!(c.write_back_ack(&wcmd(1, 0, 20, 4096, Some(5)), t(1)));
+        assert!(c.write_back_ack(&wcmd(2, 0, 30, 4096, Some(4)), t(2)));
+        let out = c.take_flushes(t(3));
+        let wals: Vec<Option<u64>> = out.iter().map(|f| f.wal).collect();
+        assert_eq!(
+            wals,
+            vec![Some(4), Some(5), None],
+            "WAL-tagged lines must drain in tag order ahead of data lines"
+        );
+        assert_eq!(c.write_back_stats().wal_flush_ios, 2);
+    }
+
+    #[test]
+    fn flush_epoch_mismatch_requeues_and_reflushes() {
+        let mut c = wb_cache(8);
+        assert!(c.write_back_ack(&wcmd(0, 0, 0, 4096, None), t(0)));
+        let out = c.take_flushes(t(1));
+        assert_eq!(out.len(), 1);
+        // Re-dirty while the flush is in flight: the completion must not
+        // clean the line (DRAM holds newer data than what hit flash).
+        assert!(c.write_back_ack(&wcmd(1, 0, 0, 4096, None), t(2)));
+        c.on_flush_completion(out[0].id, false, t(3));
+        let wb = c.write_back_stats();
+        assert_eq!(
+            (wb.requeued_lines, wb.flushed_lines, wb.dirty_lines),
+            (1, 0, 1)
+        );
+        // The requeued line flushes again and cleans this time.
+        let again = c.take_flushes(t(4));
+        assert_eq!(again.len(), 1);
+        c.on_flush_completion(again[0].id, false, t(5));
+        let wb = c.write_back_stats();
+        assert_eq!((wb.flushed_lines, wb.dirty_lines), (1, 0));
+        assert!(wb.conservation_holds(), "{wb:?}");
+    }
+
+    #[test]
+    fn device_death_surfaces_dirty_losses_and_stops_the_flusher() {
+        let mut c = wb_cache(8);
+        for i in 0..3u64 {
+            assert!(c.write_back_ack(&wcmd(i, 0, i, 4096, None), t(i)));
+        }
+        c.on_device_death(t(10));
+        assert_eq!(c.losses().len(), 1);
+        let loss = c.losses()[0];
+        assert_eq!(loss.cmd, LOSS_EVENT_CMD);
+        assert_eq!(loss.tenant, TenantId(0));
+        assert_eq!(loss.lines_lost, 3);
+        assert!(loss.dirty, "staged-write losses must carry the dirty tag");
+        let wb = c.write_back_stats();
+        assert_eq!((wb.lost_lines, wb.dirty_lines), (3, 0));
+        assert!(wb.conservation_holds(), "{wb:?}");
+        // Journal order: marker, then the per-line losses.
+        let death = c
+            .journal()
+            .iter()
+            .position(|e| matches!(e, DurabilityEvent::DeviceDeath { .. }))
+            .expect("death marker journaled");
+        let lost: Vec<usize> = c
+            .journal()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, DurabilityEvent::Lost { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(lost.len(), 3);
+        assert!(lost.iter().all(|&i| i > death));
+        // Dead: no more flushes, no more DRAM acks; writes pass through.
+        assert!(c.take_flushes(t(11)).is_empty());
+        assert!(!c.write_back_ack(&wcmd(9, 0, 50, 4096, None), t(11)));
+        // The DRAM copies stay resident and clean — reads may still hit.
+        assert!(c.try_read_hit(&cmd(10, 0, IoType::Read, 0, 4096), t(12)));
+    }
+
+    #[test]
+    fn power_loss_surfaces_losses_and_goes_cold() {
+        let mut c = wb_cache(8);
+        assert!(c.write_back_ack(&wcmd(0, 0, 0, 4096, None), t(0)));
+        assert!(c.write_back_ack(&wcmd(1, 1, 100, 4096, None), t(1)));
+        c.power_loss(t(5));
+        // One aggregated record per tenant.
+        assert_eq!(c.losses().len(), 2);
+        assert!(c.losses().iter().all(|l| l.dirty && l.lines_lost == 1));
+        let wb = c.write_back_stats();
+        assert_eq!((wb.power_losses, wb.lost_lines, wb.dirty_lines), (1, 2, 0));
+        assert!(wb.conservation_holds(), "{wb:?}");
+        // DRAM is cold: everything misses.
+        assert!(!c.try_read_hit(&cmd(9, 0, IoType::Read, 0, 4096), t(6)));
+        // But the cache itself still works: acks resume post-restart.
+        assert!(c.write_back_ack(&wcmd(10, 0, 0, 4096, None), t(7)));
+    }
+
+    #[test]
+    fn power_loss_under_write_through_clears_without_losses() {
+        let mut c = small_cache(8, AdmissionPolicy::Always);
+        read_and_fill(&mut c, 0, 0, 0);
+        c.power_loss(t(5));
+        assert!(c.losses().is_empty());
+        assert_eq!(c.write_back_stats().power_losses, 0);
+        assert!(!c.try_read_hit(&cmd(9, 0, IoType::Read, 0, 4096), t(6)));
+    }
+
+    #[test]
+    fn passthrough_success_supersedes_a_dirty_line() {
+        let mut c = wb_cache(4);
+        // Pin the whole partition dirty, then write one of those lbas again:
+        // admission refuses (no headroom math changes — the span is resident
+        // so new_lines = 0 and it would be accepted; use a fresh lba to force
+        // pass-through instead).
+        assert!(c.write_back_ack(&wcmd(0, 0, 0, 4 * 4096, None), t(0)));
+        // Resident span re-ack is absorbed in DRAM (no new debt).
+        assert!(c.write_back_ack(&wcmd(1, 0, 0, 4096, None), t(1)));
+        assert_eq!(c.write_back_stats().acked_lines, 4);
+        // A fully-covering pass-through write that succeeds at the device
+        // supersedes the dirty DRAM copy: flash now holds newer data.
+        let pw = wcmd(2, 0, 0, 4096, None);
+        c.stage_write(&pw, t(2));
+        c.on_write_completion(&pw, false, t(3));
+        let wb = c.write_back_stats();
+        assert_eq!(wb.superseded_lines, 1);
+        assert_eq!(wb.dirty_lines, 3);
+        assert!(wb.conservation_holds(), "{wb:?}");
+    }
+
+    #[test]
+    fn write_back_double_run_digest_identity() {
+        let run = || {
+            let mut c = wb_cache(8);
+            let mut inflight: Vec<u64> = Vec::new();
+            for i in 0..300u64 {
+                let lba = (i * 7) % 16;
+                let wal = (i % 3 == 0).then_some(i);
+                let w = wcmd(i, (i % 3) as u32, lba, 4096, wal);
+                if !c.write_back_ack(&w, t(i)) {
+                    c.stage_write(&w, t(i));
+                    c.on_write_completion(&w, i % 17 == 0, t(i));
+                }
+                for io in c.take_flushes(t(i)) {
+                    inflight.push(io.id);
+                }
+                if i % 4 == 0 {
+                    for id in inflight.drain(..) {
+                        c.on_flush_completion(id, i % 29 == 0, t(i));
+                    }
+                }
+                if i == 233 {
+                    c.power_loss(t(i));
+                    inflight.clear();
+                }
+            }
+            assert!(c.write_back_stats().conservation_holds());
+            let mut d = Digest::new();
+            c.fold_into(&mut d);
+            d.value()
+        };
+        assert_eq!(run(), run());
     }
 }

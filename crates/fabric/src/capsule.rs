@@ -34,6 +34,11 @@ pub struct NvmeCmd {
     pub priority: Priority,
     /// Instant the initiator issued the command (for end-to-end latency).
     pub issued_at: SimTime,
+    /// Write-ahead-log ordering tag: `Some(seq)` when this write carries
+    /// LSM WAL data whose durability order matters. A write-back cache must
+    /// flush WAL-tagged lines in `seq` order ahead of data lines; `None`
+    /// for everything else (reads, data writes, schemes without an LSM).
+    pub wal: Option<u64>,
 }
 
 impl NvmeCmd {
@@ -123,6 +128,7 @@ mod tests {
             len,
             priority: Priority::NORMAL,
             issued_at: SimTime::from_micros(5),
+            wal: None,
         }
     }
 

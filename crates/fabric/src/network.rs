@@ -211,6 +211,7 @@ mod tests {
             len,
             priority: Priority::NORMAL,
             issued_at: SimTime::ZERO,
+            wal: None,
         }
     }
 

@@ -149,6 +149,7 @@ mod tests {
             len,
             priority: Priority::NORMAL,
             issued_at: now,
+            wal: None,
         }
     }
 

@@ -378,6 +378,7 @@ mod tests {
                 len,
                 priority: prio,
                 issued_at: SimTime::ZERO,
+                wal: None,
             },
             ready_at: SimTime::ZERO,
         }

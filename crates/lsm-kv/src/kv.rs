@@ -62,6 +62,11 @@ pub struct TaggedIo {
     pub tag: u64,
     /// The planned IO.
     pub plan: IoPlan,
+    /// WAL group-commit sequence for write-ahead-log writes: durability
+    /// order matters for these, so the engine forwards the tag on the wire
+    /// (`NvmeCmd::wal`) and a write-back cache flushes them in sequence
+    /// order ahead of data. `None` for probes, flushes, and compaction.
+    pub wal_seq: Option<u64>,
     /// Client priority tag (§3.5/§3.7): point-read probes are
     /// latency-sensitive (HIGH), WAL commits NORMAL, flush/compaction bulk
     /// traffic LOW — the RocksDB-style use of Gimbal's priority queues.
@@ -386,6 +391,7 @@ impl LsmKv {
             tag,
             plan,
             priority: Priority::HIGH,
+            wal_seq: None,
         }
     }
 
@@ -523,6 +529,7 @@ impl LsmKv {
                 tag: self.alloc_tag(IoKind::WalGroup { group }),
                 plan,
                 priority: Priority::NORMAL,
+                wal_seq: Some(group),
             })
             .collect()
     }
@@ -556,6 +563,7 @@ impl LsmKv {
                         tag: self.alloc_tag(IoKind::Flush),
                         plan,
                         priority: Priority::LOW,
+                        wal_seq: None,
                     });
                     self.stats.background_write_bytes += len * 4096;
                 }
@@ -642,6 +650,7 @@ impl LsmKv {
                         tag: self.alloc_tag(IoKind::CompactionRead),
                         plan,
                         priority: Priority::LOW,
+                        wal_seq: None,
                     });
                     self.stats.background_read_bytes += len * 4096;
                 }
@@ -699,6 +708,7 @@ impl LsmKv {
                 tag: self.alloc_tag(IoKind::CompactionWrite),
                 plan,
                 priority: Priority::LOW,
+                wal_seq: None,
             })
             .collect()
     }

@@ -97,6 +97,12 @@ pub struct FaultPlan {
     pub burst_windows: Vec<FaultWindow>,
     /// Per-SSD fault specs, indexed by SSD; missing entries are fault-free.
     pub ssd: Vec<SsdFaultSpec>,
+    /// Simulated NIC power loss at this instant: every byte of NIC DRAM —
+    /// cache lines, and in particular write-back dirty lines — vanishes.
+    /// The SSDs and the rest of the testbed keep running, so the run
+    /// surfaces exactly what acked-but-unflushed data was lost. The
+    /// crash-consistency oracle checks that accounting.
+    pub power_loss_at: Option<SimTime>,
 }
 
 impl FaultPlan {
@@ -108,6 +114,7 @@ impl FaultPlan {
             && self.cpl_loss_prob == 0.0
             && self.burst_windows.is_empty()
             && self.ssd.iter().all(SsdFaultSpec::is_noop)
+            && self.power_loss_at.is_none()
     }
 
     /// Panic on out-of-range probabilities.

@@ -78,6 +78,14 @@ pub trait StorageDevice {
     fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
         let _ = (trace, ssd);
     }
+    /// Whether the device has permanently failed (injected death). Latches
+    /// at the first submit past the fault point; devices without fault
+    /// injection never fail (the default). The pipeline's write-back
+    /// flusher stops — and surfaces its dirty lines as losses — the moment
+    /// this turns true.
+    fn is_failed(&self) -> bool {
+        false
+    }
 }
 
 enum Ev {
@@ -717,6 +725,10 @@ impl StorageDevice for FlashSsd {
     fn attach_trace(&mut self, trace: TraceHandle, ssd: SsdId) {
         self.trace = trace;
         self.trace_ssd = ssd;
+    }
+
+    fn is_failed(&self) -> bool {
+        self.failed
     }
 }
 

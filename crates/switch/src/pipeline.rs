@@ -14,8 +14,8 @@
 //!    grant.
 
 use crate::policy::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
-use gimbal_cache::{CacheConfig, CacheStats, SsdCache, StagedWriteLoss};
-use gimbal_fabric::{CmdStatus, IoType, NvmeCmd, SsdId};
+use gimbal_cache::{is_flush_id, CacheConfig, CacheStats, SsdCache, StagedWriteLoss};
+use gimbal_fabric::{CmdId, CmdStatus, IoType, NvmeCmd, Priority, SsdId};
 use gimbal_nic::{Core, CpuCost};
 use gimbal_sim::collections::{DetMap, DetSet};
 use gimbal_sim::{EventQueue, SimDuration, SimTime};
@@ -205,40 +205,79 @@ impl<D: StorageDevice> Pipeline<D> {
 
     /// A request finished its submit-path CPU. With a cache configured,
     /// reads that hit complete from NIC DRAM here — the policy (and with it
-    /// Alg. 1's latency/rate accounting) never sees them — and writes stage
-    /// their lines before queueing for the device (write-through). Misses
-    /// and cache-less pipelines fall through to the policy unchanged.
+    /// Alg. 1's latency/rate accounting) never sees them — and writes either
+    /// acknowledge from DRAM (write-back, partition permitting) or stage
+    /// their lines before queueing for the device (write-through and the
+    /// write-back pass-through valve). Misses and cache-less pipelines fall
+    /// through to the policy unchanged.
     fn handle_ready(&mut self, req: Request, at: SimTime) {
         if let Some(cache) = &mut self.cache {
             match req.cmd.opcode {
                 IoType::Read => {
                     if cache.try_read_hit(&req.cmd, at) {
-                        let ready = at + cache.hit_latency();
-                        let cycles = self
-                            .cfg
-                            .cpu_cost
-                            .complete_cycles(req.cmd.len_bytes(), self.cfg.null_device);
-                        let done = self.core.borrow_mut().process(ready, cycles);
-                        self.resident.remove(&req.cmd.id.0);
-                        let credit = self.policy.credit_for(req.cmd.tenant);
-                        self.events.push(
-                            done,
-                            PipeEv::Emit(PipelineOut {
-                                cmd: req.cmd,
-                                status: CmdStatus::Success,
-                                credit,
-                                device_latency: cache.hit_latency(),
-                                at: done,
-                                served_from_cache: true,
-                            }),
-                        );
+                        self.emit_from_dram(req.cmd, at);
                         return;
                     }
                 }
-                IoType::Write => cache.stage_write(&req.cmd, at),
+                IoType::Write => {
+                    if cache.write_back_ack(&req.cmd, at) {
+                        self.emit_from_dram(req.cmd, at);
+                        return;
+                    }
+                    cache.stage_write(&req.cmd, at);
+                }
             }
         }
         self.policy.on_arrival(req, at);
+    }
+
+    /// Complete `cmd` from NIC DRAM (read hit or write-back ack): charge the
+    /// DRAM-copy latency plus completion-path CPU and emit the capsule. The
+    /// policy — and the device — never see the command.
+    fn emit_from_dram(&mut self, cmd: NvmeCmd, at: SimTime) {
+        let cache = self.cache.as_ref().expect("DRAM completion needs a cache");
+        let ready = at + cache.hit_latency();
+        let cycles = self
+            .cfg
+            .cpu_cost
+            .complete_cycles(cmd.len_bytes(), self.cfg.null_device);
+        let done = self.core.borrow_mut().process(ready, cycles);
+        self.resident.remove(&cmd.id.0);
+        let credit = self.policy.credit_for(cmd.tenant);
+        self.events.push(
+            done,
+            PipeEv::Emit(PipelineOut {
+                cmd,
+                status: CmdStatus::Success,
+                credit,
+                device_latency: cache.hit_latency(),
+                at: done,
+                served_from_cache: true,
+            }),
+        );
+    }
+
+    /// Hand the cache's due flush writes to the policy as LOW-priority
+    /// requests. Flush ids live in the disjoint [`gimbal_cache::FLUSH_ID_BASE`]
+    /// space: their completions are intercepted in [`Self::poll`] and never
+    /// leave the target as capsules, but they do flow through the policy's
+    /// DRR queues and Alg. 1 accounting like any other device write.
+    fn pump_flusher(&mut self, now: SimTime) {
+        let Some(cache) = &mut self.cache else { return };
+        for f in cache.take_flushes(now) {
+            let cmd = NvmeCmd {
+                id: CmdId(f.id),
+                tenant: f.tenant,
+                ssd: self.ssd,
+                opcode: IoType::Write,
+                lba: f.lba,
+                len: f.len,
+                priority: Priority::LOW,
+                issued_at: now,
+                wal: f.wal,
+            };
+            self.policy.on_arrival(Request { cmd, ready_at: now }, now);
+        }
     }
 
     /// Process everything due at or before `now`.
@@ -258,6 +297,26 @@ impl<D: StorageDevice> Pipeline<D> {
                 .inflight
                 .remove(&c.tag)
                 .expect("completion for unknown command");
+            if is_flush_id(c.tag) {
+                // A cache-flusher write: feed the policy's accounting and
+                // the cache, but emit no capsule — no initiator is waiting.
+                let info = CompletionInfo {
+                    cmd,
+                    device_latency: c.latency(),
+                    completed_at: c.completed_at,
+                    failed: c.failed,
+                };
+                self.policy.on_completion(&info, c.completed_at);
+                if c.failed && self.device.is_failed() {
+                    if let Some(cache) = &mut self.cache {
+                        cache.on_device_death(c.completed_at);
+                    }
+                }
+                if let Some(cache) = &mut self.cache {
+                    cache.on_flush_completion(c.tag, c.failed, c.completed_at);
+                }
+                continue;
+            }
             self.resident.remove(&c.tag);
             let info = CompletionInfo {
                 cmd,
@@ -267,6 +326,12 @@ impl<D: StorageDevice> Pipeline<D> {
             };
             self.policy.on_completion(&info, c.completed_at);
             if let Some(cache) = &mut self.cache {
+                if c.failed && self.device.is_failed() {
+                    // Surface acked-but-unflushed write-back lines before
+                    // reconciling this completion: the flusher can never
+                    // reach flash again.
+                    cache.on_device_death(c.completed_at);
+                }
                 match cmd.opcode {
                     IoType::Read => {
                         cache.on_read_completion(&cmd, c.latency(), c.failed, c.completed_at);
@@ -296,6 +361,8 @@ impl<D: StorageDevice> Pipeline<D> {
                 }),
             );
         }
+        // Issue due flush writes so they join this round's policy drain.
+        self.pump_flusher(now);
         // Drain submissions.
         self.policy_wake = None;
         loop {
@@ -328,10 +395,13 @@ impl<D: StorageDevice> Pipeline<D> {
         }
     }
 
-    /// Earliest instant at which [`Pipeline::poll`] will have work.
+    /// Earliest instant at which [`Pipeline::poll`] will have work. A
+    /// flusher due time in the past means "due now"; callers poll with
+    /// their current time, which [`Self::poll`] handles monotonically.
     pub fn next_event_at(&self) -> Option<SimTime> {
         let mut t = self.events.peek_time();
-        for cand in [self.device.next_event_at(), self.policy_wake] {
+        let flush_due = self.cache.as_ref().and_then(|c| c.next_flush_due());
+        for cand in [self.device.next_event_at(), self.policy_wake, flush_due] {
             t = match (t, cand) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, None) => a,
@@ -339,6 +409,16 @@ impl<D: StorageDevice> Pipeline<D> {
             };
         }
         t
+    }
+
+    /// Simulated NIC power loss at `now`: the cache tier (and with it every
+    /// write-back dirty line) goes cold, surfacing dirty-tagged losses. A
+    /// cache-less pipeline is unaffected — the fabric, policy, and device
+    /// live outside the lost power domain in this model.
+    pub fn power_loss(&mut self, now: SimTime) {
+        if let Some(cache) = &mut self.cache {
+            cache.power_loss(now);
+        }
     }
 
     /// Debug helper: describe why next_event_at is what it is.
@@ -379,6 +459,7 @@ mod tests {
             len: 4096,
             priority: Priority::NORMAL,
             issued_at: issued,
+            wal: None,
         }
     }
 

@@ -163,6 +163,7 @@ mod tests {
                 len: 4096,
                 priority: Priority::NORMAL,
                 issued_at: SimTime::ZERO,
+                wal: None,
             },
             ready_at: SimTime::ZERO,
         }

@@ -322,6 +322,40 @@ pub enum EventKind {
         /// Dirty lines invalidated.
         lines: u32,
     },
+    /// A write acknowledged at DRAM cost under write-back.
+    CacheWriteBackAck {
+        /// Raw id of the acknowledged write.
+        cmd: u64,
+        /// Lines the write spans (now dirty).
+        lines: u32,
+    },
+    /// The write-back flusher submitted a device write for a dirty line.
+    CacheFlushIssued {
+        /// Flush command id (high-bit flush id space).
+        id: u64,
+        /// Line being written back.
+        line: u64,
+    },
+    /// A flush write completed at the device.
+    CacheFlushDone {
+        /// Flush command id.
+        id: u64,
+        /// Line the flush carried.
+        line: u64,
+        /// Whether the line went back to the flush queue (transient failure
+        /// or re-dirty race) instead of coming clean.
+        requeued: bool,
+    },
+    /// Simulated NIC power loss cleared the cache cold.
+    CachePowerLoss {
+        /// Write-back dirty lines surfaced as losses.
+        lines_lost: u32,
+    },
+    /// The device died; the write-back flusher stopped for good.
+    CacheDeviceDeath {
+        /// Write-back dirty lines surfaced as losses.
+        lines_lost: u32,
+    },
 }
 
 impl EventKind {
@@ -348,7 +382,12 @@ impl EventKind {
             | EventKind::CacheFill { .. }
             | EventKind::CacheEvict { .. }
             | EventKind::CacheAdmitToggle { .. }
-            | EventKind::CacheStagedLoss { .. } => Component::Cache,
+            | EventKind::CacheStagedLoss { .. }
+            | EventKind::CacheWriteBackAck { .. }
+            | EventKind::CacheFlushIssued { .. }
+            | EventKind::CacheFlushDone { .. }
+            | EventKind::CachePowerLoss { .. }
+            | EventKind::CacheDeviceDeath { .. } => Component::Cache,
         }
     }
 
@@ -378,6 +417,11 @@ impl EventKind {
             EventKind::CacheEvict { .. } => "cache_evict",
             EventKind::CacheAdmitToggle { .. } => "cache_admit_toggle",
             EventKind::CacheStagedLoss { .. } => "cache_staged_loss",
+            EventKind::CacheWriteBackAck { .. } => "cache_wb_ack",
+            EventKind::CacheFlushIssued { .. } => "cache_flush_issued",
+            EventKind::CacheFlushDone { .. } => "cache_flush_done",
+            EventKind::CachePowerLoss { .. } => "cache_power_loss",
+            EventKind::CacheDeviceDeath { .. } => "cache_device_death",
         }
     }
 
@@ -501,6 +545,25 @@ impl EventKind {
             EventKind::CacheStagedLoss { cmd, lines } => {
                 d.update_u64(cmd);
                 d.update_u64(u64::from(lines));
+            }
+            EventKind::CacheWriteBackAck { cmd, lines } => {
+                d.update_u64(cmd);
+                d.update_u64(u64::from(lines));
+            }
+            EventKind::CacheFlushIssued { id, line } => {
+                d.update_u64(id);
+                d.update_u64(line);
+            }
+            EventKind::CacheFlushDone { id, line, requeued } => {
+                d.update_u64(id);
+                d.update_u64(line);
+                d.update_u64(u64::from(requeued));
+            }
+            EventKind::CachePowerLoss { lines_lost } => {
+                d.update_u64(u64::from(lines_lost));
+            }
+            EventKind::CacheDeviceDeath { lines_lost } => {
+                d.update_u64(u64::from(lines_lost));
             }
         }
     }

@@ -216,6 +216,25 @@ fn push_args(out: &mut String, kind: &EventKind, first: &mut bool) {
             push_u64_field(out, "cmd", cmd, first);
             push_u64_field(out, "lines", u64::from(lines), first);
         }
+        EventKind::CacheWriteBackAck { cmd, lines } => {
+            push_u64_field(out, "cmd", cmd, first);
+            push_u64_field(out, "lines", u64::from(lines), first);
+        }
+        EventKind::CacheFlushIssued { id, line } => {
+            push_u64_field(out, "id", id, first);
+            push_u64_field(out, "line", line, first);
+        }
+        EventKind::CacheFlushDone { id, line, requeued } => {
+            push_u64_field(out, "id", id, first);
+            push_u64_field(out, "line", line, first);
+            push_bool_field(out, "requeued", requeued, first);
+        }
+        EventKind::CachePowerLoss { lines_lost } => {
+            push_u64_field(out, "lines_lost", u64::from(lines_lost), first);
+        }
+        EventKind::CacheDeviceDeath { lines_lost } => {
+            push_u64_field(out, "lines_lost", u64::from(lines_lost), first);
+        }
     }
 }
 

@@ -38,6 +38,10 @@ enum Ev {
         cmd: u64,
         attempt: u32,
     },
+    /// Simulated NIC power loss ([`FaultPlan::power_loss_at`]): every
+    /// pipeline's NIC-DRAM cache is cleared cold and acked-but-unflushed
+    /// write-back lines surface as [`gimbal_cache::StagedWriteLoss`].
+    PowerLoss,
     Sample,
 }
 
@@ -332,6 +336,7 @@ impl Engine {
                 len: io.len as u32,
                 priority: w.spec.priority,
                 issued_at: now,
+                wal: None,
             };
             self.next_cmd += 1;
             if self.cfg.record_submissions {
@@ -508,6 +513,9 @@ impl Engine {
         }
         if let Some(step) = self.cfg.sample_interval {
             self.queue.push(SimTime::ZERO + step, Ev::Sample);
+        }
+        if let Some(at) = self.cfg.faults.as_ref().and_then(|f| f.plan.power_loss_at) {
+            self.queue.push(at, Ev::PowerLoss);
         }
         let end = self.duration();
         let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env) — debug tracing toggle only, never affects simulation state
@@ -712,6 +720,12 @@ impl Engine {
                         },
                     );
                 }
+                Ev::PowerLoss => {
+                    for ssd in 0..self.pipelines.len() {
+                        self.pipelines[ssd].power_loss(now);
+                        self.pump(ssd, now);
+                    }
+                }
                 Ev::Sample => {
                     self.sample(now);
                     if let Some(step) = self.cfg.sample_interval {
@@ -784,6 +798,24 @@ impl Engine {
             .iter()
             .flat_map(|p| p.cache_losses().iter().copied())
             .collect();
+        // Write-back counters and durability journals, only under
+        // `WritePolicy::Back` so write-through results stay bit-identical.
+        let mut write_back = Vec::new();
+        let mut journals = Vec::new();
+        for p in &self.pipelines {
+            if let Some(c) = p
+                .cache()
+                .filter(|c| c.write_policy() == gimbal_cache::WritePolicy::Back)
+            {
+                let wb = c.write_back_stats();
+                debug_assert!(
+                    wb.conservation_holds(),
+                    "write-back line conservation violated: {wb:?}"
+                );
+                write_back.push(wb);
+                journals.push(c.journal().to_vec());
+            }
+        }
         RunResult {
             workers,
             ssd_stats,
@@ -795,6 +827,8 @@ impl Engine {
             trace,
             cache,
             cache_losses,
+            write_back,
+            journals,
         }
     }
 }

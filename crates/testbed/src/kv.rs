@@ -69,6 +69,10 @@ pub struct KvTestbedConfig {
     pub sample_interval: Option<SimDuration>,
     /// Inject a permanent flash failure: backend index + instant.
     pub fail_backend_at: Option<(u32, SimDuration)>,
+    /// Simulated NIC power loss at this offset: every backend cache is
+    /// cleared cold and write-back dirty lines surface as typed losses the
+    /// crash-consistency oracle accounts for exactly.
+    pub power_loss_at: Option<SimDuration>,
     /// NIC-DRAM cache tier per backend pipeline. `None` (the default) — or a
     /// zero-capacity config — constructs no cache: such a run is
     /// bit-identical to one on a build without cache support.
@@ -101,6 +105,7 @@ impl Default for KvTestbedConfig {
             seed: 42,
             sample_interval: None,
             fail_backend_at: None,
+            power_loss_at: None,
             cache: None,
         }
     }
@@ -138,6 +143,15 @@ pub struct KvRunResult {
     pub gimbal_traces: Vec<GimbalTrace>,
     /// Per-backend cache statistics (empty when no cache is configured).
     pub cache: Vec<gimbal_cache::CacheStats>,
+    /// Typed staged-write-loss records across backends, in pipeline order
+    /// (empty without a cache).
+    pub cache_losses: Vec<gimbal_cache::StagedWriteLoss>,
+    /// Per-backend write-back counters (populated only under
+    /// `WritePolicy::Back`).
+    pub write_back: Vec<gimbal_cache::WriteBackStats>,
+    /// Per-backend durability journals (same gating as `write_back`): the
+    /// streams the crash-consistency oracle replays.
+    pub journals: Vec<Vec<gimbal_cache::DurabilityEvent>>,
     /// Measured window length.
     pub window: SimDuration,
 }
@@ -186,6 +200,7 @@ impl KvRunResult {
 enum Ev {
     Sample,
     FailBackend(usize),
+    PowerLoss,
     InstanceStart(usize),
     KvPump(usize),
     DeliverCmd {
@@ -356,6 +371,9 @@ impl KvTestbed {
             assert!((b as usize) < backends, "failing a missing backend");
             queue.push(SimTime::ZERO + at, Ev::FailBackend(b as usize));
         }
+        if let Some(at) = cfg.power_loss_at {
+            queue.push(SimTime::ZERO + at, Ev::PowerLoss);
+        }
 
         // Helper macro-ish closures are impossible with the borrows involved,
         // so the loop body is written out long-hand.
@@ -366,6 +384,21 @@ impl KvTestbed {
             match ev {
                 Ev::FailBackend(b) => {
                     pipelines[b].device_mut().inject_failure();
+                }
+                Ev::PowerLoss => {
+                    for b in 0..backends {
+                        pipelines[b].power_loss(now);
+                        Self::pump_pipeline(
+                            &mut pipelines,
+                            &mut target_ports,
+                            &mut wake_at,
+                            &delays,
+                            &mut queue,
+                            &cmd_map,
+                            b,
+                            now,
+                        );
+                    }
                 }
                 Ev::Sample => {
                     for (b, p) in pipelines.iter().enumerate() {
@@ -513,11 +546,33 @@ impl KvTestbed {
                 lsm: inst.kv.stats(),
             })
             .collect();
+        let mut write_back = Vec::new();
+        let mut journals = Vec::new();
+        for p in &pipelines {
+            if let Some(c) = p
+                .cache()
+                .filter(|c| c.write_policy() == gimbal_cache::WritePolicy::Back)
+            {
+                let wb = c.write_back_stats();
+                debug_assert!(
+                    wb.conservation_holds(),
+                    "write-back line conservation violated: {wb:?}"
+                );
+                write_back.push(wb);
+                journals.push(c.journal().to_vec());
+            }
+        }
         KvRunResult {
             instances: results,
             ssd_stats: pipelines.iter().map(|p| p.device().stats()).collect(),
             gimbal_traces: traces,
             cache: pipelines.iter().filter_map(|p| p.cache_stats()).collect(),
+            cache_losses: pipelines
+                .iter()
+                .flat_map(|p| p.cache_losses().iter().copied())
+                .collect(),
+            write_back,
+            journals,
             window,
         }
     }
@@ -625,6 +680,7 @@ impl KvTestbed {
                     len: (io.plan.blocks * 4096) as u32,
                     priority: io.priority,
                     issued_at: now,
+                    wal: io.wal_seq,
                 };
                 *next_cmd += 1;
                 cmd_map.insert(cmd.id.0, (i, io.tag, lvl == 2));

@@ -17,15 +17,20 @@
 pub mod config;
 pub mod engine;
 pub mod kv;
+pub mod oracle;
 pub mod results;
 pub mod scheme;
 
 pub use config::{FaultConfig, Precondition, TestbedConfig, WorkerSpec};
 pub use engine::Testbed;
-pub use gimbal_cache::{AdmissionPolicy, CacheConfig, CacheStats, StagedWriteLoss};
+pub use gimbal_cache::{
+    AdmissionPolicy, CacheConfig, CacheStats, DurabilityEvent, FlushIo, StagedWriteLoss,
+    WriteBackStats, WritePolicy, FLUSH_ID_BASE, LOSS_EVENT_CMD,
+};
 pub use kv::{KvInstanceResult, KvRunResult, KvTestbed, KvTestbedConfig};
+pub use oracle::{check_journal, check_kv_run, check_run, OracleReport};
 pub use results::{
     f_util, utilization_deviation, FaultCounters, GimbalTrace, RunResult, SubmissionRecord,
     WorkerResult,
 };
-pub use scheme::{cache_tier, Scheme};
+pub use scheme::{cache_tier, cache_tier_wb, Scheme};

@@ -1,6 +1,6 @@
 //! Experiment measurements and the paper's evaluation metrics.
 
-use gimbal_cache::{CacheStats, StagedWriteLoss};
+use gimbal_cache::{CacheStats, DurabilityEvent, StagedWriteLoss, WriteBackStats};
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{Digest, SimDuration, TimeSeries};
 use gimbal_ssd::SsdStats;
@@ -193,6 +193,13 @@ pub struct RunResult {
     /// Typed records of staged write data dropped on failed device writes,
     /// across all SSDs in pipeline order (empty without a cache).
     pub cache_losses: Vec<StagedWriteLoss>,
+    /// Per-SSD write-back counters, indexed like `cache`. Populated only
+    /// when the cache tier ran `WritePolicy::Back`, so write-through runs
+    /// keep their pre-write-back digests bit for bit.
+    pub write_back: Vec<WriteBackStats>,
+    /// Per-SSD durability journals (same gating as `write_back`): the
+    /// event streams the crash-consistency oracle replays.
+    pub journals: Vec<Vec<DurabilityEvent>>,
 }
 
 impl RunResult {
@@ -253,6 +260,19 @@ impl RunResult {
             d.update_u64(self.cache_losses.len() as u64);
             for l in &self.cache_losses {
                 l.fold_into(&mut d);
+            }
+        }
+        // Folded only under `WritePolicy::Back`, so write-through runs keep
+        // their pre-write-back digests bit for bit.
+        if !self.write_back.is_empty() {
+            for wb in &self.write_back {
+                wb.fold_into(&mut d);
+            }
+            for j in &self.journals {
+                d.update_u64(j.len() as u64);
+                for e in j {
+                    e.fold_into(&mut d);
+                }
             }
         }
         d.value()

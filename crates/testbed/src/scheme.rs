@@ -1,7 +1,7 @@
 //! The multi-tenancy scheme under test and its component factories.
 
 use gimbal_baselines::{FlashFqPolicy, PardaClient, ReflexPolicy};
-use gimbal_cache::{AdmissionPolicy, CacheConfig};
+use gimbal_cache::{AdmissionPolicy, CacheConfig, WritePolicy};
 use gimbal_core::{CreditClient, GimbalPolicy, Params};
 use gimbal_fabric::SsdId;
 use gimbal_nic::CpuCost;
@@ -12,8 +12,16 @@ use gimbal_switch::{ClientPolicy, FifoPolicy, SwitchPolicy, UnlimitedClient};
 /// bit-identical to a build without cache support; the cache tier composes
 /// with every [`Scheme`] because it sits ahead of the policy in the pipeline.
 pub fn cache_tier(mb: u64, policy: AdmissionPolicy) -> Option<CacheConfig> {
+    cache_tier_wb(mb, policy, WritePolicy::Through)
+}
+
+/// [`cache_tier`] with an explicit write policy: `WritePolicy::Back` arms the
+/// write-back tier (DRAM-cost write acks + the deterministic flusher), while
+/// `WritePolicy::Through` is bit-identical to [`cache_tier`].
+pub fn cache_tier_wb(mb: u64, policy: AdmissionPolicy, write: WritePolicy) -> Option<CacheConfig> {
     (mb > 0).then(|| CacheConfig {
         policy,
+        write_policy: write,
         ..CacheConfig::for_mb(mb)
     })
 }

@@ -16,3 +16,15 @@ cargo run --release --offline -q --bin jbofsim -- \
     --bench-json BENCH_smoke.json
 
 echo "wrote BENCH_smoke.json"
+
+# Write-back datapoint: same seed, skewed writers, acks from DRAM. The
+# summary's cache.write_back object (acked/flushed/dirty/lost plus mean
+# write latency) is the durability suite's headline number in artifact form.
+cargo run --release --offline -q --bin jbofsim -- \
+    --scheme gimbal --precondition fragmented \
+    --duration-ms 500 --warmup-ms 100 --seed 42 \
+    --cache-mb 16 --cache-policy always --cache-write-policy back \
+    --workers 2x4k-read-zipf,4x4k-write-zipf \
+    --bench-json BENCH_smoke_wb.json
+
+echo "wrote BENCH_smoke_wb.json"

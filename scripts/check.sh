@@ -25,9 +25,12 @@ cargo test --release --offline --test trace_conformance -q
 echo "==> cache tier (hit-ratio/latency e2e + device-bypass accounting, release)"
 cargo test --release --offline --test cache -q
 
-echo "==> bench smoke (deterministic jbofsim run; BENCH_smoke.json must be fresh)"
+echo "==> durability suite (write-back crash consistency + latency win, release)"
+cargo test --release --offline --test durability -q
+
+echo "==> bench smoke (deterministic jbofsim runs; committed summaries must be fresh)"
 scripts/bench_smoke.sh
-git diff --exit-code BENCH_smoke.json
+git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json
 
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint

@@ -14,8 +14,8 @@
 use gimbal_repro::sim::{SimDuration, SimTime};
 use gimbal_repro::telemetry::{export, TraceConfig};
 use gimbal_repro::testbed::{
-    cache_tier, AdmissionPolicy, Precondition, RunResult, Scheme, Testbed, TestbedConfig,
-    WorkerSpec,
+    cache_tier_wb, AdmissionPolicy, Precondition, RunResult, Scheme, Testbed, TestbedConfig,
+    WorkerSpec, WritePolicy,
 };
 use gimbal_repro::workload::FioSpec;
 use std::process::exit;
@@ -27,7 +27,7 @@ fn usage() -> ! {
          \x20              [--duration-ms N] [--warmup-ms N] [--ssds N] [--cores N]\n\
          \x20              [--seed N] [--trace-out FILE] [--trace-format chrome|jsonl]\n\
          \x20              [--cache-mb N] [--cache-policy always|congestion|never]\n\
-         \x20              [--bench-json FILE]\n\
+         \x20              [--cache-write-policy through|back] [--bench-json FILE]\n\
          \x20              --workers SPEC[,SPEC…]\n\
          \n\
          SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf]   e.g. 8x4k-read,\n\
@@ -35,7 +35,9 @@ fn usage() -> ! {
          \x20      per worker), 8x4k-read-zipf (Zipf-skewed addresses)\n\
          \n\
          --cache-mb enables a NIC-DRAM cache of N MiB per SSD pipeline (0 = off);\n\
-         \x20      --cache-policy picks the fill admission law (default congestion)\n\
+         \x20      --cache-policy picks the fill admission law (default congestion);\n\
+         \x20      --cache-write-policy back acks writes from DRAM and drains\n\
+         \x20      them to flash via the deterministic flusher (default through)\n\
          --bench-json writes a machine-readable run summary to FILE\n\
          --trace-out enables structured telemetry and writes the trace to FILE:\n\
          \x20      chrome (default) loads in Perfetto (ui.perfetto.dev), jsonl is\n\
@@ -128,17 +130,25 @@ fn write_bench_json(
     scheme: Scheme,
     cache_mb: u64,
     cache_policy: AdmissionPolicy,
+    cache_write: WritePolicy,
     worker_specs: &[ParsedWorker],
     res: &RunResult,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scheme\": \"{}\",\n", scheme.name()));
+    let [_, wr_all] = res.group_latency(|_| true);
     out.push_str(&format!(
-        "  \"cache\": {{\"enabled\": {}, \"mb_per_ssd\": {cache_mb}, \"policy\": \"{}\", \"hit_ratio\": {:.4}}},\n",
+        "  \"cache\": {{\"enabled\": {}, \"mb_per_ssd\": {cache_mb}, \"policy\": \"{}\", \"write_policy\": \"{}\", \"hit_ratio\": {:.4}, \"write_back\": {{\"acked\": {}, \"flushed_lines\": {}, \"lost_lines\": {}, \"dirty_lines\": {}, \"mean_write_us\": {:.3}}}}},\n",
         !res.cache.is_empty(),
         cache_policy.name(),
-        res.cache_hit_ratio()
+        cache_write.name(),
+        res.cache_hit_ratio(),
+        res.write_back.iter().map(|w| w.acked).sum::<u64>(),
+        res.write_back.iter().map(|w| w.flushed_lines).sum::<u64>(),
+        res.write_back.iter().map(|w| w.lost_lines).sum::<u64>(),
+        res.write_back.iter().map(|w| w.dirty_lines).sum::<u64>(),
+        wr_all.mean_us()
     ));
     out.push_str("  \"groups\": [\n");
     for (gi, w) in worker_specs.iter().enumerate() {
@@ -185,6 +195,7 @@ fn main() {
     let mut trace_chrome = true;
     let mut cache_mb = 0u64;
     let mut cache_policy = AdmissionPolicy::CongestionAware;
+    let mut cache_write = WritePolicy::Through;
     let mut bench_json: Option<String> = None;
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
 
@@ -267,6 +278,16 @@ fn main() {
                 };
                 i += 2;
             }
+            "--cache-write-policy" => {
+                cache_write = match WritePolicy::parse(need(i)) {
+                    Some(p) => p,
+                    None => {
+                        eprintln!("unknown cache write policy {}", need(i));
+                        usage()
+                    }
+                };
+                i += 2;
+            }
             "--bench-json" => {
                 bench_json = Some(need(i).clone());
                 i += 2;
@@ -310,6 +331,7 @@ fn main() {
             fio.rate_limit = w.rate;
             if w.zipf {
                 fio.read_pattern = gimbal_repro::workload::AccessPattern::Zipfian;
+                fio.write_pattern = gimbal_repro::workload::AccessPattern::Zipfian;
             }
             workers.push(
                 WorkerSpec::new(w.label.clone(), fio)
@@ -329,7 +351,7 @@ fn main() {
         warmup: SimDuration::from_millis(warmup_ms.min(duration_ms.saturating_sub(1))),
         seed,
         trace: trace_out.as_ref().map(|_| TraceConfig::default()),
-        cache: cache_tier(cache_mb, cache_policy),
+        cache: cache_tier_wb(cache_mb, cache_policy, cache_write),
         ..TestbedConfig::default()
     };
 
@@ -382,9 +404,26 @@ fn main() {
             res.cache_hit_ratio(),
         );
     }
+    if !res.write_back.is_empty() {
+        let acked: u64 = res.write_back.iter().map(|w| w.acked).sum();
+        let flushed: u64 = res.write_back.iter().map(|w| w.flushed_lines).sum();
+        let lost: u64 = res.write_back.iter().map(|w| w.lost_lines).sum();
+        let dirty: u64 = res.write_back.iter().map(|w| w.dirty_lines).sum();
+        println!(
+            "write-back: {acked} acks from DRAM, {flushed} lines flushed, {dirty} dirty at end, {lost} lost"
+        );
+    }
 
     if let Some(path) = bench_json {
-        match write_bench_json(&path, scheme, cache_mb, cache_policy, &worker_specs, &res) {
+        match write_bench_json(
+            &path,
+            scheme,
+            cache_mb,
+            cache_policy,
+            cache_write,
+            &worker_specs,
+            &res,
+        ) {
             Ok(()) => eprintln!("bench summary -> {path}"),
             Err(e) => {
                 eprintln!("bench summary: failed to write {path}: {e}");

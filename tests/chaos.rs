@@ -21,8 +21,8 @@ use gimbal_repro::fabric::RetryConfig;
 use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime, SsdFaultSpec};
 use gimbal_repro::telemetry::{CapsuleKind, EventKind, TraceConfig};
 use gimbal_repro::testbed::{
-    AdmissionPolicy, CacheConfig, FaultConfig, Precondition, RunResult, Scheme, Testbed,
-    TestbedConfig, WorkerSpec,
+    check_run, AdmissionPolicy, CacheConfig, FaultConfig, Precondition, RunResult, Scheme, Testbed,
+    TestbedConfig, WorkerSpec, WritePolicy, LOSS_EVENT_CMD,
 };
 use gimbal_repro::workload::{AccessPattern, FioSpec};
 
@@ -58,7 +58,7 @@ fn loss_only() -> FaultPlan {
         cmd_loss_prob: 0.02,
         cpl_loss_prob: 0.02,
         burst_windows: vec![FaultWindow::new(ms(150), ms(160))],
-        ssd: vec![],
+        ..FaultPlan::default()
     }
 }
 
@@ -82,6 +82,7 @@ fn combined() -> FaultPlan {
             stall_windows: vec![FaultWindow::new(ms(180), ms(220))],
             fail_at: Some(ms(320)),
         }],
+        ..FaultPlan::default()
     }
 }
 
@@ -282,6 +283,16 @@ fn run_chaos_cache(
     seed: u64,
     workers: Vec<WorkerSpec>,
 ) -> RunResult {
+    run_chaos_cache_wb(scheme, plan, seed, workers, WritePolicy::Through)
+}
+
+fn run_chaos_cache_wb(
+    scheme: Scheme,
+    plan: FaultPlan,
+    seed: u64,
+    workers: Vec<WorkerSpec>,
+    write: WritePolicy,
+) -> RunResult {
     let cfg = TestbedConfig {
         scheme,
         precondition: Precondition::Fragmented,
@@ -295,6 +306,7 @@ fn run_chaos_cache(
         }),
         cache: Some(CacheConfig {
             policy: AdmissionPolicy::Always,
+            write_policy: write,
             ..CacheConfig::for_mb(64)
         }),
         ..TestbedConfig::default()
@@ -458,6 +470,181 @@ fn fault_event_counts_reconcile_with_fault_counters() {
             "{}: combined plan injected nothing: {f:?}",
             scheme.name()
         );
+    }
+}
+
+/// Write-back satellite: device death partway through the run — with the
+/// flusher actively draining — surfaces every acked-but-unflushed line as a
+/// dirty-tagged [`gimbal_repro::testbed::StagedWriteLoss`], the
+/// crash-consistency oracle confirms the loss set is exact (no silent loss,
+/// no phantom loss), and the whole failure path is deterministic.
+#[test]
+fn device_death_mid_flush_surfaces_dirty_tagged_losses() {
+    let run = || {
+        run_chaos_cache_wb(
+            Scheme::Gimbal,
+            combined(),
+            17,
+            mixed_workers(2, 4),
+            WritePolicy::Back,
+        )
+    };
+    let a = run();
+    assert!(
+        a.faults.conservation_holds(),
+        "conservation: {:?}",
+        a.faults
+    );
+    assert!(!a.write_back.is_empty(), "write-back produced no stats");
+    let acked: u64 = a.write_back.iter().map(|w| w.acked).sum();
+    let flushed: u64 = a.write_back.iter().map(|w| w.flushed_lines).sum();
+    let lost: u64 = a.write_back.iter().map(|w| w.lost_lines).sum();
+    assert!(acked > 0, "no write was ever absorbed at DRAM cost");
+    assert!(flushed > 0, "the flusher never drained a line before death");
+    assert!(
+        lost > 0,
+        "death at 320 ms with active writers must strand dirty lines: {:?}",
+        a.write_back
+    );
+    let dirty_losses: Vec<_> = a.cache_losses.iter().filter(|l| l.dirty).collect();
+    assert!(
+        !dirty_losses.is_empty(),
+        "stranded dirty lines must surface as dirty-tagged loss records"
+    );
+    for l in &dirty_losses {
+        assert_eq!(
+            l.cmd, LOSS_EVENT_CMD,
+            "aggregated record carries the sentinel cmd"
+        );
+        assert!(l.lines_lost > 0);
+    }
+    let surfaced: u64 = dirty_losses.iter().map(|l| u64::from(l.lines_lost)).sum();
+    assert_eq!(
+        surfaced, lost,
+        "surfaced dirty lines disagree with the counter"
+    );
+    // The oracle replays the journal and cross-checks all of the above
+    // against the shadow dirty set.
+    check_run(&a);
+    let b = run();
+    assert_eq!(a.cache_losses, b.cache_losses, "loss records diverged");
+    assert_eq!(a.write_back, b.write_back, "write-back counters diverged");
+    assert_eq!(a.journals, b.journals, "journals diverged");
+    assert_eq!(a.stats_digest(), b.stats_digest());
+}
+
+/// Write-back satellite: the command-conservation audit stays exact under
+/// write-back for every scheme and every fault family — DRAM-acked writes,
+/// flush traffic, retries and losses never double-count or drop a command —
+/// and the oracle stays green on every run.
+#[test]
+fn write_back_keeps_fault_conservation_exact_under_all_plans() {
+    for scheme in SCHEMES {
+        for (name, plan) in [
+            ("loss-only", loss_only()),
+            ("stall-only", stall_only()),
+            ("combined", combined()),
+        ] {
+            let res = run_chaos_cache_wb(scheme, plan, 7, mixed_workers(2, 4), WritePolicy::Back);
+            let f = &res.faults;
+            assert!(
+                f.submitted > 1000,
+                "{} {name}: barely ran: {f:?}",
+                scheme.name()
+            );
+            assert!(
+                f.conservation_holds(),
+                "{} {name}: conservation violated under write-back: {f:?}",
+                scheme.name()
+            );
+            assert!(
+                f.completed_ok > 0,
+                "{} {name}: no IO succeeded: {f:?}",
+                scheme.name()
+            );
+            let acked: u64 = res.write_back.iter().map(|w| w.acked).sum();
+            assert!(
+                acked > 0,
+                "{} {name}: write-back never engaged",
+                scheme.name()
+            );
+            for wb in &res.write_back {
+                assert!(
+                    wb.conservation_holds(),
+                    "{} {name}: write-back line conservation violated: {wb:?}",
+                    scheme.name()
+                );
+            }
+            check_run(&res);
+        }
+    }
+}
+
+/// Write-back satellite: a GC storm stalls the device for 100 ms while the
+/// flusher holds dirty lines. The flusher must not deadlock — in-flight
+/// flushes complete or requeue when the storm lifts, dirty debt drains, and
+/// post-storm foreground throughput recovers.
+#[test]
+fn gc_storm_stall_does_not_deadlock_the_flusher() {
+    for scheme in [Scheme::Gimbal, Scheme::Reflex] {
+        let cfg = TestbedConfig {
+            scheme,
+            precondition: Precondition::Fragmented,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            seed: 11,
+            record_submissions: true,
+            sample_interval: Some(SimDuration::from_millis(25)),
+            faults: Some(FaultConfig {
+                plan: stall_only(),
+                retry: RetryConfig::default(),
+            }),
+            cache: Some(CacheConfig {
+                policy: AdmissionPolicy::Always,
+                write_policy: WritePolicy::Back,
+                ..CacheConfig::for_mb(64)
+            }),
+            ..TestbedConfig::default()
+        };
+        let res = Testbed::new(cfg, mixed_workers(2, 4)).run();
+        assert!(
+            res.faults.conservation_holds(),
+            "{}: conservation: {:?}",
+            scheme.name(),
+            res.faults
+        );
+        let wb = &res.write_back[0];
+        assert!(wb.conservation_holds(), "{}: {wb:?}", scheme.name());
+        assert!(
+            wb.flushed_lines > 0,
+            "{}: flusher drained nothing across the storm: {wb:?}",
+            scheme.name()
+        );
+        // The storm (150–250 ms) must not leave the flusher wedged: by the
+        // wall, dirty debt is bounded by what the watermark allows plus the
+        // final in-flight batch, not the whole run's ack volume.
+        assert!(
+            wb.dirty_lines < wb.acked_lines || wb.acked_lines == 0,
+            "{}: every acked line still dirty at the wall — flusher deadlocked: {wb:?}",
+            scheme.name()
+        );
+        // Foreground service resumed after the storm lifted. Bandwidth
+        // samples taken late enough that their whole meter window lies after
+        // the 250 ms release: real post-storm service, not residue.
+        let post_storm_bps: f64 = res
+            .workers
+            .iter()
+            .flat_map(|w| w.series.points())
+            .filter(|p| p.0 >= ms(360))
+            .map(|p| p.1)
+            .sum();
+        assert!(
+            post_storm_bps > 0.0,
+            "{}: no worker moved a byte after the storm cleared — flusher or \
+             congestion control deadlocked",
+            scheme.name()
+        );
+        check_run(&res);
     }
 }
 

@@ -11,8 +11,8 @@
 use gimbal_repro::sim::SimDuration;
 use gimbal_repro::telemetry::TraceConfig;
 use gimbal_repro::testbed::{
-    AdmissionPolicy, CacheConfig, Precondition, RunResult, Scheme, Testbed, TestbedConfig,
-    WorkerSpec,
+    check_run, AdmissionPolicy, CacheConfig, Precondition, RunResult, Scheme, Testbed,
+    TestbedConfig, WorkerSpec, WritePolicy,
 };
 use gimbal_repro::workload::{AccessPattern, FioSpec};
 
@@ -274,6 +274,119 @@ fn cache_on_double_run_is_deterministic() {
         c.stats_digest(),
         "different seeds produced identical cache-on stats digests"
     );
+}
+
+/// Write-back satellite, the determinism half: with `WritePolicy::Back`
+/// enabled, two runs at the same seed agree on everything — submissions,
+/// the stats digest (which now folds the write-back counters and the full
+/// durability journal), and the flush/ack counters themselves — for Gimbal
+/// and all three baselines. A different seed must change the digest.
+#[test]
+fn write_back_double_run_is_deterministic_for_every_engine() {
+    let cache = Some(CacheConfig {
+        policy: AdmissionPolicy::Always,
+        write_policy: WritePolicy::Back,
+        ..CacheConfig::for_mb(16)
+    });
+    for scheme in [
+        Scheme::Gimbal,
+        Scheme::Reflex,
+        Scheme::Parda,
+        Scheme::FlashFq,
+    ] {
+        let a = run_cache_cfg(scheme, 7, None, cache.clone());
+        let b = run_cache_cfg(scheme, 7, None, cache.clone());
+        assert!(
+            !a.write_back.is_empty(),
+            "{}: write-back enabled but no stats collected",
+            scheme.name()
+        );
+        let acked: u64 = a.write_back.iter().map(|w| w.acked).sum();
+        let flushed: u64 = a.write_back.iter().map(|w| w.flushed_lines).sum();
+        assert!(acked > 0, "{}: no writes acked from DRAM", scheme.name());
+        assert!(
+            flushed > 0,
+            "{}: flusher never drained a line",
+            scheme.name()
+        );
+        check_run(&a);
+        assert_eq!(
+            a.write_back,
+            b.write_back,
+            "{}: write-back counters diverged between identical runs",
+            scheme.name()
+        );
+        assert_eq!(
+            a.journals,
+            b.journals,
+            "{}: durability journals diverged between identical runs",
+            scheme.name()
+        );
+        assert_eq!(a.submissions, b.submissions, "{}", scheme.name());
+        assert_eq!(a.stats_digest(), b.stats_digest(), "{}", scheme.name());
+        let c = run_cache_cfg(scheme, 8, None, cache.clone());
+        assert_ne!(
+            a.stats_digest(),
+            c.stats_digest(),
+            "{}: different seeds produced identical write-back digests",
+            scheme.name()
+        );
+    }
+}
+
+/// Write-back satellite, the bit-identity half: with write-back *off*
+/// (`WritePolicy::Through`, the default) a run is byte-identical to one on
+/// a config that never heard of write-back — the flusher knobs
+/// (`dirty_high_percent`, `flush_max_age`, `flush_batch`) must be inert, no
+/// write-back stats or journals may be collected, and the stats digest
+/// matches the plain write-through digest exactly, for every engine.
+#[test]
+fn write_back_off_is_bit_identical_for_every_engine() {
+    let plain = Some(CacheConfig {
+        policy: AdmissionPolicy::Always,
+        ..CacheConfig::for_mb(16)
+    });
+    // Same cache, write-back explicitly off, flusher knobs set to junk
+    // values: none of it may leak into a write-through run.
+    let knobs = Some(CacheConfig {
+        policy: AdmissionPolicy::Always,
+        write_policy: WritePolicy::Through,
+        dirty_high_percent: 3,
+        flush_max_age: SimDuration::from_millis(123),
+        flush_batch: 17,
+        ..CacheConfig::for_mb(16)
+    });
+    for scheme in [
+        Scheme::Gimbal,
+        Scheme::Reflex,
+        Scheme::Parda,
+        Scheme::FlashFq,
+    ] {
+        let a = run_cache_cfg(scheme, 7, None, plain.clone());
+        let b = run_cache_cfg(scheme, 7, None, knobs.clone());
+        assert!(
+            a.write_back.is_empty() && b.write_back.is_empty(),
+            "{}: write-through run collected write-back stats",
+            scheme.name()
+        );
+        assert!(
+            a.journals.is_empty() && b.journals.is_empty(),
+            "{}: write-through run recorded a durability journal",
+            scheme.name()
+        );
+        assert_eq!(
+            a.submissions,
+            b.submissions,
+            "{}: inert flusher knobs changed the submission schedule",
+            scheme.name()
+        );
+        assert_eq!(
+            a.stats_digest(),
+            b.stats_digest(),
+            "{}: inert flusher knobs changed the stats digest",
+            scheme.name()
+        );
+    }
 }
 
 /// Different seeds must actually change the run (guards against the digest

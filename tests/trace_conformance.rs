@@ -83,6 +83,7 @@ fn traced_run() -> &'static RunResult {
                         stall_windows: vec![FaultWindow::new(ms(180), ms(280))],
                         ..SsdFaultSpec::default()
                     }],
+                    power_loss_at: None,
                 },
                 retry: RetryConfig::default(),
             }),
