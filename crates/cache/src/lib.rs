@@ -1026,7 +1026,7 @@ impl SsdCache {
     fn redirty_resident(&mut self, l: u64, wal: Option<u64>, now: SimTime) {
         let line = self.lines.get_mut(&l).expect("resident");
         line.accessed = true;
-        line.dirty_epoch += 1;
+        line.dirty_epoch = line.dirty_epoch.saturating_add(1);
         let owner = line.tenant;
         let was_dirty = line.dirty;
         let was_queued = was_dirty && !line.flushing;
@@ -1069,7 +1069,7 @@ impl SsdCache {
         }
         let line = self.lines.get_mut(&l).expect("just inserted");
         line.dirty = true;
-        line.dirty_epoch += 1;
+        line.dirty_epoch = line.dirty_epoch.saturating_add(1);
         line.dirtied_at = now;
         line.wal = wal;
         self.wb.acked_lines += 1;
@@ -1381,7 +1381,7 @@ impl SsdCache {
             if line.dirty {
                 lost.push((*l, line.tenant, line.wal));
                 line.dirty = false;
-                line.dirty_epoch += 1;
+                line.dirty_epoch = line.dirty_epoch.saturating_add(1);
                 line.flushing = false;
                 line.wal = None;
             }
@@ -1558,7 +1558,7 @@ impl SsdCache {
                     // Flash now holds newer data than the acked DRAM copy:
                     // the dirty line is superseded, nothing left to flush.
                     line.dirty = false;
-                    line.dirty_epoch += 1;
+                    line.dirty_epoch = line.dirty_epoch.saturating_add(1);
                     line.wal = None;
                     let owner = line.tenant;
                     self.tenants

@@ -20,6 +20,7 @@
 
 use crate::params::Params;
 use gimbal_fabric::{CmdId, IoType, Priority, SsdId, TenantId};
+use gimbal_sim::cast;
 use gimbal_sim::collections::DetMap;
 use gimbal_sim::SimTime;
 use gimbal_switch::Request;
@@ -87,7 +88,7 @@ impl Tenant {
     }
 
     fn slots_in_use(&self) -> u32 {
-        self.slots.iter().filter(|s| s.in_use).count() as u32
+        cast::usize_to_u32(self.slots.iter().filter(|s| s.in_use).count())
     }
 
     /// Weighted round-robin pick of the next non-empty priority level.
@@ -155,10 +156,12 @@ impl VirtualSlotScheduler {
 
     /// Number of tenants contending for the device (queued or in-flight IO).
     fn contending(&self) -> u32 {
-        self.tenants
+        let contending = self
+            .tenants
             .values()
             .filter(|t| t.queued > 0 || t.outstanding > 0)
-            .count() as u32
+            .count();
+        cast::usize_to_u32(contending)
     }
 
     /// Per-tenant slot allotment: equal split of the threshold, minimum one
@@ -199,7 +202,9 @@ impl VirtualSlotScheduler {
             now,
             self.trace_ssd,
             Some(id),
-            EventKind::SlotOpened { slot: idx as u32 },
+            EventKind::SlotOpened {
+                slot: cast::usize_to_u32(idx),
+            },
         );
         true
     }
@@ -242,7 +247,7 @@ impl VirtualSlotScheduler {
                 let t = self.tenants.get_mut(&tid).unwrap();
                 t.state = ListState::Deferred;
                 t.deficit = 0.0; // Algorithm 2: deficit cleared when deferred
-                let queued = t.queued as u32;
+                let queued = cast::usize_to_u32(t.queued);
                 self.trace.record(
                     now,
                     self.trace_ssd,
@@ -285,7 +290,7 @@ impl VirtualSlotScheduler {
                         self.trace_ssd,
                         Some(tid),
                         EventKind::SlotClosed {
-                            slot: slot_idx as u32,
+                            slot: cast::usize_to_u32(slot_idx),
                             submits,
                         },
                     );
@@ -315,9 +320,9 @@ impl VirtualSlotScheduler {
             // Smooth the per-slot IO count (mixed-size tenants close some
             // slots with one large write and others with 32 small reads; the
             // raw latest value would yo-yo the credit grant).
-            t.last_completed_slot_ios =
-                ((3 * u64::from(t.last_completed_slot_ios) + u64::from(slot.submits)) / 4).max(1)
-                    as u32;
+            t.last_completed_slot_ios = cast::u64_to_u32(
+                ((3 * u64::from(t.last_completed_slot_ios) + u64::from(slot.submits)) / 4).max(1),
+            );
             *slot = VSlot::default(); // freed
             let credit_ios = t.last_completed_slot_ios;
             self.trace.record(
@@ -325,7 +330,7 @@ impl VirtualSlotScheduler {
                 self.trace_ssd,
                 Some(tid),
                 EventKind::SlotFreed {
-                    slot: slot_idx as u32,
+                    slot: cast::usize_to_u32(slot_idx),
                     credit_ios,
                 },
             );

@@ -59,12 +59,12 @@ pub fn strip_non_code(source: &str) -> String {
             continue;
         }
 
-        // Raw (byte) string: r"..", r#".."#, br".." — backslash is not an
-        // escape, termination is the quote followed by the right number of
-        // hashes.
+        // Raw (byte/C) string: r"..", r#".."#, br"..", cr".." — backslash is
+        // not an escape, termination is the quote followed by the right
+        // number of hashes.
         let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
-        if !prev_is_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
-            let start = if c == 'b' { i + 2 } else { i + 1 };
+        if !prev_is_ident && (c == 'r' || ((c == 'b' || c == 'c') && next == Some('r'))) {
+            let start = if c == 'b' || c == 'c' { i + 2 } else { i + 1 };
             let mut hashes = 0;
             while chars.get(start + hashes) == Some(&'#') {
                 hashes += 1;
@@ -72,7 +72,7 @@ pub fn strip_non_code(source: &str) -> String {
             if chars.get(start + hashes) == Some(&'"') {
                 // Keep the prefix letters (they are code), blank the rest.
                 out.push(c);
-                if c == 'b' {
+                if c == 'b' || c == 'c' {
                     out.push('r');
                 }
                 i = start;
@@ -101,10 +101,10 @@ pub fn strip_non_code(source: &str) -> String {
             }
         }
 
-        // Ordinary or byte string.
-        if c == '"' || (c == 'b' && next == Some('"') && !prev_is_ident) {
-            if c == 'b' {
-                out.push('b');
+        // Ordinary, byte, or C string.
+        if c == '"' || ((c == 'b' || c == 'c') && next == Some('"') && !prev_is_ident) {
+            if c == 'b' || c == 'c' {
+                out.push(c);
                 i += 1;
             }
             blank(&mut out, chars[i]); // opening quote
@@ -217,5 +217,121 @@ mod tests {
     fn output_length_matches_input() {
         let src = "let m = \"x\"; // c\nlet n = 'q';\n";
         assert_eq!(strip_non_code(src).len(), src.len());
+    }
+
+    #[test]
+    fn empty_raw_string_and_hash_heavy_terminators() {
+        // Empty raw string, then a terminator with fewer hashes embedded in
+        // the body, then real code.
+        let src = r####"let a = r#""#; let b = r##"x "# HashMap"##; let c = 1;"####;
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn raw_byte_string_blanks_content() {
+        let src = r###"let a = br#"HashMap"#; let ok = 2;"###;
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let ok = 2;"));
+    }
+
+    #[test]
+    fn zero_hash_raw_string_backslash_is_not_escape() {
+        // In r"a\" the backslash does NOT escape the quote: the literal ends
+        // there and the rest of the line is code again.
+        let src = "let s = r\"a\\\"; HashMap::new();";
+        let out = strip_non_code(src);
+        assert!(
+            out.contains("HashMap"),
+            "code after raw string must survive"
+        );
+    }
+
+    #[test]
+    fn multiline_raw_string_preserves_newlines() {
+        let src = "let s = r#\"line1 HashMap\nline2\"#;\nlet t = 4;\n";
+        let out = strip_non_code(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let t = 4;"));
+    }
+
+    #[test]
+    fn deeply_nested_and_tight_block_comments() {
+        let src = "/*/ still open */ let a = 1; /* x /* y /* z */ */ HashMap */ let b = 2;";
+        let out = strip_non_code(src);
+        assert!(out.contains("let a = 1;"));
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_blanks_to_eof() {
+        let src = "let a = 1; /* HashMap never closes";
+        let out = strip_non_code(src);
+        assert!(out.contains("let a = 1;"));
+        assert!(!out.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetime_labels_and_char_ranges() {
+        let src = "'outer: loop { break 'outer; } let r = matches!(c, 'a'..='z');";
+        let out = strip_non_code(src);
+        assert!(
+            out.contains("'outer: loop"),
+            "labels are code, not literals"
+        );
+        assert!(out.contains("break 'outer;"));
+        assert!(!out.contains("'a'"));
+        assert!(!out.contains("'z'"));
+    }
+
+    #[test]
+    fn byte_char_and_escaped_char_literals() {
+        let src = r"let a = b'r'; let b = b'\n'; let c = '\''; let d = '\u{1F600}'; let e = 5;";
+        let out = strip_non_code(src);
+        assert!(!out.contains("1F600"));
+        assert!(out.contains("let e = 5;"));
+        // The `b` prefix stays (it is code); the quoted payload is blanked.
+        assert!(!out.contains("b'r'"));
+    }
+
+    #[test]
+    fn quote_char_literal_then_real_string() {
+        let src = "let q = '\"'; let s = \"HashMap\"; let t = 6;";
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let t = 6;"));
+    }
+
+    #[test]
+    fn string_containing_comment_markers_and_vice_versa() {
+        let src = "let s = \"/* HashMap */\"; // then \"quote\" HashMap\nlet u = 7;";
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let u = 7;"));
+    }
+
+    #[test]
+    fn c_string_literals_are_blanked() {
+        // Rust 1.77+ C-string literals: c"..." and cr#"..."#.
+        let src = r###"let a = c"HashMap"; let b = cr#"HashSet"#; let w = 9;"###;
+        let out = strip_non_code(src);
+        assert!(!out.contains("HashMap"));
+        assert!(!out.contains("HashSet"));
+        assert!(out.contains("let w = 9;"));
+    }
+
+    #[test]
+    fn ident_ending_in_r_before_string_is_not_raw() {
+        // `bar` ends in `r`; the following string is an ordinary literal and
+        // the identifier itself must stay code.
+        let src = "bar(\"HashMap\"); let v = 8;";
+        let out = strip_non_code(src);
+        assert!(out.contains("bar("));
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("let v = 8;"));
     }
 }

@@ -1,40 +1,66 @@
-//! `gimbal-lint` — static determinism checks for the Gimbal workspace.
+//! `gimbal-audit` (binary name `gimbal-lint`) — static determinism checks
+//! for the Gimbal workspace.
 //!
 //! The simulation's core promise is that one seed pins down an entire run,
 //! byte for byte. The compiler cannot enforce that: `HashMap` iteration
 //! order, wall-clock reads, and environment lookups all type-check fine and
 //! then quietly make two identical runs diverge. This crate is the
 //! enforcement layer: a dependency-free scanner that walks every crate's
-//! `src/` tree, strips comments and literals with a small lexer, and applies
-//! the determinism rules D1–D4 (see [`rules`]) with per-crate rule sets.
+//! `src/` tree, strips comments and literals with a small lexer, builds a
+//! workspace symbol/call-graph index ([`index`]), and applies the
+//! determinism rules D1–D9 (see [`rules`]) with per-crate rule sets. Rule
+//! D4 uses the index to scope itself to functions reachable from the
+//! reactor poll loop instead of a crate-name heuristic.
 //!
-//! It runs three ways:
+//! It runs four ways:
 //!
 //! * `cargo run -p gimbal-lint` — human-readable report, non-zero exit on
 //!   errors;
 //! * `cargo run -p gimbal-lint -- --json` — one JSON object per finding
 //!   (machine-readable, for CI annotation);
+//! * `cargo run -p gimbal-lint -- --waivers` — audit every waiver in the
+//!   tree; non-zero exit on expired or orphaned (no-longer-suppressing)
+//!   waivers;
 //! * `cargo test` — `tests/lint_clean.rs` calls [`run_workspace`] and fails
 //!   the tier-1 suite if any error-level finding exists.
 
+pub mod index;
 pub mod lexer;
 pub mod rules;
 
-pub use rules::{check_file, ruleset_for, Finding, RuleId, RuleSet, Severity};
+pub use index::{WorkspaceIndex, REACTOR_ROOTS};
+pub use rules::{
+    check_file, check_file_ctx, parse_date, ruleset_for, Date, FileCtx, Finding, RuleId, RuleSet,
+    Severity, WaiverSite,
+};
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// One waiver with its location, for the audit mode.
+#[derive(Clone, Debug)]
+pub struct WaiverRecord {
+    /// Path relative to the workspace root.
+    pub file: String,
+    pub site: WaiverSite,
+}
 
 /// The outcome of scanning a workspace.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
     /// All findings, ordered by file path then line.
     pub findings: Vec<Finding>,
+    /// Every waiver comment encountered, in file/line order.
+    pub waivers: Vec<WaiverRecord>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// Waivers that suppressed at least one finding.
-    pub waivers_used: usize,
+    /// Functions in the call-graph index.
+    pub fns_indexed: usize,
+    /// Name-resolved call edges in the index.
+    pub call_edges: usize,
+    /// Functions reachable from the reactor poll roots.
+    pub fns_hot: usize,
 }
 
 impl Report {
@@ -50,6 +76,24 @@ impl Report {
         self.findings
             .iter()
             .filter(|f| f.severity == Severity::Warning)
+    }
+
+    /// Waivers that suppressed at least one finding.
+    pub fn waivers_used(&self) -> usize {
+        self.waivers.iter().filter(|w| w.site.used).count()
+    }
+
+    /// Valid, unexpired waivers that suppressed nothing: the rule they once
+    /// covered is gone and the waiver should be deleted.
+    pub fn orphaned_waivers(&self) -> impl Iterator<Item = &WaiverRecord> {
+        self.waivers
+            .iter()
+            .filter(|w| w.site.valid && !w.site.expired && !w.site.used)
+    }
+
+    /// Waivers past their expiry date.
+    pub fn expired_waivers(&self) -> impl Iterator<Item = &WaiverRecord> {
+        self.waivers.iter().filter(|w| w.site.expired)
     }
 }
 
@@ -98,27 +142,83 @@ fn source_roots(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     Ok(roots)
 }
 
-/// Scan the workspace rooted at `root` and return every finding.
-pub fn run_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+/// Today's date from the system clock (the lint runs on the host, outside
+/// the simulation — the ambient-time rule does not apply to the tool
+/// itself). Civil-from-days per Howard Hinnant's algorithm.
+pub fn current_date() -> Date {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8;
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as u16, m, d)
+}
+
+/// Scan the workspace rooted at `root` and return every finding, using
+/// `today` for waiver expiry.
+pub fn run_workspace_at(root: &Path, today: Date) -> io::Result<Report> {
+    // Pass 1: read everything and build the call-graph index.
+    let mut files: Vec<(String, String, String)> = Vec::new(); // (crate, rel, source)
+    let mut ix = WorkspaceIndex::new();
     for (crate_name, src_dir) in source_roots(root)? {
-        let rules = ruleset_for(&crate_name);
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        for path in files {
+        let mut paths = Vec::new();
+        collect_rs_files(&src_dir, &mut paths)?;
+        for path in paths {
             let source = fs::read_to_string(&path)?;
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let (mut findings, used) = check_file(&rel, &source, rules);
-            report.findings.append(&mut findings);
-            report.waivers_used += used;
-            report.files_scanned += 1;
+            ix.add_file(&crate_name, &rel, &lexer::strip_non_code(&source));
+            files.push((crate_name.clone(), rel, source));
         }
     }
+    ix.finish();
+    let reach = ix.reachable(REACTOR_ROOTS);
+    let hot = ix.hot_ranges(&reach);
+
+    let mut report = Report {
+        files_scanned: files.len(),
+        fns_indexed: ix.fns.len(),
+        call_edges: ix.edge_count(),
+        fns_hot: reach.iter().filter(|&&r| r).count(),
+        ..Report::default()
+    };
+
+    // Pass 2: rule checks with per-file hot ranges.
+    for (crate_name, rel, source) in &files {
+        let empty: &[(usize, usize)] = &[];
+        let ranges = hot.get(rel).map(|v| v.as_slice()).unwrap_or(empty);
+        let ctx = FileCtx {
+            rules: ruleset_for(crate_name),
+            hot_ranges: Some(ranges),
+            today,
+        };
+        let (mut findings, sites) = check_file_ctx(rel, source, &ctx);
+        report.findings.append(&mut findings);
+        report
+            .waivers
+            .extend(sites.into_iter().map(|site| WaiverRecord {
+                file: rel.clone(),
+                site,
+            }));
+    }
     Ok(report)
+}
+
+/// Scan the workspace rooted at `root` with today's date.
+pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    run_workspace_at(root, current_date())
 }
 
 /// Render one finding for terminals: `path:line: severity[code/slug]: message`.
@@ -139,24 +239,25 @@ pub fn format_human(f: &Finding) -> String {
     )
 }
 
-/// Render one finding as a JSON object (one per line; hand-rolled because
-/// the crate is dependency-free).
-pub fn format_json(f: &Finding) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
+/// JSON string escape (hand-rolled because the crate is dependency-free).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
-        out
     }
+    out
+}
+
+/// Render one finding as a JSON object (one per line).
+pub fn format_json(f: &Finding) -> String {
     format!(
         "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"slug\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"}}",
         esc(&f.file),
@@ -169,6 +270,53 @@ pub fn format_json(f: &Finding) -> String {
         },
         esc(f.rule.message()),
         esc(&f.snippet)
+    )
+}
+
+/// Render one waiver record as a JSON object (one per line, audit mode).
+pub fn format_waiver_json(w: &WaiverRecord) -> String {
+    let expires = match w.site.expires {
+        Some((y, m, d)) => format!("\"{y:04}-{m:02}-{d:02}\""),
+        None => "null".to_string(),
+    };
+    let status = if !w.site.valid {
+        "malformed"
+    } else if w.site.expired {
+        "expired"
+    } else if w.site.used {
+        "active"
+    } else {
+        "orphaned"
+    };
+    format!(
+        "{{\"file\":\"{}\",\"line\":{},\"slug\":\"{}\",\"owner\":\"{}\",\"expires\":{},\"status\":\"{}\"}}",
+        esc(&w.file),
+        w.site.line,
+        esc(&w.site.slug),
+        esc(&w.site.owner),
+        expires,
+        status
+    )
+}
+
+/// Render one waiver record for terminals.
+pub fn format_waiver_human(w: &WaiverRecord) -> String {
+    let expires = match w.site.expires {
+        Some((y, m, d)) => format!("{y:04}-{m:02}-{d:02}"),
+        None => "????-??-??".to_string(),
+    };
+    let status = if !w.site.valid {
+        "MALFORMED"
+    } else if w.site.expired {
+        "EXPIRED"
+    } else if w.site.used {
+        "active"
+    } else {
+        "ORPHANED"
+    };
+    format!(
+        "{}:{}: {} owner={} expires={} [{}]",
+        w.file, w.site.line, w.site.slug, w.site.owner, expires, status
     )
 }
 
@@ -189,5 +337,35 @@ mod tests {
         assert!(j.contains("\"file\":\"a\\\\b.rs\""));
         assert!(j.contains("\\\"x\\\""));
         assert!(j.contains("\"rule\":\"D1\""));
+    }
+
+    #[test]
+    fn waiver_json_statuses() {
+        let mk = |valid, expired, used| WaiverRecord {
+            file: "x.rs".into(),
+            site: WaiverSite {
+                line: 1,
+                slug: "unordered-map".into(),
+                owner: "core".into(),
+                expires: Some((2099, 1, 1)),
+                has_reason: true,
+                valid,
+                expired,
+                used,
+            },
+        };
+        assert!(format_waiver_json(&mk(true, false, true)).contains("\"status\":\"active\""));
+        assert!(format_waiver_json(&mk(true, false, false)).contains("\"status\":\"orphaned\""));
+        assert!(format_waiver_json(&mk(true, true, false)).contains("\"status\":\"expired\""));
+        assert!(format_waiver_json(&mk(false, false, false)).contains("\"status\":\"malformed\""));
+        assert!(format_waiver_json(&mk(true, false, true)).contains("\"expires\":\"2099-01-01\""));
+    }
+
+    #[test]
+    fn current_date_is_sane() {
+        let (y, m, d) = current_date();
+        assert!((2024..2200).contains(&y), "{y}");
+        assert!((1..=12).contains(&m));
+        assert!((1..=31).contains(&d));
     }
 }

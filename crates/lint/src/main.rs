@@ -1,18 +1,27 @@
-//! CLI for the workspace determinism lint.
+//! CLI for the workspace determinism audit.
 //!
 //! ```text
-//! gimbal-lint [--json] [ROOT]
+//! gimbal-lint [--json] [--waivers] [ROOT]
 //! ```
 //!
 //! `ROOT` defaults to the workspace root (located by walking up from the
 //! current directory to the first `Cargo.toml` containing `[workspace]`).
-//! Exits 0 when no error-level findings exist, 1 otherwise, 2 on usage or
-//! I/O problems.
+//!
+//! Default mode prints findings; exits 0 when no error-level findings
+//! exist, 1 otherwise, 2 on usage or I/O problems.
+//!
+//! `--waivers` lists every waiver in the tree with its audit status
+//! (active / orphaned / expired / malformed) and exits 1 if any waiver is
+//! expired, orphaned, or malformed — a waiver that no longer suppresses
+//! anything is debt that must be deleted, not carried.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use gimbal_lint::{format_human, format_json, run_workspace, Severity};
+use gimbal_lint::{
+    format_human, format_json, format_waiver_human, format_waiver_json, run_workspace, Report,
+    Severity,
+};
 
 /// Walk up from `start` to the first directory whose `Cargo.toml` declares a
 /// `[workspace]`.
@@ -31,14 +40,79 @@ fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
     }
 }
 
+/// Findings mode: print findings, fail on errors.
+fn run_findings(report: &Report, json: bool) -> ExitCode {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for f in &report.findings {
+        match f.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+        if json {
+            println!("{}", format_json(f));
+        } else {
+            println!("{}", format_human(f));
+        }
+    }
+
+    if !json {
+        println!(
+            "gimbal-lint: {} files scanned, {} fns indexed ({} hot), {} errors, {} warnings, {} waivers honoured",
+            report.files_scanned,
+            report.fns_indexed,
+            report.fns_hot,
+            errors,
+            warnings,
+            report.waivers_used()
+        );
+    }
+
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Waiver-audit mode: list every waiver, fail on expired/orphaned/malformed.
+fn run_waiver_audit(report: &Report, json: bool) -> ExitCode {
+    let mut bad = 0usize;
+    for w in &report.waivers {
+        if !(w.site.valid && !w.site.expired && w.site.used) {
+            bad += 1;
+        }
+        if json {
+            println!("{}", format_waiver_json(w));
+        } else {
+            println!("{}", format_waiver_human(w));
+        }
+    }
+    if !json {
+        println!(
+            "gimbal-lint: {} waivers, {} active, {} need attention",
+            report.waivers.len(),
+            report.waivers_used(),
+            bad
+        );
+    }
+    if bad > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut waivers = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--waivers" => waivers = true,
             "--help" | "-h" => {
-                println!("usage: gimbal-lint [--json] [ROOT]");
+                println!("usage: gimbal-lint [--json] [--waivers] [ROOT]");
                 return ExitCode::SUCCESS;
             }
             other if root.is_none() && !other.starts_with('-') => {
@@ -81,30 +155,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    for f in &report.findings {
-        match f.severity {
-            Severity::Error => errors += 1,
-            Severity::Warning => warnings += 1,
-        }
-        if json {
-            println!("{}", format_json(f));
-        } else {
-            println!("{}", format_human(f));
-        }
-    }
-
-    if !json {
-        println!(
-            "gimbal-lint: {} files scanned, {} errors, {} warnings, {} waivers honoured",
-            report.files_scanned, errors, warnings, report.waivers_used
-        );
-    }
-
-    if errors > 0 {
-        ExitCode::FAILURE
+    if waivers {
+        run_waiver_audit(&report, json)
     } else {
-        ExitCode::SUCCESS
+        run_findings(&report, json)
     }
 }

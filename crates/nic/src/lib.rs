@@ -19,7 +19,8 @@ pub const CYCLES_PER_US: f64 = 125.0;
 
 /// Convert cycles to a duration.
 pub fn cycles_to_duration(cycles: f64) -> SimDuration {
-    SimDuration::from_nanos((cycles / CYCLES_PER_US * 1000.0).round() as u64)
+    let ns = (cycles / CYCLES_PER_US * 1000.0).round() as u64;
+    SimDuration::from_nanos(ns)
 }
 
 /// A serial CPU core with a busy-until horizon. Work items queue FIFO.

@@ -63,7 +63,7 @@ pub struct SsdFaultSpec {
 impl SsdFaultSpec {
     /// Whether this spec injects nothing.
     pub fn is_noop(&self) -> bool {
-        // lint: allow(float-eq) — exact zero is the configured "off" sentinel, not a computed value
+        // lint: allow(float-eq, owner=core, expires=2027-08-01) — exact zero is the configured "off" sentinel, not a computed value
         self.transient_error_prob == 0.0 && self.stall_windows.is_empty() && self.fail_at.is_none()
     }
 
@@ -108,9 +108,9 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Whether the plan injects nothing at all.
     pub fn is_noop(&self) -> bool {
-        // lint: allow(float-eq) — exact zero is the configured "off" sentinel, not a computed value
+        // lint: allow(float-eq, owner=core, expires=2027-08-01) — exact zero is the configured "off" sentinel, not a computed value
         self.cmd_loss_prob == 0.0
-            // lint: allow(float-eq) — exact zero is the configured "off" sentinel, not a computed value
+            // lint: allow(float-eq, owner=core, expires=2027-08-01) — exact zero is the configured "off" sentinel, not a computed value
             && self.cpl_loss_prob == 0.0
             && self.burst_windows.is_empty()
             && self.ssd.iter().all(SsdFaultSpec::is_noop)

@@ -23,9 +23,11 @@
 //! what lets the benchmark harness regenerate each figure of the paper
 //! reproducibly.
 
+pub mod cast;
 pub mod collections;
 pub mod digest;
 pub mod fault;
+pub mod journal;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -35,6 +37,7 @@ pub mod token_bucket;
 pub use collections::{DetMap, DetSet};
 pub use digest::Digest;
 pub use fault::{FaultInjector, FaultPlan, FaultWindow, SsdFaultSpec};
+pub use journal::{first_divergence, AccessJournal, DivergenceReport, JournalHandle};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Ewma, Histogram, Meter, TimeSeries};

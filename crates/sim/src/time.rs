@@ -32,19 +32,19 @@ impl SimTime {
     /// Construct from microseconds.
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+        SimTime(us.saturating_mul(1_000))
     }
 
     /// Construct from milliseconds.
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
     /// Construct from seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        SimTime(s.saturating_mul(1_000_000_000))
     }
 
     /// Raw nanosecond count.
@@ -113,26 +113,27 @@ impl SimDuration {
     /// Construct from microseconds.
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        SimDuration(us.saturating_mul(1_000))
     }
 
     /// Construct from milliseconds.
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        SimDuration(ms.saturating_mul(1_000_000))
     }
 
     /// Construct from seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        SimDuration(s.saturating_mul(1_000_000_000))
     }
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative duration {s}");
-        SimDuration((s * 1e9).round() as u64)
+        let ns = (s * 1e9).round() as u64;
+        SimDuration(ns)
     }
 
     /// Raw nanosecond count.

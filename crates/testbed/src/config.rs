@@ -137,6 +137,12 @@ pub struct TestbedConfig {
     /// zero-capacity config — constructs no cache: such a run is
     /// bit-identical to one on a build without cache support.
     pub cache: Option<CacheConfig>,
+    /// Divergence sanitizer: record a state-access journal
+    /// ([`gimbal_sim::journal`]) of every engine decision, digestible and
+    /// comparable across a double run. `false` (the default) keeps every
+    /// record site behind a disabled handle, so unsanitized runs are
+    /// bit-identical to builds without the journal.
+    pub sanitize: bool,
 }
 
 impl Default for TestbedConfig {
@@ -162,6 +168,7 @@ impl Default for TestbedConfig {
             faults: None,
             trace: None,
             cache: None,
+            sanitize: false,
         }
     }
 }

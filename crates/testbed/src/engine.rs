@@ -9,6 +9,7 @@ use gimbal_fabric::{
     CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, RetryConfig, SsdId, TenantId,
 };
 use gimbal_nic::Core;
+use gimbal_sim::journal::JournalHandle;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{
     DetMap, EventQueue, FaultInjector, FaultPlan, Histogram, Meter, SimDuration, SimRng, SimTime,
@@ -163,6 +164,14 @@ struct Engine {
     /// The engine's own handle for fabric-path events (fault injections,
     /// retransmissions, timeouts, credit flow).
     trace: TraceHandle,
+    /// Divergence sanitizer handle ([`TestbedConfig::sanitize`]); disabled
+    /// by default, so record sites cost one `None` branch.
+    sanitizer: JournalHandle,
+    /// Test-only injected nondeterminism: pump pipelines in reverse order
+    /// at [`Ev::PowerLoss`]. Exists to prove the sanitizer localizes a real
+    /// ordering bug to its exact tick and component.
+    #[cfg(test)]
+    perturb_powerloss_pump: bool,
 }
 
 impl Engine {
@@ -177,6 +186,11 @@ impl Engine {
             .map(|_| Rc::new(RefCell::new(Core::new())))
             .collect();
 
+        let sanitizer = if cfg.sanitize {
+            JournalHandle::enabled()
+        } else {
+            JournalHandle::disabled()
+        };
         let (tracer, trace) = match &cfg.trace {
             Some(tc) => {
                 let t = Rc::new(RefCell::new(Tracer::new(tc.clone())));
@@ -276,6 +290,9 @@ impl Engine {
             counters: FaultCounters::default(),
             tracer,
             trace,
+            sanitizer,
+            #[cfg(test)]
+            perturb_powerloss_pump: false,
             cfg,
         }
     }
@@ -339,6 +356,8 @@ impl Engine {
                 wal: None,
             };
             self.next_cmd += 1;
+            self.sanitizer
+                .record(now.as_nanos(), "engine.issue", "submit", cmd.id.0);
             if self.cfg.record_submissions {
                 self.submissions.push(SubmissionRecord {
                     at_ns: now.as_nanos(),
@@ -428,8 +447,14 @@ impl Engine {
 
     /// Poll a pipeline, route its completion capsules, reschedule its wake.
     fn pump(&mut self, ssd: usize, now: SimTime) {
+        self.sanitizer
+            .record(now.as_nanos(), "switch.pipeline", "pump", ssd as u64);
         self.pipelines[ssd].poll(now);
         for out in self.pipelines[ssd].take_outputs() {
+            // Journal at `now` (the poll step), not `out.at`: ticks must be
+            // monotone and the capsule's departure lies in the future.
+            self.sanitizer
+                .record(now.as_nanos(), "switch.pipeline", "complete", out.cmd.id.0);
             if out.served_from_cache {
                 // The SSD never saw this read: its DRAM-copy latency must
                 // not pollute the device-latency signals (histograms, the
@@ -518,7 +543,7 @@ impl Engine {
             self.queue.push(at, Ev::PowerLoss);
         }
         let end = self.duration();
-        let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env) — debug tracing toggle only, never affects simulation state
+        let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env, owner=core, expires=2027-08-01) — debug tracing toggle only, never affects simulation state
         let mut last_report = 0u64;
         while let Some((now, ev)) = self.queue.pop() {
             if now > end {
@@ -538,6 +563,19 @@ impl Engine {
                         .map(|w| w.outstanding)
                         .collect::<Vec<_>>(),
                 );
+            }
+            if self.sanitizer.is_enabled() {
+                let (component, op, key) = match &ev {
+                    Ev::WorkerStart(i) => ("engine.worker", "start", *i as u64),
+                    Ev::TryIssue(i) => ("engine.worker", "try_issue", *i as u64),
+                    Ev::DeliverCmd { cmd, .. } => ("engine.fabric", "deliver_cmd", cmd.id.0),
+                    Ev::PipelineWake(ssd) => ("engine.wake", "wake", *ssd as u64),
+                    Ev::DeliverCpl { cpl, .. } => ("engine.fabric", "deliver_cpl", cpl.id.0),
+                    Ev::Timeout { cmd, .. } => ("engine.fault", "timeout", *cmd),
+                    Ev::PowerLoss => ("engine.fault", "power_loss", 0),
+                    Ev::Sample => ("engine.sample", "sample", 0),
+                };
+                self.sanitizer.record(now.as_nanos(), component, op, key);
             }
             match ev {
                 Ev::WorkerStart(i) => {
@@ -721,7 +759,13 @@ impl Engine {
                     );
                 }
                 Ev::PowerLoss => {
-                    for ssd in 0..self.pipelines.len() {
+                    #[allow(unused_mut)]
+                    let mut order: Vec<usize> = (0..self.pipelines.len()).collect();
+                    #[cfg(test)]
+                    if self.perturb_powerloss_pump {
+                        order.reverse();
+                    }
+                    for ssd in order {
                         self.pipelines[ssd].power_loss(now);
                         self.pump(ssd, now);
                     }
@@ -816,6 +860,7 @@ impl Engine {
                 journals.push(c.journal().to_vec());
             }
         }
+        let access_journal = self.sanitizer.snapshot();
         RunResult {
             workers,
             ssd_stats,
@@ -829,6 +874,7 @@ impl Engine {
             cache_losses,
             write_back,
             journals,
+            access_journal,
         }
     }
 }
@@ -836,7 +882,9 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::FaultConfig;
     use crate::scheme::Scheme;
+    use gimbal_sim::journal::first_divergence;
     use gimbal_workload::FioSpec;
 
     fn region(i: u32, n: u32, cap_blocks: u64) -> (u64, u64) {
@@ -990,5 +1038,62 @@ mod tests {
         let cfg = base_cfg(Scheme::Vanilla, Precondition::None);
         let w = WorkerSpec::new("w", FioSpec::paper_default(1.0, 4096, 0, 1024)).on_ssd(3);
         Testbed::new(cfg, vec![w]);
+    }
+
+    /// Injected nondeterminism, localized: reversing the pipeline pump
+    /// order at the power-loss tick is exactly the class of bug the
+    /// sanitizer exists for. The comparator must name the power-loss tick
+    /// itself (not any later symptom) and the pipeline pump entry where the
+    /// orders first differ.
+    #[test]
+    fn sanitizer_localizes_injected_pump_order_nondeterminism() {
+        let loss_at = SimTime::ZERO + SimDuration::from_millis(200);
+        let cfg = TestbedConfig {
+            num_ssds: 2,
+            cores: 2,
+            sanitize: true,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            faults: Some(FaultConfig {
+                plan: FaultPlan {
+                    power_loss_at: Some(loss_at),
+                    ..FaultPlan::default()
+                },
+                retry: RetryConfig::default(),
+            }),
+            ..base_cfg(Scheme::Gimbal, Precondition::Clean)
+        };
+        let run = |perturb: bool| {
+            let mut specs = workers(2, 0.5, 4096, CAP_BLOCKS);
+            specs[1].ssd = 1;
+            let mut e = Engine::build(cfg.clone(), specs);
+            e.perturb_powerloss_pump = perturb;
+            e.run()
+        };
+
+        // Control: two clean runs agree entry for entry.
+        let a = run(false);
+        let a2 = run(false);
+        let ja = a.access_journal.as_ref().expect("sanitize was on");
+        assert!(!ja.is_empty(), "journal recorded nothing");
+        assert_eq!(
+            first_divergence(ja, a2.access_journal.as_ref().unwrap()),
+            None
+        );
+        assert_eq!(a.access_digest(), a2.access_digest());
+
+        // Perturbed run: first divergence is the pump-order swap at the
+        // power-loss tick, naming the pipeline component and the swapped
+        // SSD keys.
+        let b = run(true);
+        let jb = b.access_journal.as_ref().expect("sanitize was on");
+        let r = first_divergence(ja, jb).expect("perturbation must diverge");
+        assert_eq!(r.tick, loss_at.as_nanos(), "wrong divergence tick: {r}");
+        assert_eq!(r.component(), "switch.pipeline");
+        let ea = r.a.expect("entry in clean run");
+        let eb = r.b.expect("entry in perturbed run");
+        assert_eq!(ea.op, "pump");
+        assert_eq!(eb.op, "pump");
+        assert_eq!((ea.key, eb.key), (0, 1), "pump order swap: {r}");
     }
 }

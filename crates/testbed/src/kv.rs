@@ -361,7 +361,8 @@ impl KvTestbed {
         let pump_step = SimDuration::from_micros(200);
 
         for i in 0..instances.len() {
-            queue.push(SimTime::from_micros(10 * i as u64), Ev::InstanceStart(i));
+            let start = (i as u64).saturating_mul(10);
+            queue.push(SimTime::from_micros(start), Ev::InstanceStart(i));
         }
         let mut traces: Vec<GimbalTrace> = (0..backends).map(|_| GimbalTrace::default()).collect();
         if let Some(step) = cfg.sample_interval {

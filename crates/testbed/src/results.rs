@@ -200,6 +200,11 @@ pub struct RunResult {
     /// Per-SSD durability journals (same gating as `write_back`): the
     /// event streams the crash-consistency oracle replays.
     pub journals: Vec<Vec<DurabilityEvent>>,
+    /// The state-access journal recorded by the divergence sanitizer
+    /// (`None` unless [`crate::TestbedConfig::sanitize`] was set). Feed two
+    /// of these to [`gimbal_sim::journal::first_divergence`] to localize a
+    /// double-run mismatch to its first divergent tick.
+    pub access_journal: Option<gimbal_sim::AccessJournal>,
 }
 
 impl RunResult {
@@ -216,6 +221,14 @@ impl RunResult {
     /// Deterministic: two same-seed traced runs must agree bit for bit.
     pub fn trace_digest(&self) -> Option<u64> {
         self.trace.as_ref().map(RecordedTrace::digest)
+    }
+
+    /// Digest of the state-access journal, `None` when the sanitizer was
+    /// off. Two same-seed sanitized runs must agree bit for bit; when they
+    /// do not, [`gimbal_sim::journal::first_divergence`] names the first
+    /// divergent tick.
+    pub fn access_digest(&self) -> Option<u64> {
+        self.access_journal.as_ref().map(|j| j.digest())
     }
 
     /// Digest of the run's aggregate statistics: per-worker counters and

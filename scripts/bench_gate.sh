@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Performance regression gate: regenerate the bench-smoke summaries into a
+# temp dir and diff them against the committed BENCH_smoke.json /
+# BENCH_smoke_wb.json with a relative tolerance (default 10%) via the
+# bench_gate comparator. The smoke runs are deterministic, so any drift is
+# a behavior change; the tolerance separates "re-tuned, update the
+# baseline" from "regressed, go look".
+# Usage: scripts/bench_gate.sh [TOLERANCE_PCT]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+tol="${1:-10}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+scripts/bench_smoke.sh "$tmp"
+
+status=0
+cargo run --release --offline -q --bin bench_gate -- \
+    BENCH_smoke.json "$tmp/BENCH_smoke.json" --tolerance "$tol" || status=1
+cargo run --release --offline -q --bin bench_gate -- \
+    BENCH_smoke_wb.json "$tmp/BENCH_smoke_wb.json" --tolerance "$tol" || status=1
+exit "$status"

@@ -4,18 +4,21 @@
 # repo root. The run is deterministic (fixed seed), so the committed
 # artifact only changes when the simulator's behavior does — diffs to it
 # are a signal, not noise.
-# Usage: scripts/bench_smoke.sh
+# Usage: scripts/bench_smoke.sh [OUT_DIR]
+# OUT_DIR defaults to the repo root (the committed artifact location);
+# bench_gate.sh passes a temp dir to get fresh summaries for comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+out="${1:-.}"
 
 cargo run --release --offline -q --bin jbofsim -- \
     --scheme gimbal --precondition clean \
     --duration-ms 500 --warmup-ms 100 --seed 42 \
     --cache-mb 16 --cache-policy congestion \
     --workers 4x4k-read-zipf,2x4k-write \
-    --bench-json BENCH_smoke.json
+    --bench-json "$out/BENCH_smoke.json"
 
-echo "wrote BENCH_smoke.json"
+echo "wrote $out/BENCH_smoke.json"
 
 # Write-back datapoint: same seed, skewed writers, acks from DRAM. The
 # summary's cache.write_back object (acked/flushed/dirty/lost plus mean
@@ -25,6 +28,6 @@ cargo run --release --offline -q --bin jbofsim -- \
     --duration-ms 500 --warmup-ms 100 --seed 42 \
     --cache-mb 16 --cache-policy always --cache-write-policy back \
     --workers 2x4k-read-zipf,4x4k-write-zipf \
-    --bench-json BENCH_smoke_wb.json
+    --bench-json "$out/BENCH_smoke_wb.json"
 
-echo "wrote BENCH_smoke_wb.json"
+echo "wrote $out/BENCH_smoke_wb.json"

@@ -32,7 +32,18 @@ echo "==> bench smoke (deterministic jbofsim runs; committed summaries must be f
 scripts/bench_smoke.sh
 git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json
 
+echo "==> divergence sanitizer smoke (double run, journal comparison)"
+cargo run --release --offline -q --bin jbofsim -- \
+    --scheme gimbal --duration-ms 100 --warmup-ms 20 --seed 42 \
+    --sanitize --workers 2x4k-read,1x4k-write > /dev/null
+
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint
+
+echo "==> gimbal-lint --waivers (waiver ledger: no expired/orphaned/malformed)"
+cargo run --offline -q -p gimbal-lint -- --waivers
+
+echo "==> bench gate (non-blocking: >10% regression vs committed baselines)"
+scripts/bench_gate.sh || echo "WARNING: bench gate flagged a regression (non-blocking)"
 
 echo "All checks passed."

@@ -1,0 +1,457 @@
+//! Compare a fresh jbofsim `--bench-json` summary against a committed
+//! baseline and fail on performance regressions beyond a tolerance.
+//!
+//! ```text
+//! bench_gate BASELINE.json FRESH.json [--tolerance PCT]
+//! ```
+//!
+//! Both files carry the shape `write_bench_json` emits. The gate walks the
+//! two documents in parallel and checks every metric with a known
+//! direction:
+//!
+//! * higher is better: `throughput_mbps`, `hit_ratio` — fail when the
+//!   fresh value drops more than `PCT` percent below the baseline;
+//! * lower is better: `mean_us`, `p50_us`, `p99_us`, `p999_us`,
+//!   `write_amplification` — fail when the fresh value rises more than
+//!   `PCT` percent above the baseline.
+//!
+//! Everything else (counts, labels, configuration echoes) is ignored — the
+//! bench-smoke freshness diff in CI already pins those bit for bit. The
+//! default tolerance is 10%.
+
+use std::process::ExitCode;
+
+/// A minimal JSON value. The workspace has no dependencies, and the bench
+/// summaries are machine-written with a fixed shape, so a small
+/// recursive-descent parser is all the gate needs.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered: the writer emits a fixed field order and the
+    /// comparison walks both documents positionally.
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("json parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            // The writer only escapes quotes/backslashes;
+                            // \u is tolerated as a literal passthrough.
+                            out.push_str("\\u");
+                        }
+                        Some(c) => out.push(c as char),
+                        None => return Err(self.err("truncated escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through byte-wise;
+                    // the gate never compares string *contents*.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Metric direction by field name.
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+    Ignore,
+}
+
+fn direction(key: &str) -> Direction {
+    match key {
+        "throughput_mbps" | "hit_ratio" => Direction::HigherIsBetter,
+        "mean_us" | "p50_us" | "p99_us" | "p999_us" | "write_amplification" => {
+            Direction::LowerIsBetter
+        }
+        _ => Direction::Ignore,
+    }
+}
+
+struct Gate {
+    tolerance: f64,
+    regressions: Vec<String>,
+    compared: usize,
+}
+
+impl Gate {
+    fn walk(&mut self, path: &str, base: &Json, fresh: &Json) {
+        match (base, fresh) {
+            (Json::Obj(a), Json::Obj(b)) => {
+                for (key, bv) in a {
+                    match b.iter().find(|(k, _)| k == key) {
+                        Some((_, fv)) => {
+                            self.walk(&format!("{path}.{key}"), bv, fv);
+                        }
+                        None => self
+                            .regressions
+                            .push(format!("{path}.{key}: missing from fresh output")),
+                    }
+                }
+            }
+            (Json::Arr(a), Json::Arr(b)) => {
+                if a.len() != b.len() {
+                    self.regressions.push(format!(
+                        "{path}: length changed {} -> {}",
+                        a.len(),
+                        b.len()
+                    ));
+                    return;
+                }
+                for (i, (bv, fv)) in a.iter().zip(b).enumerate() {
+                    self.walk(&format!("{path}[{i}]"), bv, fv);
+                }
+            }
+            (Json::Num(bv), Json::Num(fv)) => {
+                let key = path.rsplit('.').next().unwrap_or(path);
+                let key = key.split('[').next().unwrap_or(key);
+                let failed = match direction(key) {
+                    // Tiny baselines (zero-count latency summaries) carry
+                    // no signal; a relative bound on ~0 is pure noise.
+                    Direction::HigherIsBetter if *bv > 0.0 => {
+                        self.compared += 1;
+                        *fv < bv * (1.0 - self.tolerance)
+                    }
+                    Direction::LowerIsBetter if *bv > 0.0 => {
+                        self.compared += 1;
+                        *fv > bv * (1.0 + self.tolerance)
+                    }
+                    _ => false,
+                };
+                if failed {
+                    self.regressions.push(format!(
+                        "{path}: {bv} -> {fv} ({:+.1}%, tolerance {:.0}%)",
+                        (fv / bv - 1.0) * 100.0,
+                        self.tolerance * 100.0
+                    ));
+                }
+            }
+            _ => {} // strings, bools, type changes: the freshness diff owns these
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("bench_gate: --tolerance needs a percentage");
+                    return ExitCode::from(2);
+                };
+                tolerance = v / 100.0;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_gate BASELINE.json FRESH.json [--tolerance PCT]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                paths.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let [base_path, fresh_path] = &paths[..] else {
+        eprintln!("usage: bench_gate BASELINE.json FRESH.json [--tolerance PCT]");
+        return ExitCode::from(2);
+    };
+
+    let read = |p: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let (base, fresh) = match (read(base_path), read(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut gate = Gate {
+        tolerance,
+        regressions: Vec::new(),
+        compared: 0,
+    };
+    gate.walk("$", &base, &fresh);
+
+    if gate.compared == 0 {
+        eprintln!("bench_gate: no comparable metrics found — wrong files?");
+        return ExitCode::from(2);
+    }
+    for r in &gate.regressions {
+        eprintln!("bench_gate: REGRESSION {r}");
+    }
+    println!(
+        "bench_gate: {} metrics compared against {base_path}, {} regressions (tolerance {:.0}%)",
+        gate.compared,
+        gate.regressions.len(),
+        tolerance * 100.0
+    );
+    if gate.regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "scheme": "Gimbal",
+        "cache": {"hit_ratio": 0.25},
+        "groups": [
+            {"label": "read", "throughput_mbps": 100.0,
+             "read_latency": {"count": 10, "mean_us": 500.0, "p99_us": 900.0}}
+        ],
+        "ssds": [{"reads": 100, "write_amplification": 1.5}]
+    }"#;
+
+    fn run_gate(base: &str, fresh: &str, tol: f64) -> (usize, Vec<String>) {
+        let b = parse(base).unwrap();
+        let f = parse(fresh).unwrap();
+        let mut g = Gate {
+            tolerance: tol,
+            regressions: Vec::new(),
+            compared: 0,
+        };
+        g.walk("$", &b, &f);
+        (g.compared, g.regressions)
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let (compared, regs) = run_gate(BASE, BASE, 0.10);
+        assert!(compared >= 5, "compared {compared}");
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let fresh = BASE
+            .replace("100.0", "95.0") // -5% throughput: fine
+            .replace("900.0", "950.0"); // +5.5% p99: fine
+        let (_, regs) = run_gate(BASE, &fresh, 0.10);
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let fresh = BASE.replace("\"throughput_mbps\": 100.0", "\"throughput_mbps\": 80.0");
+        let (_, regs) = run_gate(BASE, &fresh, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("throughput_mbps"));
+    }
+
+    #[test]
+    fn latency_rise_beyond_tolerance_fails() {
+        let fresh = BASE.replace("\"p99_us\": 900.0", "\"p99_us\": 1200.0");
+        let (_, regs) = run_gate(BASE, &fresh, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("p99_us"));
+    }
+
+    #[test]
+    fn latency_improvement_passes() {
+        let fresh = BASE.replace("\"mean_us\": 500.0", "\"mean_us\": 100.0");
+        let (_, regs) = run_gate(BASE, &fresh, 0.10);
+        assert!(regs.is_empty(), "{regs:?}");
+    }
+
+    #[test]
+    fn zero_baseline_metrics_are_skipped() {
+        let base = r#"{"groups": [{"throughput_mbps": 0.0, "mean_us": 100.0}]}"#;
+        let fresh = r#"{"groups": [{"throughput_mbps": 50.0, "mean_us": 100.0}]}"#;
+        let (compared, regs) = run_gate(base, fresh, 0.10);
+        assert_eq!(compared, 1); // only mean_us
+        assert!(regs.is_empty());
+    }
+
+    #[test]
+    fn missing_metric_is_flagged() {
+        let fresh = BASE.replace("\"hit_ratio\": 0.25", "\"other\": 0.25");
+        let (_, regs) = run_gate(BASE, &fresh, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("missing"));
+    }
+
+    #[test]
+    fn parser_round_trips_real_shapes() {
+        let v = parse(BASE).unwrap();
+        let Json::Obj(fields) = &v else {
+            panic!("not an object")
+        };
+        assert_eq!(fields[0].0, "scheme");
+        assert_eq!(fields[0].1, Json::Str("Gimbal".to_owned()));
+        assert!(parse("[1, 2.5, -3e2, true, null, \"x\"]").is_ok());
+        assert!(parse("{\"a\": 1,}").is_err());
+        assert!(parse("{} extra").is_err());
+    }
+}

@@ -28,7 +28,7 @@ fn usage() -> ! {
          \x20              [--seed N] [--trace-out FILE] [--trace-format chrome|jsonl]\n\
          \x20              [--cache-mb N] [--cache-policy always|congestion|never]\n\
          \x20              [--cache-write-policy through|back] [--bench-json FILE]\n\
-         \x20              --workers SPEC[,SPEC…]\n\
+         \x20              [--sanitize] --workers SPEC[,SPEC…]\n\
          \n\
          SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf]   e.g. 8x4k-read,\n\
          \x20      4x128k-write-qd8, 2x4k-mix70-rate50 (70% reads, 50 MB/s cap\n\
@@ -39,6 +39,8 @@ fn usage() -> ! {
          \x20      --cache-write-policy back acks writes from DRAM and drains\n\
          \x20      them to flash via the deterministic flusher (default through)\n\
          --bench-json writes a machine-readable run summary to FILE\n\
+         --sanitize runs the experiment twice with the state-access journal\n\
+         \x20      enabled and localizes any divergence to its first tick\n\
          --trace-out enables structured telemetry and writes the trace to FILE:\n\
          \x20      chrome (default) loads in Perfetto (ui.perfetto.dev), jsonl is\n\
          \x20      one event per line for grep/jq"
@@ -197,6 +199,7 @@ fn main() {
     let mut cache_policy = AdmissionPolicy::CongestionAware;
     let mut cache_write = WritePolicy::Through;
     let mut bench_json: Option<String> = None;
+    let mut sanitize = false;
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -304,6 +307,10 @@ fn main() {
                 }
                 i += 2;
             }
+            "--sanitize" => {
+                sanitize = true;
+                i += 1;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -352,6 +359,7 @@ fn main() {
         seed,
         trace: trace_out.as_ref().map(|_| TraceConfig::default()),
         cache: cache_tier_wb(cache_mb, cache_policy, cache_write),
+        sanitize,
         ..TestbedConfig::default()
     };
 
@@ -364,7 +372,40 @@ fn main() {
         duration_ms,
         warmup_ms
     );
-    let res = Testbed::new(cfg, workers).run();
+    let res = if sanitize {
+        // Double run: same config, same seed. Any difference is a
+        // determinism bug; the journal names where it started.
+        let a = Testbed::new(cfg.clone(), workers.clone()).run();
+        let b = Testbed::new(cfg, workers).run();
+        let ja = a.access_journal.as_ref().expect("sanitizer was enabled");
+        let jb = b.access_journal.as_ref().expect("sanitizer was enabled");
+        match gimbal_repro::sim::first_divergence(ja, jb) {
+            None if a.stats_digest() == b.stats_digest() => {
+                eprintln!(
+                    "sanitizer: double run identical — {} journal entries, digest {:#018x}",
+                    ja.len(),
+                    ja.digest()
+                );
+            }
+            None => {
+                eprintln!(
+                    "sanitizer: stats digests diverged ({:#018x} vs {:#018x}) but the \
+                     access journals agree — widen journal coverage",
+                    a.stats_digest(),
+                    b.stats_digest()
+                );
+                exit(1);
+            }
+            Some(r) => {
+                eprintln!("sanitizer: DIVERGENCE — {r}");
+                println!("{}", gimbal_repro::sim::journal::report_json(&r));
+                exit(1);
+            }
+        }
+        a
+    } else {
+        Testbed::new(cfg, workers).run()
+    };
 
     // Group report by spec label.
     println!(
