@@ -43,7 +43,7 @@ fn run_with_slots(slots: u32, tenants: u32, quick: bool) -> (f64, f64) {
     let bws: Vec<f64> = res.workers.iter().map(|w| w.bandwidth_bps()).collect();
     let sum: f64 = bws.iter().sum();
     let sum_sq: f64 = bws.iter().map(|b| b * b).sum();
-    // lint: allow(float-eq, owner=core, expires=2027-08-01) — exact-zero guard before division, not a tolerance check
+    // lint: allow(float-eq, owner=bench, expires=2028-08-01) — exact-zero guard before division, not a tolerance check
     let jain = if sum_sq == 0.0 {
         1.0
     } else {

@@ -144,13 +144,25 @@ impl HierarchicalAllocator {
         score: F,
         exclude: Option<BackendId>,
     ) -> Option<BlobAddr> {
+        self.alloc_micro_where(score, |b| Some(b) != exclude)
+    }
+
+    /// [`Self::alloc_micro`] with an arbitrary eligibility predicate — the
+    /// rack-scale shadow placement excludes the primary's entire *node*
+    /// (fault-domain anti-affinity), not just its backend, so node death
+    /// never takes both replicas of a micro with it.
+    pub fn alloc_micro_where<F, P>(&mut self, score: F, eligible: P) -> Option<BlobAddr>
+    where
+        F: Fn(BackendId) -> f64,
+        P: Fn(BackendId) -> bool,
+    {
         // Ties on the load score (common right after startup, when every
         // backend reports the same credit) break toward the backend with
         // the most free space, which spreads data evenly instead of piling
         // everything onto one SSD.
         let best = (0..self.backends.len())
             .map(|i| BackendId(i as u32))
-            .filter(|&b| Some(b) != exclude && self.can_alloc(b))
+            .filter(|&b| eligible(b) && self.can_alloc(b))
             .max_by(|&a, &b| {
                 score(a)
                     .partial_cmp(&score(b))
@@ -234,6 +246,21 @@ mod tests {
             .alloc_micro(|b| scores[b.index()], Some(BackendId(1)))
             .unwrap();
         assert_eq!(m2.backend, BackendId(2));
+    }
+
+    #[test]
+    fn predicate_exclusion_respects_fault_domains() {
+        // Backends 0–1 are "node 0", 2–3 are "node 1"; excluding node 0
+        // (the primary's fault domain) must land on node 1 even when node 0
+        // scores higher.
+        let mut a = hba(4);
+        let scores = [9.0, 8.0, 2.0, 1.0];
+        let m = a
+            .alloc_micro_where(|b| scores[b.index()], |b| b.index() / 2 != 0)
+            .unwrap();
+        assert_eq!(m.backend, BackendId(2));
+        // An unsatisfiable predicate is a clean None, not a panic.
+        assert!(a.alloc_micro_where(|_| 1.0, |_| false).is_none());
     }
 
     #[test]

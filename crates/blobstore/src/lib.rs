@@ -28,5 +28,5 @@ pub mod store;
 
 pub use allocator::{BackendId, BlobAddr, HbaConfig, HierarchicalAllocator};
 pub use error::BlobError;
-pub use limiter::RateLimiter;
+pub use limiter::{RateLimiter, ReplicaHealth};
 pub use store::{Blobstore, FileId, IoPlan, WritePlan};

@@ -16,6 +16,27 @@ struct BackendState {
     credit: u32,
     outstanding: u32,
     dead: bool,
+    /// Soft failure signal: the rack escalation ladder marked the backend's
+    /// node suspect after repeated silent timeouts. Unlike `dead`, suspicion
+    /// is reversible (a successful completion clears it) and only
+    /// deprioritizes — a suspect backend still wins when it is the only
+    /// live replica.
+    suspect: bool,
+}
+
+/// Environment-sourced health of one backend, consulted by the
+/// GC/partition-aware replica chooser. Both signals are *soft*: they reorder
+/// the choice but never exclude a backend outright (only `dead` does that),
+/// so a fully-degraded replica set still routes somewhere instead of
+/// erroring while data remains reachable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// The backend's node is currently partitioned from the ToR (capsules
+    /// to it are being dropped); sending there wastes a full timeout.
+    pub partitioned: bool,
+    /// The backend's SSD reports an active GC window (injected storm or
+    /// organic die-level GC occupancy); reads will queue behind copybacks.
+    pub gc_busy: bool,
 }
 
 /// Per-backend credit tracking and submission gating.
@@ -36,6 +57,7 @@ impl RateLimiter {
                     credit: initial_credit.max(1),
                     outstanding: 0,
                     dead: false,
+                    suspect: false,
                 };
                 backends
             ],
@@ -99,6 +121,22 @@ impl RateLimiter {
         self.states[b.index()].dead
     }
 
+    /// Mark a backend suspect (its node stopped answering; the escalation
+    /// ladder is rerouting around it until it proves itself again).
+    pub fn mark_suspect(&mut self, b: BackendId) {
+        self.states[b.index()].suspect = true;
+    }
+
+    /// Clear suspicion (a completion arrived from the backend's node).
+    pub fn clear_suspect(&mut self, b: BackendId) {
+        self.states[b.index()].suspect = false;
+    }
+
+    /// Whether the backend is currently suspect.
+    pub fn is_suspect(&self, b: BackendId) -> bool {
+        self.states[b.index()].suspect
+    }
+
     /// Outstanding IOs to `b`.
     pub fn outstanding(&self, b: BackendId) -> u32 {
         self.states[b.index()].outstanding
@@ -107,18 +145,49 @@ impl RateLimiter {
     /// Pick the replica with the most headroom (the §4.3 read load
     /// balancer). Backends marked failed are excluded outright — a dead
     /// primary must not win a zero-headroom tie. Ties among live replicas
-    /// go to the first.
+    /// go to the first. Equivalent to [`Self::choose_replica_aware`] with
+    /// every backend reporting healthy.
     pub fn choose_replica(&self, replicas: &[BackendId]) -> Result<usize, BlobError> {
+        self.choose_replica_aware(replicas, |_| ReplicaHealth::default())
+    }
+
+    /// The extended chooser: "alive, not partitioned, and not GC-busy"
+    /// before headroom. The preference order is lexicographic —
+    ///
+    /// 1. reachable (not partitioned) beats partitioned,
+    /// 2. not-suspect beats suspect,
+    /// 3. not-GC-busy beats GC-busy (the RackBlox co-design: route reads
+    ///    away from devices mid-collection),
+    /// 4. more headroom beats less,
+    ///
+    /// with remaining ties going to the first replica in order (the
+    /// primary), so the choice is deterministic. Dead backends stay a hard
+    /// exclusion; every soft signal only reorders live candidates, so a
+    /// rack where *every* replica is GC-busy still serves reads.
+    pub fn choose_replica_aware(
+        &self,
+        replicas: &[BackendId],
+        health: impl Fn(BackendId) -> ReplicaHealth,
+    ) -> Result<usize, BlobError> {
         if replicas.is_empty() {
             return Err(BlobError::NoReplicas);
         }
+        let score = |b: BackendId| {
+            let h = health(b);
+            (
+                !h.partitioned,
+                !self.is_suspect(b),
+                !h.gc_busy,
+                self.headroom(b),
+            )
+        };
         let mut best: Option<usize> = None;
         for (i, &b) in replicas.iter().enumerate() {
             if self.is_dead(b) {
                 continue;
             }
             match best {
-                Some(j) if self.headroom(replicas[j]) >= self.headroom(b) => {}
+                Some(j) if score(replicas[j]) >= score(b) => {}
                 _ => best = Some(i),
             }
         }
@@ -197,5 +266,130 @@ mod tests {
     fn empty_replica_set_is_an_error_not_a_panic() {
         let l = RateLimiter::new(1, 8, true);
         assert_eq!(l.choose_replica(&[]), Err(BlobError::NoReplicas));
+    }
+
+    #[test]
+    fn zero_headroom_tie_deprioritizes_gc_busy_backends() {
+        // Both replicas report zero headroom (saturated); the old chooser
+        // would send the read to the GC-busy primary on the first-wins tie.
+        let mut l = RateLimiter::new(2, 4, true);
+        for _ in 0..4 {
+            l.on_submit(BackendId(0));
+            l.on_submit(BackendId(1));
+        }
+        assert_eq!(l.headroom(BackendId(0)), 0);
+        assert_eq!(l.headroom(BackendId(1)), 0);
+        let gc0 = |b: BackendId| ReplicaHealth {
+            gc_busy: b == BackendId(0),
+            ..ReplicaHealth::default()
+        };
+        assert_eq!(
+            l.choose_replica_aware(&[BackendId(0), BackendId(1)], gc0),
+            Ok(1),
+            "GC-busy primary loses the zero-headroom tie"
+        );
+    }
+
+    #[test]
+    fn replica_choice_tie_table() {
+        // The full lexicographic preference table over two replicas with
+        // equal headroom: partition > suspicion > GC-business > primary-
+        // first. Each row is (health0, health1, suspect0, suspect1, winner).
+        let h = |partitioned, gc_busy| ReplicaHealth {
+            partitioned,
+            gc_busy,
+        };
+        let healthy = h(false, false);
+        let table: &[(ReplicaHealth, ReplicaHealth, bool, bool, usize)] = &[
+            // All clear → primary wins the tie.
+            (healthy, healthy, false, false, 0),
+            // One soft signal flips the choice...
+            (h(true, false), healthy, false, false, 1),
+            (healthy, h(true, false), false, false, 0),
+            (h(false, true), healthy, false, false, 1),
+            (healthy, h(false, true), false, false, 0),
+            (healthy, healthy, true, false, 1),
+            (healthy, healthy, false, true, 0),
+            // ...symmetric signals restore the primary-first tie...
+            (h(false, true), h(false, true), false, false, 0),
+            (h(true, true), h(true, true), true, true, 0),
+            // ...and partition outranks suspicion outranks GC-business:
+            // a reachable GC-busy replica beats a partitioned clean one,
+            (h(true, false), h(false, true), false, false, 1),
+            // a non-suspect GC-busy replica beats a suspect clean one,
+            (h(false, true), healthy, false, true, 0),
+            (healthy, h(false, true), true, false, 1),
+            // and a suspect reachable replica beats a partitioned one.
+            (h(true, false), healthy, false, true, 1),
+        ];
+        for (i, &(h0, h1, s0, s1, want)) in table.iter().enumerate() {
+            let mut l = RateLimiter::new(2, 4, true);
+            if s0 {
+                l.mark_suspect(BackendId(0));
+            }
+            if s1 {
+                l.mark_suspect(BackendId(1));
+            }
+            let health = move |b: BackendId| if b == BackendId(0) { h0 } else { h1 };
+            assert_eq!(
+                l.choose_replica_aware(&[BackendId(0), BackendId(1)], health),
+                Ok(want),
+                "tie-table row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn headroom_outranks_nothing_but_breaks_equal_health() {
+        // GC-business outranks headroom: an idle GC-busy backend loses to a
+        // busy-but-collecting-free one.
+        let mut l = RateLimiter::new(2, 8, true);
+        for _ in 0..6 {
+            l.on_submit(BackendId(1));
+        }
+        let gc0 = |b: BackendId| ReplicaHealth {
+            gc_busy: b == BackendId(0),
+            ..ReplicaHealth::default()
+        };
+        assert_eq!(
+            l.choose_replica_aware(&[BackendId(0), BackendId(1)], gc0),
+            Ok(1),
+            "headroom 8 + GC loses to headroom 2 clean"
+        );
+        // With equal health, headroom still decides.
+        assert_eq!(
+            l.choose_replica_aware(&[BackendId(0), BackendId(1)], |_| ReplicaHealth::default()),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn suspect_backend_still_wins_when_it_is_the_only_live_replica() {
+        let mut l = RateLimiter::new(2, 8, true);
+        l.mark_dead(BackendId(1));
+        l.mark_suspect(BackendId(0));
+        assert_eq!(
+            l.choose_replica_aware(&[BackendId(0), BackendId(1)], |_| ReplicaHealth {
+                partitioned: true,
+                gc_busy: true,
+            }),
+            Ok(0),
+            "soft signals never exclude the last live replica"
+        );
+        l.clear_suspect(BackendId(0));
+        assert!(!l.is_suspect(BackendId(0)));
+    }
+
+    #[test]
+    fn plain_chooser_is_the_aware_chooser_with_healthy_backends() {
+        let mut l = RateLimiter::new(2, 8, true);
+        for _ in 0..3 {
+            l.on_submit(BackendId(0));
+        }
+        let replicas = [BackendId(0), BackendId(1)];
+        assert_eq!(
+            l.choose_replica(&replicas),
+            l.choose_replica_aware(&replicas, |_| ReplicaHealth::default())
+        );
     }
 }

@@ -91,13 +91,39 @@ impl Blobstore {
         blocks: u64,
         score: F,
     ) -> Option<FileId> {
+        self.create_file_zoned(blocks, score, |b| b.index() as u32)
+    }
+
+    /// [`Self::create_file`] with explicit fault domains: `zone_of` maps a
+    /// backend to its rack node, and each micro's shadow is forced onto a
+    /// *different node* than the primary (falling back to a different
+    /// backend on the same node only when no other node has space). With
+    /// the default identity zoning every backend is its own domain and this
+    /// is exactly the single-node `create_file`.
+    pub fn create_file_zoned<F, Z>(&mut self, blocks: u64, score: F, zone_of: Z) -> Option<FileId>
+    where
+        F: Fn(BackendId) -> f64,
+        Z: Fn(BackendId) -> u32,
+    {
         let micro = self.alloc.micro_blocks();
         let n = blocks.div_ceil(micro).max(1);
         let mut micros = Vec::with_capacity(n as usize);
         for _ in 0..n {
             let primary = self.alloc.alloc_micro(&score, None)?;
             let shadow = if self.replicate {
-                self.alloc.alloc_micro(&score, Some(primary.backend))?
+                let pzone = zone_of(primary.backend);
+                match self
+                    .alloc
+                    .alloc_micro_where(&score, |b| zone_of(b) != pzone)
+                {
+                    Some(s) => s,
+                    // No foreign-node space left: degrade to same-node,
+                    // different-backend placement rather than failing the
+                    // create (redundancy against device, not node, loss).
+                    None => self
+                        .alloc
+                        .alloc_micro_where(&score, |b| b != primary.backend)?,
+                }
             } else {
                 primary
             };
@@ -296,6 +322,39 @@ mod tests {
             let [p, sh] = s.replicas_at(f, off);
             assert_ne!(p, sh, "replica collision at {off}");
         }
+    }
+
+    #[test]
+    fn zoned_replicas_land_on_distinct_nodes() {
+        // 4 backends, 2 per node: every shadow must sit on the other node.
+        let mut s = store(true, 4);
+        let zone = |b: BackendId| (b.index() / 2) as u32;
+        let f = s.create_file_zoned(64 * 8, |_| 1.0, zone).unwrap();
+        for off in (0..64 * 8).step_by(64) {
+            let [p, sh] = s.replicas_at(f, off);
+            assert_ne!(zone(p), zone(sh), "node collision at {off}");
+        }
+    }
+
+    #[test]
+    fn zoned_create_degrades_to_same_node_when_the_other_is_full() {
+        // Node 1 (backend 1) too small to hold shadows: the create must
+        // still succeed with both copies on node 0's two backends.
+        let alloc = HierarchicalAllocator::new(HbaConfig::default(), &[16384, 16384, 4096]);
+        let mut s = Blobstore::new(alloc, true).unwrap();
+        let zone = |b: BackendId| u32::from(b.index() == 2);
+        // 4096 blocks = 1 mega = 64 micros on node 1; ask for more shadows
+        // than it can hold.
+        let f = s.create_file_zoned(64 * 128, |_| 1.0, zone).unwrap();
+        let mut same_node_pairs = 0;
+        for off in (0..64 * 128).step_by(64) {
+            let [p, sh] = s.replicas_at(f, off);
+            assert_ne!(p, sh, "replicas always on distinct backends");
+            if zone(p) == zone(sh) {
+                same_node_pairs += 1;
+            }
+        }
+        assert!(same_node_pairs > 0, "overflow fell back to same-node");
     }
 
     #[test]

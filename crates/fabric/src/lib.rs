@@ -13,7 +13,11 @@
 //!   reads, completion capsule via `RDMA_SEND`) as serialization +
 //!   propagation delays on 100 Gbps ports;
 //! * [`retry`] — the initiator-side timeout/backoff policy that recovers
-//!   lost capsules (and their piggybacked credits) under fault injection.
+//!   lost capsules (and their piggybacked credits) under fault injection,
+//!   plus the rack escalation ladder (retransmit → suspect → reroute);
+//! * [`tor`] — a deterministic top-of-rack switch model (per-node link
+//!   serialization, hop latency, fault-injected degradation) for the
+//!   rack-scale testbed.
 //!
 //! The real system runs SPDK's RDMA transport; we substitute a message-level
 //! model because Gimbal only observes the fabric as *delay plus per-message
@@ -22,9 +26,11 @@
 pub mod capsule;
 pub mod network;
 pub mod retry;
+pub mod tor;
 pub mod types;
 
-pub use capsule::{CmdStatus, NvmeCmd, NvmeCompletion};
+pub use capsule::{CmdStatus, NvmeCmd, NvmeCompletion, CMD_CAPSULE_BYTES, RSP_CAPSULE_BYTES};
 pub use network::{FabricConfig, Port, RdmaDelays};
-pub use retry::RetryConfig;
+pub use retry::{EscalationAction, RetryConfig};
+pub use tor::{TorConfig, TorSwitch};
 pub use types::{CmdId, IoType, NodeId, Priority, SsdId, TenantId, BLOCK_SIZE};

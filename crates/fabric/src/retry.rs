@@ -21,6 +21,12 @@ pub struct RetryConfig {
     /// Retransmissions allowed after the original attempt; past this the
     /// command fails client-side with a timeout error.
     pub max_retries: u32,
+    /// Rack escalation threshold: once this many attempts at the same target
+    /// have timed out, the initiator marks the node *suspect* and reroutes to
+    /// a surviving replica instead of retransmitting again. Single-node
+    /// engines (nowhere to reroute) ignore it and ride the retransmit rung
+    /// to exhaustion.
+    pub suspect_after: u32,
 }
 
 impl Default for RetryConfig {
@@ -31,8 +37,25 @@ impl Default for RetryConfig {
             base_timeout: SimDuration::from_millis(2),
             max_timeout: SimDuration::from_millis(32),
             max_retries: 5,
+            // Two silent timeouts (~6 ms) distinguish a lost capsule from a
+            // dead or partitioned node; beyond that, rerouting beats backoff.
+            suspect_after: 2,
         }
     }
+}
+
+/// The next rung of the escalation ladder after a per-command timer fires:
+/// retransmit → mark-node-suspect + reroute to a surviving replica →
+/// terminal error only when no live replica holds the span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscalationAction {
+    /// Retransmit the same command id to the same target with backoff.
+    Retransmit,
+    /// Mark the target node suspect and re-issue the IO (fresh command id)
+    /// to a surviving replica.
+    SuspectAndReroute,
+    /// No rung left: fail the IO with a typed timeout error.
+    Terminal,
 }
 
 impl RetryConfig {
@@ -40,6 +63,10 @@ impl RetryConfig {
     pub fn validate(&self) {
         assert!(self.base_timeout > SimDuration::ZERO, "zero base timeout");
         assert!(self.max_timeout >= self.base_timeout, "cap below base");
+        assert!(
+            self.suspect_after >= 1 && self.suspect_after <= self.max_retries.max(1),
+            "suspect_after outside 1..=max_retries"
+        );
     }
 
     /// The timer armed for attempt `n` (0 = the original transmission):
@@ -55,6 +82,24 @@ impl RetryConfig {
     /// attempt `max_retries` (0-based original + retries) fails the command.
     pub fn exhausted(&self, attempt: u32) -> bool {
         attempt >= self.max_retries
+    }
+
+    /// The escalation rung when the timer for attempt `attempt` fires.
+    /// `can_reroute` is whether some *other* live replica holds the span —
+    /// without one, the ladder degenerates to retransmit-until-exhausted
+    /// (exactly the single-node protocol).
+    pub fn escalate(&self, attempt: u32, can_reroute: bool) -> EscalationAction {
+        if self.exhausted(attempt) {
+            if can_reroute {
+                EscalationAction::SuspectAndReroute
+            } else {
+                EscalationAction::Terminal
+            }
+        } else if can_reroute && attempt + 1 >= self.suspect_after {
+            EscalationAction::SuspectAndReroute
+        } else {
+            EscalationAction::Retransmit
+        }
     }
 }
 
@@ -91,7 +136,31 @@ mod tests {
             base_timeout: SimDuration::from_millis(4),
             max_timeout: SimDuration::from_millis(2),
             max_retries: 1,
+            suspect_after: 1,
         }
         .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "suspect_after outside")]
+    fn validate_rejects_suspect_threshold_past_exhaustion() {
+        RetryConfig {
+            suspect_after: 6,
+            ..RetryConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn escalation_ladder_climbs_in_order() {
+        let r = RetryConfig::default(); // suspect_after = 2, max_retries = 5
+                                        // With a surviving replica: retransmit once, then reroute.
+        assert_eq!(r.escalate(0, true), EscalationAction::Retransmit);
+        assert_eq!(r.escalate(1, true), EscalationAction::SuspectAndReroute);
+        assert_eq!(r.escalate(5, true), EscalationAction::SuspectAndReroute);
+        // Without one: the single-node protocol, terminal only at exhaustion.
+        assert_eq!(r.escalate(0, false), EscalationAction::Retransmit);
+        assert_eq!(r.escalate(4, false), EscalationAction::Retransmit);
+        assert_eq!(r.escalate(5, false), EscalationAction::Terminal);
     }
 }

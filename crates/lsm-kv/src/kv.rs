@@ -746,7 +746,7 @@ impl LsmKv {
         match kind {
             IoKind::Probe { op, .. } => {
                 let Some(OpState::Probing { key, rmw, .. }) = self.ops.remove(&op) else {
-                    // lint: allow(panic-in-lib, owner=core, expires=2027-08-01) — io_kinds/ops are private twins; a Probe tag with a non-Probing op is internal corruption, not tenant input
+                    // lint: allow(panic-in-lib, owner=lsm-kv, expires=2028-08-01) — io_kinds/ops are private twins; a Probe tag with a non-Probing op is internal corruption, not tenant input
                     panic!("probe for op not probing");
                 };
                 self.stats.failed_read_retries += 1;
@@ -776,7 +776,7 @@ impl LsmKv {
                     rmw,
                 }) = self.ops.remove(&op)
                 else {
-                    // lint: allow(panic-in-lib, owner=core, expires=2027-08-01) — io_kinds/ops are private twins; a Probe tag with a non-Probing op is internal corruption, not tenant input
+                    // lint: allow(panic-in-lib, owner=lsm-kv, expires=2028-08-01) — io_kinds/ops are private twins; a Probe tag with a non-Probing op is internal corruption, not tenant input
                     panic!("probe for op not probing");
                 };
                 let found = self.find_table(table).map(|t| t.contains(key));

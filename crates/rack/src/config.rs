@@ -1,0 +1,190 @@
+//! Rack experiment configuration.
+
+use gimbal_core::Params;
+use gimbal_fabric::{FabricConfig, TorConfig};
+use gimbal_sim::SimDuration;
+use gimbal_ssd::SsdConfig;
+use gimbal_telemetry::TraceConfig;
+use gimbal_testbed::{FaultConfig, Precondition, Scheme};
+
+/// Configuration of a rack-scale experiment.
+#[derive(Clone, Debug)]
+pub struct RackConfig {
+    /// Scheme running on every JBOF node's switch pipelines.
+    pub scheme: Scheme,
+    /// Gimbal parameters (used when `scheme == Scheme::Gimbal`).
+    pub gimbal_params: Params,
+    /// SSD model, identical across the rack.
+    pub ssd: SsdConfig,
+    /// JBOF node count behind the ToR.
+    pub nodes: u32,
+    /// SSDs (switch pipelines) per node.
+    pub ssds_per_node: u32,
+    /// Closed-loop clients, each with its own blobstore file.
+    pub clients: u32,
+    /// Outstanding logical IOs per client.
+    pub queue_depth: u32,
+    /// Fraction of logical IOs that are reads.
+    pub read_ratio: f64,
+    /// Logical IO size in bytes (multiple of 4 KiB, at most one micro blob).
+    pub io_bytes: u64,
+    /// Per-client file size in logical blocks.
+    pub file_blocks: u64,
+    /// Replicate files (primary + shadow on a *different node* — the zoned
+    /// placement that makes node death survivable).
+    pub replicate: bool,
+    /// GC-aware read routing: when on, the replica chooser sees each
+    /// backend's live GC state and steers reads away from devices
+    /// mid-collection; when off, only death/partition/suspicion steer (the
+    /// GC-blind baseline the A/B experiment compares against).
+    pub gc_aware_routing: bool,
+    /// SSD preconditioning.
+    pub precondition: Precondition,
+    /// Initiator-side fabric parameters (ports, propagation, inline cutoff).
+    pub fabric: FabricConfig,
+    /// ToR switch model (per-node link latency and bandwidth).
+    pub tor: TorConfig,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Measurement starts here.
+    pub warmup: SimDuration,
+    /// Seed.
+    pub seed: u64,
+    /// Fault plan + retry/escalation policy. `None` (or a plan whose every
+    /// target is absent from this rack) runs fault-free with no timers, so
+    /// such runs are bit-identical to a `faults: None` run.
+    pub faults: Option<FaultConfig>,
+    /// Structured telemetry (`None` = off).
+    pub trace: Option<TraceConfig>,
+    /// Record the state-access journal for the divergence sanitizer.
+    pub sanitize: bool,
+}
+
+impl Default for RackConfig {
+    fn default() -> Self {
+        RackConfig {
+            scheme: Scheme::Gimbal,
+            gimbal_params: Params::default(),
+            ssd: SsdConfig {
+                logical_capacity: 256 * 1024 * 1024,
+                ..SsdConfig::default()
+            },
+            nodes: 3,
+            ssds_per_node: 2,
+            clients: 4,
+            queue_depth: 4,
+            read_ratio: 0.7,
+            io_bytes: 4096,
+            file_blocks: 4096,
+            replicate: true,
+            gc_aware_routing: true,
+            precondition: Precondition::Clean,
+            fabric: FabricConfig::default(),
+            tor: TorConfig::default(),
+            duration: SimDuration::from_millis(60),
+            warmup: SimDuration::from_millis(10),
+            seed: 42,
+            faults: None,
+            trace: None,
+            sanitize: false,
+        }
+    }
+}
+
+impl RackConfig {
+    /// Total backends (SSDs across all nodes).
+    pub fn backends(&self) -> u32 {
+        self.nodes * self.ssds_per_node
+    }
+
+    /// The node owning backend `b` (backends are numbered node-major).
+    pub fn node_of(&self, b: usize) -> usize {
+        b / self.ssds_per_node as usize
+    }
+
+    /// Logical IO size in blocks.
+    pub fn io_blocks(&self) -> u64 {
+        self.io_bytes / 4096
+    }
+
+    /// Panic on inconsistent configuration.
+    pub fn validate(&self) {
+        self.ssd.validate();
+        self.tor.validate();
+        assert!(self.nodes >= 1, "need at least one node");
+        assert!(self.ssds_per_node >= 1, "need at least one SSD per node");
+        assert!(self.clients >= 1 && self.queue_depth >= 1);
+        assert!(
+            (0.0..=1.0).contains(&self.read_ratio),
+            "read_ratio out of [0,1]"
+        );
+        assert!(
+            self.io_bytes >= 4096 && self.io_bytes.is_multiple_of(4096),
+            "io_bytes must be a positive multiple of 4 KiB"
+        );
+        // One logical IO must map to exactly one physical IO per replica
+        // (micro blobs are the replication unit), so it may not straddle a
+        // micro-blob boundary.
+        assert!(
+            64u64.is_multiple_of(self.io_blocks()),
+            "io_bytes must divide the 256 KiB micro blob"
+        );
+        assert!(
+            self.file_blocks >= self.io_blocks(),
+            "file smaller than one IO"
+        );
+        assert!(
+            !self.replicate || self.backends() >= 2,
+            "replication needs at least two backends"
+        );
+        assert!(self.warmup <= self.duration, "warmup past the end");
+        if let Some(fc) = &self.faults {
+            fc.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RackConfig::default().validate();
+    }
+
+    #[test]
+    fn backend_to_node_mapping_is_node_major() {
+        let cfg = RackConfig {
+            nodes: 3,
+            ssds_per_node: 2,
+            ..RackConfig::default()
+        };
+        assert_eq!(cfg.backends(), 6);
+        assert_eq!(cfg.node_of(0), 0);
+        assert_eq!(cfg.node_of(1), 0);
+        assert_eq!(cfg.node_of(2), 1);
+        assert_eq!(cfg.node_of(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "micro blob")]
+    fn io_straddling_a_micro_is_rejected() {
+        RackConfig {
+            io_bytes: 48 * 4096,
+            ..RackConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "two backends")]
+    fn replication_needs_two_backends() {
+        RackConfig {
+            nodes: 1,
+            ssds_per_node: 1,
+            ..RackConfig::default()
+        }
+        .validate();
+    }
+}

@@ -16,7 +16,7 @@
 //! index — it is never iterated — so its random ordering cannot leak into
 //! simulation behaviour.
 
-use std::collections::HashMap; // lint: allow(unordered-map, owner=core, expires=2027-08-01) — index only, never iterated; order comes from the slab
+use std::collections::HashMap; // lint: allow(unordered-map, owner=sim, expires=2028-08-01) — index only, never iterated; order comes from the slab
 use std::hash::Hash;
 
 /// A deterministic insertion-ordered map.
@@ -25,14 +25,14 @@ pub struct DetMap<K, V> {
     /// Entries in insertion order; `None` marks a removed entry.
     slab: Vec<Option<(K, V)>>,
     /// Key → slab position.
-    index: HashMap<K, usize>, // lint: allow(unordered-map, owner=core, expires=2027-08-01) — index only, never iterated
+    index: HashMap<K, usize>, // lint: allow(unordered-map, owner=sim, expires=2028-08-01) — index only, never iterated
 }
 
 impl<K, V> Default for DetMap<K, V> {
     fn default() -> Self {
         DetMap {
             slab: Vec::new(),
-            index: HashMap::new(), // lint: allow(unordered-map, owner=core, expires=2027-08-01) — index only, never iterated
+            index: HashMap::new(), // lint: allow(unordered-map, owner=sim, expires=2028-08-01) — index only, never iterated
         }
     }
 }
@@ -47,7 +47,7 @@ impl<K: Eq + Hash + Clone, V> DetMap<K, V> {
     pub fn with_capacity(n: usize) -> Self {
         DetMap {
             slab: Vec::with_capacity(n),
-            index: HashMap::with_capacity(n), // lint: allow(unordered-map, owner=core, expires=2027-08-01) — index only, never iterated
+            index: HashMap::with_capacity(n), // lint: allow(unordered-map, owner=sim, expires=2028-08-01) — index only, never iterated
         }
     }
 

@@ -16,7 +16,7 @@
 //! `FaultPlan::default()` is byte-identical to a fault-free run.
 
 use crate::rng::SimRng;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// RNG stream for fabric-level capsule-loss draws.
 const FABRIC_FAULT_STREAM: u64 = 0xFA17;
@@ -63,7 +63,7 @@ pub struct SsdFaultSpec {
 impl SsdFaultSpec {
     /// Whether this spec injects nothing.
     pub fn is_noop(&self) -> bool {
-        // lint: allow(float-eq, owner=core, expires=2027-08-01) — exact zero is the configured "off" sentinel, not a computed value
+        // lint: allow(float-eq, owner=sim, expires=2028-08-01) — exact zero is the configured "off" sentinel, not a computed value
         self.transient_error_prob == 0.0 && self.stall_windows.is_empty() && self.fail_at.is_none()
     }
 
@@ -85,6 +85,77 @@ impl SsdFaultSpec {
     }
 }
 
+/// Fault specification for one rack node (a whole JBOF behind one ToR port).
+///
+/// Node faults compose with the per-SSD specs: a node-scoped GC storm is a
+/// *correlated* storm — it stalls every SSD inside the node at once — while
+/// [`SsdFaultSpec::stall_windows`] stalls one device. Node death and
+/// partitions act at the ToR link, so in-flight capsules in either direction
+/// are lost and only the initiator-side retry ladder recovers the IOs.
+#[derive(Clone, Debug, Default)]
+pub struct NodeFaultSpec {
+    /// Whole-node death: at and after this instant the node falls silent —
+    /// capsules to and from it are dropped at the ToR and its pipelines stop
+    /// being pumped (the rack-scale §4.3 replication scenario).
+    pub die_at: Option<SimTime>,
+    /// Link-degradation windows: capsules crossing the node's ToR link
+    /// inside a window incur [`Self::degrade_extra`] additional one-way
+    /// latency (a flapping optic, an incast-throttled uplink).
+    pub degrade_windows: Vec<FaultWindow>,
+    /// Extra one-way latency applied inside [`Self::degrade_windows`].
+    pub degrade_extra: SimDuration,
+    /// Partition windows: every capsule to or from the node is dropped while
+    /// a window is open; the node itself keeps running (split brain, not
+    /// death — it comes back).
+    pub partition_windows: Vec<FaultWindow>,
+    /// Correlated GC-storm windows: every SSD inside the node stalls for the
+    /// window, and the node advertises itself GC-busy to the routing layer.
+    pub gc_storm_windows: Vec<FaultWindow>,
+}
+
+impl NodeFaultSpec {
+    /// Whether this spec injects nothing.
+    pub fn is_noop(&self) -> bool {
+        self.die_at.is_none()
+            && self.partition_windows.is_empty()
+            && self.gc_storm_windows.is_empty()
+            && (self.degrade_windows.is_empty() || self.degrade_extra == SimDuration::ZERO)
+    }
+
+    /// Panic on a degenerate spec.
+    pub fn validate(&self) {
+        if !self.degrade_windows.is_empty() {
+            assert!(
+                self.degrade_extra > SimDuration::ZERO,
+                "degrade windows without extra latency"
+            );
+        }
+    }
+
+    /// Whether the node is dead at `t`.
+    pub fn dead(&self, t: SimTime) -> bool {
+        self.die_at.is_some_and(|d| t >= d)
+    }
+
+    /// Whether the node is partitioned from the ToR at `t`.
+    pub fn partitioned(&self, t: SimTime) -> bool {
+        self.partition_windows.iter().any(|w| w.contains(t))
+    }
+
+    /// Extra one-way link latency for a capsule crossing at `t`, if the
+    /// link is degraded then.
+    pub fn link_extra(&self, t: SimTime) -> Option<SimDuration> {
+        (self.degrade_extra > SimDuration::ZERO
+            && self.degrade_windows.iter().any(|w| w.contains(t)))
+        .then_some(self.degrade_extra)
+    }
+
+    /// Whether a correlated GC storm covers `t`.
+    pub fn gc_storm(&self, t: SimTime) -> bool {
+        self.gc_storm_windows.iter().any(|w| w.contains(t))
+    }
+}
+
 /// The full fault plan for a run. `Default` is the empty (fault-free) plan.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -97,6 +168,10 @@ pub struct FaultPlan {
     pub burst_windows: Vec<FaultWindow>,
     /// Per-SSD fault specs, indexed by SSD; missing entries are fault-free.
     pub ssd: Vec<SsdFaultSpec>,
+    /// Per-node fault specs, indexed by rack node; missing entries are
+    /// fault-free. Single-node engines ignore these entirely, so a plan whose
+    /// node faults target absent nodes is equivalent to one without them.
+    pub nodes: Vec<NodeFaultSpec>,
     /// Simulated NIC power loss at this instant: every byte of NIC DRAM —
     /// cache lines, and in particular write-back dirty lines — vanishes.
     /// The SSDs and the rest of the testbed keep running, so the run
@@ -108,12 +183,13 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Whether the plan injects nothing at all.
     pub fn is_noop(&self) -> bool {
-        // lint: allow(float-eq, owner=core, expires=2027-08-01) — exact zero is the configured "off" sentinel, not a computed value
+        // lint: allow(float-eq, owner=sim, expires=2028-08-01) — exact zero is the configured "off" sentinel, not a computed value
         self.cmd_loss_prob == 0.0
-            // lint: allow(float-eq, owner=core, expires=2027-08-01) — exact zero is the configured "off" sentinel, not a computed value
+            // lint: allow(float-eq, owner=sim, expires=2028-08-01) — exact zero is the configured "off" sentinel, not a computed value
             && self.cpl_loss_prob == 0.0
             && self.burst_windows.is_empty()
             && self.ssd.iter().all(SsdFaultSpec::is_noop)
+            && self.nodes.iter().all(NodeFaultSpec::is_noop)
             && self.power_loss_at.is_none()
     }
 
@@ -130,11 +206,58 @@ impl FaultPlan {
         for s in &self.ssd {
             s.validate();
         }
+        for n in &self.nodes {
+            n.validate();
+        }
     }
 
     /// The fault spec for SSD `i` (empty spec when the plan has none).
     pub fn ssd_spec(&self, i: usize) -> Option<&SsdFaultSpec> {
         self.ssd.get(i).filter(|s| !s.is_noop())
+    }
+
+    /// The fault spec for rack node `i` (empty spec when the plan has none).
+    pub fn node_spec(&self, i: usize) -> Option<&NodeFaultSpec> {
+        self.nodes.get(i).filter(|n| !n.is_noop())
+    }
+
+    fn node_mut(&mut self, node: usize) -> &mut NodeFaultSpec {
+        if self.nodes.len() <= node {
+            self.nodes.resize(node + 1, NodeFaultSpec::default());
+        }
+        &mut self.nodes[node]
+    }
+
+    /// Builder: add a fabric burst-loss window.
+    pub fn with_burst_window(mut self, w: FaultWindow) -> Self {
+        self.burst_windows.push(w);
+        self
+    }
+
+    /// Builder: kill node `node` at `at` (intermediate entries pad fault-free).
+    pub fn with_node_death(mut self, node: usize, at: SimTime) -> Self {
+        self.node_mut(node).die_at = Some(at);
+        self
+    }
+
+    /// Builder: partition node `node` from the ToR during `w`.
+    pub fn with_node_partition(mut self, node: usize, w: FaultWindow) -> Self {
+        self.node_mut(node).partition_windows.push(w);
+        self
+    }
+
+    /// Builder: correlated GC storm on every SSD of node `node` during `w`.
+    pub fn with_node_gc_storm(mut self, node: usize, w: FaultWindow) -> Self {
+        self.node_mut(node).gc_storm_windows.push(w);
+        self
+    }
+
+    /// Builder: degrade node `node`'s ToR link by `extra` one-way during `w`.
+    pub fn with_node_degrade(mut self, node: usize, w: FaultWindow, extra: SimDuration) -> Self {
+        let spec = self.node_mut(node);
+        spec.degrade_windows.push(w);
+        spec.degrade_extra = extra;
+        self
     }
 
     /// The dedicated RNG for SSD `i`'s fault draws. Device-internal faults
@@ -283,6 +406,92 @@ mod tests {
         assert!(plan.ssd_spec(1).is_some());
         assert!(plan.ssd_spec(2).is_none());
         assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn overlapping_burst_windows_drop_each_capsule_once() {
+        // Two windows covering the same instant must not double-count a drop
+        // or consume extra randomness: `in_burst` is a pure any() predicate.
+        let plan = FaultPlan::default()
+            .with_burst_window(FaultWindow::new(t(100), t(300)))
+            .with_burst_window(FaultWindow::new(t(200), t(400)));
+        let mut inj = FaultInjector::new(plan, 1);
+        assert!(inj.drop_command(t(250)), "inside both windows");
+        assert_eq!(inj.cmd_drops, 1, "one capsule, one drop");
+        assert!(inj.drop_command(t(350)), "inside the second only");
+        assert!(!inj.drop_command(t(400)), "half-open upper edge");
+        assert_eq!(inj.cmd_drops, 2);
+    }
+
+    #[test]
+    fn node_death_at_tick_zero_is_dead_from_the_first_instant() {
+        let plan = FaultPlan::default().with_node_death(0, SimTime::ZERO);
+        let spec = plan.node_spec(0).expect("node 0 has a spec");
+        assert!(spec.dead(SimTime::ZERO), "die_at == t covers tick 0");
+        assert!(spec.dead(t(1_000_000)));
+        assert!(!plan.is_noop());
+        plan.validate();
+    }
+
+    #[test]
+    fn node_spec_lookup_skips_noop_and_absent_entries() {
+        // Builders pad intermediate nodes with fault-free specs; lookups on
+        // the padding and past the end both report "no faults", so a plan
+        // whose node faults target absent nodes injects nothing at runtime.
+        let plan = FaultPlan::default().with_node_death(2, t(5));
+        assert_eq!(plan.nodes.len(), 3);
+        assert!(plan.node_spec(0).is_none(), "padding entry is noop");
+        assert!(plan.node_spec(1).is_none());
+        assert!(plan.node_spec(2).is_some());
+        assert!(plan.node_spec(7).is_none(), "past the end");
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn node_fault_predicates_follow_their_windows() {
+        let plan = FaultPlan::default()
+            .with_node_partition(0, FaultWindow::new(t(10), t(20)))
+            .with_node_gc_storm(0, FaultWindow::new(t(30), t(40)))
+            .with_node_degrade(
+                0,
+                FaultWindow::new(t(50), t(60)),
+                SimDuration::from_micros(7),
+            );
+        let spec = plan.node_spec(0).unwrap();
+        assert!(spec.partitioned(t(10)) && !spec.partitioned(t(20)));
+        assert!(spec.gc_storm(t(35)) && !spec.gc_storm(t(29)));
+        assert_eq!(spec.link_extra(t(55)), Some(SimDuration::from_micros(7)));
+        assert_eq!(spec.link_extra(t(45)), None);
+        assert!(!spec.dead(t(1_000_000)));
+        plan.validate();
+    }
+
+    #[test]
+    fn noop_node_spec_requires_real_degradation() {
+        // Degrade windows with zero extra latency inject nothing.
+        let spec = NodeFaultSpec {
+            degrade_windows: vec![FaultWindow::new(t(0), t(10))],
+            degrade_extra: SimDuration::ZERO,
+            ..NodeFaultSpec::default()
+        };
+        assert!(spec.is_noop());
+        assert_eq!(spec.link_extra(t(5)), None);
+        let plan = FaultPlan {
+            nodes: vec![spec],
+            ..FaultPlan::default()
+        };
+        assert!(plan.is_noop(), "noop node specs keep the plan noop");
+    }
+
+    #[test]
+    #[should_panic(expected = "degrade windows without extra latency")]
+    fn validate_rejects_degrade_without_extra() {
+        NodeFaultSpec {
+            degrade_windows: vec![FaultWindow::new(t(0), t(10))],
+            degrade_extra: SimDuration::ZERO,
+            ..NodeFaultSpec::default()
+        }
+        .validate();
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod token_bucket;
 
 pub use collections::{DetMap, DetSet};
 pub use digest::Digest;
-pub use fault::{FaultInjector, FaultPlan, FaultWindow, SsdFaultSpec};
+pub use fault::{FaultInjector, FaultPlan, FaultWindow, NodeFaultSpec, SsdFaultSpec};
 pub use journal::{first_divergence, AccessJournal, DivergenceReport, JournalHandle};
 pub use queue::EventQueue;
 pub use rng::SimRng;

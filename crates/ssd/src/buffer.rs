@@ -53,7 +53,7 @@ impl WriteBuffer {
         let count = self
             .resident
             .get_mut(&lpn)
-            // lint: allow(panic-in-lib, owner=core, expires=2027-08-01) — acquire/release pairing is a device-internal invariant; no tenant command reaches here unpaired
+            // lint: allow(panic-in-lib, owner=ssd, expires=2028-08-01) — acquire/release pairing is a device-internal invariant; no tenant command reaches here unpaired
             .unwrap_or_else(|| panic!("releasing non-resident lpn {lpn}"));
         *count -= 1;
         if *count == 0 {

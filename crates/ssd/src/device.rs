@@ -300,6 +300,23 @@ impl FlashSsd {
         );
     }
 
+    /// Whether the device is currently GC-busy: an injected GC-storm stall
+    /// window covers `now`, or some die is executing or has queued garbage
+    /// collection. This is the signal the rack's GC-aware replica chooser
+    /// steers around (RackBlox-style routing co-designed with GC state) —
+    /// a read sent here now will queue behind copyback/erase occupancy.
+    pub fn gc_busy(&self, now: SimTime) -> bool {
+        if let Some(f) = &self.faults {
+            if f.spec.stall_release(now).is_some() {
+                return true;
+            }
+        }
+        self.dies.iter().any(|d| {
+            matches!(d.in_service, Some(DieOp::GcChunk))
+                || d.bg.iter().any(|q| matches!(q.op, DieOp::GcChunk))
+        })
+    }
+
     /// Diagnostics: pending internal events + queued die ops + pending
     /// writes (used to watch for backlogs in stress harnesses).
     pub fn debug_event_count(&self) -> usize {
@@ -735,6 +752,7 @@ impl StorageDevice for FlashSsd {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gimbal_sim::FaultWindow;
 
     fn small() -> FlashSsd {
         // Big enough that block-count rounding doesn't distort the
@@ -753,6 +771,25 @@ mod tests {
             out.extend(ssd.poll(t));
         }
         out
+    }
+
+    #[test]
+    fn gc_busy_follows_injected_storm_windows() {
+        let mut ssd = small();
+        ssd.precondition_clean();
+        assert!(!ssd.gc_busy(SimTime::ZERO), "fresh device is not GC-busy");
+        let spec = SsdFaultSpec {
+            stall_windows: vec![FaultWindow::new(
+                SimTime::from_micros(100),
+                SimTime::from_micros(200),
+            )],
+            ..SsdFaultSpec::default()
+        };
+        ssd.arm_faults(spec, SimRng::with_stream(1, 0xFA17_0100));
+        assert!(!ssd.gc_busy(SimTime::from_micros(99)));
+        assert!(ssd.gc_busy(SimTime::from_micros(100)));
+        assert!(ssd.gc_busy(SimTime::from_micros(199)));
+        assert!(!ssd.gc_busy(SimTime::from_micros(200)), "half-open window");
     }
 
     #[test]

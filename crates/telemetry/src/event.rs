@@ -27,11 +27,14 @@ pub enum Component {
     Fabric,
     /// NIC-DRAM cache tier (hits, fills, eviction, admission).
     Cache,
+    /// Rack-level routing and failover (node suspicion, rerouting, node
+    /// death, ToR link degradation).
+    Rack,
 }
 
 impl Component {
     /// Every component, in a fixed order (counter registration, exports).
-    pub const ALL: [Component; 8] = [
+    pub const ALL: [Component; 9] = [
         Component::Congestion,
         Component::Rate,
         Component::WriteCost,
@@ -40,6 +43,7 @@ impl Component {
         Component::Ssd,
         Component::Fabric,
         Component::Cache,
+        Component::Rack,
     ];
 
     /// Interned label.
@@ -53,6 +57,7 @@ impl Component {
             Component::Ssd => "ssd",
             Component::Fabric => "fabric",
             Component::Cache => "cache",
+            Component::Rack => "rack",
         }
     }
 }
@@ -356,6 +361,31 @@ pub enum EventKind {
         /// Write-back dirty lines surfaced as losses.
         lines_lost: u32,
     },
+    /// The escalation ladder marked a rack node suspect after repeated
+    /// silent timeouts; subsequent IOs reroute around it.
+    NodeSuspected {
+        /// The suspected node.
+        node: u32,
+    },
+    /// An IO abandoned its target and was re-issued to a surviving replica.
+    Rerouted {
+        /// Raw id of the abandoned physical command.
+        cmd: u64,
+        /// The node given up on.
+        from_node: u32,
+        /// The surviving node now serving the IO.
+        to_node: u32,
+    },
+    /// A node-death fault fired: the node falls silent for good.
+    NodeDead {
+        /// The dead node.
+        node: u32,
+    },
+    /// A capsule crossed a fault-degraded ToR link and paid extra latency.
+    LinkDegraded {
+        /// The node whose link is degraded.
+        node: u32,
+    },
 }
 
 impl EventKind {
@@ -388,6 +418,10 @@ impl EventKind {
             | EventKind::CacheFlushDone { .. }
             | EventKind::CachePowerLoss { .. }
             | EventKind::CacheDeviceDeath { .. } => Component::Cache,
+            EventKind::NodeSuspected { .. }
+            | EventKind::Rerouted { .. }
+            | EventKind::NodeDead { .. }
+            | EventKind::LinkDegraded { .. } => Component::Rack,
         }
     }
 
@@ -422,6 +456,10 @@ impl EventKind {
             EventKind::CacheFlushDone { .. } => "cache_flush_done",
             EventKind::CachePowerLoss { .. } => "cache_power_loss",
             EventKind::CacheDeviceDeath { .. } => "cache_device_death",
+            EventKind::NodeSuspected { .. } => "node_suspected",
+            EventKind::Rerouted { .. } => "rerouted",
+            EventKind::NodeDead { .. } => "node_dead",
+            EventKind::LinkDegraded { .. } => "link_degraded",
         }
     }
 
@@ -564,6 +602,24 @@ impl EventKind {
             }
             EventKind::CacheDeviceDeath { lines_lost } => {
                 d.update_u64(u64::from(lines_lost));
+            }
+            EventKind::NodeSuspected { node } => {
+                d.update_u64(u64::from(node));
+            }
+            EventKind::Rerouted {
+                cmd,
+                from_node,
+                to_node,
+            } => {
+                d.update_u64(cmd);
+                d.update_u64(u64::from(from_node));
+                d.update_u64(u64::from(to_node));
+            }
+            EventKind::NodeDead { node } => {
+                d.update_u64(u64::from(node));
+            }
+            EventKind::LinkDegraded { node } => {
+                d.update_u64(u64::from(node));
             }
         }
     }

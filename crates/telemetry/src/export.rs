@@ -235,6 +235,24 @@ fn push_args(out: &mut String, kind: &EventKind, first: &mut bool) {
         EventKind::CacheDeviceDeath { lines_lost } => {
             push_u64_field(out, "lines_lost", u64::from(lines_lost), first);
         }
+        EventKind::NodeSuspected { node } => {
+            push_u64_field(out, "node", u64::from(node), first);
+        }
+        EventKind::Rerouted {
+            cmd,
+            from_node,
+            to_node,
+        } => {
+            push_u64_field(out, "cmd", cmd, first);
+            push_u64_field(out, "from_node", u64::from(from_node), first);
+            push_u64_field(out, "to_node", u64::from(to_node), first);
+        }
+        EventKind::NodeDead { node } => {
+            push_u64_field(out, "node", u64::from(node), first);
+        }
+        EventKind::LinkDegraded { node } => {
+            push_u64_field(out, "node", u64::from(node), first);
+        }
     }
 }
 
@@ -388,7 +406,7 @@ pub fn write_jsonl<P: AsRef<Path>>(path: P, trace: &RecordedTrace) -> io::Result
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{CongState, EventKind};
+    use crate::event::{Component, CongState, EventKind};
     use crate::tracer::{TraceConfig, Tracer};
     use gimbal_fabric::{IoType, SsdId, TenantId};
     use gimbal_sim::SimTime;
@@ -439,8 +457,8 @@ mod tests {
     fn jsonl_is_one_object_per_line_with_metrics_tail() {
         let s = jsonl(&sample());
         let lines: Vec<&str> = s.lines().collect();
-        // 2 events + 8 component counters + 1 gauge + 1 histogram.
-        assert_eq!(lines.len(), 2 + 8 + 1 + 1, "{s}");
+        // 2 events + one counter per component + 1 gauge + 1 histogram.
+        assert_eq!(lines.len(), 2 + Component::ALL.len() + 1 + 1, "{s}");
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "line: {l}");
         }

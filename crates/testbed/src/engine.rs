@@ -543,7 +543,7 @@ impl Engine {
             self.queue.push(at, Ev::PowerLoss);
         }
         let end = self.duration();
-        let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env, owner=core, expires=2027-08-01) — debug tracing toggle only, never affects simulation state
+        let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env, owner=testbed, expires=2028-08-01) — debug tracing toggle only, never affects simulation state
         let mut last_report = 0u64;
         while let Some((now, ev)) = self.queue.pop() {
             if now > end {

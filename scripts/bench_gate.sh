@@ -20,4 +20,6 @@ cargo run --release --offline -q --bin bench_gate -- \
     BENCH_smoke.json "$tmp/BENCH_smoke.json" --tolerance "$tol" || status=1
 cargo run --release --offline -q --bin bench_gate -- \
     BENCH_smoke_wb.json "$tmp/BENCH_smoke_wb.json" --tolerance "$tol" || status=1
+cargo run --release --offline -q --bin bench_gate -- \
+    BENCH_rack.json "$tmp/BENCH_rack.json" --tolerance "$tol" || status=1
 exit "$status"

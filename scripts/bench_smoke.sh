@@ -31,3 +31,13 @@ cargo run --release --offline -q --bin jbofsim -- \
     --bench-json "$out/BENCH_smoke_wb.json"
 
 echo "wrote $out/BENCH_smoke_wb.json"
+
+# Rack datapoint: 3-node replication-2 rack surviving a mid-run node death.
+# The summary carries both conservation ledgers and the escalation-ladder
+# counters, so a diff to it means failover behavior changed.
+cargo run --release --offline -q --bin jbofsim -- \
+    --rack-nodes 3 --rack-fault node-death \
+    --duration-ms 200 --warmup-ms 40 --seed 42 \
+    --bench-json "$out/BENCH_rack.json"
+
+echo "wrote $out/BENCH_rack.json"

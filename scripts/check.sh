@@ -28,14 +28,22 @@ cargo test --release --offline --test cache -q
 echo "==> durability suite (write-back crash consistency + latency win, release)"
 cargo test --release --offline --test durability -q
 
+echo "==> rack suite (multi-node fault domains: node death, GC routing, determinism, release)"
+cargo test --release --offline --test rack -q
+
 echo "==> bench smoke (deterministic jbofsim runs; committed summaries must be fresh)"
 scripts/bench_smoke.sh
-git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json
+git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json BENCH_rack.json
 
 echo "==> divergence sanitizer smoke (double run, journal comparison)"
 cargo run --release --offline -q --bin jbofsim -- \
     --scheme gimbal --duration-ms 100 --warmup-ms 20 --seed 42 \
     --sanitize --workers 2x4k-read,1x4k-write > /dev/null
+
+echo "==> rack chaos smoke (2-node replicated rack, node death, sanitized double run)"
+cargo run --release --offline -q --bin jbofsim -- \
+    --rack-nodes 2 --rack-ssds-per-node 2 --rack-fault node-death \
+    --duration-ms 100 --warmup-ms 20 --seed 42 --sanitize > /dev/null
 
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint

@@ -9,8 +9,8 @@
 //! two documents in parallel and checks every metric with a known
 //! direction:
 //!
-//! * higher is better: `throughput_mbps`, `hit_ratio` — fail when the
-//!   fresh value drops more than `PCT` percent below the baseline;
+//! * higher is better: `throughput_mbps`, `hit_ratio`, `iops` — fail when
+//!   the fresh value drops more than `PCT` percent below the baseline;
 //! * lower is better: `mean_us`, `p50_us`, `p99_us`, `p999_us`,
 //!   `write_amplification` — fail when the fresh value rises more than
 //!   `PCT` percent above the baseline.
@@ -220,7 +220,7 @@ enum Direction {
 
 fn direction(key: &str) -> Direction {
     match key {
-        "throughput_mbps" | "hit_ratio" => Direction::HigherIsBetter,
+        "throughput_mbps" | "hit_ratio" | "iops" => Direction::HigherIsBetter,
         "mean_us" | "p50_us" | "p99_us" | "p999_us" | "write_amplification" => {
             Direction::LowerIsBetter
         }

@@ -11,11 +11,13 @@
 //! reads), and `rateM` caps each worker at M MB/s. Workers are spread over
 //! disjoint LBA regions and, when `--ssds` > 1, round-robin across SSDs.
 
-use gimbal_repro::sim::{SimDuration, SimTime};
+use gimbal_repro::fabric::RetryConfig;
+use gimbal_repro::rack::{RackConfig, RackResult, RackTestbed};
+use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime};
 use gimbal_repro::telemetry::{export, TraceConfig};
 use gimbal_repro::testbed::{
-    cache_tier_wb, AdmissionPolicy, Precondition, RunResult, Scheme, Testbed, TestbedConfig,
-    WorkerSpec, WritePolicy,
+    cache_tier_wb, AdmissionPolicy, FaultConfig, Precondition, RunResult, Scheme, Testbed,
+    TestbedConfig, WorkerSpec, WritePolicy,
 };
 use gimbal_repro::workload::FioSpec;
 use std::process::exit;
@@ -29,6 +31,10 @@ fn usage() -> ! {
          \x20              [--cache-mb N] [--cache-policy always|congestion|never]\n\
          \x20              [--cache-write-policy through|back] [--bench-json FILE]\n\
          \x20              [--sanitize] --workers SPEC[,SPEC…]\n\
+         \x20      rack mode: --rack-nodes N [--rack-ssds-per-node N]\n\
+         \x20              [--rack-clients N] [--rack-qd N] [--rack-read-ratio F]\n\
+         \x20              [--rack-fault none|node-death|gc-storm|partition]\n\
+         \x20              [--rack-no-replicate] [--rack-gc-blind]\n\
          \n\
          SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf]   e.g. 8x4k-read,\n\
          \x20      4x128k-write-qd8, 2x4k-mix70-rate50 (70% reads, 50 MB/s cap\n\
@@ -39,6 +45,10 @@ fn usage() -> ! {
          \x20      --cache-write-policy back acks writes from DRAM and drains\n\
          \x20      them to flash via the deterministic flusher (default through)\n\
          --bench-json writes a machine-readable run summary to FILE\n\
+         --rack-nodes switches to the rack testbed: N JBOF nodes behind a\n\
+         \x20      deterministic ToR with GC/failure-aware routing; --rack-fault\n\
+         \x20      injects a canonical mid-run fault (node-death kills node 1,\n\
+         \x20      gc-storm storms node 0, partition isolates node 1 briefly)\n\
          --sanitize runs the experiment twice with the state-access journal\n\
          \x20      enabled and localizes any divergence to its first tick\n\
          --trace-out enables structured telemetry and writes the trace to FILE:\n\
@@ -185,6 +195,216 @@ fn write_bench_json(
     std::fs::write(path, out)
 }
 
+/// The canonical mid-run fault plans the CLI can inject into a rack run.
+/// Windows are fractions of the run so any `--duration-ms` works.
+fn rack_fault_config(kind: &str, duration_ms: u64) -> Option<FaultConfig> {
+    let at =
+        |f: f64| SimTime::ZERO + SimDuration::from_micros((duration_ms as f64 * f * 1e3) as u64);
+    let retry = RetryConfig {
+        base_timeout: SimDuration::from_millis(1),
+        max_timeout: SimDuration::from_millis(8),
+        max_retries: 5,
+        suspect_after: 2,
+    };
+    match kind {
+        "none" => None,
+        "node-death" => Some(FaultConfig {
+            plan: FaultPlan::default().with_node_death(1, at(1.0 / 3.0)),
+            retry,
+        }),
+        "gc-storm" => Some(FaultConfig {
+            plan: FaultPlan::default().with_node_gc_storm(0, FaultWindow::new(at(0.25), at(0.75))),
+            retry,
+        }),
+        "partition" => Some(FaultConfig {
+            plan: FaultPlan::default()
+                .with_node_partition(1, FaultWindow::new(at(1.0 / 3.0), at(0.45))),
+            retry,
+        }),
+        other => {
+            eprintln!("unknown rack fault {other}");
+            usage()
+        }
+    }
+}
+
+/// Machine-readable rack run summary: throughput, read/write latency, the
+/// two conservation ledgers, and per-node ToR byte counts.
+fn write_rack_bench_json(
+    path: &str,
+    scheme: Scheme,
+    fault: &str,
+    res: &RackResult,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scheme\": \"{}\",\n", scheme.name()));
+    out.push_str(&format!("  \"fault\": \"{}\",\n", json_escape(fault)));
+    out.push_str(&format!("  \"iops\": {:.3},\n", res.iops()));
+    out.push_str(&format!(
+        "  \"read_latency\": {{\"mean_us\": {:.3}, \"p99_us\": {:.3}}},\n",
+        res.mean_read_latency_us(),
+        res.p99_read_latency_us()
+    ));
+    let r = &res.rack;
+    out.push_str(&format!(
+        "  \"rack\": {{\"issued\": {}, \"acked_ok\": {}, \"acked_degraded\": {}, \"failed_typed\": {}, \"in_flight_at_end\": {}, \"nodes_suspected\": {}, \"reroutes\": {}, \"tor_cmd_drops\": {}, \"tor_cpl_drops\": {}, \"link_degraded_crossings\": {}}},\n",
+        r.issued,
+        r.acked_ok,
+        r.acked_degraded,
+        r.failed_typed,
+        r.in_flight_at_end,
+        r.nodes_suspected,
+        r.reroutes,
+        r.tor_cmd_drops,
+        r.tor_cpl_drops,
+        r.link_degraded_crossings
+    ));
+    out.push_str(&format!(
+        "  \"physical\": {{\"submitted\": {}, \"timed_out\": {}, \"retries\": {}}},\n",
+        res.physical.submitted, res.physical.timed_out, res.physical.retries
+    ));
+    out.push_str(&format!(
+        "  \"conservation_audit\": {},\n",
+        res.conservation_audit_holds()
+    ));
+    out.push_str("  \"tor\": [\n");
+    let nodes = res.tor_bytes_down.len();
+    for n in 0..nodes {
+        out.push_str(&format!(
+            "    {{\"node\": {n}, \"bytes_down\": {}, \"bytes_up\": {}}}{}\n",
+            res.tor_bytes_down[n],
+            res.tor_bytes_up[n],
+            if n + 1 < nodes { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rack(
+    scheme: Scheme,
+    nodes: u32,
+    ssds_per_node: u32,
+    clients: u32,
+    qd: u32,
+    read_ratio: f64,
+    fault: &str,
+    replicate: bool,
+    gc_aware: bool,
+    duration_ms: u64,
+    warmup_ms: u64,
+    seed: u64,
+    sanitize: bool,
+    bench_json: Option<&str>,
+) {
+    let cfg = RackConfig {
+        scheme,
+        nodes,
+        ssds_per_node,
+        clients,
+        queue_depth: qd,
+        read_ratio,
+        replicate,
+        gc_aware_routing: gc_aware,
+        duration: SimDuration::from_millis(duration_ms),
+        warmup: SimDuration::from_millis(warmup_ms.min(duration_ms.saturating_sub(1))),
+        seed,
+        faults: rack_fault_config(fault, duration_ms),
+        sanitize,
+        ..RackConfig::default()
+    };
+    eprintln!(
+        "jbofsim rack: {} nodes x {} SSDs, {} clients qd {}, scheme {}, fault {}, {} ms",
+        nodes,
+        ssds_per_node,
+        clients,
+        qd,
+        scheme.name(),
+        fault,
+        duration_ms
+    );
+    let res = if sanitize {
+        let a = RackTestbed::new(cfg.clone()).run();
+        let b = RackTestbed::new(cfg).run();
+        let ja = a.access_journal.as_ref().expect("sanitizer was enabled");
+        let jb = b.access_journal.as_ref().expect("sanitizer was enabled");
+        match gimbal_repro::sim::first_divergence(ja, jb) {
+            None if a.stats_digest() == b.stats_digest() => {
+                eprintln!(
+                    "sanitizer: double run identical — {} journal entries, digest {:#018x}",
+                    ja.len(),
+                    ja.digest()
+                );
+            }
+            None => {
+                eprintln!(
+                    "sanitizer: stats digests diverged ({:#018x} vs {:#018x}) but the \
+                     access journals agree — widen journal coverage",
+                    a.stats_digest(),
+                    b.stats_digest()
+                );
+                exit(1);
+            }
+            Some(r) => {
+                eprintln!("sanitizer: DIVERGENCE — {r}");
+                println!("{}", gimbal_repro::sim::journal::report_json(&r));
+                exit(1);
+            }
+        }
+        a
+    } else {
+        RackTestbed::new(cfg).run()
+    };
+
+    println!(
+        "rack: {:.0} IOPS, read mean {:.0} us p99 {:.0} us",
+        res.iops(),
+        res.mean_read_latency_us(),
+        res.p99_read_latency_us()
+    );
+    let r = &res.rack;
+    println!(
+        "logical: {} issued = {} ok + {} degraded + {} typed-error + {} in-flight",
+        r.issued, r.acked_ok, r.acked_degraded, r.failed_typed, r.in_flight_at_end
+    );
+    println!(
+        "ladder: {} timeouts, {} retries, {} suspicions, {} reroutes, {} cmd / {} cpl drops at ToR",
+        res.physical.timed_out,
+        res.physical.retries,
+        r.nodes_suspected,
+        r.reroutes,
+        r.tor_cmd_drops,
+        r.tor_cpl_drops
+    );
+    for n in 0..res.tor_bytes_down.len() {
+        println!(
+            "node{n}: {:.1} MB down, {:.1} MB up",
+            res.tor_bytes_down[n] as f64 / 1e6,
+            res.tor_bytes_up[n] as f64 / 1e6
+        );
+    }
+    if !res.conservation_audit_holds() {
+        eprintln!(
+            "rack conservation audit FAILED: {:?} / {:?}",
+            res.physical, r
+        );
+        exit(1);
+    }
+    println!("conservation audit: ok (physical and logical ledgers balance)");
+
+    if let Some(path) = bench_json {
+        match write_rack_bench_json(path, scheme, fault, &res) {
+            Ok(()) => eprintln!("bench summary -> {path}"),
+            Err(e) => {
+                eprintln!("bench summary: failed to write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let mut scheme = Scheme::Gimbal;
     let mut pre = Precondition::Clean;
@@ -201,6 +421,14 @@ fn main() {
     let mut bench_json: Option<String> = None;
     let mut sanitize = false;
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
+    let mut rack_nodes = 0u32;
+    let mut rack_ssds_per_node = 2u32;
+    let mut rack_clients = 4u32;
+    let mut rack_qd = 4u32;
+    let mut rack_read_ratio = 0.7f64;
+    let mut rack_fault = "none".to_string();
+    let mut rack_replicate = true;
+    let mut rack_gc_aware = true;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -311,12 +539,63 @@ fn main() {
                 sanitize = true;
                 i += 1;
             }
+            "--rack-nodes" => {
+                rack_nodes = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rack-ssds-per-node" => {
+                rack_ssds_per_node = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rack-clients" => {
+                rack_clients = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rack-qd" => {
+                rack_qd = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rack-read-ratio" => {
+                rack_read_ratio = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--rack-fault" => {
+                rack_fault = need(i).clone();
+                i += 2;
+            }
+            "--rack-no-replicate" => {
+                rack_replicate = false;
+                i += 1;
+            }
+            "--rack-gc-blind" => {
+                rack_gc_aware = false;
+                i += 1;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
                 usage();
             }
         }
+    }
+    if rack_nodes > 0 {
+        run_rack(
+            scheme,
+            rack_nodes,
+            rack_ssds_per_node,
+            rack_clients,
+            rack_qd,
+            rack_read_ratio,
+            &rack_fault,
+            rack_replicate,
+            rack_gc_aware,
+            duration_ms,
+            warmup_ms,
+            seed,
+            sanitize,
+            bench_json.as_deref(),
+        );
+        return;
     }
     if worker_specs.is_empty() {
         eprintln!("no --workers given");

@@ -54,6 +54,7 @@ pub use gimbal_core as gimbal;
 pub use gimbal_fabric as fabric;
 pub use gimbal_lsm_kv as lsm_kv;
 pub use gimbal_nic as nic;
+pub use gimbal_rack as rack;
 pub use gimbal_sim as sim;
 pub use gimbal_ssd as ssd;
 pub use gimbal_switch as switch;

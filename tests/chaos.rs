@@ -670,6 +670,7 @@ fn empty_fault_plan_matches_fault_free_run() {
             base_timeout: SimDuration::from_millis(100),
             max_timeout: SimDuration::from_millis(200),
             max_retries: 5,
+            ..RetryConfig::default()
         },
     });
     let armed = Testbed::new(base, mixed_workers(3, 3)).run();

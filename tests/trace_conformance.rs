@@ -83,6 +83,7 @@ fn traced_run() -> &'static RunResult {
                         stall_windows: vec![FaultWindow::new(ms(180), ms(280))],
                         ..SsdFaultSpec::default()
                     }],
+                    nodes: vec![],
                     power_loss_at: None,
                 },
                 retry: RetryConfig::default(),
@@ -377,6 +378,12 @@ fn all_components_appear_and_reconcile_with_metric_counters() {
     let view = trace.view();
     for comp in Component::ALL {
         let in_stream = view.component(comp).len() as u64;
+        if comp == Component::Rack {
+            // Rack events only exist in multi-node runs; a single-node
+            // testbed emitting one would be a routing bug.
+            assert_eq!(in_stream, 0, "rack event in a single-node run");
+            continue;
+        }
         assert!(in_stream > 0, "no {comp} events in a faulted Gimbal run");
         assert_eq!(
             trace.metrics.counter(comp.name()),
@@ -712,5 +719,84 @@ fn chrome_trace_round_trips_a_json_parse() {
         );
         let cat = entry.get("cat").and_then(Json::as_str).expect("cat");
         assert_eq!(cat, recorded.component().name());
+    }
+}
+
+/// Satellite: the four rack-level event kinds reconcile *exactly* against
+/// the rack conservation-audit counters — every suspicion, reroute, node
+/// death, and degraded-link crossing in the counters has its event in the
+/// stream, and nothing was traced that the audit did not count.
+#[test]
+fn rack_events_reconcile_with_rack_audit_counters() {
+    use gimbal_repro::rack::{RackConfig, RackTestbed};
+    use gimbal_repro::telemetry::Component;
+
+    let res = RackTestbed::new(RackConfig {
+        faults: Some(FaultConfig {
+            plan: FaultPlan::default()
+                .with_node_death(1, ms(20))
+                .with_node_degrade(
+                    0,
+                    FaultWindow::new(ms(30), ms(40)),
+                    SimDuration::from_micros(50),
+                ),
+            retry: RetryConfig {
+                base_timeout: SimDuration::from_millis(1),
+                max_timeout: SimDuration::from_millis(8),
+                max_retries: 5,
+                suspect_after: 2,
+            },
+        }),
+        trace: Some(TraceConfig { capacity: 1 << 20 }),
+        duration: SimDuration::from_millis(60),
+        warmup: SimDuration::from_millis(10),
+        ..RackConfig::default()
+    })
+    .run();
+
+    assert!(res.conservation_audit_holds());
+    let trace = res.trace.as_ref().expect("tracing on");
+    assert_eq!(
+        trace.dropped_oldest, 0,
+        "ring overflowed — counts below would be undercounts"
+    );
+
+    let count = |pred: &dyn Fn(&EventKind) -> bool| {
+        trace.view().iter().filter(|e| pred(&e.kind)).count() as u64
+    };
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::NodeSuspected { .. })),
+        res.rack.nodes_suspected,
+        "suspicion events vs counter"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::Rerouted { .. })),
+        res.rack.reroutes,
+        "reroute events vs counter"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::NodeDead { .. })),
+        1,
+        "exactly one node died"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::LinkDegraded { .. })),
+        res.rack.link_degraded_crossings,
+        "degraded-crossing events vs counter"
+    );
+    // Every rack event carries a node that exists in the rack, and the
+    // stream reconciles with the component metric counter.
+    let rack_events = trace.view().component(Component::Rack).len() as u64;
+    assert!(rack_events > 0, "faulted rack run emitted no rack events");
+    assert_eq!(trace.metrics.counter(Component::Rack.name()), rack_events);
+    for e in trace.view().component(Component::Rack).iter() {
+        let node = match e.kind {
+            EventKind::NodeSuspected { node }
+            | EventKind::NodeDead { node }
+            | EventKind::LinkDegraded { node } => node,
+            EventKind::Rerouted { to_node, .. } => to_node,
+            _ => unreachable!("non-rack event under Component::Rack"),
+        };
+        assert!(node < 3, "event names node {node} outside the rack");
     }
 }
