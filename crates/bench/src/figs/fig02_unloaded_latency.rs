@@ -19,6 +19,7 @@ fn one_latency_us(io_kb: u64, read: bool, xeon: bool, quick: bool) -> f64 {
         write_pattern: AccessPattern::Sequential,
         queue_depth: 1,
         rate_limit: None,
+        burst: None,
         region_start: region.start,
         region_blocks: region.blocks,
     };

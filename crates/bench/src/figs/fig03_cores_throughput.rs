@@ -22,6 +22,7 @@ fn kiops(cores: u32, read: bool, xeon: bool, quick: bool) -> f64 {
                 write_pattern: AccessPattern::Sequential,
                 queue_depth: 192,
                 rate_limit: None,
+                burst: None,
                 region_start: region.start,
                 region_blocks: region.blocks,
             };

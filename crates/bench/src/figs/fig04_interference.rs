@@ -73,6 +73,7 @@ pub fn run(quick: bool) {
                 write_pattern: AccessPattern::Random,
                 queue_depth: 32,
                 rate_limit: None,
+                burst: None,
                 region_start: victim_region.start,
                 region_blocks: victim_region.blocks,
             },
@@ -87,6 +88,7 @@ pub fn run(quick: bool) {
                 write_pattern: AccessPattern::Random,
                 queue_depth: n.qd,
                 rate_limit: None,
+                burst: None,
                 region_start: nr.start,
                 region_blocks: nr.blocks,
             },

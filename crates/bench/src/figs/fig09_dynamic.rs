@@ -38,6 +38,7 @@ pub fn run(quick: bool) {
             write_pattern: AccessPattern::Sequential,
             queue_depth: 8,
             rate_limit: Some(200e6),
+            burst: None,
             region_start: r.start,
             region_blocks: r.blocks,
         };
@@ -55,6 +56,7 @@ pub fn run(quick: bool) {
             write_pattern: AccessPattern::Sequential,
             queue_depth: 8,
             rate_limit: Some(60e6),
+            burst: None,
             region_start: r.start,
             region_blocks: r.blocks,
         };

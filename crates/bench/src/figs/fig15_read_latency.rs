@@ -20,6 +20,7 @@ fn read_lat_us(io_kb: u64, pre: Precondition, read_ratio: f64, qd: u32, quick: b
         write_pattern: AccessPattern::Random,
         queue_depth: qd,
         rate_limit: None,
+        burst: None,
         region_start: region.start,
         region_blocks: region.blocks,
     };

@@ -22,6 +22,7 @@ fn agg_gbps(io_kb: u64, op: IoType, added_us: f64, quick: bool) -> f64 {
                 write_pattern: AccessPattern::Sequential,
                 queue_depth: if io_kb >= 128 { 16 } else { 192 },
                 rate_limit: None,
+                burst: None,
                 region_start: region.start,
                 region_blocks: region.blocks,
             };

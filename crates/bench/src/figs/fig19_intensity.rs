@@ -27,6 +27,7 @@ fn pair_bw(io_kb: u64, op: IoType, quick: bool) -> (f64, f64) {
                 write_pattern: wp,
                 queue_depth: qd,
                 rate_limit: None,
+                burst: None,
                 region_start: r.start,
                 region_blocks: r.blocks,
             },

@@ -25,6 +25,7 @@ fn stream1_bw(read: bool, seq: bool, s2_kb: u64, quick: bool) -> (f64, f64) {
                 write_pattern: pattern,
                 queue_depth: 32,
                 rate_limit: None,
+                burst: None,
                 region_start: r.start,
                 region_blocks: r.blocks,
             },

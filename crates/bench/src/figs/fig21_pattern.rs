@@ -28,6 +28,7 @@ fn read_bw(io_kb: u64, seq: bool, with_writes: bool, quick: bool) -> f64 {
             write_pattern: pattern,
             queue_depth: 32,
             rate_limit: None,
+            burst: None,
             region_start: r.start,
             region_blocks: r.blocks,
         },
@@ -43,6 +44,7 @@ fn read_bw(io_kb: u64, seq: bool, with_writes: bool, quick: bool) -> f64 {
                 write_pattern: pattern,
                 queue_depth: 32,
                 rate_limit: None,
+                burst: None,
                 region_start: r.start,
                 region_blocks: r.blocks,
             },

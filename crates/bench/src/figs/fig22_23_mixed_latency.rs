@@ -30,6 +30,7 @@ fn foreground_lat(
             write_pattern: AccessPattern::Sequential,
             queue_depth: 16,
             rate_limit: None,
+            burst: None,
             region_start: fg_region.start,
             region_blocks: fg_region.blocks,
         },
@@ -51,6 +52,7 @@ fn foreground_lat(
                 write_pattern: pattern,
                 queue_depth: 16,
                 rate_limit: None,
+                burst: None,
                 region_start: r.start,
                 region_blocks: r.blocks,
             },

@@ -38,6 +38,7 @@ fn null_kiops(cost: CpuCost, cores: u32, quick: bool) -> f64 {
         cpu_cost: cost,
         null_device: true,
         cache: None,
+        broker: None,
     };
     let mut pipes: Vec<Pipeline<NullDevice>> = (0..cores)
         .map(|i| {

@@ -10,6 +10,7 @@
 
 use crate::allocator::BackendId;
 use crate::error::BlobError;
+use gimbal_fabric::HealthScore;
 
 #[derive(Clone, Copy, Debug)]
 struct BackendState {
@@ -152,18 +153,14 @@ impl RateLimiter {
     }
 
     /// The extended chooser: "alive, not partitioned, and not GC-busy"
-    /// before headroom. The preference order is lexicographic —
-    ///
-    /// 1. reachable (not partitioned) beats partitioned,
-    /// 2. not-suspect beats suspect,
-    /// 3. not-GC-busy beats GC-busy (the RackBlox co-design: route reads
-    ///    away from devices mid-collection),
-    /// 4. more headroom beats less,
-    ///
-    /// with remaining ties going to the first replica in order (the
-    /// primary), so the choice is deterministic. Dead backends stay a hard
-    /// exclusion; every soft signal only reorders live candidates, so a
-    /// rack where *every* replica is GC-busy still serves reads.
+    /// before headroom. The preference order is the shared lexicographic
+    /// [`HealthScore`] — reachable, then not-suspect, then not-GC-busy (the
+    /// RackBlox co-design: route reads away from devices mid-collection),
+    /// then headroom — with remaining ties going to the first replica in
+    /// order (the primary), so the choice is deterministic. Dead backends
+    /// stay a hard exclusion; every soft signal only reorders live
+    /// candidates, so a rack where *every* replica is GC-busy still serves
+    /// reads.
     pub fn choose_replica_aware(
         &self,
         replicas: &[BackendId],
@@ -174,11 +171,11 @@ impl RateLimiter {
         }
         let score = |b: BackendId| {
             let h = health(b);
-            (
+            HealthScore::new(
                 !h.partitioned,
                 !self.is_suspect(b),
                 !h.gc_busy,
-                self.headroom(b),
+                u64::from(self.headroom(b)),
             )
         };
         let mut best: Option<usize> = None;

@@ -1,0 +1,947 @@
+//! The borrow ledger: adaptive inter-tenant token borrowing with
+//! deterministic repayment.
+//!
+//! The ledger layers on the strict per-tenant entitlement that the rate
+//! engine already enforces. Each (SSD, tenant) pair owns an *account* that
+//! accrues tokens continuously at `capacity_bps / active_tenants` and is
+//! capped at `burst_bytes` — accrual beyond the cap evaporates, exactly as it
+//! does in a plain token bucket. The broker's one new rule: a tenant whose
+//! account cannot cover an IO may **borrow** the shortfall from co-located
+//! tenants running below their entitlement, subject to
+//!
+//! * a deterministic lender order (a ring over ascending tenant ids, each
+//!   borrower entering the ring just past its own id so drain spreads evenly
+//!   — never a hash order),
+//! * an isolation floor (lending never drains a lender below
+//!   `burst * floor_num / floor_den`),
+//! * a per-(borrower, lender) outstanding-debt cap.
+//!
+//! Debts settle at every epoch boundary with **absorption-bounded
+//! repayment**: the borrower repays only what the lender can actually absorb
+//! — `paid = principal.min(burst - lender_balance)` — plus a small round-up
+//! interest on the paid portion, its balance going negative if needed (it
+//! pays the hole back out of its own future refill). The remainder is
+//! written off as forgiven: those are exactly the tokens that would have
+//! evaporated at the lender's cap anyway, so collecting them would destroy
+//! throughput without compensating anyone. A lender is never worse off at
+//! steady state, and the interest leaves it strictly better; a borrower with
+//! a negative balance may not borrow again until it climbs back out.
+//!
+//! Every grant, repayment, forgiveness and migration is journaled for the
+//! divergence sanitizer (component `broker`) and traced under
+//! [`Component::Broker`]. The ledger carries an always-on conservation
+//! audit: `granted == repaid + forgiven + outstanding` is asserted at every
+//! settlement, and the isolation floor is asserted never violated.
+//!
+//! [`Component::Broker`]: gimbal_telemetry::Component::Broker
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use gimbal_fabric::{SsdId, TenantId};
+use gimbal_sim::{DetMap, Digest, SimDuration, SimTime};
+use gimbal_telemetry::{EventKind, TraceHandle};
+
+use crate::config::{BrokerConfig, BrokerMode};
+use crate::placement::{self, Migration, SsdTelemetry, TenantDemand};
+
+/// Outcome of charging an IO against the ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Charge {
+    /// Tokens were available (own balance, possibly topped up by borrowing).
+    Granted,
+    /// Not enough tokens anywhere; retry at the given instant, when the
+    /// account's own refill will cover the shortfall.
+    Denied {
+        /// Deterministic earliest instant the charge can succeed.
+        retry_at: SimTime,
+    },
+}
+
+/// A pending sanitizer-journal record: `(op, key)`. The embedding engine
+/// drains these and stamps them with its own event tick, so journal ticks
+/// stay monotone across components.
+pub type JournalRecord = (&'static str, u64);
+
+/// Counters the ledger exposes to results and digests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Total bytes ever borrowed (grants of other tenants' tokens).
+    pub granted: u64,
+    /// Principal bytes repaid at settlements.
+    pub repaid: u64,
+    /// Interest bytes paid on top of principal.
+    pub interest_paid: u64,
+    /// Debt written off because a borrower or lender departed (stop, device
+    /// death, node death).
+    pub forgiven: u64,
+    /// Debt currently outstanding across all (borrower, lender) pairs.
+    pub outstanding: u64,
+    /// Charges denied (no tokens and no borrowable headroom).
+    pub denials: u64,
+    /// Individual borrow grants (one per (borrower, lender) take).
+    pub borrow_events: u64,
+    /// Total bytes charged through the ledger (all granted IO, flush
+    /// included).
+    pub charged_bytes: u64,
+    /// Bytes of the above that were write-back flush traffic — proof the
+    /// owning tenant pays for its own flushes.
+    pub flush_charged_bytes: u64,
+    /// Migrations applied by the placement layer.
+    pub migrations: u64,
+    /// Settlement epochs completed.
+    pub epochs: u64,
+    /// Times lending drained a lender below the isolation floor. Asserted
+    /// zero by the always-on audit; kept as a counter so results can prove
+    /// the floor held.
+    pub floor_violations: u64,
+}
+
+impl BrokerStats {
+    /// The conservation identity the audit enforces.
+    pub fn conservation_holds(&self) -> bool {
+        self.granted == self.repaid + self.forgiven + self.outstanding && self.floor_violations == 0
+    }
+
+    /// Fold every counter into a digest (order is field order).
+    pub fn fold_into(&self, d: &mut Digest) {
+        d.update_u64(self.granted);
+        d.update_u64(self.repaid);
+        d.update_u64(self.interest_paid);
+        d.update_u64(self.forgiven);
+        d.update_u64(self.outstanding);
+        d.update_u64(self.denials);
+        d.update_u64(self.borrow_events);
+        d.update_u64(self.charged_bytes);
+        d.update_u64(self.flush_charged_bytes);
+        d.update_u64(self.migrations);
+        d.update_u64(self.epochs);
+        d.update_u64(self.floor_violations);
+    }
+}
+
+/// One (SSD, tenant) token account.
+#[derive(Clone, Copy, Debug)]
+struct Account {
+    /// Token balance in bytes. Negative only after a settlement the account
+    /// is repaying out of future refill.
+    balance: i64,
+    /// Sub-byte accrual remainder, in `bytes_per_sec * ns` units (< 1e9).
+    frac: u64,
+    /// Bytes charged since the last epoch boundary — the demand signal the
+    /// placement scorer consumes.
+    demand_epoch: u64,
+}
+
+/// The borrow ledger. See the module docs for the economics.
+#[derive(Clone, Debug)]
+pub struct Broker {
+    cfg: BrokerConfig,
+    /// Accounts keyed by (ssd, tenant). Lender scans sort keys explicitly;
+    /// the map's insertion order is never load-bearing.
+    accounts: DetMap<(u32, u32), Account>,
+    /// Outstanding debt keyed by (ssd, borrower, lender).
+    debts: DetMap<(u32, u32, u32), u64>,
+    /// Per-SSD instant up to which accounts have accrued.
+    refilled_to: DetMap<u32, SimTime>,
+    stats: BrokerStats,
+    trace: TraceHandle,
+    journal_pending: Vec<JournalRecord>,
+}
+
+impl Broker {
+    /// Build a ledger. `cfg` must already be validated.
+    pub fn new(cfg: BrokerConfig, trace: TraceHandle) -> Self {
+        cfg.validate();
+        Broker {
+            cfg,
+            accounts: DetMap::new(),
+            debts: DetMap::new(),
+            refilled_to: DetMap::new(),
+            stats: BrokerStats::default(),
+            trace,
+            journal_pending: Vec::new(),
+        }
+    }
+
+    /// The configuration the ledger runs under.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.cfg
+    }
+
+    /// Current counters, with `outstanding` freshly snapshotted.
+    pub fn stats(&self) -> BrokerStats {
+        let mut s = self.stats;
+        s.outstanding = self.outstanding_total();
+        s
+    }
+
+    fn outstanding_total(&self) -> u64 {
+        self.debts.values().sum()
+    }
+
+    /// Number of accounts currently on `ssd` (the entitlement divisor).
+    fn tenants_on(&self, ssd: u32) -> u64 {
+        self.accounts.keys().filter(|(s, _)| *s == ssd).count() as u64
+    }
+
+    /// Bring every account on `ssd` up to `now` at the current entitlement
+    /// rate. Must run *before* any membership change on the SSD so the old
+    /// divisor covers the elapsed span exactly.
+    fn refill_ssd(&mut self, ssd: u32, now: SimTime) {
+        let last = *self.refilled_to.get_or_insert_with(ssd, || now);
+        if now <= last {
+            return;
+        }
+        self.refilled_to.insert(ssd, now);
+        let n = self.tenants_on(ssd);
+        if n == 0 {
+            return;
+        }
+        let rate = self.cfg.capacity_bps / n;
+        let dt_ns = now.since(last).as_nanos();
+        let burst = self.cfg.burst_bytes as i64;
+        for ((s, _), acc) in self.accounts.iter_mut() {
+            if *s != ssd {
+                continue;
+            }
+            let num = acc.frac as u128 + rate as u128 * dt_ns as u128;
+            let add = num / 1_000_000_000;
+            acc.frac = (num % 1_000_000_000) as u64;
+            let topped = (acc.balance as i128 + add as i128).min(burst as i128);
+            // Safe narrowing: `topped` is >= the old i64 balance and <= burst.
+            acc.balance = topped as i64;
+        }
+    }
+
+    fn ensure_account(&mut self, ssd: u32, tenant: u32) {
+        let burst = self.cfg.burst_bytes as i64;
+        self.accounts.get_or_insert_with((ssd, tenant), || Account {
+            balance: burst,
+            frac: 0,
+            demand_epoch: 0,
+        });
+    }
+
+    /// Deterministic lender scan order: the ascending tenant-id ring on the
+    /// same SSD, entered just past the borrower. Every borrower starts at a
+    /// different lender, so repeated borrowing drains lenders evenly
+    /// instead of always bleeding the lowest ids first (which measurably
+    /// skews per-tenant fairness on staggered bursty mixes). Reversed under
+    /// the sanitizer-suite perturbation hook.
+    fn lender_order(&self, ssd: u32, borrower: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .accounts
+            .keys()
+            .filter(|(s, t)| *s == ssd && *t != borrower)
+            .map(|(_, t)| *t)
+            .collect();
+        v.sort_unstable();
+        let enter = v.partition_point(|&t| t <= borrower);
+        v.rotate_left(enter);
+        if self.cfg.perturb_lender_order {
+            v.reverse();
+        }
+        v
+    }
+
+    /// Headroom `lender` can extend to `borrower` right now: balance above
+    /// the isolation floor, capped by the per-pair debt room.
+    fn lendable(&self, ssd: u32, borrower: u32, lender: u32) -> u64 {
+        let floor = self.cfg.floor_bytes() as i64;
+        let Some(acc) = self.accounts.get(&(ssd, lender)) else {
+            return 0;
+        };
+        let headroom = acc.balance.saturating_sub(floor).max(0) as u64;
+        let owed = self
+            .debts
+            .get(&(ssd, borrower, lender))
+            .copied()
+            .unwrap_or(0);
+        headroom.min(self.cfg.max_debt_bytes.saturating_sub(owed))
+    }
+
+    /// When the account's own refill will have produced `deficit` bytes.
+    fn retry_at(&self, ssd: u32, deficit: u64, now: SimTime) -> SimTime {
+        let n = self.tenants_on(ssd).max(1);
+        let rate = self.cfg.capacity_bps / n;
+        if rate == 0 {
+            return now + self.cfg.epoch;
+        }
+        now + SimDuration::for_bytes(deficit.max(1), rate)
+    }
+
+    /// Charge `bytes` of IO for `tenant` on `ssd`. `flush` marks write-back
+    /// flush traffic so results can prove flushes are paid for by their
+    /// owner.
+    pub fn try_charge(
+        &mut self,
+        ssd: SsdId,
+        tenant: TenantId,
+        bytes: u64,
+        flush: bool,
+        now: SimTime,
+    ) -> Charge {
+        let (s, t) = (ssd.0, tenant.0);
+        self.refill_ssd(s, now);
+        self.ensure_account(s, t);
+        let need = bytes as i64;
+        let balance = self.accounts.get(&(s, t)).map(|a| a.balance).unwrap_or(0);
+        if balance >= need {
+            let acc = self.accounts.get_mut(&(s, t)).expect("account exists");
+            acc.balance -= need;
+            self.note_grant(s, t, bytes, flush);
+            return Charge::Granted;
+        }
+        // A tenant still repaying a settlement (negative balance) may not
+        // borrow again: it must climb back to zero on its own refill first.
+        // That bounds debt growth and is what makes repayment deterministic.
+        if self.cfg.mode == BrokerMode::Strict || balance < 0 {
+            self.stats.denials += 1;
+            let deficit = (need - balance) as u64;
+            return Charge::Denied {
+                retry_at: self.retry_at(s, deficit, now),
+            };
+        }
+        // Borrow path: own balance is in [0, need). Two passes over the
+        // fixed lender order — the first only sums availability so a denial
+        // mutates nothing.
+        let deficit = (need - balance) as u64;
+        let lenders = self.lender_order(s, t);
+        let mut avail = 0u64;
+        for &l in &lenders {
+            avail = avail.saturating_add(self.lendable(s, t, l));
+            if avail >= deficit {
+                break;
+            }
+        }
+        if avail < deficit {
+            self.stats.denials += 1;
+            return Charge::Denied {
+                retry_at: self.retry_at(s, deficit, now),
+            };
+        }
+        let floor = self.cfg.floor_bytes() as i64;
+        let mut remaining = deficit;
+        for &l in &lenders {
+            if remaining == 0 {
+                break;
+            }
+            let take = self.lendable(s, t, l).min(remaining);
+            if take == 0 {
+                continue;
+            }
+            let lacc = self.accounts.get_mut(&(s, l)).expect("lender exists");
+            lacc.balance -= take as i64;
+            if lacc.balance < floor {
+                self.stats.floor_violations += 1;
+            }
+            *self.debts.get_or_insert_with((s, t, l), || 0) += take;
+            self.stats.granted += take;
+            self.stats.borrow_events += 1;
+            self.trace.record(
+                now,
+                ssd,
+                Some(tenant),
+                EventKind::TokenBorrowed {
+                    lender: l,
+                    bytes: take,
+                },
+            );
+            self.journal_pending.push(("borrow", u64::from(l)));
+            remaining -= take;
+        }
+        // Own balance plus everything borrowed exactly covers the IO.
+        let acc = self.accounts.get_mut(&(s, t)).expect("account exists");
+        acc.balance = 0;
+        self.note_grant(s, t, bytes, flush);
+        Charge::Granted
+    }
+
+    fn note_grant(&mut self, ssd: u32, tenant: u32, bytes: u64, flush: bool) {
+        self.stats.charged_bytes += bytes;
+        if flush {
+            self.stats.flush_charged_bytes += bytes;
+        }
+        if let Some(acc) = self.accounts.get_mut(&(ssd, tenant)) {
+            acc.demand_epoch = acc.demand_epoch.saturating_add(bytes);
+        }
+    }
+
+    /// Epoch-boundary settlement. `active` lists, per SSD, the tenants that
+    /// are still live there (not stopped, device up, node up). Departed
+    /// accounts are removed and every debt touching them forgiven; live
+    /// tenants without an account get one, so an idle tenant can lend.
+    pub fn settle_epoch(&mut self, now: SimTime, active: &[(SsdId, Vec<TenantId>)]) {
+        // Refill every SSD we know about before membership changes.
+        let mut ssds: Vec<u32> = self.refilled_to.keys().copied().collect();
+        for (ssd, _) in active {
+            ssds.push(ssd.0);
+        }
+        ssds.sort_unstable();
+        ssds.dedup();
+        for s in ssds {
+            self.refill_ssd(s, now);
+        }
+
+        // Membership sync: who should exist afterwards.
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for (ssd, tenants) in active {
+            for t in tenants {
+                live.push((ssd.0, t.0));
+            }
+        }
+        live.sort_unstable();
+        let departed: Vec<(u32, u32)> = self
+            .accounts
+            .keys()
+            .filter(|&k| live.binary_search(k).is_err())
+            .copied()
+            .collect();
+
+        // Forgive every debt whose borrower or lender departed.
+        if !departed.is_empty() {
+            let is_gone = |s: u32, t: u32| departed.binary_search(&(s, t)).is_ok();
+            let mut forgiven: Vec<((u32, u32, u32), u64)> = Vec::new();
+            self.debts.retain(|&(s, b, l), &mut amt| {
+                if is_gone(s, b) || is_gone(s, l) {
+                    forgiven.push(((s, b, l), amt));
+                    false
+                } else {
+                    true
+                }
+            });
+            for ((s, b, l), amt) in forgiven {
+                self.stats.forgiven += amt;
+                self.trace.record(
+                    now,
+                    SsdId(s),
+                    Some(TenantId(b)),
+                    EventKind::DebtForgiven {
+                        lender: l,
+                        bytes: amt,
+                    },
+                );
+                self.journal_pending.push(("forgive", u64::from(l)));
+            }
+            for k in &departed {
+                self.accounts.remove(k);
+            }
+        }
+        for k in &live {
+            self.ensure_account(k.0, k.1);
+        }
+
+        // Repay every surviving debt, but only as far as the lender can
+        // absorb it: credit above the lender's burst cap would have
+        // evaporated had the tokens sat idle, so that slice of the debt is
+        // *forgiven* rather than collected. The borrower pays (with
+        // round-up interest) exactly for the tokens the lender actually
+        // missed — this is what turns lending into statistical multiplexing
+        // instead of a zero-sum time shift. The lender is never worse off:
+        // it is restored up to its cap before anything is written down, and
+        // the interest lands on top of the restored principal.
+        let mut keys: Vec<(u32, u32, u32)> = self.debts.keys().copied().collect();
+        keys.sort_unstable();
+        let burst = self.cfg.burst_bytes as i64;
+        for k in keys {
+            let (s, b, l) = k;
+            let principal = self.debts.remove(&k).unwrap_or(0);
+            if principal == 0 {
+                continue;
+            }
+            let headroom = self
+                .accounts
+                .get(&(s, l))
+                .map(|a| (burst - a.balance).max(0) as u64)
+                .unwrap_or(0);
+            let paid = principal.min(headroom);
+            let written_off = principal - paid;
+            let interest = self.cfg.interest_on(paid);
+            let payment = (paid + interest) as i64;
+            if let Some(acc) = self.accounts.get_mut(&(s, b)) {
+                acc.balance -= payment;
+            }
+            if let Some(acc) = self.accounts.get_mut(&(s, l)) {
+                acc.balance = (acc.balance + payment).min(burst);
+            }
+            self.stats.repaid += paid;
+            self.stats.interest_paid += interest;
+            if written_off > 0 {
+                self.stats.forgiven += written_off;
+                self.trace.record(
+                    now,
+                    SsdId(s),
+                    Some(TenantId(b)),
+                    EventKind::DebtForgiven {
+                        lender: l,
+                        bytes: written_off,
+                    },
+                );
+                self.journal_pending.push(("forgive", u64::from(l)));
+            }
+            self.trace.record(
+                now,
+                SsdId(s),
+                Some(TenantId(b)),
+                EventKind::DebtRepaid {
+                    lender: l,
+                    principal: paid,
+                    interest,
+                },
+            );
+            self.journal_pending.push(("repay", u64::from(l)));
+        }
+
+        self.stats.epochs = self.stats.epochs.saturating_add(1);
+        self.journal_pending.push(("epoch", self.stats.epochs));
+        self.audit();
+    }
+
+    /// The always-on conservation audit. Panics (even in release builds) if
+    /// the ledger ever leaks or mints tokens, or if lending pierced the
+    /// isolation floor.
+    pub fn audit(&self) {
+        let outstanding = self.outstanding_total();
+        assert!(
+            self.stats.granted == self.stats.repaid + self.stats.forgiven + outstanding,
+            "broker conservation violated: granted {} != repaid {} + forgiven {} + outstanding {}",
+            self.stats.granted,
+            self.stats.repaid,
+            self.stats.forgiven,
+            outstanding
+        );
+        assert!(
+            self.stats.floor_violations == 0,
+            "broker isolation floor violated {} times",
+            self.stats.floor_violations
+        );
+    }
+
+    /// Plan up to `max_moves_per_epoch` migrations from the demand observed
+    /// this epoch and the interference telemetry supplied by the engine.
+    /// Pure: applies nothing. Tenants with outstanding debt never move.
+    pub fn plan_migrations(&self, telem: &[SsdTelemetry]) -> Vec<Migration> {
+        if !self.cfg.placement {
+            return Vec::new();
+        }
+        let mut demand: Vec<TenantDemand> = Vec::new();
+        let mut keys: Vec<(u32, u32)> = self.accounts.keys().copied().collect();
+        keys.sort_unstable();
+        for (s, t) in keys {
+            let acc = self.accounts.get(&(s, t)).expect("account exists");
+            let in_debt = self
+                .debts
+                .keys()
+                .any(|&(ds, b, l)| ds == s && (b == t || l == t));
+            demand.push(TenantDemand {
+                ssd: SsdId(s),
+                tenant: TenantId(t),
+                bytes: acc.demand_epoch,
+                movable: !in_debt,
+            });
+        }
+        let cap_epoch = self.epoch_capacity_bytes();
+        placement::plan(telem, &demand, cap_epoch, self.cfg.max_moves_per_epoch)
+    }
+
+    /// Bytes one SSD's full capacity accrues over one epoch.
+    fn epoch_capacity_bytes(&self) -> u64 {
+        let num = self.cfg.capacity_bps as u128 * self.cfg.epoch.as_nanos() as u128;
+        (num / 1_000_000_000).min(u64::MAX as u128) as u64
+    }
+
+    /// Apply one migration: the tenant's account (balance, remainder) moves
+    /// with it to the destination SSD.
+    pub fn apply_migration(&mut self, m: &Migration, now: SimTime) {
+        let from = (m.from.0, m.tenant.0);
+        let Some(acc) = self.accounts.remove(&from) else {
+            return;
+        };
+        // Movable tenants are debt-free by construction; a debt here would
+        // silently strand conservation bookkeeping.
+        debug_assert!(
+            !self
+                .debts
+                .keys()
+                .any(|&(s, b, l)| s == m.from.0 && (b == m.tenant.0 || l == m.tenant.0)),
+            "migrating tenant {} with outstanding debt",
+            m.tenant.0
+        );
+        self.refill_ssd(m.to.0, now);
+        self.accounts.insert((m.to.0, m.tenant.0), acc);
+        self.stats.migrations += 1;
+        self.trace.record(
+            now,
+            m.from,
+            Some(m.tenant),
+            EventKind::TenantMigrated {
+                from_ssd: m.from.0,
+                to_ssd: m.to.0,
+            },
+        );
+        self.journal_pending
+            .push(("migrate", u64::from(m.tenant.0)));
+    }
+
+    /// Reset the per-epoch demand counters. Call after placement has
+    /// consumed them.
+    pub fn end_epoch(&mut self) {
+        for acc in self.accounts.values_mut() {
+            acc.demand_epoch = 0;
+        }
+    }
+
+    /// Drain pending sanitizer-journal records (in decision order).
+    pub fn drain_journal(&mut self) -> Vec<JournalRecord> {
+        std::mem::take(&mut self.journal_pending)
+    }
+
+    /// A tenant's current balance, for tests and results.
+    pub fn balance(&self, ssd: SsdId, tenant: TenantId) -> Option<i64> {
+        self.accounts.get(&(ssd.0, tenant.0)).map(|a| a.balance)
+    }
+
+    /// Outstanding debt from `borrower` to `lender` on `ssd`.
+    pub fn debt(&self, ssd: SsdId, borrower: TenantId, lender: TenantId) -> u64 {
+        self.debts
+            .get(&(ssd.0, borrower.0, lender.0))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Shared handle to one [`Broker`], cloned into every pipeline that charges
+/// against it. Interior mutability is confined to this file (whitelisted in
+/// the lint ruleset as the broker's state owner).
+#[derive(Clone)]
+pub struct BrokerHandle {
+    inner: Rc<RefCell<Broker>>,
+}
+
+impl BrokerHandle {
+    /// Build a ledger and wrap it for sharing.
+    pub fn new(cfg: BrokerConfig, trace: TraceHandle) -> Self {
+        BrokerHandle {
+            inner: Rc::new(RefCell::new(Broker::new(cfg, trace))),
+        }
+    }
+
+    /// Charge an IO. See [`Broker::try_charge`].
+    pub fn try_charge(
+        &self,
+        ssd: SsdId,
+        tenant: TenantId,
+        bytes: u64,
+        flush: bool,
+        now: SimTime,
+    ) -> Charge {
+        self.inner
+            .borrow_mut()
+            .try_charge(ssd, tenant, bytes, flush, now)
+    }
+
+    /// Settle an epoch. See [`Broker::settle_epoch`].
+    pub fn settle_epoch(&self, now: SimTime, active: &[(SsdId, Vec<TenantId>)]) {
+        self.inner.borrow_mut().settle_epoch(now, active);
+    }
+
+    /// Plan migrations. See [`Broker::plan_migrations`].
+    pub fn plan_migrations(&self, telem: &[SsdTelemetry]) -> Vec<Migration> {
+        self.inner.borrow().plan_migrations(telem)
+    }
+
+    /// Apply a migration. See [`Broker::apply_migration`].
+    pub fn apply_migration(&self, m: &Migration, now: SimTime) {
+        self.inner.borrow_mut().apply_migration(m, now);
+    }
+
+    /// Reset per-epoch demand counters.
+    pub fn end_epoch(&self) {
+        self.inner.borrow_mut().end_epoch();
+    }
+
+    /// Drain pending sanitizer-journal records.
+    pub fn drain_journal(&self) -> Vec<JournalRecord> {
+        self.inner.borrow_mut().drain_journal()
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> BrokerStats {
+        self.inner.borrow().stats()
+    }
+
+    /// Run the conservation audit now.
+    pub fn audit(&self) {
+        self.inner.borrow().audit();
+    }
+
+    /// A tenant's current balance, for tests.
+    pub fn balance(&self, ssd: SsdId, tenant: TenantId) -> Option<i64> {
+        self.inner.borrow().balance(ssd, tenant)
+    }
+
+    /// Outstanding debt between a pair, for tests.
+    pub fn debt(&self, ssd: SsdId, borrower: TenantId, lender: TenantId) -> u64 {
+        self.inner.borrow().debt(ssd, borrower, lender)
+    }
+}
+
+impl fmt::Debug for BrokerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BrokerHandle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BrokerConfig {
+        // 1 MB/s capacity, 1 MiB burst, 10 ms epochs: round numbers for
+        // hand-checked arithmetic.
+        BrokerConfig {
+            capacity_bps: 1_000_000,
+            burst_bytes: 1024 * 1024,
+            epoch: SimDuration::from_millis(10),
+            max_debt_bytes: 4 * 1024 * 1024,
+            ..BrokerConfig::default()
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    const A: TenantId = TenantId(0);
+    const B: TenantId = TenantId(1);
+    const C: TenantId = TenantId(2);
+    const S: SsdId = SsdId(0);
+
+    #[test]
+    fn own_balance_spends_before_borrowing() {
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        assert_eq!(br.try_charge(S, A, 4096, false, t(0)), Charge::Granted);
+        let burst = cfg().burst_bytes as i64;
+        assert_eq!(br.balance(S, A), Some(burst - 4096));
+        assert_eq!(br.stats().granted, 0, "no borrowing happened");
+    }
+
+    #[test]
+    fn strict_mode_denies_with_refill_retry() {
+        let mut c = cfg();
+        c.mode = BrokerMode::Strict;
+        let mut br = Broker::new(c, TraceHandle::disabled());
+        // Drain A's burst entirely.
+        let burst = cfg().burst_bytes;
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        let denied = br.try_charge(S, A, 1_000, false, t(0));
+        // Sole tenant: rate = 1 MB/s, so 1000 bytes take 1 ms exactly.
+        match denied {
+            Charge::Denied { retry_at } => {
+                assert_eq!(retry_at, t(0) + SimDuration::from_millis(1));
+            }
+            Charge::Granted => panic!("empty bucket must deny in strict mode"),
+        }
+        assert_eq!(br.stats().denials, 1);
+    }
+
+    #[test]
+    fn borrow_covers_deficit_from_lowest_tenant_first() {
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        let burst = cfg().burst_bytes;
+        // Create three accounts; A drains itself.
+        assert_eq!(br.try_charge(S, B, 0, false, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, C, 0, false, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        // A now borrows 100 KiB; lender order is B (tenant 1) before C.
+        let want = 100 * 1024;
+        assert_eq!(br.try_charge(S, A, want, false, t(0)), Charge::Granted);
+        assert_eq!(br.debt(S, A, B), want);
+        assert_eq!(br.debt(S, A, C), 0);
+        assert_eq!(br.balance(S, B), Some((burst - want) as i64));
+        let st = br.stats();
+        assert_eq!(st.granted, want);
+        assert_eq!(st.outstanding, want);
+        assert_eq!(st.borrow_events, 1);
+        br.audit();
+    }
+
+    #[test]
+    fn lenders_never_drained_below_floor() {
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        let burst = cfg().burst_bytes;
+        let floor = cfg().floor_bytes();
+        assert_eq!(br.try_charge(S, B, 0, false, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        // Adversarial borrower: keep asking for everything B has.
+        let mut granted_total = 0u64;
+        for _ in 0..64 {
+            let ask = 64 * 1024;
+            match br.try_charge(S, A, ask, false, t(0)) {
+                Charge::Granted => granted_total += ask,
+                Charge::Denied { .. } => break,
+            }
+        }
+        assert!(granted_total > 0, "some borrowing must succeed");
+        let b_bal = br.balance(S, B).unwrap();
+        assert!(
+            b_bal >= floor as i64,
+            "lender drained to {b_bal}, below floor {floor}"
+        );
+        assert_eq!(br.stats().floor_violations, 0);
+        br.audit();
+    }
+
+    #[test]
+    fn per_pair_debt_cap_limits_borrowing() {
+        let mut c = cfg();
+        c.max_debt_bytes = 128 * 1024;
+        c.floor_num = 0; // floor out of the way: the debt cap should bind
+        let mut br = Broker::new(c, TraceHandle::disabled());
+        let burst = cfg().burst_bytes;
+        assert_eq!(br.try_charge(S, B, 0, false, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        assert_eq!(
+            br.try_charge(S, A, 128 * 1024, false, t(0)),
+            Charge::Granted
+        );
+        // Pair cap reached: next borrow must be denied even though B still
+        // has balance.
+        assert!(matches!(
+            br.try_charge(S, A, 4096, false, t(0)),
+            Charge::Denied { .. }
+        ));
+        assert!(br.balance(S, B).unwrap() > 0);
+    }
+
+    #[test]
+    fn settlement_repays_what_the_lender_can_absorb_and_conserves() {
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        let burst = cfg().burst_bytes;
+        assert_eq!(br.try_charge(S, B, 0, false, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        let p = 64 * 1024;
+        assert_eq!(br.try_charge(S, A, p, false, t(0)), Charge::Granted);
+        let active = vec![(S, vec![A, B])];
+        br.settle_epoch(t(10), &active);
+        // With 2 tenants at 0.5 MB/s each, 10 ms accrues 5000 bytes. B's
+        // own refill already recouped 5000 of the lent principal (it can
+        // only absorb up to its burst cap), so A owes p - 5000 and the
+        // refilled slice is written off — tokens B never actually missed.
+        let paid = p - 5000;
+        let st = br.stats();
+        assert_eq!(st.repaid, paid);
+        assert_eq!(st.forgiven, 5000);
+        assert_eq!(st.interest_paid, cfg().interest_on(paid));
+        assert_eq!(st.outstanding, 0);
+        assert!(st.conservation_holds());
+        // Borrower paid out of future refill: A's own 5000-byte refill
+        // covers part of the collected principal + interest.
+        let a_bal = br.balance(S, A).unwrap();
+        let owed = (paid + cfg().interest_on(paid)) as i64;
+        assert_eq!(a_bal, 5000 - owed);
+        // A negative borrower may not borrow again until whole.
+        assert!(matches!(
+            br.try_charge(S, A, 4096, false, t(10)),
+            Charge::Denied { .. }
+        ));
+    }
+
+    #[test]
+    fn lender_never_worse_off_than_idling_at_cap() {
+        // B sits idle at its burst cap; its refill would evaporate. A
+        // borrows from B and repays with interest at the epoch. B must end
+        // the epoch no lower than it would have without lending (at cap,
+        // minus nothing), i.e. back at cap.
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        let burst = cfg().burst_bytes;
+        assert_eq!(br.try_charge(S, B, 0, false, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        assert_eq!(
+            br.try_charge(S, A, 256 * 1024, false, t(0)),
+            Charge::Granted
+        );
+        br.settle_epoch(t(10), &[(S, vec![A, B])]);
+        assert_eq!(br.balance(S, B), Some(burst as i64));
+    }
+
+    #[test]
+    fn departure_forgives_debt_and_conserves() {
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        let burst = cfg().burst_bytes;
+        assert_eq!(br.try_charge(S, B, 0, false, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        let p = 64 * 1024;
+        assert_eq!(br.try_charge(S, A, p, false, t(0)), Charge::Granted);
+        // A dies before the epoch; its debt is forgiven, not repaid.
+        br.settle_epoch(t(10), &[(S, vec![B])]);
+        let st = br.stats();
+        assert_eq!(st.forgiven, p);
+        assert_eq!(st.repaid, 0);
+        assert_eq!(st.outstanding, 0);
+        assert!(st.conservation_holds());
+        assert_eq!(br.balance(S, A), None, "departed account removed");
+    }
+
+    #[test]
+    fn settlement_creates_accounts_for_idle_tenants() {
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        br.settle_epoch(t(10), &[(S, vec![A, B, C])]);
+        assert!(br.balance(S, B).is_some());
+        assert!(br.balance(S, C).is_some());
+    }
+
+    #[test]
+    fn refill_is_exact_over_odd_spans() {
+        // 1 MB/s over 1 ns is 0.001 bytes: the remainder must carry, not
+        // truncate away. 1000 × 1 ns must accrue exactly 1 byte.
+        let mut c = cfg();
+        c.mode = BrokerMode::Strict;
+        let mut br = Broker::new(c, TraceHandle::disabled());
+        let burst = cfg().burst_bytes;
+        assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+        for ns in 1..=1000u64 {
+            br.refill_ssd(0, SimTime::from_nanos(ns));
+        }
+        assert_eq!(br.balance(S, A), Some(1));
+    }
+
+    #[test]
+    fn flush_bytes_tracked_separately() {
+        let mut br = Broker::new(cfg(), TraceHandle::disabled());
+        assert_eq!(br.try_charge(S, A, 4096, true, t(0)), Charge::Granted);
+        assert_eq!(br.try_charge(S, A, 8192, false, t(0)), Charge::Granted);
+        let st = br.stats();
+        assert_eq!(st.charged_bytes, 12288);
+        assert_eq!(st.flush_charged_bytes, 4096);
+    }
+
+    #[test]
+    fn perturbed_lender_order_changes_journal_not_conservation() {
+        let run = |perturb: bool| {
+            let mut c = cfg();
+            c.perturb_lender_order = perturb;
+            let mut br = Broker::new(c, TraceHandle::disabled());
+            let burst = cfg().burst_bytes;
+            let floor = cfg().floor_bytes();
+            assert_eq!(br.try_charge(S, B, 0, false, t(0)), Charge::Granted);
+            assert_eq!(br.try_charge(S, C, 0, false, t(0)), Charge::Granted);
+            assert_eq!(br.try_charge(S, A, burst, false, t(0)), Charge::Granted);
+            // Borrow more than one lender can cover alone so both appear.
+            let big = burst - floor + 4096;
+            assert_eq!(br.try_charge(S, A, big, false, t(0)), Charge::Granted);
+            br.audit();
+            br.drain_journal()
+        };
+        let straight = run(false);
+        let flipped = run(true);
+        assert_ne!(straight, flipped, "perturbation must reorder lenders");
+        let mut s2 = straight.clone();
+        let mut f2 = flipped.clone();
+        s2.sort_unstable();
+        f2.sort_unstable();
+        assert_eq!(s2, f2, "same decisions, different order");
+    }
+}

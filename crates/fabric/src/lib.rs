@@ -17,19 +17,23 @@
 //!   plus the rack escalation ladder (retransmit → suspect → reroute);
 //! * [`tor`] — a deterministic top-of-rack switch model (per-node link
 //!   serialization, hop latency, fault-injected degradation) for the
-//!   rack-scale testbed.
+//!   rack-scale testbed;
+//! * [`health`] — the shared lexicographic backend-preference key used by
+//!   the blobstore replica chooser and the broker placement scorer.
 //!
 //! The real system runs SPDK's RDMA transport; we substitute a message-level
 //! model because Gimbal only observes the fabric as *delay plus per-message
 //! CPU cost* — both of which the model reproduces (see DESIGN.md §2).
 
 pub mod capsule;
+pub mod health;
 pub mod network;
 pub mod retry;
 pub mod tor;
 pub mod types;
 
 pub use capsule::{CmdStatus, NvmeCmd, NvmeCompletion, CMD_CAPSULE_BYTES, RSP_CAPSULE_BYTES};
+pub use health::HealthScore;
 pub use network::{FabricConfig, Port, RdmaDelays};
 pub use retry::{EscalationAction, RetryConfig};
 pub use tor::{TorConfig, TorSwitch};

@@ -172,6 +172,7 @@ mod tests {
                 cpu_cost: CpuCost::arm_gimbal(),
                 null_device: false,
                 cache: None,
+                broker: None,
             },
         )
     }

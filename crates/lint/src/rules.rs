@@ -212,6 +212,7 @@ const STRICT_CRATES: &[&str] = &[
     "testbed",
     "telemetry",
     "cache",
+    "broker",
 ];
 
 /// Files that match any of these path fragments hold rate/credit/token
@@ -236,6 +237,7 @@ pub const SHARED_STATE_OWNERS: &[&str] = &[
     "crates/testbed/src/engine.rs",
     "crates/telemetry/src/tracer.rs",
     "crates/sim/src/journal.rs",
+    "crates/broker/src/ledger.rs",
 ];
 
 /// Map a crate directory name (or "root" for the top-level `src/`) to its

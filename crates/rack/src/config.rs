@@ -1,5 +1,6 @@
 //! Rack experiment configuration.
 
+use gimbal_broker::BrokerConfig;
 use gimbal_core::Params;
 use gimbal_fabric::{FabricConfig, TorConfig};
 use gimbal_sim::SimDuration;
@@ -58,6 +59,12 @@ pub struct RackConfig {
     pub trace: Option<TraceConfig>,
     /// Record the state-access journal for the divergence sanitizer.
     pub sanitize: bool,
+    /// Inter-tenant token broker on every backend pipeline. `None` (the
+    /// default) constructs no ledger and schedules no epoch events, so such
+    /// a run is bit-identical to one on a build without broker support.
+    /// Placement is ignored at rack scale (the blobstore owns data
+    /// placement); only the borrow ledger runs.
+    pub broker: Option<BrokerConfig>,
 }
 
 impl Default for RackConfig {
@@ -87,6 +94,7 @@ impl Default for RackConfig {
             faults: None,
             trace: None,
             sanitize: false,
+            broker: None,
         }
     }
 }
@@ -140,6 +148,9 @@ impl RackConfig {
         assert!(self.warmup <= self.duration, "warmup past the end");
         if let Some(fc) = &self.faults {
             fc.validate();
+        }
+        if let Some(bc) = &self.broker {
+            bc.validate();
         }
     }
 }

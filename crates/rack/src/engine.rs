@@ -39,6 +39,7 @@ use crate::results::{RackClientResult, RackCounters, RackResult};
 use gimbal_blobstore::{
     BackendId, Blobstore, HbaConfig, HierarchicalAllocator, RateLimiter, ReplicaHealth,
 };
+use gimbal_broker::BrokerHandle;
 use gimbal_fabric::{
     CmdId, EscalationAction, IoType, NvmeCmd, NvmeCompletion, Port, Priority, RdmaDelays,
     RetryConfig, SsdId, TenantId, TorSwitch, CMD_CAPSULE_BYTES, RSP_CAPSULE_BYTES,
@@ -114,11 +115,22 @@ struct Phys {
 
 enum Ev {
     ClientStart(usize),
-    DeliverCmd { backend: usize, cmd: NvmeCmd },
+    DeliverCmd {
+        backend: usize,
+        cmd: NvmeCmd,
+    },
     PipelineWake(usize),
-    DeliverCpl { cpl: NvmeCompletion },
-    Timeout { cmd: u64, attempt: u32 },
+    DeliverCpl {
+        cpl: NvmeCompletion,
+    },
+    Timeout {
+        cmd: u64,
+        attempt: u32,
+    },
     NodeDeath(usize),
+    /// Broker settlement boundary (only scheduled when the broker is on):
+    /// repays debts and forgives accounts on dead nodes' backends.
+    BrokerEpoch,
 }
 
 /// The rack experiment.
@@ -184,6 +196,8 @@ struct Rt {
     tracer: Option<Rc<RefCell<Tracer>>>,
     trace: TraceHandle,
     sanitizer: JournalHandle,
+    /// Shared borrow ledger (`None` = broker off).
+    broker: Option<BrokerHandle>,
     end: SimTime,
     warm: SimTime,
     #[cfg(test)]
@@ -227,6 +241,10 @@ impl Rt {
             None => (None, TraceHandle::disabled()),
         };
 
+        let broker = cfg
+            .broker
+            .as_ref()
+            .map(|bc| BrokerHandle::new(bc.clone(), trace.clone()));
         let mut pipelines: Vec<Pipeline<FlashSsd>> = (0..backends)
             .map(|i| {
                 let mut ssd = FlashSsd::new(cfg.ssd.clone(), root_rng.next_u64());
@@ -256,6 +274,7 @@ impl Rt {
                         cpu_cost: cfg.scheme.cpu_cost(false),
                         null_device: false,
                         cache: None,
+                        broker: broker.clone(),
                     },
                 )
             })
@@ -313,6 +332,9 @@ impl Rt {
                 }
             }
         }
+        if let Some(bc) = &cfg.broker {
+            queue.push(SimTime::ZERO + bc.epoch, Ev::BrokerEpoch);
+        }
 
         Rt {
             delays: RdmaDelays::new(cfg.fabric),
@@ -338,6 +360,7 @@ impl Rt {
             tracer,
             trace,
             sanitizer,
+            broker,
             end: SimTime::ZERO + cfg.duration,
             warm: SimTime::ZERO + cfg.warmup,
             queue,
@@ -674,6 +697,7 @@ impl Rt {
         self.sanitizer
             .record(now.as_nanos(), "switch.pipeline", "pump", backend as u64);
         self.pipelines[backend].poll(now);
+        self.drain_broker_journal(now);
         for out in self.pipelines[backend].take_outputs() {
             self.sanitizer
                 .record(now.as_nanos(), "switch.pipeline", "complete", out.cmd.id.0);
@@ -811,6 +835,45 @@ impl Rt {
         true
     }
 
+    /// Forward queued broker ledger decisions into the divergence journal,
+    /// stamped with the engine's current tick (keeps journal ticks monotone
+    /// while preserving decision order).
+    fn drain_broker_journal(&mut self, now: SimTime) {
+        let Some(b) = &self.broker else { return };
+        for (op, key) in b.drain_journal() {
+            self.sanitizer.record(now.as_nanos(), "broker", op, key);
+        }
+    }
+
+    /// One broker settlement boundary. Backends on dead or partitioned
+    /// nodes drop out of the active set, so every account and debt touching
+    /// them is forgiven — clients can't repay through a link that swallows
+    /// capsules. Clients never stop at rack scale, so each live backend's
+    /// active tenant set is all clients.
+    fn broker_epoch(&mut self, now: SimTime) {
+        let Some(broker) = self.broker.clone() else {
+            return;
+        };
+        let mut active: Vec<(SsdId, Vec<TenantId>)> = Vec::new();
+        for b in 0..self.pipelines.len() {
+            if self.node_down(self.cfg.node_of(b), now) || self.pipelines[b].device().is_failed() {
+                continue;
+            }
+            let tenants = (0..self.clients.len() as u32).map(TenantId).collect();
+            active.push((SsdId(b as u32), tenants));
+        }
+        broker.settle_epoch(now, &active);
+        broker.end_epoch();
+        self.drain_broker_journal(now);
+        // Settlement restores lender balances; parked requests may now
+        // clear the gate.
+        for b in 0..self.pipelines.len() {
+            self.pump(b, now);
+        }
+        let epoch = self.cfg.broker.as_ref().expect("broker cfg").epoch;
+        self.queue.push(now + epoch, Ev::BrokerEpoch);
+    }
+
     fn record_ack(&mut self, lg: &Logical, now: SimTime) {
         let c = &mut self.clients[lg.client];
         c.inflight -= 1;
@@ -865,6 +928,7 @@ impl Rt {
                     Ev::DeliverCpl { cpl } => ("rack.fabric", "deliver_cpl", cpl.id.0),
                     Ev::Timeout { cmd, .. } => ("rack.fault", "timeout", *cmd),
                     Ev::NodeDeath(n) => ("rack.node", "death", *n as u64),
+                    Ev::BrokerEpoch => ("engine.broker", "epoch", 0),
                 };
                 self.sanitizer.record(now.as_nanos(), component, op, key);
             }
@@ -873,6 +937,7 @@ impl Rt {
                     self.issue_logical(i, now);
                     self.dispatch(i, now);
                 }
+                Ev::BrokerEpoch => self.broker_epoch(now),
                 Ev::NodeDeath(node) => {
                     if self.node_dead[node] {
                         continue;
@@ -1045,6 +1110,12 @@ impl Rt {
             self.rack
         );
 
+        // Broker conservation must hold at every exit, including chaos
+        // runs where debts were forgiven on node death.
+        if let Some(b) = &self.broker {
+            b.audit();
+        }
+
         let nodes = self.cfg.nodes as usize;
         RackResult {
             clients: self
@@ -1064,6 +1135,7 @@ impl Rt {
             window: self.cfg.duration - self.cfg.warmup,
             trace: self.tracer.take().map(|t| t.borrow_mut().finish()),
             access_journal: self.sanitizer.snapshot(),
+            broker: self.broker.as_ref().map(|b| b.stats()),
         }
     }
 }
@@ -1126,6 +1198,61 @@ mod tests {
         assert_eq!(clean.stats_digest(), absent.stats_digest());
         assert_eq!(clean.access_digest(), absent.access_digest());
         assert_eq!(absent.physical.timed_out, 0);
+    }
+
+    /// The 2-node borrowing chaos smoke: broker on, node 1 dies mid-run.
+    /// The ledger must keep borrowing on the surviving node, forgive every
+    /// account and debt stranded on the dead one, conserve tokens end to
+    /// end, and stay bit-identical across a sanitized double run.
+    #[test]
+    fn broker_chaos_node_death_forgives_and_conserves() {
+        let cfg = RackConfig {
+            nodes: 2,
+            ssds_per_node: 2,
+            sanitize: true,
+            duration: SimDuration::from_millis(40),
+            broker: Some(gimbal_broker::BrokerConfig {
+                // Entitled share (capacity / clients) is far below one
+                // active client's demand, so borrowing from idle peers is
+                // the only way to keep moving.
+                capacity_bps: 8 * 1024 * 1024,
+                burst_bytes: 256 * 1024,
+                epoch: SimDuration::from_millis(5),
+                ..gimbal_broker::BrokerConfig::default()
+            }),
+            faults: Some(FaultConfig {
+                plan: FaultPlan::default().with_node_death(1, SimTime::from_millis(13)),
+                retry: RetryConfig::default(),
+            }),
+            ..quick(Scheme::Gimbal)
+        };
+        let a = RackTestbed::new(cfg.clone()).run();
+        let b = RackTestbed::new(cfg).run();
+        assert_eq!(a.stats_digest(), b.stats_digest());
+        assert_eq!(a.access_digest(), b.access_digest());
+        let bs = a.broker.as_ref().expect("broker stats");
+        assert!(bs.borrow_events > 0, "no borrowing happened: {bs:?}");
+        assert!(bs.conservation_holds(), "ledger conservation: {bs:?}");
+        assert_eq!(bs.floor_violations, 0);
+        assert!(a.conservation_audit_holds());
+        let ops: u64 = a.clients.iter().map(|c| c.ops).sum();
+        assert!(ops > 0, "rack made no progress under the broker gate");
+    }
+
+    /// Broker-off rack runs must be bit-identical to the pre-broker build:
+    /// same stats digest, same journal, with or without the `broker: None`
+    /// field ever being read.
+    #[test]
+    fn broker_off_rack_is_bit_identical() {
+        let cfg = RackConfig {
+            sanitize: true,
+            ..quick(Scheme::Gimbal)
+        };
+        let a = RackTestbed::new(cfg.clone()).run();
+        let b = RackTestbed::new(cfg).run();
+        assert_eq!(a.stats_digest(), b.stats_digest());
+        assert_eq!(a.access_digest(), b.access_digest());
+        assert!(a.broker.is_none());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! IO would leave `issued` above the terminal buckets, and a double-served
 //! one would push a terminal bucket above `issued`.
 
+use gimbal_broker::BrokerStats;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{AccessJournal, Digest, SimDuration};
 use gimbal_ssd::SsdStats;
@@ -104,6 +105,8 @@ pub struct RackResult {
     pub trace: Option<RecordedTrace>,
     /// State-access journal (`None` unless the sanitizer was on).
     pub access_journal: Option<AccessJournal>,
+    /// Broker ledger statistics (`None` unless the broker was configured).
+    pub broker: Option<BrokerStats>,
 }
 
 impl RackResult {
@@ -157,6 +160,11 @@ impl RackResult {
         self.rack.fold_into(&mut d);
         for v in self.tor_bytes_down.iter().chain(&self.tor_bytes_up) {
             d.update_u64(*v);
+        }
+        // Broker-off digests must match builds without broker support, so
+        // the ledger folds in only when it ran.
+        if let Some(b) = &self.broker {
+            b.fold_into(&mut d);
         }
         d.value()
     }

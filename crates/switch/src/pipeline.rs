@@ -14,8 +14,9 @@
 //!    grant.
 
 use crate::policy::{CompletionInfo, PolicyPoll, Request, SwitchPolicy};
+use gimbal_broker::{BrokerHandle, Charge};
 use gimbal_cache::{is_flush_id, CacheConfig, CacheStats, SsdCache, StagedWriteLoss};
-use gimbal_fabric::{CmdId, CmdStatus, IoType, NvmeCmd, Priority, SsdId};
+use gimbal_fabric::{CmdId, CmdStatus, IoType, NvmeCmd, Priority, SsdId, TenantId};
 use gimbal_nic::{Core, CpuCost};
 use gimbal_sim::collections::{DetMap, DetSet};
 use gimbal_sim::{EventQueue, SimDuration, SimTime};
@@ -34,6 +35,9 @@ pub struct PipelineConfig {
     /// zero-capacity config — constructs no cache at all and is
     /// bit-identical to the pre-cache pipeline.
     pub cache: Option<CacheConfig>,
+    /// Optional shared token-broker ledger metering the submit path. `None`
+    /// leaves the drain loop bit-identical to the broker-less pipeline.
+    pub broker: Option<BrokerHandle>,
 }
 
 impl Default for PipelineConfig {
@@ -42,6 +46,7 @@ impl Default for PipelineConfig {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: false,
             cache: None,
+            broker: None,
         }
     }
 }
@@ -89,6 +94,24 @@ pub struct Pipeline<D: StorageDevice> {
     policy_wake: Option<SimTime>,
     /// NIC-DRAM cache tier ahead of the policy; absent when disabled.
     cache: Option<SsdCache>,
+    /// Shared broker ledger metering the submit path; absent when disabled.
+    broker: Option<BrokerHandle>,
+    /// Policy submissions the broker denied tokens for, in denial order.
+    /// Parking is per tenant: a broke tenant's requests wait here (FIFO)
+    /// while other tenants keep submitting; each poll retries them first.
+    broker_parked: Vec<Request>,
+}
+
+/// Outcome of metering one submission through the broker gate.
+enum Gate {
+    /// No broker, or the ledger granted tokens: submit to the device.
+    Pass,
+    /// Fresh denial: park the request and wake at the ledger's hint.
+    Deny(SimTime),
+    /// The tenant was already denied this poll round: park behind its
+    /// earlier request (preserving per-tenant submit order) without
+    /// touching the wake — the first denial already set it.
+    Queue,
 }
 
 impl<D: StorageDevice> Pipeline<D> {
@@ -110,12 +133,15 @@ impl<D: StorageDevice> Pipeline<D> {
             .as_ref()
             .filter(|c| c.enabled())
             .map(|c| SsdCache::new(ssd, c.clone()));
+        let broker = cfg.broker.clone();
         Pipeline {
             ssd,
             device,
             policy,
             core,
             cfg,
+            broker,
+            broker_parked: Vec::new(),
             events: EventQueue::new(),
             inflight: DetMap::new(),
             resident: DetSet::new(),
@@ -363,26 +389,45 @@ impl<D: StorageDevice> Pipeline<D> {
         }
         // Issue due flush writes so they join this round's policy drain.
         self.pump_flusher(now);
-        // Drain submissions.
+        // Drain submissions, metering each through the broker ledger when
+        // one is attached. Denials park *per tenant*: a tenant out of
+        // tokens holds only its own requests (in FIFO order) while every
+        // other tenant keeps flowing — a global park would let one broke
+        // tenant head-of-line-block the whole SSD for its entire refill
+        // lockout. Once a tenant is denied in a poll round, its later
+        // requests park unexamined to preserve per-tenant submit order.
         self.policy_wake = None;
-        loop {
-            match self.policy.next_submission(now, self.device.inflight()) {
-                PolicyPoll::Submit(req) => {
-                    self.inflight.insert(req.cmd.id.0, req.cmd);
-                    self.device.submit(
-                        req.cmd.id.0,
-                        req.cmd.opcode,
-                        req.cmd.lba,
-                        req.cmd.len_bytes(),
-                        now,
-                    );
+        let mut denied_tenants: Vec<TenantId> = Vec::new();
+        let parked = std::mem::take(&mut self.broker_parked);
+        for req in parked {
+            match self.broker_gate(&req, &denied_tenants, now) {
+                Gate::Pass => self.submit_to_device(req, now),
+                Gate::Deny(retry_at) => {
+                    denied_tenants.push(req.cmd.tenant);
+                    self.bump_wake(retry_at, now);
+                    self.broker_parked.push(req);
                 }
+                Gate::Queue => self.broker_parked.push(req),
+            }
+        }
+        loop {
+            let req = match self.policy.next_submission(now, self.device.inflight()) {
+                PolicyPoll::Submit(req) => req,
                 PolicyPoll::WaitUntil(t) => {
                     debug_assert!(t > now, "WaitUntil must be in the future");
-                    self.policy_wake = Some(t.max(now + SimDuration::from_nanos(1)));
+                    self.bump_wake(t, now);
                     break;
                 }
                 PolicyPoll::Idle => break,
+            };
+            match self.broker_gate(&req, &denied_tenants, now) {
+                Gate::Pass => self.submit_to_device(req, now),
+                Gate::Deny(retry_at) => {
+                    denied_tenants.push(req.cmd.tenant);
+                    self.bump_wake(retry_at, now);
+                    self.broker_parked.push(req);
+                }
+                Gate::Queue => self.broker_parked.push(req),
             }
         }
         // Completion CPU may have finished within `now` (zero-cost models).
@@ -393,6 +438,41 @@ impl<D: StorageDevice> Pipeline<D> {
                 PipeEv::Emit(out) => self.outputs.push(out),
             }
         }
+    }
+
+    /// Meter one submission through the broker ledger (a no-op pass when
+    /// no broker is attached). Tenants already denied in this poll round
+    /// queue without re-charging, keeping their submit order intact.
+    fn broker_gate(&self, req: &Request, denied: &[TenantId], now: SimTime) -> Gate {
+        let Some(broker) = &self.broker else {
+            return Gate::Pass;
+        };
+        if denied.contains(&req.cmd.tenant) {
+            return Gate::Queue;
+        }
+        let flush = is_flush_id(req.cmd.id.0);
+        match broker.try_charge(self.ssd, req.cmd.tenant, req.cmd.len_bytes(), flush, now) {
+            Charge::Granted => Gate::Pass,
+            Charge::Denied { retry_at } => Gate::Deny(retry_at),
+        }
+    }
+
+    /// Hand a gated submission to the device and start tracking it.
+    fn submit_to_device(&mut self, req: Request, now: SimTime) {
+        self.inflight.insert(req.cmd.id.0, req.cmd);
+        self.device.submit(
+            req.cmd.id.0,
+            req.cmd.opcode,
+            req.cmd.lba,
+            req.cmd.len_bytes(),
+            now,
+        );
+    }
+
+    /// Pull the policy wake earlier (never before `now + 1ns`).
+    fn bump_wake(&mut self, at: SimTime, now: SimTime) {
+        let at = at.max(now + SimDuration::from_nanos(1));
+        self.policy_wake = Some(self.policy_wake.map_or(at, |w| w.min(at)));
     }
 
     /// Earliest instant at which [`Pipeline::poll`] will have work. A
@@ -438,7 +518,7 @@ impl<D: StorageDevice> Pipeline<D> {
 
     /// Commands accepted but not yet emitted as completions.
     pub fn in_progress(&self) -> usize {
-        self.inflight.len() + self.policy.queued() + self.events.len()
+        self.inflight.len() + self.policy.queued() + self.events.len() + self.broker_parked.len()
     }
 }
 
@@ -481,6 +561,7 @@ mod tests {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
             cache: None,
+            broker: None,
         };
         let mut p = Pipeline::new(
             SsdId(0),
@@ -506,6 +587,7 @@ mod tests {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
             cache: None,
+            broker: None,
         };
         let mut p = Pipeline::new(
             SsdId(0),
@@ -545,6 +627,7 @@ mod tests {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
             cache: None,
+            broker: None,
         };
         let mut p = Pipeline::new(
             SsdId(0),
@@ -565,6 +648,7 @@ mod tests {
             cpu_cost: CpuCost::arm_vanilla(),
             null_device: true,
             cache: None,
+            broker: None,
         };
         let mut a = Pipeline::with_core(
             SsdId(0),
@@ -629,6 +713,7 @@ mod tests {
                 policy: AdmissionPolicy::Always,
                 ..CacheConfig::default()
             }),
+            broker: None,
         };
         let mut p = Pipeline::new(
             SsdId(0),
@@ -656,6 +741,48 @@ mod tests {
     }
 
     #[test]
+    fn broker_gate_meters_submissions_and_preserves_order() {
+        use gimbal_broker::{BrokerConfig, BrokerHandle};
+        use gimbal_telemetry::TraceHandle;
+        let bcfg = BrokerConfig {
+            capacity_bps: 1_000_000, // 1 MB/s
+            burst_bytes: 128 * 1024,
+            ..BrokerConfig::default()
+        };
+        let broker = BrokerHandle::new(bcfg, TraceHandle::disabled());
+        let cfg = PipelineConfig {
+            cpu_cost: CpuCost::arm_vanilla(),
+            null_device: true,
+            cache: None,
+            broker: Some(broker.clone()),
+        };
+        let mut p = Pipeline::new(
+            SsdId(0),
+            NullDevice::new(),
+            Box::new(FifoPolicy::new()),
+            cfg,
+        );
+        // First command drains the whole burst; the second must park until
+        // the refill covers it (4096 B at 1 MB/s = 4.096 ms).
+        let mut big = cmd(1, SimTime::ZERO);
+        big.len = 128 * 1024;
+        p.on_command(big, SimTime::ZERO);
+        p.on_command(cmd(2, SimTime::ZERO), SimTime::ZERO);
+        let outs = drive_until_idle(&mut p);
+        assert_eq!(outs.len(), 2, "parked command must not be lost");
+        assert_eq!(outs[0].cmd.id, CmdId(1));
+        assert_eq!(outs[1].cmd.id, CmdId(2));
+        assert!(
+            outs[1].at >= SimTime::from_millis(4),
+            "second command should wait for refill, completed at {}",
+            outs[1].at
+        );
+        let st = broker.stats();
+        assert_eq!(st.charged_bytes, 128 * 1024 + 4096);
+        assert!(st.denials >= 1);
+    }
+
+    #[test]
     fn zero_capacity_cache_config_builds_no_cache() {
         use gimbal_cache::CacheConfig;
         let cfg = PipelineConfig {
@@ -665,6 +792,7 @@ mod tests {
                 capacity_bytes: 0,
                 ..CacheConfig::default()
             }),
+            broker: None,
         };
         let p = Pipeline::new(
             SsdId(0),

@@ -30,11 +30,14 @@ pub enum Component {
     /// Rack-level routing and failover (node suspicion, rerouting, node
     /// death, ToR link degradation).
     Rack,
+    /// Inter-tenant token broker (borrow ledger, repayment epochs,
+    /// placement migrations).
+    Broker,
 }
 
 impl Component {
     /// Every component, in a fixed order (counter registration, exports).
-    pub const ALL: [Component; 9] = [
+    pub const ALL: [Component; 10] = [
         Component::Congestion,
         Component::Rate,
         Component::WriteCost,
@@ -44,6 +47,7 @@ impl Component {
         Component::Fabric,
         Component::Cache,
         Component::Rack,
+        Component::Broker,
     ];
 
     /// Interned label.
@@ -58,6 +62,7 @@ impl Component {
             Component::Fabric => "fabric",
             Component::Cache => "cache",
             Component::Rack => "rack",
+            Component::Broker => "broker",
         }
     }
 }
@@ -386,6 +391,39 @@ pub enum EventKind {
         /// The node whose link is degraded.
         node: u32,
     },
+    /// The broker granted a borrow: the stamped tenant took tokens from
+    /// `lender`'s entitlement account on the stamped SSD.
+    TokenBorrowed {
+        /// The tenant whose headroom was tapped.
+        lender: u32,
+        /// Bytes of principal transferred.
+        bytes: u64,
+    },
+    /// An epoch settlement repaid a (borrower, lender) debt in full.
+    DebtRepaid {
+        /// The tenant being repaid.
+        lender: u32,
+        /// Principal returned, bytes.
+        principal: u64,
+        /// Deterministic interest paid on top, bytes.
+        interest: u64,
+    },
+    /// A debt was forgiven because one endpoint left the SSD (worker
+    /// stop, device death, node death, or a placement migration).
+    DebtForgiven {
+        /// The lender side of the forgiven pair.
+        lender: u32,
+        /// Outstanding principal written off, bytes.
+        bytes: u64,
+    },
+    /// The placement layer moved the stamped tenant to a new SSD at an
+    /// epoch boundary.
+    TenantMigrated {
+        /// SSD the tenant was charged on before the move.
+        from_ssd: u32,
+        /// SSD the tenant is assigned to after the move.
+        to_ssd: u32,
+    },
 }
 
 impl EventKind {
@@ -422,6 +460,10 @@ impl EventKind {
             | EventKind::Rerouted { .. }
             | EventKind::NodeDead { .. }
             | EventKind::LinkDegraded { .. } => Component::Rack,
+            EventKind::TokenBorrowed { .. }
+            | EventKind::DebtRepaid { .. }
+            | EventKind::DebtForgiven { .. }
+            | EventKind::TenantMigrated { .. } => Component::Broker,
         }
     }
 
@@ -460,6 +502,10 @@ impl EventKind {
             EventKind::Rerouted { .. } => "rerouted",
             EventKind::NodeDead { .. } => "node_dead",
             EventKind::LinkDegraded { .. } => "link_degraded",
+            EventKind::TokenBorrowed { .. } => "token_borrowed",
+            EventKind::DebtRepaid { .. } => "debt_repaid",
+            EventKind::DebtForgiven { .. } => "debt_forgiven",
+            EventKind::TenantMigrated { .. } => "tenant_migrated",
         }
     }
 
@@ -620,6 +666,27 @@ impl EventKind {
             }
             EventKind::LinkDegraded { node } => {
                 d.update_u64(u64::from(node));
+            }
+            EventKind::TokenBorrowed { lender, bytes } => {
+                d.update_u64(u64::from(lender));
+                d.update_u64(bytes);
+            }
+            EventKind::DebtRepaid {
+                lender,
+                principal,
+                interest,
+            } => {
+                d.update_u64(u64::from(lender));
+                d.update_u64(principal);
+                d.update_u64(interest);
+            }
+            EventKind::DebtForgiven { lender, bytes } => {
+                d.update_u64(u64::from(lender));
+                d.update_u64(bytes);
+            }
+            EventKind::TenantMigrated { from_ssd, to_ssd } => {
+                d.update_u64(u64::from(from_ssd));
+                d.update_u64(u64::from(to_ssd));
             }
         }
     }

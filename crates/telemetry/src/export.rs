@@ -253,6 +253,27 @@ fn push_args(out: &mut String, kind: &EventKind, first: &mut bool) {
         EventKind::LinkDegraded { node } => {
             push_u64_field(out, "node", u64::from(node), first);
         }
+        EventKind::TokenBorrowed { lender, bytes } => {
+            push_u64_field(out, "lender", u64::from(lender), first);
+            push_u64_field(out, "bytes", bytes, first);
+        }
+        EventKind::DebtRepaid {
+            lender,
+            principal,
+            interest,
+        } => {
+            push_u64_field(out, "lender", u64::from(lender), first);
+            push_u64_field(out, "principal", principal, first);
+            push_u64_field(out, "interest", interest, first);
+        }
+        EventKind::DebtForgiven { lender, bytes } => {
+            push_u64_field(out, "lender", u64::from(lender), first);
+            push_u64_field(out, "bytes", bytes, first);
+        }
+        EventKind::TenantMigrated { from_ssd, to_ssd } => {
+            push_u64_field(out, "from_ssd", u64::from(from_ssd), first);
+            push_u64_field(out, "to_ssd", u64::from(to_ssd), first);
+        }
     }
 }
 

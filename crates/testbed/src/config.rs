@@ -1,6 +1,7 @@
 //! Testbed and worker specifications.
 
 use crate::scheme::Scheme;
+use gimbal_broker::BrokerConfig;
 use gimbal_cache::CacheConfig;
 use gimbal_core::Params;
 use gimbal_fabric::{FabricConfig, Priority, RetryConfig};
@@ -143,6 +144,11 @@ pub struct TestbedConfig {
     /// record site behind a disabled handle, so unsanitized runs are
     /// bit-identical to builds without the journal.
     pub sanitize: bool,
+    /// Inter-tenant token broker (borrow ledger + optional placement).
+    /// `None` (the default) constructs no ledger and schedules no epoch
+    /// events: such a run is bit-identical to one on a build without broker
+    /// support.
+    pub broker: Option<BrokerConfig>,
 }
 
 impl Default for TestbedConfig {
@@ -169,6 +175,7 @@ impl Default for TestbedConfig {
             trace: None,
             cache: None,
             sanitize: false,
+            broker: None,
         }
     }
 }
@@ -189,6 +196,9 @@ impl TestbedConfig {
         }
         if let Some(c) = &self.cache {
             c.validate();
+        }
+        if let Some(b) = &self.broker {
+            b.validate();
         }
     }
 }

@@ -4,6 +4,7 @@ use crate::config::{Precondition, TestbedConfig, WorkerSpec};
 use crate::results::{
     DeviceSeries, FaultCounters, GimbalTrace, RunResult, SubmissionRecord, WorkerResult,
 };
+use gimbal_broker::{BrokerHandle, SsdTelemetry};
 use gimbal_core::GimbalPolicy;
 use gimbal_fabric::{
     CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, RetryConfig, SsdId, TenantId,
@@ -43,6 +44,10 @@ enum Ev {
     /// pipeline's NIC-DRAM cache is cleared cold and acked-but-unflushed
     /// write-back lines surface as [`gimbal_cache::StagedWriteLoss`].
     PowerLoss,
+    /// Broker settlement boundary: debts repay, departures forgive, and the
+    /// placement layer (when enabled) migrates tenants. Only scheduled when
+    /// [`TestbedConfig::broker`] is set, so broker-off runs see no event.
+    BrokerEpoch,
     Sample,
 }
 
@@ -167,6 +172,9 @@ struct Engine {
     /// Divergence sanitizer handle ([`TestbedConfig::sanitize`]); disabled
     /// by default, so record sites cost one `None` branch.
     sanitizer: JournalHandle,
+    /// Shared broker ledger (`None` = broker off; pipelines then carry no
+    /// gate and no epoch events are scheduled).
+    broker: Option<BrokerHandle>,
     /// Test-only injected nondeterminism: pump pipelines in reverse order
     /// at [`Ev::PowerLoss`]. Exists to prove the sanitizer localizes a real
     /// ordering bug to its exact tick and component.
@@ -200,6 +208,10 @@ impl Engine {
             None => (None, TraceHandle::disabled()),
         };
 
+        let broker = cfg
+            .broker
+            .as_ref()
+            .map(|bc| BrokerHandle::new(bc.clone(), trace.clone()));
         let mut pipelines: Vec<Pipeline<FlashSsd>> = (0..cfg.num_ssds)
             .map(|i| {
                 let mut ssd = FlashSsd::new(cfg.ssd.clone(), root_rng.next_u64());
@@ -221,6 +233,7 @@ impl Engine {
                         cpu_cost,
                         null_device: false,
                         cache: cfg.cache.clone(),
+                        broker: broker.clone(),
                     },
                     Rc::clone(&cores[(i % cfg.cores) as usize]),
                 )
@@ -291,6 +304,7 @@ impl Engine {
             tracer,
             trace,
             sanitizer,
+            broker,
             #[cfg(test)]
             perturb_powerloss_pump: false,
             cfg,
@@ -450,6 +464,7 @@ impl Engine {
         self.sanitizer
             .record(now.as_nanos(), "switch.pipeline", "pump", ssd as u64);
         self.pipelines[ssd].poll(now);
+        self.drain_broker_journal(now);
         for out in self.pipelines[ssd].take_outputs() {
             // Journal at `now` (the poll step), not `out.at`: ticks must be
             // monotone and the capsule's departure lies in the future.
@@ -531,6 +546,91 @@ impl Engine {
         }
     }
 
+    /// Forward queued broker ledger decisions into the divergence journal.
+    /// The ledger cannot see the event tick from inside a pipeline poll, so
+    /// it queues records and the engine stamps them here — keeping journal
+    /// ticks monotone while preserving decision order.
+    fn drain_broker_journal(&mut self, now: SimTime) {
+        let Some(b) = &self.broker else { return };
+        for (op, key) in b.drain_journal() {
+            self.sanitizer.record(now.as_nanos(), "broker", op, key);
+        }
+    }
+
+    /// One broker settlement boundary: repay all debts, forgive departures
+    /// (stopped workers, failed SSDs), optionally migrate tenants per the
+    /// placement planner, then pump every pipeline — settlement restores
+    /// lender balances, so parked requests may now clear the gate.
+    fn broker_epoch(&mut self, now: SimTime) {
+        let Some(broker) = self.broker.clone() else {
+            return;
+        };
+        // Active tenant sets per live SSD. A failed SSD drops out entirely,
+        // so every account and debt touching it is forgiven at settlement.
+        let mut active: Vec<(SsdId, Vec<TenantId>)> = Vec::new();
+        for ssd in 0..self.pipelines.len() {
+            if self.pipelines[ssd].device().is_failed() {
+                continue;
+            }
+            let mut tenants: Vec<TenantId> = Vec::new();
+            for (wi, w) in self.workers.iter().enumerate() {
+                if w.spec.ssd as usize == ssd && w.spec.stop.is_none_or(|s| now < s) {
+                    tenants.push(TenantId(wi as u32));
+                }
+            }
+            active.push((SsdId(ssd as u32), tenants));
+        }
+        broker.settle_epoch(now, &active);
+        if self.cfg.broker.as_ref().is_some_and(|b| b.placement) {
+            let telem = self.ssd_telemetry(now);
+            for m in broker.plan_migrations(&telem) {
+                broker.apply_migration(&m, now);
+                // The worker's future commands target the new SSD; the
+                // in-flight tail drains at the old one.
+                self.workers[m.tenant.index()].spec.ssd = m.to.0;
+            }
+        }
+        broker.end_epoch();
+        self.drain_broker_journal(now);
+        for ssd in 0..self.pipelines.len() {
+            self.pump(ssd, now);
+        }
+        let epoch = self.cfg.broker.as_ref().expect("broker cfg").epoch;
+        self.queue.push(now + epoch, Ev::BrokerEpoch);
+    }
+
+    /// Interference telemetry per SSD for the placement planner: liveness
+    /// and GC state from the device; congestion and write cost from the
+    /// Gimbal latency monitors when that policy runs (neutral defaults for
+    /// the baseline schemes).
+    fn ssd_telemetry(&self, now: SimTime) -> Vec<SsdTelemetry> {
+        self.pipelines
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let (congested, write_cost_milli) =
+                    match p.policy().as_any().downcast_ref::<GimbalPolicy>() {
+                        Some(g) => {
+                            let rm = g.monitor(IoType::Read);
+                            let wm = g.monitor(IoType::Write);
+                            let congested =
+                                rm.ewma_ns() > rm.thresh_ns() || wm.ewma_ns() > wm.thresh_ns();
+                            let wc = (g.current_write_cost() * 1000.0) as u64;
+                            (congested, wc.max(1000))
+                        }
+                        None => (false, 1000),
+                    };
+                SsdTelemetry {
+                    ssd: SsdId(i as u32),
+                    alive: !p.device().is_failed(),
+                    gc_busy: p.device().gc_busy(now),
+                    congested,
+                    write_cost_milli,
+                }
+            })
+            .collect()
+    }
+
     fn run(mut self) -> RunResult {
         for i in 0..self.workers.len() {
             let at = self.workers[i].spec.start;
@@ -541,6 +641,9 @@ impl Engine {
         }
         if let Some(at) = self.cfg.faults.as_ref().and_then(|f| f.plan.power_loss_at) {
             self.queue.push(at, Ev::PowerLoss);
+        }
+        if let Some(bc) = &self.cfg.broker {
+            self.queue.push(SimTime::ZERO + bc.epoch, Ev::BrokerEpoch);
         }
         let end = self.duration();
         let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env, owner=testbed, expires=2028-08-01) — debug tracing toggle only, never affects simulation state
@@ -573,6 +676,7 @@ impl Engine {
                     Ev::DeliverCpl { cpl, .. } => ("engine.fabric", "deliver_cpl", cpl.id.0),
                     Ev::Timeout { cmd, .. } => ("engine.fault", "timeout", *cmd),
                     Ev::PowerLoss => ("engine.fault", "power_loss", 0),
+                    Ev::BrokerEpoch => ("engine.broker", "epoch", 0),
                     Ev::Sample => ("engine.sample", "sample", 0),
                 };
                 self.sanitizer.record(now.as_nanos(), component, op, key);
@@ -770,6 +874,7 @@ impl Engine {
                         self.pump(ssd, now);
                     }
                 }
+                Ev::BrokerEpoch => self.broker_epoch(now),
                 Ev::Sample => {
                     self.sample(now);
                     if let Some(step) = self.cfg.sample_interval {
@@ -860,6 +965,11 @@ impl Engine {
                 journals.push(c.journal().to_vec());
             }
         }
+        // Broker conservation must hold at every exit, not only in tests.
+        if let Some(b) = &self.broker {
+            b.audit();
+        }
+        let broker = self.broker.as_ref().map(|b| b.stats());
         let access_journal = self.sanitizer.snapshot();
         RunResult {
             workers,
@@ -875,6 +985,7 @@ impl Engine {
             write_back,
             journals,
             access_journal,
+            broker,
         }
     }
 }
@@ -1095,5 +1206,88 @@ mod tests {
         assert_eq!(ea.op, "pump");
         assert_eq!(eb.op, "pump");
         assert_eq!((ea.key, eb.key), (0, 1), "pump order swap: {r}");
+    }
+
+    /// Three tenants share one SSD under the broker: a heavy 128 KiB reader
+    /// plus two late-starting (hence idle, lendable) tenants. The heavy
+    /// tenant must overdraw its entitled third and borrow.
+    fn broker_cfg_and_workers(bc: gimbal_broker::BrokerConfig) -> (TestbedConfig, Vec<WorkerSpec>) {
+        let cfg = TestbedConfig {
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            broker: Some(bc),
+            ..base_cfg(Scheme::Gimbal, Precondition::Clean)
+        };
+        let per = CAP_BLOCKS / 3;
+        let mut specs = vec![WorkerSpec::new(
+            "heavy",
+            FioSpec::paper_default(1.0, 128 * 1024, 0, per),
+        )];
+        for i in 1..3u64 {
+            specs.push(
+                WorkerSpec::new(
+                    format!("idle{i}"),
+                    FioSpec::paper_default(1.0, 4096, i * per, per),
+                )
+                .active(SimTime::from_millis(350), None),
+            );
+        }
+        (cfg, specs)
+    }
+
+    #[test]
+    fn broker_heavy_tenant_borrows_and_ledger_conserves() {
+        let (cfg, specs) = broker_cfg_and_workers(gimbal_broker::BrokerConfig::default());
+        let res = Testbed::new(cfg, specs).run();
+        let b = res.broker.as_ref().expect("broker stats present");
+        assert!(b.charged_bytes > 0, "gate charged nothing: {b:?}");
+        assert!(b.borrow_events > 0, "heavy tenant never borrowed: {b:?}");
+        assert!(b.epochs > 0, "no settlement ran: {b:?}");
+        assert!(b.conservation_holds(), "ledger conservation: {b:?}");
+        assert_eq!(b.floor_violations, 0);
+        // The heavy reader still moves real traffic through the gate.
+        assert!(res.workers[0].bandwidth_mbps() > 100.0);
+    }
+
+    /// Injected nondeterminism in the broker, localized: flipping the
+    /// deterministic lexicographic lender scan is exactly the class of bug
+    /// the ledger journal exists for. The comparator must blame the broker
+    /// component's first borrow decision, naming the swapped lender keys.
+    #[test]
+    fn sanitizer_localizes_injected_lender_order_flip() {
+        let run = |perturb: bool| {
+            let bc = gimbal_broker::BrokerConfig {
+                perturb_lender_order: perturb,
+                ..gimbal_broker::BrokerConfig::default()
+            };
+            let (mut cfg, specs) = broker_cfg_and_workers(bc);
+            cfg.sanitize = true;
+            Engine::build(cfg, specs).run()
+        };
+
+        // Control: two clean broker runs agree entry for entry.
+        let a = run(false);
+        let a2 = run(false);
+        let ja = a.access_journal.as_ref().expect("sanitize was on");
+        assert!(
+            a.broker.as_ref().expect("broker stats").borrow_events > 0,
+            "clean run must borrow for the flip to matter"
+        );
+        assert_eq!(
+            first_divergence(ja, a2.access_journal.as_ref().unwrap()),
+            None
+        );
+        assert_eq!(a.access_digest(), a2.access_digest());
+
+        // Perturbed run: the first divergence is the lender pick itself.
+        let b = run(true);
+        let jb = b.access_journal.as_ref().expect("sanitize was on");
+        let r = first_divergence(ja, jb).expect("lender flip must diverge");
+        assert_eq!(r.component(), "broker", "wrong component: {r}");
+        let ea = r.a.expect("entry in clean run");
+        let eb = r.b.expect("entry in perturbed run");
+        assert_eq!(ea.op, "borrow");
+        assert_eq!(eb.op, "borrow");
+        assert_ne!(ea.key, eb.key, "lender keys must differ: {r}");
     }
 }

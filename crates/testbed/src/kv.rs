@@ -288,6 +288,7 @@ impl KvTestbed {
                         cpu_cost: cfg.scheme.cpu_cost(false),
                         null_device: false,
                         cache: cfg.cache.clone(),
+                        broker: None,
                     },
                 )
             })

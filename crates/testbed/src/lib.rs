@@ -23,6 +23,7 @@ pub mod scheme;
 
 pub use config::{FaultConfig, Precondition, TestbedConfig, WorkerSpec};
 pub use engine::Testbed;
+pub use gimbal_broker::{BrokerConfig, BrokerMode, BrokerStats};
 pub use gimbal_cache::{
     AdmissionPolicy, CacheConfig, CacheStats, DurabilityEvent, FlushIo, StagedWriteLoss,
     WriteBackStats, WritePolicy, FLUSH_ID_BASE, LOSS_EVENT_CMD,
@@ -30,7 +31,7 @@ pub use gimbal_cache::{
 pub use kv::{KvInstanceResult, KvRunResult, KvTestbed, KvTestbedConfig};
 pub use oracle::{check_journal, check_kv_run, check_run, OracleReport};
 pub use results::{
-    f_util, utilization_deviation, FaultCounters, GimbalTrace, RunResult, SubmissionRecord,
-    WorkerResult,
+    f_util, jain_index, utilization_deviation, FaultCounters, GimbalTrace, RunResult,
+    SubmissionRecord, WorkerResult,
 };
 pub use scheme::{cache_tier, cache_tier_wb, Scheme};

@@ -1,5 +1,6 @@
 //! Experiment measurements and the paper's evaluation metrics.
 
+use gimbal_broker::BrokerStats;
 use gimbal_cache::{CacheStats, DurabilityEvent, StagedWriteLoss, WriteBackStats};
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{Digest, SimDuration, TimeSeries};
@@ -205,6 +206,11 @@ pub struct RunResult {
     /// of these to [`gimbal_sim::journal::first_divergence`] to localize a
     /// double-run mismatch to its first divergent tick.
     pub access_journal: Option<gimbal_sim::AccessJournal>,
+    /// Broker ledger counters (`None` unless
+    /// [`crate::TestbedConfig::broker`] configured a ledger — the digest
+    /// then folds them in, so broker-off runs keep their pre-broker
+    /// digests).
+    pub broker: Option<BrokerStats>,
 }
 
 impl RunResult {
@@ -288,6 +294,11 @@ impl RunResult {
                 }
             }
         }
+        // Folded only when a broker ran, so broker-off digests are
+        // bit-identical to pre-broker builds.
+        if let Some(b) = &self.broker {
+            b.fold_into(&mut d);
+        }
         d.value()
     }
 
@@ -366,6 +377,23 @@ pub fn utilization_deviation(f_util: f64) -> f64 {
     (f_util - 1.0).abs()
 }
 
+/// Jain's fairness index over per-tenant allocations:
+/// `(Σx)² / (n · Σx²)`. 1.0 means perfectly equal shares; `1/n` means one
+/// tenant took everything. An empty (or all-zero) allocation vector reports
+/// 1.0 — a system serving nobody is trivially fair.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq > 0.0 {
+        sum * sum / (xs.len() as f64 * sq)
+    } else {
+        1.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +411,17 @@ mod tests {
         assert!((f_util(200e6, 1600e6, 16) - 2.0).abs() < 1e-9);
         assert!((f_util(50e6, 1600e6, 16) - 0.5).abs() < 1e-9);
         assert!((utilization_deviation(0.5) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_spans_equal_to_monopoly() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Mild skew sits strictly between the extremes.
+        let j = jain_index(&[2.0, 1.0, 1.0, 1.0]);
+        assert!(j > 0.25 && j < 1.0, "skewed index {j}");
+        assert!((jain_index(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::ycsb::Zipfian;
 use gimbal_fabric::{IoType, BLOCK_SIZE};
-use gimbal_sim::{SimRng, SimTime, TokenBucket};
+use gimbal_sim::{SimDuration, SimRng, SimTime, TokenBucket};
 
 /// The Zipfian skew used by [`AccessPattern::Zipfian`] — YCSB's default
 /// constant, matching the KV workloads.
@@ -26,6 +26,52 @@ pub enum AccessPattern {
     Zipfian,
 }
 
+/// On/off burst phasing: the stream issues only during the ON phase of a
+/// fixed `on + off` cycle, shifted by `phase`. Staggering phases across
+/// tenants produces the bursty multi-tenant mix where inter-tenant token
+/// borrowing pays off: at any instant some tenants idle while others peak.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BurstSpec {
+    /// Length of the issuing phase.
+    pub on: SimDuration,
+    /// Length of the idle phase.
+    pub off: SimDuration,
+    /// Cycle shift, so tenants can alternate instead of peaking together.
+    pub phase: SimDuration,
+}
+
+impl BurstSpec {
+    /// Full cycle length.
+    pub fn period(&self) -> SimDuration {
+        self.on + self.off
+    }
+
+    /// Whether the stream may issue at `now`; `Err` carries the next ON
+    /// instant.
+    pub fn gate(&self, now: SimTime) -> Result<(), SimTime> {
+        let period = self.period().as_nanos();
+        let pos = (now.as_nanos() + self.phase.as_nanos()) % period;
+        if pos < self.on.as_nanos() {
+            Ok(())
+        } else {
+            let wait = period - pos;
+            Err(now + SimDuration::from_nanos(wait))
+        }
+    }
+
+    /// Panic on a degenerate cycle.
+    pub fn validate(&self) {
+        assert!(
+            self.on > SimDuration::ZERO,
+            "burst on-phase must be positive"
+        );
+        assert!(
+            self.off > SimDuration::ZERO,
+            "burst off-phase must be positive"
+        );
+    }
+}
+
 /// A fio-like stream specification.
 #[derive(Clone, Copy, Debug)]
 pub struct FioSpec {
@@ -41,6 +87,8 @@ pub struct FioSpec {
     pub queue_depth: u32,
     /// Optional rate cap, bytes/second.
     pub rate_limit: Option<f64>,
+    /// Optional on/off burst phasing (`None` = always on).
+    pub burst: Option<BurstSpec>,
     /// First LBA of the stream's region.
     pub region_start: u64,
     /// Number of logical blocks in the region.
@@ -70,9 +118,16 @@ impl FioSpec {
             write_pattern,
             queue_depth: qd,
             rate_limit: None,
+            burst: None,
             region_start,
             region_blocks,
         }
+    }
+
+    /// Builder: on/off burst phasing.
+    pub fn with_burst(mut self, on: SimDuration, off: SimDuration, phase: SimDuration) -> Self {
+        self.burst = Some(BurstSpec { on, off, phase });
+        self
     }
 
     /// Blocks per IO.
@@ -89,6 +144,9 @@ impl FioSpec {
             self.region_blocks >= self.io_blocks(),
             "region smaller than one IO"
         );
+        if let Some(b) = &self.burst {
+            b.validate();
+        }
     }
 }
 
@@ -139,9 +197,13 @@ impl FioStream {
         &self.spec
     }
 
-    /// Whether the rate limiter currently allows one more IO; if not,
-    /// returns the instant it will.
+    /// Whether the stream currently allows one more IO; if not, returns
+    /// the instant it will. The burst phase gates before the rate limiter:
+    /// an OFF-phase stream issues nothing regardless of tokens.
     pub fn rate_gate(&mut self, now: SimTime) -> Result<(), SimTime> {
+        if let Some(b) = &self.spec.burst {
+            b.gate(now)?;
+        }
         let io = self.spec.io_bytes;
         match &mut self.limiter {
             None => Ok(()),
@@ -322,6 +384,42 @@ mod tests {
         }
         let mbps = issued as f64 * 4096.0 / horizon.as_secs_f64() / 1e6;
         assert!((9.0..11.0).contains(&mbps), "sustained {mbps} MB/s");
+    }
+
+    #[test]
+    fn burst_gate_alternates_on_and_off_with_phase() {
+        let b = BurstSpec {
+            on: SimDuration::from_millis(10),
+            off: SimDuration::from_millis(30),
+            phase: SimDuration::ZERO,
+        };
+        assert!(b.gate(SimTime::ZERO).is_ok());
+        assert!(b.gate(SimTime::from_millis(9)).is_ok());
+        // OFF phase: the error names the next cycle start.
+        let at = b.gate(SimTime::from_millis(10)).expect_err("off");
+        assert_eq!(at, SimTime::from_millis(40));
+        assert!(b.gate(at).is_ok());
+        // A phase of one on-length shifts the whole cycle.
+        let shifted = BurstSpec {
+            phase: SimDuration::from_millis(10),
+            ..b
+        };
+        assert!(shifted.gate(SimTime::ZERO).is_err());
+        assert!(shifted.gate(SimTime::from_millis(30)).is_ok());
+    }
+
+    #[test]
+    fn bursty_stream_issues_nothing_during_off_phase() {
+        let mut sp = spec(1.0, 4096);
+        sp.burst = Some(BurstSpec {
+            on: SimDuration::from_millis(5),
+            off: SimDuration::from_millis(5),
+            phase: SimDuration::ZERO,
+        });
+        let mut s = FioStream::new(sp, SimRng::new(6));
+        assert!(s.rate_gate(SimTime::from_millis(2)).is_ok());
+        let at = s.rate_gate(SimTime::from_millis(7)).expect_err("off");
+        assert_eq!(at, SimTime::from_millis(10));
     }
 
     #[test]

@@ -11,5 +11,5 @@
 pub mod fio;
 pub mod ycsb;
 
-pub use fio::{AccessPattern, FioSpec, FioStream, ZIPF_THETA};
+pub use fio::{AccessPattern, BurstSpec, FioSpec, FioStream, ZIPF_THETA};
 pub use ycsb::{KvOp, YcsbMix, YcsbWorkload, Zipfian};

@@ -22,4 +22,31 @@ cargo run --release --offline -q --bin bench_gate -- \
     BENCH_smoke_wb.json "$tmp/BENCH_smoke_wb.json" --tolerance "$tol" || status=1
 cargo run --release --offline -q --bin bench_gate -- \
     BENCH_rack.json "$tmp/BENCH_rack.json" --tolerance "$tol" || status=1
+cargo run --release --offline -q --bin bench_gate -- \
+    BENCH_broker_strict.json "$tmp/BENCH_broker_strict.json" --tolerance "$tol" || status=1
+cargo run --release --offline -q --bin bench_gate -- \
+    BENCH_broker.json "$tmp/BENCH_broker.json" --tolerance "$tol" || status=1
+
+# The broker's headline claim, checked on the fresh runs: borrowing buys
+# >=15% aggregate throughput over strict buckets on the bursty mix without
+# giving up fairness (Jain within 0.01 of the strict run).
+field() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk '{print $2}'; }
+tp_s=$(field "$tmp/BENCH_broker_strict.json" total_throughput_mbps)
+tp_b=$(field "$tmp/BENCH_broker.json" total_throughput_mbps)
+jain_s=$(field "$tmp/BENCH_broker_strict.json" jain_index)
+jain_b=$(field "$tmp/BENCH_broker.json" jain_index)
+awk -v ts="$tp_s" -v tb="$tp_b" -v js="$jain_s" -v jb="$jain_b" 'BEGIN {
+    gain = (tb - ts) / ts
+    if (gain < 0.15) {
+        printf "broker gate: gain %.1f%% < 15%% (strict %.1f, borrow %.1f MB/s)\n",
+            gain * 100, ts, tb
+        exit 1
+    }
+    if (jb < js - 0.01) {
+        printf "broker gate: fairness regressed (jain %.5f vs strict %.5f)\n", jb, js
+        exit 1
+    }
+    printf "broker gate: +%.1f%% throughput, jain %.5f (strict %.5f): ok\n",
+        gain * 100, jb, js
+}' || status=1
 exit "$status"

@@ -31,9 +31,13 @@ cargo test --release --offline --test durability -q
 echo "==> rack suite (multi-node fault domains: node death, GC routing, determinism, release)"
 cargo test --release --offline --test rack -q
 
+echo "==> broker suite (token borrowing: conservation, forgiveness, floor, placement, release)"
+cargo test --release --offline --test broker -q
+
 echo "==> bench smoke (deterministic jbofsim runs; committed summaries must be fresh)"
 scripts/bench_smoke.sh
-git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json BENCH_rack.json
+git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json BENCH_rack.json \
+    BENCH_broker_strict.json BENCH_broker.json
 
 echo "==> divergence sanitizer smoke (double run, journal comparison)"
 cargo run --release --offline -q --bin jbofsim -- \
@@ -44,6 +48,10 @@ echo "==> rack chaos smoke (2-node replicated rack, node death, sanitized double
 cargo run --release --offline -q --bin jbofsim -- \
     --rack-nodes 2 --rack-ssds-per-node 2 --rack-fault node-death \
     --duration-ms 100 --warmup-ms 20 --seed 42 --sanitize > /dev/null
+
+echo "==> broker chaos smoke (bursty borrowing mix through node death, sanitized double run)"
+cargo test --release --offline -p gimbal-rack -q \
+    broker_chaos_node_death_forgives_and_conserves
 
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint

@@ -16,8 +16,8 @@ use gimbal_repro::rack::{RackConfig, RackResult, RackTestbed};
 use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime};
 use gimbal_repro::telemetry::{export, TraceConfig};
 use gimbal_repro::testbed::{
-    cache_tier_wb, AdmissionPolicy, FaultConfig, Precondition, RunResult, Scheme, Testbed,
-    TestbedConfig, WorkerSpec, WritePolicy,
+    cache_tier_wb, jain_index, AdmissionPolicy, BrokerConfig, BrokerMode, FaultConfig,
+    Precondition, RunResult, Scheme, Testbed, TestbedConfig, WorkerSpec, WritePolicy,
 };
 use gimbal_repro::workload::FioSpec;
 use std::process::exit;
@@ -30,16 +30,27 @@ fn usage() -> ! {
          \x20              [--seed N] [--trace-out FILE] [--trace-format chrome|jsonl]\n\
          \x20              [--cache-mb N] [--cache-policy always|congestion|never]\n\
          \x20              [--cache-write-policy through|back] [--bench-json FILE]\n\
+         \x20              [--borrow] [--borrow-strict] [--borrow-mbps N]\n\
+         \x20              [--borrow-epoch-ms N] [--placement]\n\
          \x20              [--sanitize] --workers SPEC[,SPEC…]\n\
          \x20      rack mode: --rack-nodes N [--rack-ssds-per-node N]\n\
          \x20              [--rack-clients N] [--rack-qd N] [--rack-read-ratio F]\n\
          \x20              [--rack-fault none|node-death|gc-storm|partition]\n\
          \x20              [--rack-no-replicate] [--rack-gc-blind]\n\
          \n\
-         SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf]   e.g. 8x4k-read,\n\
+         SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf][-burstAxB]   e.g. 8x4k-read,\n\
          \x20      4x128k-write-qd8, 2x4k-mix70-rate50 (70% reads, 50 MB/s cap\n\
-         \x20      per worker), 8x4k-read-zipf (Zipf-skewed addresses)\n\
+         \x20      per worker), 8x4k-read-zipf (Zipf-skewed addresses),\n\
+         \x20      4x4k-read-burst20x60 (20 ms on, 60 ms off, phases\n\
+         \x20      auto-staggered across the group's workers)\n\
          \n\
+         --borrow enables the inter-tenant token broker (borrowing on);\n\
+         \x20      --borrow-strict runs it with borrowing off (per-tenant\n\
+         \x20      buckets only — the ablation baseline); --borrow-mbps sets\n\
+         \x20      the brokered per-SSD capacity (default 512 MiB/s);\n\
+         \x20      --borrow-epoch-ms sets the settlement epoch (default 20;\n\
+         \x20      pick one co-prime with burst periods to avoid phase lock);\n\
+         \x20      --placement adds Serifos-style tenant migration at epochs\n\
          --cache-mb enables a NIC-DRAM cache of N MiB per SSD pipeline (0 = off);\n\
          \x20      --cache-policy picks the fill admission law (default congestion);\n\
          \x20      --cache-write-policy back acks writes from DRAM and drains\n\
@@ -77,6 +88,9 @@ struct ParsedWorker {
     qd: Option<u32>,
     rate: Option<f64>,
     zipf: bool,
+    /// `(on_ms, off_ms)` burst cycle; phases are staggered evenly across
+    /// the group's `count` workers so their ON windows interleave.
+    burst: Option<(u64, u64)>,
     label: String,
 }
 
@@ -95,11 +109,20 @@ fn parse_worker(spec: &str) -> Option<ParsedWorker> {
     let mut qd = None;
     let mut rate = None;
     let mut zipf = false;
+    let mut burst = None;
     for p in parts {
         if let Some(n) = p.strip_prefix("qd") {
             qd = Some(n.parse().ok()?);
         } else if let Some(n) = p.strip_prefix("rate") {
             rate = Some(n.parse::<f64>().ok()? * 1e6);
+        } else if let Some(n) = p.strip_prefix("burst") {
+            let (on, off) = n.split_once('x')?;
+            let on: u64 = on.parse().ok()?;
+            let off: u64 = off.parse().ok()?;
+            if on == 0 || off == 0 {
+                return None;
+            }
+            burst = Some((on, off));
         } else if p == "zipf" {
             zipf = true;
         } else {
@@ -113,6 +136,7 @@ fn parse_worker(spec: &str) -> Option<ParsedWorker> {
         qd,
         rate,
         zipf,
+        burst,
         label: spec.to_string(),
     })
 }
@@ -149,6 +173,49 @@ fn write_bench_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"scheme\": \"{}\",\n", scheme.name()));
+    let total_mbps = res.aggregate_bps(|_| true) / 1e6;
+    out.push_str(&format!("  \"total_throughput_mbps\": {total_mbps:.3},\n"));
+    // Per-tenant fairness: Jain's index over per-worker achieved bandwidth,
+    // plus each group's achieved share of the aggregate against its
+    // entitled (equal-split) share.
+    let per_worker: Vec<f64> = res.workers.iter().map(|w| w.bandwidth_mbps()).collect();
+    let total_workers: u32 = worker_specs.iter().map(|w| w.count).sum();
+    out.push_str(&format!(
+        "  \"fairness\": {{\"jain_index\": {:.6}, \"groups\": [",
+        jain_index(&per_worker)
+    ));
+    for (gi, w) in worker_specs.iter().enumerate() {
+        let achieved = if total_mbps > 0.0 {
+            res.aggregate_bps(|l| l == w.label) / 1e6 / total_mbps
+        } else {
+            0.0
+        };
+        let entitled = f64::from(w.count) / f64::from(total_workers.max(1));
+        out.push_str(&format!(
+            "{}{{\"label\": \"{}\", \"achieved_share\": {achieved:.6}, \"entitled_share\": {entitled:.6}}}",
+            if gi > 0 { ", " } else { "" },
+            json_escape(&w.label)
+        ));
+    }
+    out.push_str("]},\n");
+    if let Some(b) = &res.broker {
+        out.push_str(&format!(
+            "  \"broker\": {{\"granted\": {}, \"repaid\": {}, \"interest_paid\": {}, \"forgiven\": {}, \"outstanding\": {}, \"denials\": {}, \"borrow_events\": {}, \"charged_bytes\": {}, \"flush_charged_bytes\": {}, \"migrations\": {}, \"epochs\": {}, \"floor_violations\": {}, \"conservation\": {}}},\n",
+            b.granted,
+            b.repaid,
+            b.interest_paid,
+            b.forgiven,
+            b.outstanding,
+            b.denials,
+            b.borrow_events,
+            b.charged_bytes,
+            b.flush_charged_bytes,
+            b.migrations,
+            b.epochs,
+            b.floor_violations,
+            b.conservation_holds()
+        ));
+    }
     let [_, wr_all] = res.group_latency(|_| true);
     out.push_str(&format!(
         "  \"cache\": {{\"enabled\": {}, \"mb_per_ssd\": {cache_mb}, \"policy\": \"{}\", \"write_policy\": \"{}\", \"hit_ratio\": {:.4}, \"write_back\": {{\"acked\": {}, \"flushed_lines\": {}, \"lost_lines\": {}, \"dirty_lines\": {}, \"mean_write_us\": {:.3}}}}},\n",
@@ -420,6 +487,11 @@ fn main() {
     let mut cache_write = WritePolicy::Through;
     let mut bench_json: Option<String> = None;
     let mut sanitize = false;
+    let mut borrow = false;
+    let mut borrow_strict = false;
+    let mut borrow_mbps = 512u64;
+    let mut borrow_epoch_ms = 20u64;
+    let mut placement = false;
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
     let mut rack_nodes = 0u32;
     let mut rack_ssds_per_node = 2u32;
@@ -539,6 +611,26 @@ fn main() {
                 sanitize = true;
                 i += 1;
             }
+            "--borrow" => {
+                borrow = true;
+                i += 1;
+            }
+            "--borrow-strict" => {
+                borrow_strict = true;
+                i += 1;
+            }
+            "--borrow-mbps" => {
+                borrow_mbps = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--borrow-epoch-ms" => {
+                borrow_epoch_ms = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--placement" => {
+                placement = true;
+                i += 1;
+            }
             "--rack-nodes" => {
                 rack_nodes = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
@@ -608,13 +700,25 @@ fn main() {
     let mut workers = Vec::new();
     let mut idx = 0u64;
     for w in &worker_specs {
-        for _ in 0..w.count {
+        for k in 0..w.count {
             let mut fio =
                 FioSpec::paper_default(w.read_ratio, w.io_bytes, idx * per_region, per_region);
             if let Some(qd) = w.qd {
                 fio.queue_depth = qd;
             }
             fio.rate_limit = w.rate;
+            if let Some((on_ms, off_ms)) = w.burst {
+                // Stagger phases evenly across the group so ON windows
+                // interleave: at any instant some workers peak while the
+                // rest idle — the mix inter-tenant borrowing is built for.
+                let period_ns = (on_ms + off_ms) * 1_000_000;
+                let phase_ns = u64::from(k) * period_ns / u64::from(w.count);
+                fio = fio.with_burst(
+                    SimDuration::from_millis(on_ms),
+                    SimDuration::from_millis(off_ms),
+                    SimDuration::from_nanos(phase_ns),
+                );
+            }
             if w.zipf {
                 fio.read_pattern = gimbal_repro::workload::AccessPattern::Zipfian;
                 fio.write_pattern = gimbal_repro::workload::AccessPattern::Zipfian;
@@ -628,6 +732,19 @@ fn main() {
         }
     }
 
+    let broker = (borrow || borrow_strict || placement).then(|| {
+        let mut bc = BrokerConfig {
+            capacity_bps: borrow_mbps * 1024 * 1024,
+            epoch: SimDuration::from_millis(borrow_epoch_ms),
+            placement,
+            ..BrokerConfig::default()
+        };
+        if borrow_strict {
+            bc.mode = BrokerMode::Strict;
+        }
+        bc
+    });
+
     let cfg = TestbedConfig {
         scheme,
         precondition: pre,
@@ -639,6 +756,7 @@ fn main() {
         trace: trace_out.as_ref().map(|_| TraceConfig::default()),
         cache: cache_tier_wb(cache_mb, cache_policy, cache_write),
         sanitize,
+        broker,
         ..TestbedConfig::default()
     };
 

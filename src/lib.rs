@@ -18,6 +18,8 @@
 //!   credit-based flow control, per-SSD virtual view;
 //! * [`baselines`] — ReFlex, Parda, FlashFQ ports;
 //! * [`workload`] — fio-like streams and YCSB;
+//! * [`broker`] — inter-tenant token borrowing with deterministic
+//!   repayment, and Serifos-style interference-aware tenant placement;
 //! * [`blobstore`] — the hierarchical blob allocator + replication layer;
 //! * [`lsm_kv`] — the RocksDB-analog LSM store;
 //! * [`telemetry`] — deterministic structured tracing, metrics, and
@@ -49,6 +51,7 @@
 
 pub use gimbal_baselines as baselines;
 pub use gimbal_blobstore as blobstore;
+pub use gimbal_broker as broker;
 pub use gimbal_cache as cache;
 pub use gimbal_core as gimbal;
 pub use gimbal_fabric as fabric;

@@ -384,6 +384,13 @@ fn all_components_appear_and_reconcile_with_metric_counters() {
             assert_eq!(in_stream, 0, "rack event in a single-node run");
             continue;
         }
+        if comp == Component::Broker {
+            // Broker events only exist in broker-armed runs; the shared run
+            // keeps the broker off, so one here would be a routing bug. A
+            // dedicated armed run covers the component below.
+            assert_eq!(in_stream, 0, "broker event in a broker-off run");
+            continue;
+        }
         assert!(in_stream > 0, "no {comp} events in a faulted Gimbal run");
         assert_eq!(
             trace.metrics.counter(comp.name()),
@@ -391,6 +398,50 @@ fn all_components_appear_and_reconcile_with_metric_counters() {
             "metric counter diverged from the stream for {comp}"
         );
     }
+}
+
+/// Broker counterpart of the taxonomy check: a broker-armed run emits
+/// Broker-component events (borrows, settlements) and the metric counter
+/// reconciles exactly with the stream.
+#[test]
+fn broker_component_appears_and_reconciles_when_armed() {
+    use gimbal_repro::telemetry::Component;
+    use gimbal_repro::testbed::BrokerConfig;
+    let per = CAP / 3;
+    let mut workers = vec![WorkerSpec::new(
+        "heavy",
+        FioSpec::paper_default(1.0, 128 * 1024, 0, per),
+    )];
+    for i in 0..2u64 {
+        let mut fio = FioSpec::paper_default(1.0, 4096, (i + 1) * per, per);
+        fio.queue_depth = 1;
+        fio.rate_limit = Some(1024.0 * 1024.0);
+        workers.push(WorkerSpec::new("idle", fio));
+    }
+    let cfg = TestbedConfig {
+        scheme: Scheme::Gimbal,
+        precondition: Precondition::Clean,
+        duration: SimDuration::from_millis(200),
+        warmup: SimDuration::from_millis(50),
+        broker: Some(BrokerConfig {
+            capacity_bps: 64 * 1024 * 1024,
+            burst_bytes: 256 * 1024,
+            epoch: SimDuration::from_millis(5),
+            ..BrokerConfig::default()
+        }),
+        trace: Some(TraceConfig { capacity: 1 << 20 }),
+        ..TestbedConfig::default()
+    };
+    let res = Testbed::new(cfg, workers).run();
+    let trace = res.trace.as_ref().expect("trace enabled");
+    assert_eq!(trace.dropped_oldest, 0, "ring too small for conformance");
+    let in_stream = trace.view().component(Component::Broker).len() as u64;
+    assert!(in_stream > 0, "no Broker events in a broker-armed run");
+    assert_eq!(
+        trace.metrics.counter(Component::Broker.name()),
+        in_stream,
+        "broker metric counter diverged from the stream"
+    );
 }
 
 /// Satellite: the `below_min` fast-recovery edge of the write-cost ADMI
