@@ -213,6 +213,7 @@ const STRICT_CRATES: &[&str] = &[
     "telemetry",
     "cache",
     "broker",
+    "cores",
 ];
 
 /// Files that match any of these path fragments hold rate/credit/token
@@ -230,14 +231,16 @@ pub const ACCOUNTING_PATHS: &[&str] = &[
 
 /// The only modules allowed to hold interior-mutability cells (D8). These
 /// are the explicit owners of cross-component shared state: the pipeline's
-/// core slots, the engine's worker cores, the tracer sink, and the access
-/// journal.
+/// core slots, the engine's worker cores, the tracer sink, the access
+/// journal, the broker ledger, and the core scheduler's shared reactor
+/// cores.
 pub const SHARED_STATE_OWNERS: &[&str] = &[
     "crates/switch/src/pipeline.rs",
     "crates/testbed/src/engine.rs",
     "crates/telemetry/src/tracer.rs",
     "crates/sim/src/journal.rs",
     "crates/broker/src/ledger.rs",
+    "crates/cores/src/sched.rs",
 ];
 
 /// Map a crate directory name (or "root" for the top-level `src/`) to its

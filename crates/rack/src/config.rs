@@ -2,6 +2,7 @@
 
 use gimbal_broker::BrokerConfig;
 use gimbal_core::Params;
+use gimbal_cores::StealConfig;
 use gimbal_fabric::{FabricConfig, TorConfig};
 use gimbal_sim::SimDuration;
 use gimbal_ssd::SsdConfig;
@@ -65,6 +66,14 @@ pub struct RackConfig {
     /// Placement is ignored at rack scale (the blobstore owns data
     /// placement); only the borrow ledger runs.
     pub broker: Option<BrokerConfig>,
+    /// Inter-pipeline work stealing on every node's reactor cores
+    /// (gimbal-cores). Each node gets its own scheduler over its
+    /// `ssds_per_node` cores; stealing never crosses the ToR — a node's
+    /// cores live on its SmartNIC. `None` (the default) keeps the fixed
+    /// 1:1 pipeline-to-core binding: the scheduler journals and traces
+    /// nothing, schedules no rebalance events, and such a run is
+    /// bit-identical to one on a build without the core scheduler.
+    pub steal: Option<StealConfig>,
 }
 
 impl Default for RackConfig {
@@ -95,6 +104,7 @@ impl Default for RackConfig {
             trace: None,
             sanitize: false,
             broker: None,
+            steal: None,
         }
     }
 }

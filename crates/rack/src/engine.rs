@@ -40,6 +40,7 @@ use gimbal_blobstore::{
     BackendId, Blobstore, HbaConfig, HierarchicalAllocator, RateLimiter, ReplicaHealth,
 };
 use gimbal_broker::BrokerHandle;
+use gimbal_cores::{CoreScheduler, Quantum};
 use gimbal_fabric::{
     CmdId, EscalationAction, IoType, NvmeCmd, NvmeCompletion, Port, Priority, RdmaDelays,
     RetryConfig, SsdId, TenantId, TorSwitch, CMD_CAPSULE_BYTES, RSP_CAPSULE_BYTES,
@@ -131,6 +132,10 @@ enum Ev {
     /// Broker settlement boundary (only scheduled when the broker is on):
     /// repays debts and forgives accounts on dead nodes' backends.
     BrokerEpoch,
+    /// Core-scheduler rebalance boundary (only scheduled when stealing is
+    /// on with a non-zero rebalance period): every node's scheduler
+    /// re-derives home assignments from last epoch's per-pipeline load.
+    CoresRebalance,
 }
 
 /// The rack experiment.
@@ -198,6 +203,9 @@ struct Rt {
     sanitizer: JournalHandle,
     /// Shared borrow ledger (`None` = broker off).
     broker: Option<BrokerHandle>,
+    /// Per-node core schedulers, node-major (stealing never crosses the
+    /// ToR). With `steal: None` each is an inert home-binding map.
+    scheds: Vec<CoreScheduler>,
     end: SimTime,
     warm: SimTime,
     #[cfg(test)]
@@ -245,6 +253,10 @@ impl Rt {
             .broker
             .as_ref()
             .map(|bc| BrokerHandle::new(bc.clone(), trace.clone()));
+        let spn = cfg.ssds_per_node as usize;
+        let scheds: Vec<CoreScheduler> = (0..nodes)
+            .map(|_| CoreScheduler::new(spn, spn, cfg.steal.clone(), trace.clone()))
+            .collect();
         let mut pipelines: Vec<Pipeline<FlashSsd>> = (0..backends)
             .map(|i| {
                 let mut ssd = FlashSsd::new(cfg.ssd.clone(), root_rng.next_u64());
@@ -266,7 +278,8 @@ impl Rt {
                         ssd.arm_faults(spec, FaultPlan::device_rng(cfg.seed, i));
                     }
                 }
-                Pipeline::new(
+                let node_sched = &scheds[cfg.node_of(i)];
+                Pipeline::with_core(
                     SsdId(i as u32),
                     ssd,
                     cfg.scheme.make_policy(SsdId(i as u32), cfg.gimbal_params),
@@ -276,6 +289,7 @@ impl Rt {
                         cache: None,
                         broker: broker.clone(),
                     },
+                    node_sched.core_rc(node_sched.home(i % spn)),
                 )
             })
             .collect();
@@ -335,6 +349,9 @@ impl Rt {
         if let Some(bc) = &cfg.broker {
             queue.push(SimTime::ZERO + bc.epoch, Ev::BrokerEpoch);
         }
+        if let Some(e) = scheds.first().and_then(CoreScheduler::rebalance_epoch) {
+            queue.push(SimTime::ZERO + e, Ev::CoresRebalance);
+        }
 
         Rt {
             delays: RdmaDelays::new(cfg.fabric),
@@ -361,6 +378,7 @@ impl Rt {
             trace,
             sanitizer,
             broker,
+            scheds,
             end: SimTime::ZERO + cfg.duration,
             warm: SimTime::ZERO + cfg.warmup,
             queue,
@@ -694,6 +712,7 @@ impl Rt {
         if self.node_dead[self.cfg.node_of(backend)] {
             return;
         }
+        let q = self.begin_quantum(backend, now);
         self.sanitizer
             .record(now.as_nanos(), "switch.pipeline", "pump", backend as u64);
         self.pipelines[backend].poll(now);
@@ -723,6 +742,38 @@ impl Rt {
                 self.wake_at[backend] = t;
                 self.queue.push(t, Ev::PipelineWake(backend));
             }
+        }
+        self.end_quantum(backend, q);
+    }
+
+    /// Open a poll quantum for `backend` on whichever of its node's cores
+    /// the scheduler picks, repointing the pipeline there and forwarding
+    /// any steal decision into the journal *before* the quantum's own
+    /// records — so a steal-order flip localizes to component `cores`.
+    fn begin_quantum(&mut self, backend: usize, now: SimTime) -> Quantum {
+        let node = self.cfg.node_of(backend);
+        let local = backend % self.cfg.ssds_per_node as usize;
+        let q = self.scheds[node].begin(local, now);
+        let core = self.scheds[node].core_rc(q.core());
+        self.pipelines[backend].set_core(core);
+        self.drain_cores_journal(node, now);
+        q
+    }
+
+    /// Close a poll quantum, attributing the CPU time it consumed.
+    fn end_quantum(&mut self, backend: usize, q: Quantum) {
+        let node = self.cfg.node_of(backend);
+        self.scheds[node].end(backend % self.cfg.ssds_per_node as usize, q);
+    }
+
+    /// Forward one node scheduler's queued decisions into the divergence
+    /// journal. Keys are offset to rack-global core/pipeline indices so
+    /// same-named decisions on different nodes stay distinguishable.
+    fn drain_cores_journal(&mut self, node: usize, now: SimTime) {
+        let base = node as u64 * u64::from(self.cfg.ssds_per_node);
+        for (op, key) in self.scheds[node].drain_journal() {
+            self.sanitizer
+                .record(now.as_nanos(), "cores", op, base + key);
         }
     }
 
@@ -929,6 +980,7 @@ impl Rt {
                     Ev::Timeout { cmd, .. } => ("rack.fault", "timeout", *cmd),
                     Ev::NodeDeath(n) => ("rack.node", "death", *n as u64),
                     Ev::BrokerEpoch => ("engine.broker", "epoch", 0),
+                    Ev::CoresRebalance => ("engine.cores", "rebalance", 0),
                 };
                 self.sanitizer.record(now.as_nanos(), component, op, key);
             }
@@ -938,6 +990,15 @@ impl Rt {
                     self.dispatch(i, now);
                 }
                 Ev::BrokerEpoch => self.broker_epoch(now),
+                Ev::CoresRebalance => {
+                    for node in 0..self.scheds.len() {
+                        self.scheds[node].rebalance(now);
+                        self.drain_cores_journal(node, now);
+                    }
+                    if let Some(e) = self.scheds.first().and_then(CoreScheduler::rebalance_epoch) {
+                        self.queue.push(now + e, Ev::CoresRebalance);
+                    }
+                }
                 Ev::NodeDeath(node) => {
                     if self.node_dead[node] {
                         continue;
@@ -973,7 +1034,12 @@ impl Rt {
                         },
                         Some(p) => {
                             p.delivered = true;
+                            // Submit-path CPU cost is charged inside
+                            // `on_command`, so it runs under its own quantum
+                            // (same-tick `begin`s reuse one core decision).
+                            let q = self.begin_quantum(backend, now);
                             self.pipelines[backend].on_command(cmd, now);
+                            self.end_quantum(backend, q);
                             self.pump(backend, now);
                         }
                     }
@@ -1136,6 +1202,12 @@ impl Rt {
             trace: self.tracer.take().map(|t| t.borrow_mut().finish()),
             access_journal: self.sanitizer.snapshot(),
             broker: self.broker.as_ref().map(|b| b.stats()),
+            // Collected only when stealing was configured, so steal-off
+            // digests are bit-identical to pre-scheduler builds.
+            cores: match self.cfg.steal {
+                Some(_) => self.scheds.iter().map(CoreScheduler::stats).collect(),
+                None => Vec::new(),
+            },
         }
     }
 }

@@ -11,6 +11,7 @@
 //! one would push a terminal bucket above `issued`.
 
 use gimbal_broker::BrokerStats;
+use gimbal_cores::CoresStats;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{AccessJournal, Digest, SimDuration};
 use gimbal_ssd::SsdStats;
@@ -107,6 +108,10 @@ pub struct RackResult {
     pub access_journal: Option<AccessJournal>,
     /// Broker ledger statistics (`None` unless the broker was configured).
     pub broker: Option<BrokerStats>,
+    /// Per-node core-scheduler counters (empty unless
+    /// [`crate::RackConfig::steal`] enabled work stealing — the digest then
+    /// folds them in, so steal-off runs keep their pre-scheduler digests).
+    pub cores: Vec<CoresStats>,
 }
 
 impl RackResult {
@@ -165,6 +170,11 @@ impl RackResult {
         // the ledger folds in only when it ran.
         if let Some(b) = &self.broker {
             b.fold_into(&mut d);
+        }
+        // Folded only when work stealing ran, so steal-off digests are
+        // bit-identical to pre-scheduler builds.
+        for c in &self.cores {
+            c.fold_into(&mut d);
         }
         d.value()
     }

@@ -98,6 +98,13 @@ impl AccessJournal {
         });
     }
 
+    /// Every entry recorded so far, in record order (test suites assert on
+    /// which components decided what; the comparator itself uses
+    /// [`first_divergence`]).
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
     /// Total entries recorded.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -203,6 +203,16 @@ impl<D: StorageDevice> Pipeline<D> {
         Rc::clone(&self.core)
     }
 
+    /// Repoint the pipeline at a different reactor core for its next poll
+    /// quantum. The core scheduler (gimbal-cores) uses this to execute a
+    /// saturated pipeline's quantum on an idle neighbor. Safe mid-run:
+    /// internal events carry only ready timestamps, never a core
+    /// reference, so already-charged work completes on schedule and only
+    /// future CPU charges land on the new core.
+    pub fn set_core(&mut self, core: Rc<RefCell<Core>>) {
+        self.core = core;
+    }
+
     /// Duplicate command capsules dropped so far (see [`Self::on_command`]).
     pub fn duplicates_ignored(&self) -> u64 {
         self.duplicates_ignored

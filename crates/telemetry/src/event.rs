@@ -33,11 +33,14 @@ pub enum Component {
     /// Inter-tenant token broker (borrow ledger, repayment epochs,
     /// placement migrations).
     Broker,
+    /// Reactor-core scheduler (quantum stealing across pipelines, home
+    /// rebalance epochs).
+    Cores,
 }
 
 impl Component {
     /// Every component, in a fixed order (counter registration, exports).
-    pub const ALL: [Component; 10] = [
+    pub const ALL: [Component; 11] = [
         Component::Congestion,
         Component::Rate,
         Component::WriteCost,
@@ -48,6 +51,7 @@ impl Component {
         Component::Cache,
         Component::Rack,
         Component::Broker,
+        Component::Cores,
     ];
 
     /// Interned label.
@@ -63,6 +67,7 @@ impl Component {
             Component::Cache => "cache",
             Component::Rack => "rack",
             Component::Broker => "broker",
+            Component::Cores => "cores",
         }
     }
 }
@@ -424,6 +429,21 @@ pub enum EventKind {
         /// SSD the tenant is assigned to after the move.
         to_ssd: u32,
     },
+    /// The core scheduler executed the stamped pipeline's poll quantum on
+    /// an idle neighbor instead of its busy home core.
+    QuantumStolen {
+        /// The pipeline's home core, busy at quantum start.
+        from_core: u32,
+        /// The idle core that ran the quantum.
+        to_core: u32,
+    },
+    /// A rebalance epoch moved the stamped pipeline's home core.
+    HomeRebalanced {
+        /// Home core before the rebalance pass.
+        from_core: u32,
+        /// Home core afterwards.
+        to_core: u32,
+    },
 }
 
 impl EventKind {
@@ -464,6 +484,7 @@ impl EventKind {
             | EventKind::DebtRepaid { .. }
             | EventKind::DebtForgiven { .. }
             | EventKind::TenantMigrated { .. } => Component::Broker,
+            EventKind::QuantumStolen { .. } | EventKind::HomeRebalanced { .. } => Component::Cores,
         }
     }
 
@@ -506,6 +527,8 @@ impl EventKind {
             EventKind::DebtRepaid { .. } => "debt_repaid",
             EventKind::DebtForgiven { .. } => "debt_forgiven",
             EventKind::TenantMigrated { .. } => "tenant_migrated",
+            EventKind::QuantumStolen { .. } => "quantum_stolen",
+            EventKind::HomeRebalanced { .. } => "home_rebalanced",
         }
     }
 
@@ -687,6 +710,11 @@ impl EventKind {
             EventKind::TenantMigrated { from_ssd, to_ssd } => {
                 d.update_u64(u64::from(from_ssd));
                 d.update_u64(u64::from(to_ssd));
+            }
+            EventKind::QuantumStolen { from_core, to_core }
+            | EventKind::HomeRebalanced { from_core, to_core } => {
+                d.update_u64(u64::from(from_core));
+                d.update_u64(u64::from(to_core));
             }
         }
     }

@@ -274,6 +274,11 @@ fn push_args(out: &mut String, kind: &EventKind, first: &mut bool) {
             push_u64_field(out, "from_ssd", u64::from(from_ssd), first);
             push_u64_field(out, "to_ssd", u64::from(to_ssd), first);
         }
+        EventKind::QuantumStolen { from_core, to_core }
+        | EventKind::HomeRebalanced { from_core, to_core } => {
+            push_u64_field(out, "from_core", u64::from(from_core), first);
+            push_u64_field(out, "to_core", u64::from(to_core), first);
+        }
     }
 }
 

@@ -4,6 +4,7 @@ use crate::scheme::Scheme;
 use gimbal_broker::BrokerConfig;
 use gimbal_cache::CacheConfig;
 use gimbal_core::Params;
+use gimbal_cores::StealConfig;
 use gimbal_fabric::{FabricConfig, Priority, RetryConfig};
 use gimbal_sim::{FaultPlan, SimDuration, SimTime};
 use gimbal_ssd::SsdConfig;
@@ -149,6 +150,13 @@ pub struct TestbedConfig {
     /// events: such a run is bit-identical to one on a build without broker
     /// support.
     pub broker: Option<BrokerConfig>,
+    /// Inter-pipeline work stealing across reactor cores (gimbal-cores).
+    /// `None` (the default) keeps the fixed home binding: every quantum
+    /// runs on its pipeline's home core (`ssd % cores`), the scheduler
+    /// journals and traces nothing, and no rebalance events are scheduled
+    /// — such a run is bit-identical to one on a build without the core
+    /// scheduler.
+    pub steal: Option<StealConfig>,
 }
 
 impl Default for TestbedConfig {
@@ -176,6 +184,7 @@ impl Default for TestbedConfig {
             cache: None,
             sanitize: false,
             broker: None,
+            steal: None,
         }
     }
 }

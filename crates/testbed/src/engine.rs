@@ -6,10 +6,10 @@ use crate::results::{
 };
 use gimbal_broker::{BrokerHandle, SsdTelemetry};
 use gimbal_core::GimbalPolicy;
+use gimbal_cores::{CoreScheduler, Quantum};
 use gimbal_fabric::{
     CmdId, IoType, NvmeCmd, NvmeCompletion, Port, RdmaDelays, RetryConfig, SsdId, TenantId,
 };
-use gimbal_nic::Core;
 use gimbal_sim::journal::JournalHandle;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{
@@ -48,6 +48,11 @@ enum Ev {
     /// placement layer (when enabled) migrates tenants. Only scheduled when
     /// [`TestbedConfig::broker`] is set, so broker-off runs see no event.
     BrokerEpoch,
+    /// Core-scheduler rebalance boundary: home assignments move per the
+    /// epoch's per-pipeline cycle consumption. Only scheduled when
+    /// [`TestbedConfig::steal`] is set with a non-zero rebalance period, so
+    /// steal-off runs see no event.
+    CoresRebalance,
     Sample,
 }
 
@@ -175,6 +180,11 @@ struct Engine {
     /// Shared broker ledger (`None` = broker off; pipelines then carry no
     /// gate and no epoch events are scheduled).
     broker: Option<BrokerHandle>,
+    /// The node's reactor-core scheduler (gimbal-cores). Owns every core;
+    /// each pipeline quantum runs on the core it assigns. With
+    /// [`TestbedConfig::steal`] unset it always assigns the home core and
+    /// records nothing, preserving the pre-scheduler 1:1 behavior.
+    sched: CoreScheduler,
     /// Test-only injected nondeterminism: pump pipelines in reverse order
     /// at [`Ev::PowerLoss`]. Exists to prove the sanitizer localizes a real
     /// ordering bug to its exact tick and component.
@@ -187,12 +197,6 @@ impl Engine {
         let mut root_rng = SimRng::new(cfg.seed);
         let mut cpu_cost = cfg.scheme.cpu_cost(cfg.xeon);
         cpu_cost.submit += cfg.added_per_io_us * gimbal_nic::CYCLES_PER_US;
-
-        // Cores shared round-robin across pipelines (§4.1: one per SSD when
-        // cores ≥ SSDs).
-        let cores: Vec<Rc<RefCell<Core>>> = (0..cfg.cores)
-            .map(|_| Rc::new(RefCell::new(Core::new())))
-            .collect();
 
         let sanitizer = if cfg.sanitize {
             JournalHandle::enabled()
@@ -212,6 +216,15 @@ impl Engine {
             .broker
             .as_ref()
             .map(|bc| BrokerHandle::new(bc.clone(), trace.clone()));
+        // The node's cores, owned by the scheduler. Homes are assigned
+        // round-robin (§4.1: one per SSD when cores ≥ SSDs), exactly the
+        // binding pipelines had when they owned their cores directly.
+        let sched = CoreScheduler::new(
+            cfg.cores as usize,
+            cfg.num_ssds as usize,
+            cfg.steal.clone(),
+            trace.clone(),
+        );
         let mut pipelines: Vec<Pipeline<FlashSsd>> = (0..cfg.num_ssds)
             .map(|i| {
                 let mut ssd = FlashSsd::new(cfg.ssd.clone(), root_rng.next_u64());
@@ -235,7 +248,7 @@ impl Engine {
                         cache: cfg.cache.clone(),
                         broker: broker.clone(),
                     },
-                    Rc::clone(&cores[(i % cfg.cores) as usize]),
+                    sched.core_rc(sched.home(i as usize)),
                 )
             })
             .collect();
@@ -305,6 +318,7 @@ impl Engine {
             trace,
             sanitizer,
             broker,
+            sched,
             #[cfg(test)]
             perturb_powerloss_pump: false,
             cfg,
@@ -459,8 +473,32 @@ impl Engine {
         );
     }
 
+    /// Open a poll quantum for `ssd`: the scheduler picks the executing
+    /// core (home, or an idle thief when stealing is on), the pipeline is
+    /// repointed at it, and any steal decision is stamped into the
+    /// divergence journal ahead of the quantum's own records. Re-entry at
+    /// the same tick reuses the decision, so the command-arrival charge and
+    /// the pump that follows land on one core.
+    fn begin_quantum(&mut self, ssd: usize, now: SimTime) -> Quantum {
+        let q = self.sched.begin(ssd, now);
+        let core = self.sched.core_rc(q.core());
+        self.pipelines[ssd].set_core(core);
+        self.drain_cores_journal(now);
+        q
+    }
+
+    /// Forward queued core-scheduler decisions (steals, home moves) into
+    /// the divergence journal under component `cores`. Empty — and free —
+    /// when stealing is off.
+    fn drain_cores_journal(&mut self, now: SimTime) {
+        for (op, key) in self.sched.drain_journal() {
+            self.sanitizer.record(now.as_nanos(), "cores", op, key);
+        }
+    }
+
     /// Poll a pipeline, route its completion capsules, reschedule its wake.
     fn pump(&mut self, ssd: usize, now: SimTime) {
+        let q = self.begin_quantum(ssd, now);
         self.sanitizer
             .record(now.as_nanos(), "switch.pipeline", "pump", ssd as u64);
         self.pipelines[ssd].poll(now);
@@ -513,6 +551,7 @@ impl Engine {
                 self.queue.push(t, Ev::PipelineWake(ssd));
             }
         }
+        self.sched.end(ssd, q);
     }
 
     fn sample(&mut self, now: SimTime) {
@@ -645,6 +684,9 @@ impl Engine {
         if let Some(bc) = &self.cfg.broker {
             self.queue.push(SimTime::ZERO + bc.epoch, Ev::BrokerEpoch);
         }
+        if let Some(e) = self.sched.rebalance_epoch() {
+            self.queue.push(SimTime::ZERO + e, Ev::CoresRebalance);
+        }
         let end = self.duration();
         let debug = std::env::var("GIMBAL_ENGINE_DEBUG").is_ok(); // lint: allow(ambient-time-env, owner=testbed, expires=2028-08-01) — debug tracing toggle only, never affects simulation state
         let mut last_report = 0u64;
@@ -677,6 +719,7 @@ impl Engine {
                     Ev::Timeout { cmd, .. } => ("engine.fault", "timeout", *cmd),
                     Ev::PowerLoss => ("engine.fault", "power_loss", 0),
                     Ev::BrokerEpoch => ("engine.broker", "epoch", 0),
+                    Ev::CoresRebalance => ("engine.cores", "rebalance", 0),
                     Ev::Sample => ("engine.sample", "sample", 0),
                 };
                 self.sanitizer.record(now.as_nanos(), component, op, key);
@@ -708,7 +751,13 @@ impl Engine {
                     };
                     match action {
                         CmdAction::Execute => {
+                            // The submit-path CPU charge must land on the
+                            // quantum's core, so the scheduler decides
+                            // before the command enters the pipeline; the
+                            // pump below re-enters the same quantum.
+                            let q = self.begin_quantum(ssd, now);
                             self.pipelines[ssd].on_command(cmd, now);
+                            self.sched.end(ssd, q);
                             self.pump(ssd, now);
                         }
                         CmdAction::Duplicate => self.counters.duplicate_cmds_ignored += 1,
@@ -875,6 +924,13 @@ impl Engine {
                     }
                 }
                 Ev::BrokerEpoch => self.broker_epoch(now),
+                Ev::CoresRebalance => {
+                    self.sched.rebalance(now);
+                    self.drain_cores_journal(now);
+                    if let Some(e) = self.sched.rebalance_epoch() {
+                        self.queue.push(now + e, Ev::CoresRebalance);
+                    }
+                }
                 Ev::Sample => {
                     self.sample(now);
                     if let Some(step) = self.cfg.sample_interval {
@@ -970,6 +1026,9 @@ impl Engine {
             b.audit();
         }
         let broker = self.broker.as_ref().map(|b| b.stats());
+        // Scheduler counters exist only when stealing was configured, so
+        // steal-off digests are bit-identical to pre-scheduler builds.
+        let cores = self.cfg.steal.as_ref().map(|_| self.sched.stats());
         let access_journal = self.sanitizer.snapshot();
         RunResult {
             workers,
@@ -986,6 +1045,7 @@ impl Engine {
             journals,
             access_journal,
             broker,
+            cores,
         }
     }
 }
@@ -995,6 +1055,7 @@ mod tests {
     use super::*;
     use crate::config::FaultConfig;
     use crate::scheme::Scheme;
+    use gimbal_cores::StealConfig;
     use gimbal_sim::journal::first_divergence;
     use gimbal_workload::FioSpec;
 
@@ -1289,5 +1350,88 @@ mod tests {
         assert_eq!(ea.op, "borrow");
         assert_eq!(eb.op, "borrow");
         assert_ne!(ea.key, eb.key, "lender keys must differ: {r}");
+    }
+
+    /// Skewed placement designed to exercise stealing: four SSDs over three
+    /// cores (homes 0,1,2,0) with the only active workers on SSDs 0 and 3 —
+    /// both homed on core 0 — so cores 1 and 2 sit idle and eligible to
+    /// steal. Three cores matter: a two-core ring has a single thief
+    /// candidate, which a ring-order flip cannot change.
+    fn steal_cfg_and_workers(steal: StealConfig) -> (TestbedConfig, Vec<WorkerSpec>) {
+        let cfg = TestbedConfig {
+            num_ssds: 4,
+            cores: 3,
+            sanitize: true,
+            duration: SimDuration::from_millis(400),
+            warmup: SimDuration::from_millis(100),
+            steal: Some(steal),
+            ..base_cfg(Scheme::Gimbal, Precondition::Clean)
+        };
+        let specs = vec![
+            WorkerSpec::new("hot0", FioSpec::paper_default(1.0, 4096, 0, CAP_BLOCKS)),
+            WorkerSpec::new("hot3", FioSpec::paper_default(1.0, 4096, 0, CAP_BLOCKS)).on_ssd(3),
+        ];
+        (cfg, specs)
+    }
+
+    #[test]
+    fn steal_on_double_runs_are_bit_identical() {
+        let run = || {
+            let (cfg, specs) = steal_cfg_and_workers(StealConfig::default());
+            Engine::build(cfg, specs).run()
+        };
+        let a = run();
+        let b = run();
+        let ca = a.cores.as_ref().expect("cores stats present");
+        assert!(ca.steals > 0, "skewed mix must steal: {ca:?}");
+        assert_eq!(a.stats_digest(), b.stats_digest());
+        assert_eq!(a.access_digest(), b.access_digest());
+        assert_eq!(
+            first_divergence(
+                a.access_journal.as_ref().unwrap(),
+                b.access_journal.as_ref().unwrap()
+            ),
+            None
+        );
+    }
+
+    /// Injected nondeterminism in the core scheduler, localized: reversing
+    /// the fixed-order steal ring is exactly the class of bug the scheduler
+    /// journal exists for. The comparator must blame the cores component's
+    /// first steal decision, naming the divergent thief core ids.
+    #[test]
+    fn sanitizer_localizes_injected_steal_order_flip() {
+        let run = |perturb: bool| {
+            let (cfg, specs) = steal_cfg_and_workers(StealConfig {
+                perturb_steal_order: perturb,
+                ..StealConfig::default()
+            });
+            Engine::build(cfg, specs).run()
+        };
+
+        // Control: two clean stealing runs agree entry for entry.
+        let a = run(false);
+        let a2 = run(false);
+        let ja = a.access_journal.as_ref().expect("sanitize was on");
+        assert!(
+            a.cores.as_ref().expect("cores stats").steals > 0,
+            "clean run must steal for the flip to matter"
+        );
+        assert_eq!(
+            first_divergence(ja, a2.access_journal.as_ref().unwrap()),
+            None
+        );
+        assert_eq!(a.access_digest(), a2.access_digest());
+
+        // Perturbed run: the first divergence is the thief pick itself.
+        let b = run(true);
+        let jb = b.access_journal.as_ref().expect("sanitize was on");
+        let r = first_divergence(ja, jb).expect("steal-ring flip must diverge");
+        assert_eq!(r.component(), "cores", "wrong component: {r}");
+        let ea = r.a.expect("entry in clean run");
+        let eb = r.b.expect("entry in perturbed run");
+        assert_eq!(ea.op, "steal");
+        assert_eq!(eb.op, "steal");
+        assert_ne!(ea.key, eb.key, "thief keys must differ: {r}");
     }
 }

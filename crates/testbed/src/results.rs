@@ -2,6 +2,7 @@
 
 use gimbal_broker::BrokerStats;
 use gimbal_cache::{CacheStats, DurabilityEvent, StagedWriteLoss, WriteBackStats};
+use gimbal_cores::CoresStats;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{Digest, SimDuration, TimeSeries};
 use gimbal_ssd::SsdStats;
@@ -211,6 +212,11 @@ pub struct RunResult {
     /// then folds them in, so broker-off runs keep their pre-broker
     /// digests).
     pub broker: Option<BrokerStats>,
+    /// Core-scheduler counters (`None` unless
+    /// [`crate::TestbedConfig::steal`] enabled work stealing — the digest
+    /// then folds them in, so steal-off runs keep their pre-scheduler
+    /// digests).
+    pub cores: Option<CoresStats>,
 }
 
 impl RunResult {
@@ -298,6 +304,11 @@ impl RunResult {
         // bit-identical to pre-broker builds.
         if let Some(b) = &self.broker {
             b.fold_into(&mut d);
+        }
+        // Folded only when work stealing ran, so steal-off digests are
+        // bit-identical to pre-scheduler builds.
+        if let Some(c) = &self.cores {
+            c.fold_into(&mut d);
         }
         d.value()
     }

@@ -26,6 +26,8 @@ cargo run --release --offline -q --bin bench_gate -- \
     BENCH_broker_strict.json "$tmp/BENCH_broker_strict.json" --tolerance "$tol" || status=1
 cargo run --release --offline -q --bin bench_gate -- \
     BENCH_broker.json "$tmp/BENCH_broker.json" --tolerance "$tol" || status=1
+cargo run --release --offline -q --bin bench_gate -- \
+    BENCH_cores.json "$tmp/BENCH_cores.json" --tolerance "$tol" || status=1
 
 # The broker's headline claim, checked on the fresh runs: borrowing buys
 # >=15% aggregate throughput over strict buckets on the bursty mix without
@@ -48,5 +50,17 @@ awk -v ts="$tp_s" -v tb="$tp_b" -v js="$jain_s" -v jb="$jain_b" 'BEGIN {
     }
     printf "broker gate: +%.1f%% throughput, jain %.5f (strict %.5f): ok\n",
         gain * 100, jb, js
+}' || status=1
+
+# The core scheduler's headline claim, checked on the fresh sweep: on the
+# skewed placement, K cores with stealing beat K-core shared-nothing by
+# >=10% at the most skewed point of the curve.
+win=$(field "$tmp/BENCH_cores.json" steal_win_pct)
+awk -v w="$win" 'BEGIN {
+    if (w < 10) {
+        printf "cores gate: steal win %.1f%% < 10%% at the most skewed point\n", w
+        exit 1
+    }
+    printf "cores gate: stealing beats shared-nothing by %.1f%% at the most skewed point: ok\n", w
 }' || status=1
 exit "$status"

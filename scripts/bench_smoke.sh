@@ -57,6 +57,21 @@ cargo run --release --offline -q --bin jbofsim -- \
 
 echo "wrote $out/BENCH_broker.json"
 
+# Cores datapoint: throughput-vs-cores curve on a skewed placement. Four
+# hot 4 KiB readers pinned to the even SSDs of an 8-SSD node: with two
+# cores every hot pipeline homes on core 0 and core 1 idles unless the
+# scheduler steals poll quanta for it. The sweep runs each core count with
+# stealing off (shared-nothing) and on; the gate pins the headline
+# steal_win_pct — the most skewed point — at >=10% (the XBOF claim).
+cargo run --release --offline -q --bin jbofsim -- \
+    --scheme gimbal --precondition clean \
+    --ssds 8 --duration-ms 400 --warmup-ms 100 --seed 42 \
+    --workers 1x4k-read-ssd0,1x4k-read-ssd2,1x4k-read-ssd4,1x4k-read-ssd6 \
+    --cores-sweep 1,2,4,8 \
+    --bench-json "$out/BENCH_cores.json"
+
+echo "wrote $out/BENCH_cores.json"
+
 # Rack datapoint: 3-node replication-2 rack surviving a mid-run node death.
 # The summary carries both conservation ledgers and the escalation-ladder
 # counters, so a diff to it means failover behavior changed.

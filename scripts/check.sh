@@ -34,10 +34,13 @@ cargo test --release --offline --test rack -q
 echo "==> broker suite (token borrowing: conservation, forgiveness, floor, placement, release)"
 cargo test --release --offline --test broker -q
 
+echo "==> cores suite (core scheduler: steal-off inertness, steal-on determinism, steal win, release)"
+cargo test --release --offline --test cores -q
+
 echo "==> bench smoke (deterministic jbofsim runs; committed summaries must be fresh)"
 scripts/bench_smoke.sh
 git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json BENCH_rack.json \
-    BENCH_broker_strict.json BENCH_broker.json
+    BENCH_broker_strict.json BENCH_broker.json BENCH_cores.json
 
 echo "==> divergence sanitizer smoke (double run, journal comparison)"
 cargo run --release --offline -q --bin jbofsim -- \
@@ -53,13 +56,17 @@ echo "==> broker chaos smoke (bursty borrowing mix through node death, sanitized
 cargo test --release --offline -p gimbal-rack -q \
     broker_chaos_node_death_forgives_and_conserves
 
+echo "==> steal-flip localization smoke (perturbed steal ring diverges under component 'cores')"
+cargo test --release --offline -p gimbal-testbed -q \
+    sanitizer_localizes_injected_steal_order_flip
+
 echo "==> gimbal-lint (determinism policy)"
 cargo run --offline -q -p gimbal-lint
 
 echo "==> gimbal-lint --waivers (waiver ledger: no expired/orphaned/malformed)"
 cargo run --offline -q -p gimbal-lint -- --waivers
 
-echo "==> bench gate (non-blocking: >10% regression vs committed baselines)"
-scripts/bench_gate.sh || echo "WARNING: bench gate flagged a regression (non-blocking)"
+echo "==> bench gate (blocking: >10% drift vs committed baselines, headline claims hold)"
+scripts/bench_gate.sh
 
 echo "All checks passed."

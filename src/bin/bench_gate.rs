@@ -9,8 +9,10 @@
 //! two documents in parallel and checks every metric with a known
 //! direction:
 //!
-//! * higher is better: `throughput_mbps`, `hit_ratio`, `iops` — fail when
-//!   the fresh value drops more than `PCT` percent below the baseline;
+//! * higher is better: `throughput_mbps`, `hit_ratio`, `iops`, and the
+//!   cores-sweep curve (`shared_nothing_mbps`, `steal_mbps`, `win_pct`,
+//!   `steal_win_pct`) — fail when the fresh value drops more than `PCT`
+//!   percent below the baseline;
 //! * lower is better: `mean_us`, `p50_us`, `p99_us`, `p999_us`,
 //!   `write_amplification` — fail when the fresh value rises more than
 //!   `PCT` percent above the baseline.
@@ -220,7 +222,13 @@ enum Direction {
 
 fn direction(key: &str) -> Direction {
     match key {
-        "throughput_mbps" | "hit_ratio" | "iops" => Direction::HigherIsBetter,
+        "throughput_mbps"
+        | "hit_ratio"
+        | "iops"
+        | "shared_nothing_mbps"
+        | "steal_mbps"
+        | "win_pct"
+        | "steal_win_pct" => Direction::HigherIsBetter,
         "mean_us" | "p50_us" | "p99_us" | "p999_us" | "write_amplification" => {
             Direction::LowerIsBetter
         }
@@ -440,6 +448,18 @@ mod tests {
         let (_, regs) = run_gate(BASE, &fresh, 0.10);
         assert_eq!(regs.len(), 1);
         assert!(regs[0].contains("missing"));
+    }
+
+    #[test]
+    fn cores_sweep_curve_is_compared() {
+        let base = r#"{"steal_win_pct": 40.0, "points": [
+            {"cores": 2, "shared_nothing_mbps": 1500.0, "steal_mbps": 2100.0, "win_pct": 40.0}
+        ]}"#;
+        let fresh = base.replace("\"steal_mbps\": 2100.0", "\"steal_mbps\": 1600.0");
+        let (compared, regs) = run_gate(base, &fresh, 0.10);
+        assert_eq!(compared, 4, "{regs:?}");
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("steal_mbps"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! reads), and `rateM` caps each worker at M MB/s. Workers are spread over
 //! disjoint LBA regions and, when `--ssds` > 1, round-robin across SSDs.
 
+use gimbal_repro::cores::{CoresStats, StealConfig};
 use gimbal_repro::fabric::RetryConfig;
 use gimbal_repro::rack::{RackConfig, RackResult, RackTestbed};
 use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime};
@@ -32,17 +33,20 @@ fn usage() -> ! {
          \x20              [--cache-write-policy through|back] [--bench-json FILE]\n\
          \x20              [--borrow] [--borrow-strict] [--borrow-mbps N]\n\
          \x20              [--borrow-epoch-ms N] [--placement]\n\
+         \x20              [--steal] [--steal-rebalance-ms N] [--cores-sweep K[,K…]]\n\
          \x20              [--sanitize] --workers SPEC[,SPEC…]\n\
          \x20      rack mode: --rack-nodes N [--rack-ssds-per-node N]\n\
          \x20              [--rack-clients N] [--rack-qd N] [--rack-read-ratio F]\n\
          \x20              [--rack-fault none|node-death|gc-storm|partition]\n\
          \x20              [--rack-no-replicate] [--rack-gc-blind]\n\
          \n\
-         SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf][-burstAxB]   e.g. 8x4k-read,\n\
-         \x20      4x128k-write-qd8, 2x4k-mix70-rate50 (70% reads, 50 MB/s cap\n\
-         \x20      per worker), 8x4k-read-zipf (Zipf-skewed addresses),\n\
-         \x20      4x4k-read-burst20x60 (20 ms on, 60 ms off, phases\n\
-         \x20      auto-staggered across the group's workers)\n\
+         SPEC = COUNTxSIZE-TYPE[-qdN][-rateM][-zipf][-burstAxB][-ssdN]   e.g.\n\
+         \x20      8x4k-read, 4x128k-write-qd8, 2x4k-mix70-rate50 (70% reads,\n\
+         \x20      50 MB/s cap per worker), 8x4k-read-zipf (Zipf-skewed\n\
+         \x20      addresses), 4x4k-read-burst20x60 (20 ms on, 60 ms off,\n\
+         \x20      phases auto-staggered across the group's workers);\n\
+         \x20      -ssdN pins the whole group to SSD N (skewed placements\n\
+         \x20      for the core-stealing bench) instead of round-robin\n\
          \n\
          --borrow enables the inter-tenant token broker (borrowing on);\n\
          \x20      --borrow-strict runs it with borrowing off (per-tenant\n\
@@ -51,6 +55,14 @@ fn usage() -> ! {
          \x20      --borrow-epoch-ms sets the settlement epoch (default 20;\n\
          \x20      pick one co-prime with burst periods to avoid phase lock);\n\
          \x20      --placement adds Serifos-style tenant migration at epochs\n\
+         --steal shares the reactor cores across SSD pipelines (gimbal-cores):\n\
+         \x20      an idle core executes poll quanta for a saturated\n\
+         \x20      neighbor's pipeline through the deterministic steal ring;\n\
+         \x20      --steal-rebalance-ms sets the home-rebalance epoch\n\
+         \x20      (default 20, 0 disables rebalance)\n\
+         --cores-sweep runs the workload once per listed core count, with\n\
+         \x20      stealing off and on, and reports the throughput-vs-cores\n\
+         \x20      curve (the XBOF claim; --bench-json writes it as JSON)\n\
          --cache-mb enables a NIC-DRAM cache of N MiB per SSD pipeline (0 = off);\n\
          \x20      --cache-policy picks the fill admission law (default congestion);\n\
          \x20      --cache-write-policy back acks writes from DRAM and drains\n\
@@ -91,6 +103,9 @@ struct ParsedWorker {
     /// `(on_ms, off_ms)` burst cycle; phases are staggered evenly across
     /// the group's `count` workers so their ON windows interleave.
     burst: Option<(u64, u64)>,
+    /// Pin the whole group to one SSD instead of round-robin placement —
+    /// how the cores bench lands every hot tenant on one home core.
+    ssd: Option<u32>,
     label: String,
 }
 
@@ -110,8 +125,11 @@ fn parse_worker(spec: &str) -> Option<ParsedWorker> {
     let mut rate = None;
     let mut zipf = false;
     let mut burst = None;
+    let mut ssd = None;
     for p in parts {
-        if let Some(n) = p.strip_prefix("qd") {
+        if let Some(n) = p.strip_prefix("ssd") {
+            ssd = Some(n.parse().ok()?);
+        } else if let Some(n) = p.strip_prefix("qd") {
             qd = Some(n.parse().ok()?);
         } else if let Some(n) = p.strip_prefix("rate") {
             rate = Some(n.parse::<f64>().ok()? * 1e6);
@@ -137,6 +155,7 @@ fn parse_worker(spec: &str) -> Option<ParsedWorker> {
         rate,
         zipf,
         burst,
+        ssd,
         label: spec.to_string(),
     })
 }
@@ -214,6 +233,21 @@ fn write_bench_json(
             b.epochs,
             b.floor_violations,
             b.conservation_holds()
+        ));
+    }
+    if let Some(c) = &res.cores {
+        out.push_str(&format!(
+            "  \"cores\": {{\"count\": {}, \"steals\": {}, \"rebalances\": {}, \"moved_homes\": {}, \"stolen_busy_ns\": {}, \"per_core_busy_ns\": [{}]}},\n",
+            c.cores,
+            c.steals,
+            c.rebalances,
+            c.moved_homes,
+            c.stolen_busy_ns,
+            c.per_core_busy_ns
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
     }
     let [_, wr_all] = res.group_latency(|_| true);
@@ -364,6 +398,7 @@ fn run_rack(
     warmup_ms: u64,
     seed: u64,
     sanitize: bool,
+    steal: Option<StealConfig>,
     bench_json: Option<&str>,
 ) {
     let cfg = RackConfig {
@@ -380,6 +415,7 @@ fn run_rack(
         seed,
         faults: rack_fault_config(fault, duration_ms),
         sanitize,
+        steal,
         ..RackConfig::default()
     };
     eprintln!(
@@ -472,6 +508,98 @@ fn run_rack(
     }
 }
 
+/// Throughput-vs-cores sweep (the XBOF claim): for each listed core count
+/// run the same workload twice — shared-nothing (steal off) and with the
+/// core scheduler stealing — and report the curve. The headline
+/// `steal_win_pct` is the largest win across the sweep, i.e. the most
+/// skewed point; the bench gate pins it at ≥10 %.
+fn run_cores_sweep(
+    scheme: Scheme,
+    template: &TestbedConfig,
+    workers: &[WorkerSpec],
+    sweep: &[u32],
+    steal_cfg: &StealConfig,
+    steal_rebalance_ms: u64,
+    bench_json: Option<&str>,
+) {
+    let mut points: Vec<(u32, f64, f64, CoresStats)> = Vec::new();
+    for &k in sweep {
+        let run = |steal: Option<StealConfig>| {
+            let cfg = TestbedConfig {
+                cores: k,
+                steal,
+                ..template.clone()
+            };
+            Testbed::new(cfg, workers.to_vec()).run()
+        };
+        let pinned = run(None);
+        let stealing = run(Some(steal_cfg.clone()));
+        points.push((
+            k,
+            pinned.aggregate_bps(|_| true) / 1e6,
+            stealing.aggregate_bps(|_| true) / 1e6,
+            stealing.cores.clone().expect("steal-on run collects stats"),
+        ));
+    }
+    let win_pct = |base: f64, stolen: f64| {
+        if base > 0.0 {
+            (stolen / base - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    };
+    let headline = points
+        .iter()
+        .map(|(_, b, s, _)| win_pct(*b, *s))
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    println!(
+        "{:<6} {:>16} {:>12} {:>8} {:>8} {:>12}",
+        "cores", "pinned MB/s", "steal MB/s", "win %", "steals", "stolen ms"
+    );
+    for (k, b, s, st) in &points {
+        println!(
+            "{k:<6} {b:>16.1} {s:>12.1} {:>8.1} {:>8} {:>12.1}",
+            win_pct(*b, *s),
+            st.steals,
+            st.stolen_busy_ns as f64 / 1e6
+        );
+    }
+    println!("best steal win across the sweep: {headline:.1}%");
+
+    if let Some(path) = bench_json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"cores\",\n");
+        out.push_str(&format!("  \"scheme\": \"{}\",\n", scheme.name()));
+        out.push_str(&format!("  \"ssds\": {},\n", template.num_ssds));
+        out.push_str(&format!(
+            "  \"steal_rebalance_ms\": {steal_rebalance_ms},\n"
+        ));
+        out.push_str(&format!("  \"steal_win_pct\": {headline:.3},\n"));
+        out.push_str("  \"points\": [\n");
+        for (pi, (k, b, s, st)) in points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"cores\": {k}, \"shared_nothing_mbps\": {b:.3}, \"steal_mbps\": {s:.3}, \"win_pct\": {:.3}, \"steals\": {}, \"rebalances\": {}, \"moved_homes\": {}, \"stolen_busy_ns\": {}}}{}\n",
+                win_pct(*b, *s),
+                st.steals,
+                st.rebalances,
+                st.moved_homes,
+                st.stolen_busy_ns,
+                if pi + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("bench summary -> {path}"),
+            Err(e) => {
+                eprintln!("bench summary: failed to write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let mut scheme = Scheme::Gimbal;
     let mut pre = Precondition::Clean;
@@ -492,6 +620,9 @@ fn main() {
     let mut borrow_mbps = 512u64;
     let mut borrow_epoch_ms = 20u64;
     let mut placement = false;
+    let mut steal = false;
+    let mut steal_rebalance_ms = 20u64;
+    let mut cores_sweep: Vec<u32> = Vec::new();
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
     let mut rack_nodes = 0u32;
     let mut rack_ssds_per_node = 2u32;
@@ -631,6 +762,26 @@ fn main() {
                 placement = true;
                 i += 1;
             }
+            "--steal" => {
+                steal = true;
+                i += 1;
+            }
+            "--steal-rebalance-ms" => {
+                steal_rebalance_ms = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--cores-sweep" => {
+                for k in need(i).split(',') {
+                    match k.parse::<u32>() {
+                        Ok(n) if n > 0 => cores_sweep.push(n),
+                        _ => {
+                            eprintln!("bad core count {k}");
+                            usage();
+                        }
+                    }
+                }
+                i += 2;
+            }
             "--rack-nodes" => {
                 rack_nodes = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
@@ -670,6 +821,10 @@ fn main() {
             }
         }
     }
+    let steal_cfg = StealConfig {
+        rebalance_epoch: SimDuration::from_millis(steal_rebalance_ms),
+        ..StealConfig::default()
+    };
     if rack_nodes > 0 {
         run_rack(
             scheme,
@@ -685,6 +840,7 @@ fn main() {
             warmup_ms,
             seed,
             sanitize,
+            steal.then(|| steal_cfg.clone()),
             bench_json.as_deref(),
         );
         return;
@@ -725,7 +881,7 @@ fn main() {
             }
             workers.push(
                 WorkerSpec::new(w.label.clone(), fio)
-                    .on_ssd((idx % u64::from(ssds)) as u32)
+                    .on_ssd(w.ssd.unwrap_or((idx % u64::from(ssds)) as u32))
                     .active(SimTime::ZERO, None),
             );
             idx += 1;
@@ -757,8 +913,22 @@ fn main() {
         cache: cache_tier_wb(cache_mb, cache_policy, cache_write),
         sanitize,
         broker,
+        steal: steal.then(|| steal_cfg.clone()),
         ..TestbedConfig::default()
     };
+
+    if !cores_sweep.is_empty() {
+        run_cores_sweep(
+            scheme,
+            &cfg,
+            &workers,
+            &cores_sweep,
+            &steal_cfg,
+            steal_rebalance_ms,
+            bench_json.as_deref(),
+        );
+        return;
+    }
 
     eprintln!(
         "jbofsim: {} workers, scheme {}, {:?} SSD ×{}, {} ms ({} ms warmup)",

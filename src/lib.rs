@@ -20,6 +20,8 @@
 //! * [`workload`] — fio-like streams and YCSB;
 //! * [`broker`] — inter-tenant token borrowing with deterministic
 //!   repayment, and Serifos-style interference-aware tenant placement;
+//! * [`cores`] — the node-level reactor-core scheduler: deterministic
+//!   inter-pipeline work stealing and epoch-based home rebalance;
 //! * [`blobstore`] — the hierarchical blob allocator + replication layer;
 //! * [`lsm_kv`] — the RocksDB-analog LSM store;
 //! * [`telemetry`] — deterministic structured tracing, metrics, and
@@ -54,6 +56,7 @@ pub use gimbal_blobstore as blobstore;
 pub use gimbal_broker as broker;
 pub use gimbal_cache as cache;
 pub use gimbal_core as gimbal;
+pub use gimbal_cores as cores;
 pub use gimbal_fabric as fabric;
 pub use gimbal_lsm_kv as lsm_kv;
 pub use gimbal_nic as nic;

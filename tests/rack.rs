@@ -16,6 +16,7 @@
 //! 4. **Inert plans are invisible.** A fault plan whose every target is
 //!    absent from the rack runs bit-identically to no plan at all.
 
+use gimbal_repro::cores::StealConfig;
 use gimbal_repro::fabric::RetryConfig;
 use gimbal_repro::rack::{RackConfig, RackTestbed};
 use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime};
@@ -261,6 +262,46 @@ fn degraded_link_slows_but_loses_nothing() {
         degraded.mean_read_latency_us() > clean.mean_read_latency_us(),
         "a 200µs/crossing penalty must show up in mean read latency"
     );
+}
+
+/// Fleet-width smoke, parameterized over the node count: a sanitized
+/// double run at `nodes` JBOF nodes (work stealing on, so the per-node
+/// core schedulers are exercised at scale) must agree bit for bit and
+/// finish in bounded wall-clock time. A scheduling blow-up — an event
+/// storm, a steal/rebalance loop — shows up here as minutes, not seconds.
+fn fleet_width_double_run(nodes: u32) {
+    let cfg = RackConfig {
+        nodes,
+        ssds_per_node: 2,
+        clients: 8,
+        duration: SimDuration::from_millis(20),
+        warmup: SimDuration::from_millis(5),
+        sanitize: true,
+        steal: Some(StealConfig::default()),
+        ..RackConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let a = RackTestbed::new(cfg.clone()).run();
+    let b = RackTestbed::new(cfg).run();
+    assert!(a.conservation_audit_holds(), "{nodes} nodes: {:?}", a.rack);
+    assert_eq!(a.stats_digest(), b.stats_digest(), "{nodes} nodes: stats");
+    assert_eq!(
+        a.access_digest(),
+        b.access_digest(),
+        "{nodes} nodes: journal"
+    );
+    let ops: u64 = a.clients.iter().map(|c| c.ops).sum();
+    assert!(ops > 0, "{nodes}-node rack made no progress");
+    assert!(
+        started.elapsed().as_secs() < 120,
+        "{nodes}-node double run took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn rack_at_24_nodes_is_bit_identical_and_bounded() {
+    fleet_width_double_run(24);
 }
 
 #[test]

@@ -391,6 +391,14 @@ fn all_components_appear_and_reconcile_with_metric_counters() {
             assert_eq!(in_stream, 0, "broker event in a broker-off run");
             continue;
         }
+        if comp == Component::Cores {
+            // Cores events only exist when work stealing is armed; the
+            // shared run keeps steal off, so one here would break the
+            // scheduler's inertness guarantee. A dedicated steal-armed run
+            // covers the component below.
+            assert_eq!(in_stream, 0, "cores event in a steal-off run");
+            continue;
+        }
         assert!(in_stream > 0, "no {comp} events in a faulted Gimbal run");
         assert_eq!(
             trace.metrics.counter(comp.name()),
@@ -441,6 +449,42 @@ fn broker_component_appears_and_reconciles_when_armed() {
         trace.metrics.counter(Component::Broker.name()),
         in_stream,
         "broker metric counter diverged from the stream"
+    );
+}
+
+/// Cores counterpart of the taxonomy check: a steal-armed run on a skewed
+/// placement emits Cores-component events (quanta stolen, homes rebalanced)
+/// and the metric counter reconciles exactly with the stream.
+#[test]
+fn cores_component_appears_and_reconciles_when_armed() {
+    use gimbal_repro::cores::StealConfig;
+    use gimbal_repro::telemetry::Component;
+    let per = CAP / 2;
+    // Both workers on SSD 0: its pipeline saturates home core 0 while
+    // core 1 idles, so stealing is guaranteed to fire.
+    let workers: Vec<WorkerSpec> = (0..2u64)
+        .map(|i| WorkerSpec::new("hot", FioSpec::paper_default(1.0, 4096, i * per, per)).on_ssd(0))
+        .collect();
+    let cfg = TestbedConfig {
+        scheme: Scheme::Gimbal,
+        precondition: Precondition::Clean,
+        num_ssds: 2,
+        cores: 2,
+        duration: SimDuration::from_millis(200),
+        warmup: SimDuration::from_millis(50),
+        steal: Some(StealConfig::default()),
+        trace: Some(TraceConfig { capacity: 1 << 20 }),
+        ..TestbedConfig::default()
+    };
+    let res = Testbed::new(cfg, workers).run();
+    let trace = res.trace.as_ref().expect("trace enabled");
+    assert_eq!(trace.dropped_oldest, 0, "ring too small for conformance");
+    let in_stream = trace.view().component(Component::Cores).len() as u64;
+    assert!(in_stream > 0, "no Cores events in a steal-armed run");
+    assert_eq!(
+        trace.metrics.counter(Component::Cores.name()),
+        in_stream,
+        "cores metric counter diverged from the stream"
     );
 }
 
