@@ -232,8 +232,9 @@ pub const ACCOUNTING_PATHS: &[&str] = &[
 /// The only modules allowed to hold interior-mutability cells (D8). These
 /// are the explicit owners of cross-component shared state: the pipeline's
 /// core slots, the engine's worker cores, the tracer sink, the access
-/// journal, the broker ledger, and the core scheduler's shared reactor
-/// cores.
+/// journal, the broker ledger, the core scheduler's shared reactor cores,
+/// and the IO-state arena (recycled records shared across engine ticks,
+/// guarded by incarnation-tagged handles).
 pub const SHARED_STATE_OWNERS: &[&str] = &[
     "crates/switch/src/pipeline.rs",
     "crates/testbed/src/engine.rs",
@@ -241,6 +242,7 @@ pub const SHARED_STATE_OWNERS: &[&str] = &[
     "crates/sim/src/journal.rs",
     "crates/broker/src/ledger.rs",
     "crates/cores/src/sched.rs",
+    "crates/sim/src/arena.rs",
 ];
 
 /// Map a crate directory name (or "root" for the top-level `src/`) to its

@@ -47,7 +47,10 @@ use gimbal_fabric::{
 };
 use gimbal_sim::collections::DetMap;
 use gimbal_sim::journal::JournalHandle;
-use gimbal_sim::{EventQueue, FaultInjector, FaultPlan, Histogram, SimDuration, SimRng, SimTime};
+use gimbal_sim::{
+    EventQueue, FaultInjector, FaultPlan, Histogram, IoArena, IoHandle, SimDuration, SimRng,
+    SimTime,
+};
 use gimbal_ssd::FlashSsd;
 use gimbal_switch::{ClientPolicy, Pipeline, PipelineConfig};
 use gimbal_telemetry::{CapsuleKind, EventKind, TraceHandle, Tracer};
@@ -187,7 +190,11 @@ struct Rt {
     clients: Vec<Client>,
     logical: DetMap<u64, Logical>,
     next_logical: u64,
-    phys: DetMap<u64, Phys>,
+    /// Live physical commands, by command id. The map holds arena handles;
+    /// the arena recycles the `Phys` records themselves (incarnation-tagged,
+    /// so a stale handle is a typed error instead of aliased state).
+    phys: DetMap<u64, IoHandle>,
+    phys_arena: IoArena<Phys>,
     next_cmd: u64,
     counters: FaultCounters,
     rack: RackCounters,
@@ -367,6 +374,7 @@ impl Rt {
             logical: DetMap::new(),
             next_logical: 0,
             phys: DetMap::new(),
+            phys_arena: IoArena::new(),
             next_cmd: 0,
             counters: FaultCounters::default(),
             rack: RackCounters::default(),
@@ -603,17 +611,15 @@ impl Rt {
         self.router.on_submit(BackendId(io.backend as u32));
         self.sanitizer
             .record(now.as_nanos(), "rack.issue", "submit", cmd.id.0);
-        self.phys.insert(
-            cmd.id.0,
-            Phys {
-                logical: io.logical,
-                backend: io.backend,
-                attempt: 0,
-                delivered: false,
-                done_cpl: None,
-                cmd,
-            },
-        );
+        let h = self.phys_arena.alloc(Phys {
+            logical: io.logical,
+            backend: io.backend,
+            attempt: 0,
+            delivered: false,
+            done_cpl: None,
+            cmd,
+        });
+        self.phys.insert(cmd.id.0, h);
         if self.armed() {
             self.queue.push(
                 now + self.retry.timeout_for(0),
@@ -731,8 +737,11 @@ impl Rt {
                 issued_at: out.cmd.issued_at,
                 completed_at: out.at,
             };
-            if let Some(p) = self.phys.get_mut(&out.cmd.id.0) {
-                p.done_cpl = Some(cpl);
+            if let Some(&h) = self.phys.get(&out.cmd.id.0) {
+                self.phys_arena
+                    .get_mut(h)
+                    .expect("tracked handle is live")
+                    .done_cpl = Some(cpl);
             }
             self.send_completion(backend, cpl, out.cmd, out.at);
         }
@@ -813,7 +822,11 @@ impl Rt {
     /// Remove a physical command that timed out terminally or is being
     /// abandoned for a reroute, settling its client/gate/router state.
     fn abandon_phys(&mut self, cmd: u64, attempt: u32, now: SimTime) {
-        let p = self.phys.remove(&cmd).expect("abandoning a tracked cmd");
+        let h = self.phys.remove(&cmd).expect("abandoning a tracked cmd");
+        let p = self
+            .phys_arena
+            .free(h)
+            .expect("tracked handle is live at abandon");
         self.counters.timed_out += 1;
         self.trace.record(
             now,
@@ -1021,7 +1034,12 @@ impl Rt {
                         self.rack.tor_cmd_drops += 1;
                         continue;
                     }
-                    match self.phys.get_mut(&cmd.id.0) {
+                    match self
+                        .phys
+                        .get(&cmd.id.0)
+                        .copied()
+                        .map(|h| self.phys_arena.get_mut(h).expect("tracked handle is live"))
+                    {
                         // Initiator already abandoned it (rerouted or
                         // terminal): late replay, ignore.
                         None => self.counters.duplicate_cmds_ignored += 1,
@@ -1051,10 +1069,14 @@ impl Rt {
                     }
                 }
                 Ev::DeliverCpl { cpl } => {
-                    let Some(p) = self.phys.remove(&cpl.id.0) else {
+                    let Some(h) = self.phys.remove(&cpl.id.0) else {
                         self.counters.stale_completions_ignored += 1;
                         continue;
                     };
+                    let p = self
+                        .phys_arena
+                        .free(h)
+                        .expect("tracked handle is live at completion");
                     let i = cpl.tenant.index();
                     let b = p.backend;
                     self.clients[i].outstanding[b] -= 1;
@@ -1097,7 +1119,11 @@ impl Rt {
                     self.dispatch(i, now);
                 }
                 Ev::Timeout { cmd, attempt } => {
-                    let Some(p) = self.phys.get(&cmd) else {
+                    let Some(p) = self
+                        .phys
+                        .get(&cmd)
+                        .map(|&h| self.phys_arena.get(h).expect("tracked handle is live"))
+                    else {
                         continue; // resolved before the timer fired
                     };
                     if p.attempt != attempt {
@@ -1116,7 +1142,11 @@ impl Rt {
                     match self.retry.escalate(attempt, can_reroute) {
                         EscalationAction::Retransmit => {
                             let next = attempt + 1;
-                            self.phys.get_mut(&cmd).expect("tracked").attempt = next;
+                            let h = *self.phys.get(&cmd).expect("tracked");
+                            self.phys_arena
+                                .get_mut(h)
+                                .expect("tracked handle is live")
+                                .attempt = next;
                             self.counters.retries += 1;
                             let t = self.retry.timeout_for(next);
                             self.trace.record(

@@ -23,6 +23,7 @@
 //! what lets the benchmark harness regenerate each figure of the paper
 //! reproducibly.
 
+pub mod arena;
 pub mod cast;
 pub mod collections;
 pub mod digest;
@@ -34,11 +35,12 @@ pub mod stats;
 pub mod time;
 pub mod token_bucket;
 
+pub use arena::{ArenaError, IoArena, IoHandle};
 pub use collections::{DetMap, DetSet};
 pub use digest::Digest;
 pub use fault::{FaultInjector, FaultPlan, FaultWindow, NodeFaultSpec, SsdFaultSpec};
 pub use journal::{first_divergence, AccessJournal, DivergenceReport, JournalHandle};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::SimRng;
 pub use stats::{Ewma, Histogram, Meter, TimeSeries};
 pub use time::{SimDuration, SimTime};

@@ -5,10 +5,33 @@
 //! monotonically increasing sequence number breaks ties), which makes the
 //! simulation fully deterministic even when many events collide on one
 //! timestamp — a common situation when components schedule "immediately".
+//!
+//! Internally the queue is a **hierarchical timer wheel** in the radix-heap
+//! formulation: 11 levels of 64 slots, 6 bits of the nanosecond timestamp per
+//! level, covering the full `u64` range with no overflow list. An entry lives
+//! at the level of the highest bit in which its timestamp differs from the
+//! wheel origin (`elapsed`, which tracks the causality watermark), so the
+//! common short-horizon events of a self-clocked simulation land at level 0
+//! and pop in O(1); far-future entries cascade down level by level as the
+//! origin advances past their upper digits. Draining a level-0 slot sorts the
+//! slot by sequence number, which restores global FIFO order for same-instant
+//! events regardless of how many cascades they rode through — the wheel
+//! reproduces the exact `(time, seq)` pop order of the binary heap it
+//! replaced. That heap survives as [`HeapEventQueue`], the equivalence oracle
+//! used by the wheel-vs-heap property tests.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Bits of the timestamp consumed per wheel level.
+const BITS: usize = 6;
+/// Slots per level (`2^BITS`).
+const SLOTS_PER_LEVEL: usize = 64;
+/// Levels needed to cover a full `u64` of nanoseconds (`ceil(64 / 6)`).
+const LEVELS: usize = 11;
+/// Mask of one level's digit.
+const SLOT_MASK: u64 = (SLOTS_PER_LEVEL as u64) - 1;
 
 struct Entry<E> {
     at: SimTime,
@@ -39,6 +62,19 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// The wheel level of timestamp `at` relative to the wheel origin: the index
+/// of the 6-bit digit holding the highest bit where they differ (0 when they
+/// agree, i.e. the entry is due now).
+#[inline]
+fn level_of(at: u64, origin: u64) -> usize {
+    let diff = at ^ origin;
+    if diff == 0 {
+        0
+    } else {
+        (63 - diff.leading_zeros() as usize) / BITS
+    }
+}
+
 /// A deterministic min-priority queue of timestamped events.
 ///
 /// ```
@@ -55,7 +91,21 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// `LEVELS * SLOTS_PER_LEVEL` buckets, level-major. Empty `Vec`s do not
+    /// allocate, so the idle wheel costs 704 pointers-worth of metadata.
+    slots: Vec<Vec<Entry<E>>>,
+    /// One bit per slot and level; the lowest set bit of the lowest non-zero
+    /// level is the next slot to drain.
+    occupancy: [u64; LEVELS],
+    /// Entries at the earliest pending instant, already in seq (FIFO) order.
+    /// Same-instant pushes append here directly, which keeps the order exact
+    /// without re-sorting.
+    current: VecDeque<Entry<E>>,
+    /// Wheel origin in nanoseconds. Every pending entry is `>= elapsed`, and
+    /// an entry at level L shares all digits above L with `elapsed`. Equal to
+    /// the watermark whenever the queue is at rest between pops.
+    elapsed: u64,
+    len: usize,
     next_seq: u64,
     /// Timestamp of the most recently popped event; pushes earlier than this
     /// indicate a causality bug and panic in debug builds.
@@ -72,7 +122,11 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS_PER_LEVEL).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            current: VecDeque::new(),
+            elapsed: 0,
+            len: 0,
             next_seq: 0,
             watermark: SimTime::ZERO,
         }
@@ -92,6 +146,214 @@ impl<E> EventQueue<E> {
         let at = at.max(self.watermark);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.len += 1;
+        let entry = Entry { at, seq, event };
+        if let Some(front) = self.current.front() {
+            if at == front.at {
+                // Same instant as the staged batch: the monotone seq keeps
+                // the deque sorted.
+                self.current.push_back(entry);
+                return;
+            }
+            if at < front.at {
+                // Only reachable through a declined [`Self::pop_if_at`] at a
+                // future instant (contract violation, debug-asserted there);
+                // keep release builds correct by slotting the entry into the
+                // staged batch in (time, seq) order.
+                let pos = self
+                    .current
+                    .iter()
+                    .position(|e| e.at > at)
+                    .unwrap_or(self.current.len());
+                self.current.insert(pos, entry);
+                return;
+            }
+        }
+        self.insert_wheel(entry);
+    }
+
+    /// Remove and return the earliest event, advancing the causality watermark.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            if let Some(e) = self.current.pop_front() {
+                self.len -= 1;
+                self.watermark = e.at;
+                self.elapsed = self.elapsed.max(e.at.as_nanos());
+                return Some((e.at, e.event));
+            }
+            if !self.load_next_batch() {
+                return None;
+            }
+        }
+    }
+
+    /// Pop the head event only if it is due exactly at `at` **and** `pred`
+    /// accepts it; otherwise leave the queue untouched and return `None`.
+    ///
+    /// This is the batching hook: an engine handling an event at `now` can
+    /// coalesce the immediately-following same-instant events without
+    /// re-entering its dispatch loop. Callers must only pass the instant they
+    /// are currently processing (`at == now`); declining at a *future*
+    /// instant would let later pushes land before the staged batch, which is
+    /// a causality error (debug-asserted in [`Self::push`]).
+    pub fn pop_if_at<F: FnOnce(&E) -> bool>(&mut self, at: SimTime, pred: F) -> Option<E> {
+        if self.peek_time() != Some(at) {
+            return None;
+        }
+        if self.current.is_empty() && !self.load_next_batch() {
+            return None;
+        }
+        let front = self.current.front()?;
+        if front.at != at || !pred(&front.event) {
+            return None;
+        }
+        let e = self.current.pop_front()?;
+        self.len -= 1;
+        self.watermark = e.at;
+        self.elapsed = self.elapsed.max(e.at.as_nanos());
+        Some(e.event)
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(front) = self.current.front() {
+            return Some(front.at);
+        }
+        let (level, slot) = self.lowest_occupied()?;
+        if level == 0 {
+            // A level-0 slot holds exactly one absolute instant.
+            Some(SimTime::from_nanos(
+                (self.elapsed & !SLOT_MASK) | slot as u64,
+            ))
+        } else {
+            // The global minimum lives in this slot; scan it.
+            self.slots[level * SLOTS_PER_LEVEL + slot]
+                .iter()
+                .map(|e| e.at)
+                .min()
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The current simulation watermark (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Drop all pending events without firing them.
+    pub fn clear(&mut self) {
+        for v in &mut self.slots {
+            v.clear();
+        }
+        self.occupancy = [0; LEVELS];
+        self.current.clear();
+        self.len = 0;
+        // The origin may have run ahead of the watermark while a batch was
+        // staged; rewind so post-clear pushes (>= watermark) place correctly.
+        self.elapsed = self.watermark.as_nanos();
+    }
+
+    /// Lowest non-empty (level, slot), i.e. where the next batch drains from.
+    fn lowest_occupied(&self) -> Option<(usize, usize)> {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .find(|(_, &occ)| occ != 0)
+            .map(|(level, &occ)| (level, occ.trailing_zeros() as usize))
+    }
+
+    /// File an entry into the wheel relative to the current origin.
+    fn insert_wheel(&mut self, entry: Entry<E>) {
+        let at = entry.at.as_nanos();
+        let level = level_of(at, self.elapsed);
+        let slot = ((at >> (level * BITS)) & SLOT_MASK) as usize;
+        self.occupancy[level] |= 1 << slot;
+        self.slots[level * SLOTS_PER_LEVEL + slot].push(entry);
+    }
+
+    /// Stage the earliest pending instant's entries into `current`, in seq
+    /// order, cascading upper levels down as needed. Returns `false` when
+    /// the wheel is empty. On success the origin sits exactly at the staged
+    /// instant.
+    fn load_next_batch(&mut self) -> bool {
+        loop {
+            let Some((level, slot)) = self.lowest_occupied() else {
+                return false;
+            };
+            let idx = level * SLOTS_PER_LEVEL + slot;
+            let mut drained = std::mem::take(&mut self.slots[idx]);
+            self.occupancy[level] &= !(1u64 << slot);
+            if level == 0 {
+                // This slot is a single instant: sort by seq to undo any
+                // interleaving that cascades introduced, and stage it.
+                self.elapsed = (self.elapsed & !SLOT_MASK) | slot as u64;
+                drained.sort_unstable_by_key(|e| e.seq);
+                self.current.extend(drained.drain(..));
+                self.slots[idx] = drained; // keep the allocation
+                return true;
+            }
+            // Cascade: the global minimum lives in this slot, so the origin
+            // may jump to the slot's first instant (digit `level` := slot,
+            // lower digits zeroed). Every drained entry re-files strictly
+            // below `level` relative to the new origin.
+            let shift = level * BITS;
+            let keep_above = u64::MAX.checked_shl((shift + BITS) as u32).unwrap_or(0);
+            self.elapsed = (self.elapsed & keep_above) | ((slot as u64) << shift);
+            for entry in drained.drain(..) {
+                self.insert_wheel(entry);
+            }
+            self.slots[idx] = drained;
+        }
+    }
+}
+
+/// The binary-heap event queue the timer wheel replaced, kept verbatim as
+/// the **equivalence oracle**: the wheel must reproduce this queue's exact
+/// `(time, seq)` pop order on any push/pop stream. Property tests drive both
+/// from shared `SimRng` streams and assert identical sequences; nothing in
+/// the engines uses this type.
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    watermark: SimTime,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `event` to fire at instant `at` (same contract as
+    /// [`EventQueue::push`]).
+    pub fn push(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.watermark,
+            "event scheduled at {at} before current time {}",
+            self.watermark
+        );
+        let at = at.max(self.watermark);
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
     }
 
@@ -100,6 +362,16 @@ impl<E> EventQueue<E> {
         let entry = self.heap.pop()?;
         self.watermark = entry.at;
         Some((entry.at, entry.event))
+    }
+
+    /// Pop the head only if due exactly at `at` and accepted by `pred` (same
+    /// contract as [`EventQueue::pop_if_at`]).
+    pub fn pop_if_at<F: FnOnce(&E) -> bool>(&mut self, at: SimTime, pred: F) -> Option<E> {
+        let head = self.heap.peek()?;
+        if head.at != at || !pred(&head.event) {
+            return None;
+        }
+        self.pop().map(|(_, e)| e)
     }
 
     /// The instant of the earliest pending event, if any.
@@ -131,6 +403,7 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
     use crate::time::SimDuration;
 
     #[test]
@@ -200,5 +473,115 @@ mod tests {
             q.push(t + SimDuration::from_nanos(u64::from(id % 3)), id + 1);
         }
         assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_and_overflow_cascades_pop_in_order() {
+        // One entry per wheel level, including the top (bit 63) digits, plus
+        // the absolute maximum timestamp: every cascade path gets exercised.
+        let mut q = EventQueue::new();
+        let mut times: Vec<u64> = (0..11).map(|lvl| 1u64 << (6 * lvl)).collect();
+        times.push(u64::MAX);
+        times.push(u64::MAX - 1);
+        times.push(0);
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        times.sort_unstable();
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t.as_nanos())).collect();
+        assert_eq!(popped, times);
+        assert_eq!(q.now(), SimTime::from_nanos(u64::MAX));
+    }
+
+    #[test]
+    fn same_instant_fifo_survives_cascades() {
+        // Two batches at the same far-future instant, pushed on either side
+        // of an interleaved near-term pop: the cascade must not reorder them.
+        let far = SimTime::from_millis(77);
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(far, i);
+        }
+        q.push(SimTime::from_nanos(5), 100);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(5), 100)));
+        for i in 10..20 {
+            q.push(far, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_if_at_takes_matching_head_only() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(2);
+        q.push(t, 1u32);
+        q.push(t, 2u32);
+        q.push(SimTime::from_micros(3), 3u32);
+        // Wrong instant: untouched.
+        assert_eq!(q.pop_if_at(SimTime::from_micros(1), |_| true), None);
+        // Predicate declines: untouched.
+        assert_eq!(q.pop_if_at(t, |&e| e == 9), None);
+        assert_eq!(q.pop_if_at(t, |&e| e == 1), Some(1));
+        assert_eq!(q.pop_if_at(t, |&e| e == 2), Some(2));
+        // Head moved to a later instant: declined.
+        assert_eq!(q.pop_if_at(t, |_| true), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(3), 3)));
+    }
+
+    /// In-crate oracle: random streams with same-tick collisions and
+    /// pop-interleaved pushes produce identical sequences from the wheel and
+    /// the heap. (The heavier cross-crate version lives in
+    /// `tests/properties.rs`.)
+    #[test]
+    fn wheel_matches_heap_on_random_streams() {
+        let mut rng = SimRng::new(0xA11CE);
+        for _ in 0..50 {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut base = 0u64;
+            for _ in 0..400 {
+                if rng.gen_bool(0.6) {
+                    let jump = match rng.gen_below(4) {
+                        0 => rng.gen_below(4),                   // same-tick collisions
+                        1 => rng.gen_below(1 << 10),             // near future
+                        2 => rng.gen_below(1 << 30),             // mid future
+                        _ => rng.next_u64() >> rng.gen_below(8), // far future
+                    };
+                    let at = SimTime::from_nanos(base.saturating_add(jump));
+                    let tag = rng.next_u64();
+                    wheel.push(at, tag);
+                    heap.push(at, tag);
+                } else {
+                    let got = wheel.pop();
+                    assert_eq!(got, heap.pop());
+                    if let Some((t, _)) = got {
+                        base = t.as_nanos();
+                    }
+                }
+                assert_eq!(wheel.len(), heap.len());
+                assert_eq!(wheel.peek_time(), heap.peek_time());
+            }
+            while let Some(got) = wheel.pop() {
+                assert_eq!(Some(got), heap.pop());
+            }
+            assert!(heap.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn heap_oracle_matches_original_contract() {
+        let mut q = HeapEventQueue::new();
+        q.push(SimTime::from_micros(5), "later");
+        q.push(SimTime::from_micros(1), "first");
+        q.push(SimTime::from_micros(5), "even later");
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), "first")));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), "later")));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), "even later")));
+        assert_eq!(q.now(), SimTime::from_micros(5));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -69,6 +69,13 @@ pub trait StorageDevice {
     /// Retire internal events due at or before `now`; returns completions in
     /// completion-time order.
     fn poll(&mut self, now: SimTime) -> Vec<SsdCompletion>;
+    /// [`Self::poll`] into a caller-recycled buffer (appending in the same
+    /// order), so a pipeline polling millions of times does not allocate a
+    /// fresh `Vec` per poll. The default delegates to [`Self::poll`];
+    /// hot-path devices override both to share one allocation-free drain.
+    fn poll_into(&mut self, now: SimTime, out: &mut Vec<SsdCompletion>) {
+        out.extend(self.poll(now));
+    }
     /// The next instant at which [`Self::poll`] will have work, if any.
     fn next_event_at(&self) -> Option<SimTime>;
     /// Number of submitted-but-not-yet-completed commands.
@@ -718,6 +725,11 @@ impl StorageDevice for FlashSsd {
 
     fn poll(&mut self, now: SimTime) -> Vec<SsdCompletion> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    fn poll_into(&mut self, now: SimTime, out: &mut Vec<SsdCompletion>) {
         while self.events.peek_time().is_some_and(|t| t <= now) {
             let (at, ev) = self.events.pop().unwrap();
             match ev {
@@ -728,7 +740,6 @@ impl StorageDevice for FlashSsd {
                 Ev::DieOpDone(die) => self.on_die_op_done(die, at),
             }
         }
-        out
     }
 
     fn next_event_at(&self) -> Option<SimTime> {

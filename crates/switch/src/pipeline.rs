@@ -20,7 +20,7 @@ use gimbal_fabric::{CmdId, CmdStatus, IoType, NvmeCmd, Priority, SsdId, TenantId
 use gimbal_nic::{Core, CpuCost};
 use gimbal_sim::collections::{DetMap, DetSet};
 use gimbal_sim::{EventQueue, SimDuration, SimTime};
-use gimbal_ssd::StorageDevice;
+use gimbal_ssd::{SsdCompletion, StorageDevice};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -100,6 +100,9 @@ pub struct Pipeline<D: StorageDevice> {
     /// Parking is per tenant: a broke tenant's requests wait here (FIFO)
     /// while other tenants keep submitting; each poll retries them first.
     broker_parked: Vec<Request>,
+    /// Recycled device-completion buffer: drained every poll, so the steady
+    /// state allocates nothing on the completion path.
+    cpl_buf: Vec<SsdCompletion>,
 }
 
 /// Outcome of metering one submission through the broker gate.
@@ -142,6 +145,7 @@ impl<D: StorageDevice> Pipeline<D> {
             cfg,
             broker,
             broker_parked: Vec::new(),
+            cpl_buf: Vec::new(),
             events: EventQueue::new(),
             inflight: DetMap::new(),
             resident: DetSet::new(),
@@ -326,9 +330,10 @@ impl<D: StorageDevice> Pipeline<D> {
                 PipeEv::Emit(out) => self.outputs.push(out),
             }
         }
-        // Device completions.
-        let completions = self.device.poll(now);
-        for c in completions {
+        // Device completions, drained into the recycled buffer.
+        let mut completions = std::mem::take(&mut self.cpl_buf);
+        self.device.poll_into(now, &mut completions);
+        for c in completions.drain(..) {
             let cmd = self
                 .inflight
                 .remove(&c.tag)
@@ -397,6 +402,7 @@ impl<D: StorageDevice> Pipeline<D> {
                 }),
             );
         }
+        self.cpl_buf = completions;
         // Issue due flush writes so they join this round's policy drain.
         self.pump_flusher(now);
         // Drain submissions, metering each through the broker ledger when

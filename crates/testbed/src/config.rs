@@ -150,6 +150,16 @@ pub struct TestbedConfig {
     /// events: such a run is bit-identical to one on a build without broker
     /// support.
     pub broker: Option<BrokerConfig>,
+    /// Maximum command capsules coalesced into one pipeline quantum when
+    /// they arrive at the same instant on the same SSD: one scheduler
+    /// decision and one pump per batch instead of per IO. `1` (the default)
+    /// executes every arrival in its own quantum — bit-identical to
+    /// pre-batching builds. Batching only engages on fault-free runs (replay
+    /// dedup can turn an arrival into a resend mid-batch) and closes early
+    /// whenever the pipeline has other work due at the batch instant, so an
+    /// intermediate completion interleaves exactly as the unbatched engine
+    /// would.
+    pub batch: u32,
     /// Inter-pipeline work stealing across reactor cores (gimbal-cores).
     /// `None` (the default) keeps the fixed home binding: every quantum
     /// runs on its pipeline's home core (`ssd % cores`), the scheduler
@@ -184,6 +194,7 @@ impl Default for TestbedConfig {
             cache: None,
             sanitize: false,
             broker: None,
+            batch: 1,
             steal: None,
         }
     }
@@ -194,6 +205,7 @@ impl TestbedConfig {
     pub fn validate(&self) {
         assert!(self.num_ssds >= 1);
         assert!(self.cores >= 1);
+        assert!(self.batch >= 1, "batch of 0 would coalesce nothing");
         assert!(self.warmup < self.duration);
         self.ssd.validate();
         self.gimbal_params.validate();

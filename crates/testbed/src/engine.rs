@@ -13,8 +13,8 @@ use gimbal_fabric::{
 use gimbal_sim::journal::JournalHandle;
 use gimbal_sim::stats::LatencySummary;
 use gimbal_sim::{
-    DetMap, EventQueue, FaultInjector, FaultPlan, Histogram, Meter, SimDuration, SimRng, SimTime,
-    TimeSeries,
+    DetMap, EventQueue, FaultInjector, FaultPlan, Histogram, IoArena, IoHandle, Meter, SimDuration,
+    SimRng, SimTime, TimeSeries,
 };
 use gimbal_ssd::FlashSsd;
 use gimbal_switch::{ClientPolicy, Pipeline, PipelineConfig};
@@ -74,8 +74,13 @@ struct FaultRt {
     retry: RetryConfig,
     /// Live (non-terminal) commands by id. The entry is removed exactly
     /// once — at completion delivery or at final timeout — which is what
-    /// makes the conservation audit exact.
-    tracked: DetMap<u64, CmdTrack>,
+    /// makes the conservation audit exact. Values are handles into
+    /// [`Self::arena`]; the map stays the deterministic index while the
+    /// records themselves recycle.
+    tracked: DetMap<u64, IoHandle>,
+    /// Arena-recycled [`CmdTrack`] storage: freed records are reused by
+    /// later commands, with incarnation tags catching any stale access.
+    arena: IoArena<CmdTrack>,
 }
 
 /// Per-command bookkeeping while fault injection is armed.
@@ -180,6 +185,13 @@ struct Engine {
     /// Shared broker ledger (`None` = broker off; pipelines then carry no
     /// gate and no epoch events are scheduled).
     broker: Option<BrokerHandle>,
+    /// Total events popped from the event queue, including batch-coalesced
+    /// command deliveries. Pure perf instrumentation (the `--scale` bench's
+    /// events/sec numerator); never folded into digests.
+    events_processed: u64,
+    /// Recycled telemetry sample buffer: device latencies collected during
+    /// one pump, flushed in a single [`TraceHandle::observe_many`] call.
+    obs_buf: Vec<(TenantId, u64)>,
     /// The node's reactor-core scheduler (gimbal-cores). Owns every core;
     /// each pipeline quantum runs on the core it assigns. With
     /// [`TestbedConfig::steal`] unset it always assigns the home core and
@@ -296,6 +308,7 @@ impl Engine {
             injector: FaultInjector::new(fc.plan.clone(), cfg.seed),
             retry: fc.retry,
             tracked: DetMap::new(),
+            arena: IoArena::new(),
         });
 
         Engine {
@@ -314,6 +327,8 @@ impl Engine {
             submissions: Vec::new(),
             faults,
             counters: FaultCounters::default(),
+            events_processed: 0,
+            obs_buf: Vec::new(),
             tracer,
             trace,
             sanitizer,
@@ -408,17 +423,15 @@ impl Engine {
                     .write_payload_fetched(&mut w.tx_port, arrive, &cmd);
             }
             if let Some(f) = self.faults.as_mut() {
-                f.tracked.insert(
-                    cmd.id.0,
-                    CmdTrack {
-                        cmd,
-                        worker: wi,
-                        ssd,
-                        attempt: 0,
-                        delivered: false,
-                        done_cpl: None,
-                    },
-                );
+                let h = f.arena.alloc(CmdTrack {
+                    cmd,
+                    worker: wi,
+                    ssd,
+                    attempt: 0,
+                    delivered: false,
+                    done_cpl: None,
+                });
+                f.tracked.insert(cmd.id.0, h);
                 self.queue.push(
                     now + f.retry.timeout_for(0),
                     Ev::Timeout {
@@ -516,8 +529,12 @@ impl Engine {
             } else {
                 let lat_ns = out.device_latency.as_nanos();
                 self.device_hist[ssd][out.cmd.opcode.index()].record(lat_ns);
-                self.trace
-                    .observe("device_latency_ns", out.cmd.tenant, lat_ns);
+                if self.trace.is_enabled() {
+                    // Buffered for one observe_many flush after the loop:
+                    // one tracer borrow per pump instead of one per IO.
+                    // Samples keep their order, so digests are unchanged.
+                    self.obs_buf.push((out.cmd.tenant, lat_ns));
+                }
                 self.dev_lat_ewma[ssd][out.cmd.opcode.index()].update(lat_ns as f64 / 1e3);
                 self.dev_meter[ssd].record(now, out.cmd.len_bytes());
             }
@@ -536,11 +553,15 @@ impl Engine {
                 // Cache for replay dedup. A missing entry means the
                 // initiator already abandoned the command; the capsule
                 // still travels and is ignored on arrival.
-                if let Some(t) = f.tracked.get_mut(&cpl.id.0) {
-                    t.done_cpl = Some(cpl);
+                if let Some(&h) = f.tracked.get(&cpl.id.0) {
+                    f.arena.get_mut(h).expect("tracked handle is live").done_cpl = Some(cpl);
                 }
             }
             self.send_completion(ssd, &out.cmd, cpl, out.at);
+        }
+        if !self.obs_buf.is_empty() {
+            self.trace.observe_many("device_latency_ns", &self.obs_buf);
+            self.obs_buf.clear();
         }
         if let Some(t) = self.pipelines[ssd].next_event_at() {
             let t = t.max(now + SimDuration::from_nanos(1));
@@ -694,6 +715,7 @@ impl Engine {
             if now > end {
                 break;
             }
+            self.events_processed += 1;
             if debug && now.as_nanos() / 100_000_000 != last_report {
                 last_report = now.as_nanos() / 100_000_000;
                 eprintln!(
@@ -736,17 +758,20 @@ impl Engine {
                 Ev::DeliverCmd { ssd, cmd } => {
                     let action = match self.faults.as_mut() {
                         None => CmdAction::Execute,
-                        Some(f) => match f.tracked.get_mut(&cmd.id.0) {
+                        Some(f) => match f.tracked.get(&cmd.id.0).copied() {
                             // Initiator already gave up on it: late replay.
                             None => CmdAction::Duplicate,
-                            Some(t) => match t.done_cpl {
-                                Some(cpl) => CmdAction::Resend(cpl),
-                                None if t.delivered => CmdAction::Duplicate,
-                                None => {
-                                    t.delivered = true;
-                                    CmdAction::Execute
+                            Some(h) => {
+                                let t = f.arena.get_mut(h).expect("tracked handle is live");
+                                match t.done_cpl {
+                                    Some(cpl) => CmdAction::Resend(cpl),
+                                    None if t.delivered => CmdAction::Duplicate,
+                                    None => {
+                                        t.delivered = true;
+                                        CmdAction::Execute
+                                    }
                                 }
-                            },
+                            }
                         },
                     };
                     match action {
@@ -757,6 +782,40 @@ impl Engine {
                             // pump below re-enters the same quantum.
                             let q = self.begin_quantum(ssd, now);
                             self.pipelines[ssd].on_command(cmd, now);
+                            // Batched submission: coalesce the immediately
+                            // following same-instant arrivals for this SSD
+                            // into the open quantum — one scheduler decision
+                            // and one pump per batch instead of per IO. Only
+                            // fault-free (replay dedup can turn an arrival
+                            // into a resend mid-batch), and only while the
+                            // pipeline has nothing else due at `now`: an
+                            // intermediate completion must interleave
+                            // exactly as the unbatched engine would.
+                            if self.cfg.batch > 1 && self.faults.is_none() {
+                                let mut n = 1;
+                                while n < self.cfg.batch
+                                    && self.pipelines[ssd].next_event_at().is_none_or(|t| t > now)
+                                {
+                                    let Some(ev) = self.queue.pop_if_at(
+                                        now,
+                                        |e| matches!(e, Ev::DeliverCmd { ssd: s, .. } if *s == ssd),
+                                    ) else {
+                                        break;
+                                    };
+                                    let Ev::DeliverCmd { cmd, .. } = ev else {
+                                        unreachable!("pop_if_at matched DeliverCmd")
+                                    };
+                                    self.events_processed += 1;
+                                    self.sanitizer.record(
+                                        now.as_nanos(),
+                                        "engine.fabric",
+                                        "deliver_cmd",
+                                        cmd.id.0,
+                                    );
+                                    self.pipelines[ssd].on_command(cmd, now);
+                                    n += 1;
+                                }
+                            }
                             self.sched.end(ssd, q);
                             self.pump(ssd, now);
                         }
@@ -778,11 +837,18 @@ impl Engine {
                 }
                 Ev::DeliverCpl { worker, cpl } => {
                     if let Some(f) = self.faults.as_mut() {
-                        if f.tracked.remove(&cpl.id.0).is_none() {
-                            // The command was already abandoned (final
-                            // timeout): its outstanding slot is gone.
-                            self.counters.stale_completions_ignored += 1;
-                            continue;
+                        match f.tracked.remove(&cpl.id.0) {
+                            None => {
+                                // The command was already abandoned (final
+                                // timeout): its outstanding slot is gone.
+                                self.counters.stale_completions_ignored += 1;
+                                continue;
+                            }
+                            Some(h) => {
+                                // Terminal: recycle the record (the freed
+                                // handle goes stale atomically).
+                                f.arena.free(h).expect("tracked handle is live");
+                            }
                         }
                     }
                     {
@@ -825,17 +891,24 @@ impl Engine {
                     let Some(f) = self.faults.as_mut() else {
                         continue;
                     };
-                    let (track_cmd, worker, ssd, cur_attempt) = match f.tracked.get(&cmd) {
-                        None => continue,                            // already terminal
-                        Some(t) if t.attempt != attempt => continue, // superseded timer
-                        Some(t) => (t.cmd, t.worker, t.ssd, t.attempt),
+                    let (track_cmd, worker, ssd, cur_attempt) = match f.tracked.get(&cmd).copied() {
+                        None => continue, // already terminal
+                        Some(h) => {
+                            let t = f.arena.get(h).expect("tracked handle is live");
+                            if t.attempt != attempt {
+                                continue; // superseded timer
+                            }
+                            (t.cmd, t.worker, t.ssd, t.attempt)
+                        }
                     };
                     if f.retry.exhausted(cur_attempt) {
                         // Out of retries: the command errors out
                         // client-side. Its grant is presumed lost, so the
                         // client shrinks its window (re-synced by the next
                         // surviving completion).
-                        f.tracked.remove(&cmd);
+                        if let Some(h) = f.tracked.remove(&cmd) {
+                            f.arena.free(h).expect("tracked handle is live");
+                        }
                         self.counters.timed_out += 1;
                         self.trace.record(
                             now,
@@ -863,8 +936,8 @@ impl Engine {
                         continue;
                     }
                     let next = cur_attempt + 1;
-                    if let Some(t) = f.tracked.get_mut(&cmd) {
-                        t.attempt = next;
+                    if let Some(&h) = f.tracked.get(&cmd) {
+                        f.arena.get_mut(h).expect("tracked handle is live").attempt = next;
                     }
                     self.counters.retries += 1;
                     let deadline = now + f.retry.timeout_for(next);
@@ -1046,6 +1119,7 @@ impl Engine {
             access_journal,
             broker,
             cores,
+            events_processed: self.events_processed,
         }
     }
 }

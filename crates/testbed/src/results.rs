@@ -217,6 +217,12 @@ pub struct RunResult {
     /// then folds them in, so steal-off runs keep their pre-scheduler
     /// digests).
     pub cores: Option<CoresStats>,
+    /// Total events the engine popped from its queue, including
+    /// batch-coalesced command deliveries. Perf instrumentation only (the
+    /// `--scale` bench divides it by wall-clock): deliberately **never**
+    /// folded into any digest, so identical simulations compare equal
+    /// regardless of how the harness was driven.
+    pub events_processed: u64,
 }
 
 impl RunResult {

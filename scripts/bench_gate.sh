@@ -29,6 +29,16 @@ cargo run --release --offline -q --bin bench_gate -- \
 cargo run --release --offline -q --bin bench_gate -- \
     BENCH_cores.json "$tmp/BENCH_cores.json" --tolerance "$tol" || status=1
 
+# Scale datapoint: bench_scale.sh asserts the machine-independent headline
+# (wheel-vs-heap speedup >=2x, both variants timed on this host) on the
+# fresh run and fails the gate if it collapses. The comparison against the
+# committed baseline uses a deliberately generous 90% tolerance because
+# events/sec and Mops/s are wall-clock numbers that vary across machines —
+# an order-of-magnitude collapse still fails, host-speed drift does not.
+scripts/bench_scale.sh "$tmp" || status=1
+cargo run --release --offline -q --bin bench_gate -- \
+    BENCH_scale.json "$tmp/BENCH_scale.json" --tolerance 90 || status=1
+
 # The broker's headline claim, checked on the fresh runs: borrowing buys
 # >=15% aggregate throughput over strict buckets on the bursty mix without
 # giving up fairness (Jain within 0.01 of the strict run).

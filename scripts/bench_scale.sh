@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Hot-path scale bench: 1,000 synthesized 4 KiB reader tenants over 8 SSDs
+# with command batching on, through the hierarchical-wheel event queue.
+# Writes BENCH_scale.json (events/sec, wall-clock, and the wheel-vs-heap
+# event-queue microbench) and asserts the headline claim: the wheel clears
+# the pre-PR BinaryHeap path by >=2x on the same event stream at the
+# 1k-tenant pending population.
+#
+# Unlike the other BENCH_* artifacts this one carries wall-clock numbers,
+# so the committed copy is a reference point, not a bit-for-bit pin — the
+# CI freshness diff deliberately excludes it, and bench_gate.sh compares
+# it with a deliberately generous tolerance.
+# Usage: scripts/bench_scale.sh [OUT_DIR]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-.}"
+
+cargo run --release --offline -q --bin jbofsim -- \
+    --scale 1000 --ssds 8 --duration-ms 2500 --warmup-ms 500 --seed 42 \
+    --bench-json "$out/BENCH_scale.json"
+
+echo "wrote $out/BENCH_scale.json"
+
+# The machine-independent headline, checked on the fresh run: both queue
+# variants replay the same seeded event stream on this machine, so their
+# ratio cancels out host speed.
+field() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk '{print $2}'; }
+speedup=$(field "$out/BENCH_scale.json" wheel_vs_heap_speedup)
+awk -v s="$speedup" 'BEGIN {
+    if (s < 2) {
+        printf "scale gate: wheel-vs-heap speedup %.2fx < 2x at the 1k-tenant point\n", s
+        exit 1
+    }
+    printf "scale gate: wheel beats the heap path by %.2fx at the 1k-tenant point: ok\n", s
+}'

@@ -37,10 +37,17 @@ cargo test --release --offline --test broker -q
 echo "==> cores suite (core scheduler: steal-off inertness, steal-on determinism, steal win, release)"
 cargo test --release --offline --test cores -q
 
+echo "==> scale suite (1k-tenant double-run bit-identity on the wheel hot path, release)"
+cargo test --release --offline --test scale -q
+
 echo "==> bench smoke (deterministic jbofsim runs; committed summaries must be fresh)"
 scripts/bench_smoke.sh
 git diff --exit-code BENCH_smoke.json BENCH_smoke_wb.json BENCH_rack.json \
     BENCH_broker_strict.json BENCH_broker.json BENCH_cores.json
+
+echo "==> scale smoke (1k tenants, batched wheel hot path, 5 min wall budget)"
+timeout 300 cargo run --release --offline -q --bin jbofsim -- \
+    --scale 1000 --ssds 8 --duration-ms 200 --warmup-ms 50 --seed 42
 
 echo "==> divergence sanitizer smoke (double run, journal comparison)"
 cargo run --release --offline -q --bin jbofsim -- \

@@ -228,7 +228,11 @@ fn direction(key: &str) -> Direction {
         | "shared_nothing_mbps"
         | "steal_mbps"
         | "win_pct"
-        | "steal_win_pct" => Direction::HigherIsBetter,
+        | "steal_win_pct"
+        | "events_per_sec"
+        | "wheel_mops"
+        | "heap_mops"
+        | "wheel_vs_heap_speedup" => Direction::HigherIsBetter,
         "mean_us" | "p50_us" | "p99_us" | "p999_us" | "write_amplification" => {
             Direction::LowerIsBetter
         }
@@ -460,6 +464,25 @@ mod tests {
         assert_eq!(compared, 4, "{regs:?}");
         assert_eq!(regs.len(), 1, "{regs:?}");
         assert!(regs[0].contains("steal_mbps"));
+    }
+
+    #[test]
+    fn scale_bench_metrics_are_compared() {
+        let base = r#"{"wall_ms": 900.0, "events_per_sec": 2000000.0,
+            "queue_microbench": {"pending": 32000, "wheel_mops": 25.0, "heap_mops": 8.0},
+            "wheel_vs_heap_speedup": 3.1}"#;
+        // wall_ms is machine noise and must stay ignored; a collapsed
+        // speedup must trip the gate.
+        let fresh = base
+            .replace("\"wall_ms\": 900.0", "\"wall_ms\": 5000.0")
+            .replace(
+                "\"wheel_vs_heap_speedup\": 3.1",
+                "\"wheel_vs_heap_speedup\": 1.0",
+            );
+        let (compared, regs) = run_gate(base, &fresh, 0.10);
+        assert_eq!(compared, 4, "{regs:?}");
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("wheel_vs_heap_speedup"));
     }
 
     #[test]

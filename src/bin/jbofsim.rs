@@ -14,7 +14,7 @@
 use gimbal_repro::cores::{CoresStats, StealConfig};
 use gimbal_repro::fabric::RetryConfig;
 use gimbal_repro::rack::{RackConfig, RackResult, RackTestbed};
-use gimbal_repro::sim::{FaultPlan, FaultWindow, SimDuration, SimTime};
+use gimbal_repro::sim::{EventQueue, FaultPlan, FaultWindow, HeapEventQueue, SimDuration, SimTime};
 use gimbal_repro::telemetry::{export, TraceConfig};
 use gimbal_repro::testbed::{
     cache_tier_wb, jain_index, AdmissionPolicy, BrokerConfig, BrokerMode, FaultConfig,
@@ -34,6 +34,7 @@ fn usage() -> ! {
          \x20              [--borrow] [--borrow-strict] [--borrow-mbps N]\n\
          \x20              [--borrow-epoch-ms N] [--placement]\n\
          \x20              [--steal] [--steal-rebalance-ms N] [--cores-sweep K[,K…]]\n\
+         \x20              [--batch N] [--scale TENANTS]\n\
          \x20              [--sanitize] --workers SPEC[,SPEC…]\n\
          \x20      rack mode: --rack-nodes N [--rack-ssds-per-node N]\n\
          \x20              [--rack-clients N] [--rack-qd N] [--rack-read-ratio F]\n\
@@ -67,6 +68,14 @@ fn usage() -> ! {
          \x20      --cache-policy picks the fill admission law (default congestion);\n\
          \x20      --cache-write-policy back acks writes from DRAM and drains\n\
          \x20      them to flash via the deterministic flusher (default through)\n\
+         --batch coalesces up to N same-instant command arrivals per SSD into\n\
+         \x20      one pipeline quantum (default 1 = off; digests are stable\n\
+         \x20      across batch sizes — see tests/trace_conformance.rs)\n\
+         --scale runs the hot-path bench: TENANTS synthesized 4 KiB readers\n\
+         \x20      spread round-robin over the SSDs, batching on, wall-clock\n\
+         \x20      events/sec reported alongside a wheel-vs-heap event-queue\n\
+         \x20      microbench; --bench-json writes BENCH_scale.json-shaped\n\
+         \x20      output (--workers is ignored in this mode)\n\
          --bench-json writes a machine-readable run summary to FILE\n\
          --rack-nodes switches to the rack testbed: N JBOF nodes behind a\n\
          \x20      deterministic ToR with GC/failure-aware routing; --rack-fault\n\
@@ -600,6 +609,162 @@ fn run_cores_sweep(
     }
 }
 
+/// Random inter-event jump for the queue microbench, shaped like the
+/// engine's real push distribution: overwhelmingly near-future device and
+/// fabric events (≤ ~131 µs), with an occasional timeout-class timer
+/// (~67 ms) to force high-level wheel cascades.
+fn bench_jump(rng: &mut gimbal_repro::sim::SimRng) -> u64 {
+    if rng.gen_below(16) == 0 {
+        1 + rng.gen_below(1 << 26)
+    } else {
+        1 + rng.gen_below(1 << 17)
+    }
+}
+
+/// Hold-and-push loop over one queue implementation: keep `pending` events
+/// in flight, pop the head, push a replacement a random jump past it, `ops`
+/// times. Both variants are fed the same seeded [`SimRng`] stream, so they
+/// do bit-identical work; only the container differs.
+macro_rules! queue_bench {
+    ($Q:ty, $pending:expr, $ops:expr) => {{
+        let mut q: $Q = <$Q>::new();
+        let mut rng = gimbal_repro::sim::SimRng::new(0x5CA1E);
+        for _ in 0..$pending {
+            let at = q.now() + SimDuration::from_nanos(bench_jump(&mut rng));
+            q.push(at, ());
+        }
+        let t0 = std::time::Instant::now();
+        for _ in 0..$ops {
+            let (at, ()) = q.pop().expect("queue stays full");
+            q.push(at + SimDuration::from_nanos(bench_jump(&mut rng)), ());
+        }
+        let dt = t0.elapsed();
+        assert_eq!(q.len(), $pending as usize, "hold-and-push conserves events");
+        dt
+    }};
+}
+
+/// Wheel-vs-heap event-queue microbench at a pending population matching
+/// the scale run (1k tenants x qd 32 ≈ 32k in-flight events). Returns
+/// `(wheel_mops, heap_mops, speedup)` where speedup > 1 means the
+/// hierarchical wheel beats the pre-PR `BinaryHeap` path.
+fn queue_microbench(pending: u64, ops: u64) -> (f64, f64, f64) {
+    // Untimed warm-up pass so neither variant pays first-touch page faults.
+    let _ = queue_bench!(EventQueue<()>, pending, ops / 8);
+    let _ = queue_bench!(HeapEventQueue<()>, pending, ops / 8);
+    let wheel = queue_bench!(EventQueue<()>, pending, ops);
+    let heap = queue_bench!(HeapEventQueue<()>, pending, ops);
+    let mops = |d: std::time::Duration| ops as f64 / d.as_secs_f64() / 1e6;
+    (
+        mops(wheel),
+        mops(heap),
+        heap.as_secs_f64() / wheel.as_secs_f64(),
+    )
+}
+
+/// The `--scale` hot-path bench: `tenants` synthesized 4 KiB readers over
+/// disjoint LBA regions, round-robin across the SSDs, command batching on.
+/// Reports wall-clock events/sec for the whole simulation plus the
+/// wheel-vs-heap microbench, and writes the `BENCH_scale.json` shape the
+/// bench gate consumes.
+#[allow(clippy::too_many_arguments)]
+fn run_scale(
+    scheme: Scheme,
+    tenants: u32,
+    ssds: u32,
+    cores: u32,
+    duration_ms: u64,
+    warmup_ms: u64,
+    seed: u64,
+    batch: u32,
+    bench_json: Option<&str>,
+) {
+    let cap_blocks = 512 * 1024 * 1024 / 4096u64;
+    let per_region = (cap_blocks / u64::from(tenants).max(1)).max(1);
+    let workers: Vec<WorkerSpec> = (0..tenants)
+        .map(|i| {
+            let fio = FioSpec::paper_default(
+                1.0,
+                4096,
+                u64::from(i) * per_region % cap_blocks,
+                per_region,
+            );
+            WorkerSpec::new("scale", fio).on_ssd(i % ssds)
+        })
+        .collect();
+    let cfg = TestbedConfig {
+        scheme,
+        num_ssds: ssds,
+        cores,
+        duration: SimDuration::from_millis(duration_ms),
+        warmup: SimDuration::from_millis(warmup_ms.min(duration_ms.saturating_sub(1))),
+        seed,
+        batch,
+        ..TestbedConfig::default()
+    };
+    eprintln!(
+        "jbofsim scale: {} tenants over {} SSDs x {} cores, scheme {}, batch {}, {} ms",
+        tenants,
+        ssds,
+        cores,
+        scheme.name(),
+        batch,
+        duration_ms
+    );
+    let t0 = std::time::Instant::now();
+    let res = Testbed::new(cfg, workers).run();
+    let wall = t0.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let events_per_sec = res.events_processed as f64 / wall.as_secs_f64().max(1e-9);
+    let total_ios: u64 = res.ssd_stats.iter().map(|s| s.reads + s.writes).sum();
+    let total_mbps = res.aggregate_bps(|_| true) / 1e6;
+
+    let pending = (u64::from(tenants) * 32).clamp(1 << 12, 1 << 16);
+    let (wheel_mops, heap_mops, speedup) = queue_microbench(pending, 2_000_000);
+
+    println!(
+        "scale: {} events in {wall_ms:.0} ms = {:.2} M events/s, {} device IOs, {total_mbps:.0} MB/s",
+        res.events_processed,
+        events_per_sec / 1e6,
+        total_ios
+    );
+    println!(
+        "queue microbench ({pending} pending): wheel {wheel_mops:.1} Mops/s, heap {heap_mops:.1} Mops/s, speedup {speedup:.2}x"
+    );
+
+    if let Some(path) = bench_json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"scale\",\n");
+        out.push_str(&format!("  \"scheme\": \"{}\",\n", scheme.name()));
+        out.push_str(&format!("  \"tenants\": {tenants},\n"));
+        out.push_str(&format!("  \"ssds\": {ssds},\n"));
+        out.push_str(&format!("  \"cores\": {cores},\n"));
+        out.push_str(&format!("  \"batch\": {batch},\n"));
+        out.push_str(&format!("  \"duration_ms\": {duration_ms},\n"));
+        out.push_str(&format!(
+            "  \"events_processed\": {},\n",
+            res.events_processed
+        ));
+        out.push_str(&format!("  \"total_ios\": {total_ios},\n"));
+        out.push_str(&format!("  \"total_throughput_mbps\": {total_mbps:.3},\n"));
+        out.push_str(&format!("  \"wall_ms\": {wall_ms:.1},\n"));
+        out.push_str(&format!("  \"events_per_sec\": {events_per_sec:.0},\n"));
+        out.push_str(&format!(
+            "  \"queue_microbench\": {{\"pending\": {pending}, \"ops\": 2000000, \"wheel_mops\": {wheel_mops:.2}, \"heap_mops\": {heap_mops:.2}}},\n"
+        ));
+        out.push_str(&format!("  \"wheel_vs_heap_speedup\": {speedup:.3}\n"));
+        out.push_str("}\n");
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("bench summary -> {path}"),
+            Err(e) => {
+                eprintln!("bench summary: failed to write {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let mut scheme = Scheme::Gimbal;
     let mut pre = Precondition::Clean;
@@ -623,6 +788,9 @@ fn main() {
     let mut steal = false;
     let mut steal_rebalance_ms = 20u64;
     let mut cores_sweep: Vec<u32> = Vec::new();
+    // `None` = default: 1 (off) for normal runs, 32 for `--scale`.
+    let mut batch: Option<u32> = None;
+    let mut scale_tenants = 0u32;
     let mut worker_specs: Vec<ParsedWorker> = Vec::new();
     let mut rack_nodes = 0u32;
     let mut rack_ssds_per_node = 2u32;
@@ -770,6 +938,23 @@ fn main() {
                 steal_rebalance_ms = need(i).parse().unwrap_or_else(|_| usage());
                 i += 2;
             }
+            "--batch" => {
+                let n: u32 = need(i).parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--batch must be >= 1");
+                    usage();
+                }
+                batch = Some(n);
+                i += 2;
+            }
+            "--scale" => {
+                scale_tenants = need(i).parse().unwrap_or_else(|_| usage());
+                if scale_tenants == 0 {
+                    eprintln!("--scale needs at least one tenant");
+                    usage();
+                }
+                i += 2;
+            }
             "--cores-sweep" => {
                 for k in need(i).split(',') {
                     match k.parse::<u32>() {
@@ -845,6 +1030,20 @@ fn main() {
         );
         return;
     }
+    if scale_tenants > 0 {
+        run_scale(
+            scheme,
+            scale_tenants,
+            ssds,
+            if cores == 0 { ssds } else { cores },
+            duration_ms,
+            warmup_ms,
+            seed,
+            batch.unwrap_or(32),
+            bench_json.as_deref(),
+        );
+        return;
+    }
     if worker_specs.is_empty() {
         eprintln!("no --workers given");
         usage();
@@ -913,6 +1112,7 @@ fn main() {
         cache: cache_tier_wb(cache_mb, cache_policy, cache_write),
         sanitize,
         broker,
+        batch: batch.unwrap_or(1),
         steal: steal.then(|| steal_cfg.clone()),
         ..TestbedConfig::default()
     };

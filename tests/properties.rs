@@ -10,7 +10,9 @@ use gimbal_repro::cache::{AdmissionPolicy, CacheConfig, SsdCache, WritePolicy};
 use gimbal_repro::fabric::{CmdId, IoType, NvmeCmd, Priority, SsdId, TenantId};
 use gimbal_repro::gimbal::scheduler::SchedPoll;
 use gimbal_repro::gimbal::{Params, VirtualSlotScheduler};
-use gimbal_repro::sim::{Histogram, SimRng, SimTime, TokenBucket};
+use gimbal_repro::sim::{
+    ArenaError, EventQueue, HeapEventQueue, Histogram, IoArena, SimRng, SimTime, TokenBucket,
+};
 use gimbal_repro::ssd::ftl::Ftl;
 use gimbal_repro::ssd::SsdConfig;
 use gimbal_repro::switch::Request;
@@ -445,6 +447,163 @@ fn rng_gen_below_is_in_range() {
             let x = a.gen_below(bound);
             assert!(x < bound, "case {case}");
             assert_eq!(x, b.gen_below(bound), "case {case}");
+        }
+    }
+}
+
+/// The hierarchical timer wheel is observationally identical to the
+/// `BinaryHeap` oracle it replaced: driven from the same `SimRng` event
+/// streams — same-tick collisions, pushes interleaved with pops, far-future
+/// times near `u64::MAX` that force cascades through every wheel level —
+/// both queues report the same `(time, payload)` pop sequence, the same
+/// `peek_time`, and the same length at every step. This is the equivalence
+/// that keeps every digest, journal, and trace bit-identical across the
+/// queue swap.
+#[test]
+fn timer_wheel_matches_heap_oracle_on_adversarial_streams() {
+    let mut meta = SimRng::new(0x9157_000A);
+    for case in 0..60 {
+        let mut rng = SimRng::new(meta.next_u64());
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut next_id = 0u64;
+        // A short memory of recently scheduled instants so pushes can
+        // collide on the exact same tick (FIFO order must survive).
+        let mut recent: Vec<u64> = Vec::new();
+        for step in 0..500 {
+            if wheel.is_empty() || rng.gen_bool(0.55) {
+                let now = wheel.now().as_nanos();
+                let at = match rng.gen_below(6) {
+                    0 => now, // due immediately
+                    1 if !recent.is_empty() => {
+                        // same-tick collision with an earlier push
+                        recent[rng.gen_below(recent.len() as u64) as usize]
+                    }
+                    1 | 2 => now.saturating_add(1 + rng.gen_below(64)),
+                    3 => now.saturating_add(1 + rng.gen_below(1 << 18)),
+                    4 => now.saturating_add(1 + rng.gen_below(1 << 34)),
+                    // far future: pops from here cascade down every level
+                    _ => u64::MAX - rng.gen_below(1 << 10),
+                };
+                let at = at.max(now);
+                recent.push(at);
+                if recent.len() > 8 {
+                    recent.remove(0);
+                }
+                wheel.push(SimTime::from_nanos(at), next_id);
+                heap.push(SimTime::from_nanos(at), next_id);
+                next_id += 1;
+            } else {
+                let w = wheel.pop();
+                let h = heap.pop();
+                assert_eq!(w, h, "case {case} step {step}: pop diverged");
+                // Old instants below the new watermark can no longer
+                // collide; drop them so future pushes stay legal.
+                let now = wheel.now().as_nanos();
+                recent.retain(|&t| t >= now);
+            }
+            assert_eq!(wheel.len(), heap.len(), "case {case} step {step}");
+            assert_eq!(
+                wheel.peek_time(),
+                heap.peek_time(),
+                "case {case} step {step}"
+            );
+        }
+        // Drain: the full residual sequence must agree too.
+        while let Some(w) = wheel.pop() {
+            assert_eq!(Some(w), heap.pop(), "case {case} drain");
+        }
+        assert!(heap.pop().is_none(), "case {case}: heap had extra events");
+    }
+}
+
+/// Arena recycling never leaks state across incarnations: a slot freed and
+/// re-allocated hands back exactly the freshly supplied value (never the
+/// previous occupant's), every stale handle — including double-free — is a
+/// typed [`ArenaError::Stale`], and no two in-flight handles ever alias the
+/// same slot.
+#[test]
+fn arena_recycling_never_leaks_state_across_incarnations() {
+    let mut meta = SimRng::new(0x9157_000B);
+    for case in 0..100 {
+        let mut rng = SimRng::new(meta.next_u64());
+        let mut arena: IoArena<(u64, u64)> = IoArena::new();
+        // Live handles with the exact value each slot must still hold.
+        let mut live: Vec<(gimbal_repro::sim::IoHandle, (u64, u64))> = Vec::new();
+        let mut freed: Vec<gimbal_repro::sim::IoHandle> = Vec::new();
+        let mut stamp = 0u64;
+        for step in 0..400 {
+            if live.is_empty() || rng.gen_bool(0.55) {
+                let value = (stamp, rng.next_u64());
+                stamp += 1;
+                let h = arena.alloc(value);
+                // Freshly allocated == recycled-then-reset: whatever lived
+                // in this slot before, the read-back is the new value.
+                assert_eq!(arena.get(h), Ok(&value), "case {case} step {step}");
+                live.push((h, value));
+            } else {
+                let i = rng.gen_below(live.len() as u64) as usize;
+                let (h, expect) = live.swap_remove(i);
+                assert_eq!(
+                    arena.free(h),
+                    Ok(expect),
+                    "case {case} step {step}: freed value drifted"
+                );
+                freed.push(h);
+            }
+            // Every stale handle stays a typed error, alloc churn or not.
+            for &h in &freed {
+                assert_eq!(arena.get(h), Err(ArenaError::Stale), "case {case}");
+                assert_eq!(arena.free(h), Err(ArenaError::Stale), "case {case}");
+            }
+            // No ID aliasing while in flight: distinct live handles occupy
+            // distinct slots, and each still reads back its own value.
+            let mut slots: Vec<u32> = live.iter().map(|(h, _)| h.index()).collect();
+            slots.sort_unstable();
+            slots.dedup();
+            assert_eq!(slots.len(), live.len(), "case {case}: slot aliasing");
+            for (h, v) in &live {
+                assert_eq!(arena.get(*h), Ok(v), "case {case}: live value leaked");
+            }
+            assert_eq!(arena.len(), live.len(), "case {case}");
+        }
+    }
+}
+
+/// Timer-wheel pops never go backwards and `pop_if_at` only ever takes the
+/// event that an unconditional `pop` would have returned — so batch
+/// coalescing (its only caller) cannot reorder the schedule.
+#[test]
+fn timer_wheel_pop_if_at_agrees_with_pop() {
+    let mut meta = SimRng::new(0x9157_000C);
+    for case in 0..60 {
+        let mut rng = SimRng::new(meta.next_u64());
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut last = SimTime::ZERO;
+        for id in 0..300u64 {
+            let at = q.now().as_nanos().saturating_add(rng.gen_below(1 << 20));
+            q.push(SimTime::from_nanos(at), id);
+        }
+        while let Some(head) = q.peek_time() {
+            assert!(head >= last, "case {case}: time went backwards");
+            // Conditional pop at the head's own instant, accepting even
+            // ids only; declined heads must come out of plain pop intact.
+            match q.pop_if_at(head, |id| id % 2 == 0) {
+                Some(id) => {
+                    assert_eq!(id % 2, 0, "case {case}: predicate ignored");
+                    assert_eq!(q.now(), head, "case {case}: watermark skipped");
+                }
+                None => {
+                    let (at, id) = q.pop().expect("peeked head exists");
+                    assert_eq!(at, head, "case {case}");
+                    assert_eq!(id % 2, 1, "case {case}: even id was declined");
+                }
+            }
+            last = head;
+            if rng.gen_bool(0.3) {
+                let at = q.now().as_nanos().saturating_add(rng.gen_below(1 << 20));
+                q.push(SimTime::from_nanos(at), 1_000_000 + rng.gen_below(1000));
+            }
         }
     }
 }

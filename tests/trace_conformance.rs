@@ -895,3 +895,124 @@ fn rack_events_reconcile_with_rack_audit_counters() {
         assert!(node < 3, "event names node {node} outside the rack");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Batched-submission conformance (hot-path tentpole): coalescing same-tick
+// command arrivals into one pipeline quantum must preserve per-IO
+// Algorithm 1 accounting — congestion EWMA updates, DRR rounds, credit
+// returns — *exactly*, for every batch size.
+// ---------------------------------------------------------------------------
+
+/// Fault-free mix for the batching tests (batching deliberately disengages
+/// under fault plans, where replay dedup can turn an arrival into a resend
+/// mid-batch). Six tenants on one SSD give the fabric plenty of same-tick
+/// arrival collisions to coalesce.
+fn batched_cfg(batch: u32, sanitize: bool) -> TestbedConfig {
+    TestbedConfig {
+        scheme: Scheme::Gimbal,
+        precondition: Precondition::Fragmented,
+        duration: SimDuration::from_millis(300),
+        warmup: SimDuration::from_millis(75),
+        seed: 23,
+        batch,
+        sanitize,
+        trace: (!sanitize).then_some(TraceConfig { capacity: 1 << 21 }),
+        ..TestbedConfig::default()
+    }
+}
+
+/// Batch-of-1 is the unbatched engine, bit for bit: same stats digest, same
+/// state-access journal — entry count included, so not a single pump or
+/// scheduler decision moved.
+#[test]
+fn batch_of_one_is_bit_identical_to_unbatched() {
+    let unbatched = Testbed::new(batched_cfg(1, true), mixed_workers(4, 2)).run();
+    let default_cfg = TestbedConfig {
+        batch: TestbedConfig::default().batch,
+        ..batched_cfg(1, true)
+    };
+    let dflt = Testbed::new(default_cfg, mixed_workers(4, 2)).run();
+    assert_eq!(unbatched.stats_digest(), dflt.stats_digest());
+    assert_eq!(unbatched.access_digest(), dflt.access_digest());
+    let ja = unbatched.access_journal.as_ref().expect("sanitized");
+    let jb = dflt.access_journal.as_ref().expect("sanitized");
+    assert_eq!(ja.len(), jb.len(), "journal shape changed at batch 1");
+}
+
+/// Stats and trace digests are stable across batch sizes: every per-IO
+/// observation — congestion EWMA samples, rate updates, credit events,
+/// device latencies — lands in the same order with the same values whether
+/// the quantum held one command or thirty-two.
+#[test]
+fn batched_digests_are_stable_across_batch_sizes() {
+    let base = Testbed::new(batched_cfg(1, false), mixed_workers(4, 2)).run();
+    let base_trace = base.trace_digest().expect("trace enabled");
+    for batch in [2u32, 8, 32] {
+        let res = Testbed::new(batched_cfg(batch, false), mixed_workers(4, 2)).run();
+        assert_eq!(
+            res.stats_digest(),
+            base.stats_digest(),
+            "stats digest moved at batch {batch}"
+        );
+        assert_eq!(
+            res.trace_digest().expect("trace enabled"),
+            base_trace,
+            "trace digest moved at batch {batch}"
+        );
+    }
+}
+
+/// The coalescing is real, not vacuous: a sanitized batch-32 run journals
+/// strictly fewer pump quanta than batch-1 (each coalesced command skips an
+/// intermediate scheduler decision + pump), while the stats stay identical.
+#[test]
+fn batching_coalesces_quanta_without_moving_stats() {
+    let one = Testbed::new(batched_cfg(1, true), mixed_workers(4, 2)).run();
+    let many = Testbed::new(batched_cfg(32, true), mixed_workers(4, 2)).run();
+    assert_eq!(one.stats_digest(), many.stats_digest());
+    let j1 = one.access_journal.as_ref().expect("sanitized").len();
+    let j32 = many.access_journal.as_ref().expect("sanitized").len();
+    assert!(
+        j32 < j1,
+        "batch-32 never coalesced a quantum (journal {j32} vs {j1} entries)"
+    );
+}
+
+/// Algorithm 1 still holds *inside* a batched run: re-validate every
+/// congestion-transition snapshot from a batch-32 trace with the same
+/// branch arithmetic the unbatched conformance tests use, and re-check
+/// credit-halving exactness and Congested-state rate monotonicity on the
+/// batched stream.
+#[test]
+fn batched_run_still_conforms_to_algorithm_one() {
+    let res = Testbed::new(batched_cfg(32, false), mixed_workers(4, 2)).run();
+    let trace = res.trace.as_ref().expect("trace enabled");
+    assert_eq!(trace.dropped_oldest, 0, "ring too small for conformance");
+    let p = Params::default();
+    let view = trace.view();
+    let transitions = view.named("congestion_transition");
+    assert!(
+        !transitions.is_empty(),
+        "no congestion activity at batch 32"
+    );
+    for e in transitions.iter() {
+        check_transition_snapshot(e, &p);
+    }
+    for e in view.named("rate_update").iter() {
+        let EventKind::RateUpdate {
+            state,
+            old_bps,
+            new_bps,
+            ..
+        } = e.kind
+        else {
+            unreachable!()
+        };
+        if state == CongState::Congested {
+            assert!(
+                new_bps <= old_bps + EPS,
+                "rate increased while Congested in a batched run: {e:?}"
+            );
+        }
+    }
+}
